@@ -1,0 +1,137 @@
+// Shared helpers for the experiment harness.
+//
+// Every bench binary reproduces one figure or prose claim from the paper
+// (see DESIGN.md's experiment index): it runs the deterministic simulation
+// experiment, prints the paper-style table to stdout, and registers
+// google-benchmark microbenchmarks for the primitives it exercises.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/core/cluster.h"
+
+namespace aurora::bench {
+
+/// Prints a titled, pipe-separated table (markdown-ish, stable to diff).
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& Columns(std::vector<std::string> names) {
+    columns_ = std::move(names);
+    return *this;
+  }
+
+  Table& Row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void Print() const {
+    std::printf("\n== %s ==\n", title_.c_str());
+    auto print_row = [](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (const auto& cell : cells) std::printf(" %-22s |", cell.c_str());
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::vector<std::string> rule;
+    for (size_t i = 0; i < columns_.size(); ++i) rule.push_back("---");
+    print_row(rule);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Us(SimDuration us) {
+  char buf[32];
+  if (us >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", us / 1e6);
+  } else if (us >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+inline std::string Num(double v, int precision = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string LatencySummary(const Histogram& h) {
+  return "p50=" + Us(h.P50()) + " p99=" + Us(h.P99()) +
+         " p999=" + Us(h.P999());
+}
+
+/// Issues `n` autocommit single-key transactions back-to-back (closed
+/// loop), recording commit latency into the writer's histogram.
+inline Status RunClosedLoopWrites(core::AuroraCluster& cluster, int n,
+                                  const std::string& prefix = "key") {
+  for (int i = 0; i < n; ++i) {
+    Status st = cluster.PutBlocking(prefix + std::to_string(i), "value");
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+/// Issues writes at a fixed arrival rate (open loop) for `duration`,
+/// collecting per-commit latency into `latencies`. Returns commits acked.
+inline uint64_t RunOpenLoopWrites(core::AuroraCluster& cluster,
+                                  double txn_per_sec, SimDuration duration,
+                                  Histogram* latencies) {
+  struct LoopState {
+    core::AuroraCluster* cluster;
+    engine::DbInstance* writer;
+    Histogram* latencies;
+    SimDuration interval;
+    SimTime end;
+    uint64_t acked = 0;
+    std::function<void(int)> issue;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->cluster = &cluster;
+  state->writer = cluster.writer();
+  state->latencies = latencies;
+  state->interval = static_cast<SimDuration>(1e6 / txn_per_sec);
+  state->end = cluster.sim().Now() + duration;
+  state->issue = [state](int i) {
+    auto& sim = state->cluster->sim();
+    if (sim.Now() >= state->end) return;
+    engine::DbInstance* writer = state->writer;
+    const TxnId txn = writer->Begin();
+    const SimTime start = sim.Now();
+    writer->Put(txn, "k" + std::to_string(i % 512), "v",
+                [state, writer, txn, start](Status st) {
+                  if (!st.ok()) return;
+                  writer->Commit(txn, [state, start](Status commit_st) {
+                    if (!commit_st.ok()) return;
+                    state->acked++;
+                    if (state->latencies != nullptr) {
+                      state->latencies->Record(
+                          state->cluster->sim().Now() - start);
+                    }
+                  });
+                });
+    sim.Schedule(state->interval, [state, i]() { state->issue(i + 1); });
+  };
+  state->issue(0);
+  cluster.RunFor(duration + 2 * kSecond);
+  const uint64_t acked = state->acked;
+  state->issue = nullptr;  // break the shared_ptr self-reference cycle
+  return acked;
+}
+
+}  // namespace aurora::bench

@@ -1,0 +1,217 @@
+// Experiment F1 — Figure 1: "Why are 6 copies necessary?"
+//
+// The paper's argument: a 2/3 quorum (one copy per AZ) loses BOTH its read
+// and write quorum when an AZ failure coincides with one more independent
+// failure ("AZ+1"); Aurora's 3-AZ 4/6-write / 3/6-read layout survives an
+// AZ loss outright and keeps its READ quorum under AZ+1, so it can repair.
+//
+// Reproduction: (a) exhaustive enumeration of the failure scenarios in the
+// figure; (b) a Monte-Carlo fleet simulation with exponential segment
+// MTTF/MTTR plus periodic AZ outages, reporting unavailability fractions.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/common/random.h"
+#include "src/quorum/membership.h"
+
+namespace aurora {
+namespace {
+
+using quorum::PgConfig;
+using quorum::QuorumModel;
+using quorum::QuorumSet;
+using quorum::SegmentInfo;
+using quorum::SegmentSet;
+
+PgConfig MakeConfig(int copies_per_az, QuorumModel model) {
+  std::vector<SegmentInfo> members;
+  SegmentId id = 0;
+  for (AzId az = 0; az < 3; ++az) {
+    for (int c = 0; c < copies_per_az; ++c) {
+      members.push_back({id, static_cast<NodeId>(100 + id), az, true});
+      ++id;
+    }
+  }
+  return PgConfig::Create(0, model, members);
+}
+
+struct Scheme {
+  const char* name;
+  PgConfig config;
+};
+
+// Survivors after failing one AZ plus `extra` more random segments.
+bool QuorumHolds(const PgConfig& config, const QuorumSet& quorum,
+                 AzId failed_az, SegmentId extra_failed) {
+  SegmentSet alive;
+  for (const auto& m : config.AllMembers()) {
+    if (m.az == failed_az) continue;
+    if (m.id == extra_failed) continue;
+    alive.insert(m.id);
+  }
+  return quorum.SatisfiedBy(alive);
+}
+
+void PrintScenarioTable() {
+  std::vector<Scheme> schemes;
+  schemes.push_back({"2/3 across 3 AZs", MakeConfig(1, QuorumModel::kUniform34)});
+  // 2/3: V=3, Vw=2, Vr=2 -> build explicitly via kUniform46 generalization
+  // (n/2+1 = 2 for n=3), so kUniform46 gives exactly 2/3-2/3.
+  schemes.back().config = MakeConfig(1, QuorumModel::kUniform46);
+  schemes.push_back(
+      {"4/6 across 3 AZs (Aurora)", MakeConfig(2, QuorumModel::kUniform46)});
+
+  bench::Table table("Figure 1: quorum survival under AZ and AZ+1 failures");
+  table.Columns({"scheme", "scenario", "write quorum", "read quorum"});
+  for (const auto& scheme : schemes) {
+    const auto write = scheme.config.WriteSet();
+    const auto read = scheme.config.ReadSet();
+    // Scenario A: one AZ fails (all its segments).
+    bool write_ok = true, read_ok = true;
+    for (AzId az = 0; az < 3; ++az) {
+      write_ok &= QuorumHolds(scheme.config, write, az, kInvalidSegment);
+      read_ok &= QuorumHolds(scheme.config, read, az, kInvalidSegment);
+    }
+    table.Row({scheme.name, "AZ failure",
+               write_ok ? "SURVIVES" : "BROKEN",
+               read_ok ? "SURVIVES" : "BROKEN"});
+    // Scenario B: AZ failure + one more segment anywhere (worst case).
+    write_ok = true;
+    read_ok = true;
+    for (AzId az = 0; az < 3; ++az) {
+      for (const auto& m : scheme.config.AllMembers()) {
+        if (m.az == az) continue;
+        write_ok &= QuorumHolds(scheme.config, write, az, m.id);
+        read_ok &= QuorumHolds(scheme.config, read, az, m.id);
+      }
+    }
+    table.Row({scheme.name, "AZ + 1 failure",
+               write_ok ? "SURVIVES" : "BROKEN",
+               read_ok ? "SURVIVES" : "BROKEN"});
+  }
+  table.Print();
+  std::printf(
+      "(Paper: 2/3 breaks entirely under AZ+1; Aurora 4/6 loses writes but\n"
+      " keeps the 3/6 read quorum, so it can repair without data loss.)\n");
+}
+
+// Monte-Carlo fleet availability: exponential node failures + AZ outages.
+void PrintMonteCarloTable() {
+  struct Row {
+    const char* name;
+    int copies_per_az;
+  };
+  bench::Table table(
+      "Figure 1 (Monte Carlo): unavailability fractions over 30 simulated "
+      "days, node MTTF=12h MTTR=60s, AZ outage 1/10d for 1h");
+  table.Columns({"scheme", "write unavail %", "read unavail %",
+                 "quorum-loss events"});
+  for (const Row& row : {Row{"2/3 across 3 AZs", 1},
+                         Row{"4/6 across 3 AZs (Aurora)", 2}}) {
+    const PgConfig config = MakeConfig(row.copies_per_az,
+                                       QuorumModel::kUniform46);
+    const auto write = config.WriteSet();
+    const auto read = config.ReadSet();
+    const auto members = config.AllMembers();
+
+    Rng rng(1234);
+    const double mttf_us = 12.0 * 3600 * 1e6;
+    const double mttr_us = 60.0 * 1e6;
+    const double az_mttf_us = 10.0 * 86400 * 1e6;
+    const double az_mttr_us = 3600.0 * 1e6;
+    const double horizon = 30.0 * 86400 * 1e6;
+    const double step = 1e6;  // 1s sampling
+
+    // Per-member and per-AZ up/down renewal processes, sampled.
+    std::vector<double> member_downtime_left(members.size(), 0.0);
+    std::vector<double> member_next_failure(members.size());
+    for (auto& t : member_next_failure) t = rng.NextExponential(mttf_us);
+    double az_downtime_left = 0.0;
+    double az_next_failure = rng.NextExponential(az_mttf_us);
+    AzId failed_az = 0;
+
+    double write_down = 0, read_down = 0;
+    uint64_t loss_events = 0;
+    bool was_down = false;
+    for (double now = 0; now < horizon; now += step) {
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (member_downtime_left[i] > 0) {
+          member_downtime_left[i] -= step;
+        } else if ((member_next_failure[i] -= step) <= 0) {
+          member_downtime_left[i] = rng.NextExponential(mttr_us);
+          member_next_failure[i] = rng.NextExponential(mttf_us);
+        }
+      }
+      if (az_downtime_left > 0) {
+        az_downtime_left -= step;
+      } else if ((az_next_failure -= step) <= 0) {
+        az_downtime_left = az_mttr_us;
+        az_next_failure = rng.NextExponential(az_mttf_us);
+        failed_az = static_cast<AzId>(rng.NextBounded(3));
+      }
+      SegmentSet alive;
+      for (size_t i = 0; i < members.size(); ++i) {
+        const bool az_down = az_downtime_left > 0 &&
+                             members[i].az == failed_az;
+        if (member_downtime_left[i] <= 0 && !az_down) {
+          alive.insert(members[i].id);
+        }
+      }
+      const bool w = write.SatisfiedBy(alive);
+      const bool r = read.SatisfiedBy(alive);
+      if (!w) write_down += step;
+      if (!r) read_down += step;
+      if (!r && !was_down) loss_events++;
+      was_down = !r;
+    }
+    table.Row({row.name, bench::Num(100.0 * write_down / horizon, 4),
+               bench::Num(100.0 * read_down / horizon, 4),
+               std::to_string(loss_events)});
+  }
+  table.Print();
+}
+
+// Microbenchmark: quorum-set evaluation cost (it sits on the ack path).
+void BM_QuorumEvaluation(benchmark::State& state) {
+  const PgConfig config = MakeConfig(2, QuorumModel::kUniform46);
+  const auto write = config.WriteSet();
+  SegmentSet acked = {0, 2, 3, 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(write.SatisfiedBy(acked));
+  }
+}
+BENCHMARK(BM_QuorumEvaluation);
+
+void BM_DualQuorumEvaluation(benchmark::State& state) {
+  PgConfig config = MakeConfig(2, QuorumModel::kUniform46);
+  auto mid = config.BeginReplace(5, SegmentInfo{6, 110, 2, true});
+  const auto write = mid->WriteSet();
+  SegmentSet acked = {0, 1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(write.SatisfiedBy(acked));
+  }
+}
+BENCHMARK(BM_DualQuorumEvaluation);
+
+void BM_OverlapProof46(benchmark::State& state) {
+  const PgConfig config = MakeConfig(2, QuorumModel::kUniform46);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        QuorumSet::AlwaysOverlaps(config.ReadSet(), config.WriteSet()));
+  }
+}
+BENCHMARK(BM_OverlapProof46);
+
+}  // namespace
+}  // namespace aurora
+
+int main(int argc, char** argv) {
+  aurora::PrintScenarioTable();
+  aurora::PrintMonteCarloTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

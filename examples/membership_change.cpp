@@ -1,0 +1,93 @@
+// Membership-change walkthrough: Figure 5, live.
+//
+//   $ ./membership_change
+//
+// Narrates the two-step, reversible quorum-set transition: segment F's
+// node dies; G joins at epoch+1 (dual quorum — writes continue
+// throughout); G hydrates from its peers; the change commits at epoch+2.
+// Then the drill repeats, but the "failed" node comes back and the change
+// is REVERTED instead — "membership change decisions inconsequential".
+
+#include <cstdio>
+
+#include "src/core/cluster.h"
+
+using namespace aurora;
+
+namespace {
+
+void PrintPg(const core::AuroraCluster& cluster) {
+  std::printf("    %s\n", cluster.geometry().Pg(0).ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  core::AuroraOptions options;
+  options.seed = 404;
+  options.blocks_per_pg = 1 << 16;
+  options.storage_nodes_per_az = 3;
+  core::AuroraCluster cluster(options);
+  if (!cluster.StartBlocking().ok()) return 1;
+  for (int i = 0; i < 40; ++i) {
+    (void)cluster.PutBlocking("row" + std::to_string(i), "v");
+  }
+  std::printf("epoch 1 — all six members healthy:\n");
+  PrintPg(cluster);
+
+  // ---- Act 1: F dies and is replaced by G --------------------------------
+  const SegmentId f = 5;
+  std::printf("\n>>> segment %u's storage node fails\n", f);
+  cluster.network().Crash(cluster.NodeForSegment(f)->id());
+
+  auto begin = cluster.BeginReplaceBlocking(f);
+  if (!begin.ok()) {
+    std::printf("begin failed: %s\n", begin.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nepoch 2 — dual quorum (write = 4/6 of BOTH candidate "
+              "sets; ABCD alone satisfies it):\n");
+  PrintPg(cluster);
+
+  std::printf("\nwrites proceed during the change:\n");
+  int ok = 0;
+  for (int i = 0; i < 15; ++i) {
+    if (cluster.PutBlocking("during" + std::to_string(i), "v").ok()) ok++;
+  }
+  std::printf("    %d/15 commits acked while G hydrates\n", ok);
+
+  Status commit = cluster.CommitReplaceBlocking(f);
+  std::printf("\nepoch 3 — change committed (%s); F's state abandoned "
+              "only now that G holds a full copy:\n",
+              commit.ToString().c_str());
+  PrintPg(cluster);
+
+  // ---- Act 2: E is suspected but comes back — revert ---------------------
+  const SegmentId e = 4;
+  std::printf("\n>>> segment %u's node stops responding (just busy!)\n", e);
+  cluster.network().Crash(cluster.NodeForSegment(e)->id());
+  auto begin2 = cluster.BeginReplaceBlocking(e);
+  if (!begin2.ok()) {
+    std::printf("begin failed: %s\n", begin2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nepoch 4 — replacement %u staged:\n", begin2->new_segment);
+  PrintPg(cluster);
+
+  std::printf("\n>>> the suspect node comes back; reverse the change\n");
+  cluster.network().Restart(cluster.NodeForSegment(e)->id());
+  cluster.RunFor(100 * kMillisecond);
+  Status revert = cluster.RevertReplaceBlocking(e);
+  std::printf("\nepoch 5 — reverted (%s); original member retained:\n",
+              revert.ToString().c_str());
+  PrintPg(cluster);
+
+  // ---- Validate -----------------------------------------------------------
+  int readable = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (cluster.GetBlocking("row" + std::to_string(i)).ok()) readable++;
+  }
+  std::printf("\nall data intact: %d/40 rows readable; no I/O was blocked "
+              "at any epoch.\n", readable);
+  return readable == 40 ? 0 : 1;
+}

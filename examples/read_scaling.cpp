@@ -1,0 +1,103 @@
+// Read scaling with shared-storage replicas (§3.2–§3.4).
+//
+//   $ ./read_scaling
+//
+// Spins up replicas against the SAME storage volume (no volume copy, no
+// catch-up snapshot), runs a mixed workload, and shows: replica reads of
+// committed data, snapshot isolation on the replica (an uncommitted writer
+// transaction stays invisible, reverted via undo), VDL lag, and PGMRPL
+// feedback that holds storage GC back for replica readers.
+
+#include <cstdio>
+
+#include "src/core/cluster.h"
+
+using namespace aurora;
+
+int main() {
+  core::AuroraOptions options;
+  options.seed = 987;
+  options.blocks_per_pg = 1 << 16;
+  core::AuroraCluster cluster(options);
+  if (!cluster.StartBlocking().ok()) return 1;
+  for (int i = 0; i < 50; ++i) {
+    (void)cluster.PutBlocking("item" + std::to_string(i),
+                              "stock=" + std::to_string(i));
+  }
+
+  std::printf("adding two read replicas (instant: durable state is "
+              "shared, §3.2)\n");
+  auto* r1 = cluster.AddReplica();
+  auto* r2 = cluster.AddReplica();
+  cluster.RunFor(300 * kMillisecond);
+  std::printf("  writer vdl=%llu  r1 vdl=%llu  r2 vdl=%llu\n\n",
+              static_cast<unsigned long long>(cluster.writer()->vdl()),
+              static_cast<unsigned long long>(r1->vdl()),
+              static_cast<unsigned long long>(r2->vdl()));
+
+  // Replica point read.
+  bool done = false;
+  r1->Get("item7", [&](Result<std::string> v) {
+    std::printf("replica 1 reads item7 -> %s\n",
+                v.ok() ? v->c_str() : v.status().ToString().c_str());
+    done = true;
+  });
+  cluster.RunUntil([&]() { return done; });
+
+  // Snapshot isolation across the stream: writer mutates uncommitted.
+  auto* writer = cluster.writer();
+  const TxnId txn = writer->Begin();
+  done = false;
+  writer->Put(txn, "item7", "stock=SOLD-OUT", [&](Status) { done = true; });
+  cluster.RunUntil([&]() { return done; });
+  cluster.RunFor(50 * kMillisecond);  // MTR ships to replicas
+
+  done = false;
+  r2->Get("item7", [&](Result<std::string> v) {
+    std::printf("replica 2 reads item7 while txn uncommitted -> %s "
+                "(reverted via undo, §3.4)\n",
+                v.ok() ? v->c_str() : v.status().ToString().c_str());
+    done = true;
+  });
+  cluster.RunUntil([&]() { return done; });
+
+  (void)cluster.CommitBlocking(txn);
+  cluster.RunFor(50 * kMillisecond);
+  done = false;
+  r2->Get("item7", [&](Result<std::string> v) {
+    std::printf("replica 2 reads item7 after commit        -> %s\n",
+                v.ok() ? v->c_str() : v.status().ToString().c_str());
+    done = true;
+  });
+  cluster.RunUntil([&]() { return done; });
+
+  // Replica range scan.
+  done = false;
+  r1->Scan("item1", "item2\xff", 20, [&](auto rows) {
+    if (rows.ok()) {
+      std::printf("\nreplica 1 scan [item1, item2~]: %zu rows\n",
+                  rows->size());
+    }
+    done = true;
+  });
+  cluster.RunUntil([&]() { return done; });
+
+  // PGMRPL: the writer aggregates replica read points; storage GC may not
+  // pass them.
+  cluster.RunFor(300 * kMillisecond);
+  std::printf("\nPGMRPL bookkeeping: writer min read point = %llu "
+              "(replicas report %llu, %llu)\n",
+              static_cast<unsigned long long>(
+                  cluster.writer()->ComputePgmrpl()),
+              static_cast<unsigned long long>(r1->MinReadPoint()),
+              static_cast<unsigned long long>(r2->MinReadPoint()));
+
+  std::printf("\nreplica cache stats: r1 {applied=%llu discarded=%llu "
+              "invalidated=%llu}\n",
+              static_cast<unsigned long long>(r1->stats().records_applied),
+              static_cast<unsigned long long>(
+                  r1->stats().records_discarded_uncached),
+              static_cast<unsigned long long>(
+                  r1->stats().pages_invalidated));
+  return 0;
+}

@@ -1,0 +1,67 @@
+// ARIES-style checkpoint + redo-replay recovery baseline (§2.4, C7).
+//
+// A traditional engine must, at crash recovery, (1) read the log from the
+// last checkpoint, (2) replay redo to rebuild page state, and (3) undo
+// loser transactions — all BEFORE opening for business. Aurora's claim:
+// "No redo replay is required as part of crash recovery since segments
+// are able to generate data blocks on their own"; recovery cost is a few
+// quorum round-trips, independent of log depth. This model prices the
+// traditional path on the same simulated disk so the F4 benchmark can
+// plot time-to-open vs. log-depth-since-checkpoint for both systems.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+#include "src/storage/disk.h"
+
+namespace aurora::baseline {
+
+struct AriesOptions {
+  storage::DiskOptions disk;
+  /// Log read bandwidth during analysis/redo (bytes/us).
+  double log_scan_bytes_per_us = 500.0;
+  /// CPU cost to apply one redo record.
+  SimDuration apply_cost_per_record = 2;
+  /// Average bytes per log record.
+  uint64_t bytes_per_record = 256;
+  /// Checkpoint every N records.
+  uint64_t checkpoint_interval_records = 100000;
+  /// Fraction of replayed records needing a random page read (cache cold).
+  double page_read_fraction = 0.02;
+  SimDuration page_read_cost = 80;
+};
+
+/// Tracks enough log/checkpoint state to price a recovery.
+class AriesEngine {
+ public:
+  AriesEngine(sim::Simulator* sim, AriesOptions options = {})
+      : sim_(sim), options_(options) {}
+
+  /// Appends `n` records to the log (workload generation).
+  void AppendRecords(uint64_t n);
+
+  /// Takes a (fuzzy) checkpoint now.
+  void Checkpoint() { records_since_checkpoint_ = 0; }
+
+  uint64_t records_since_checkpoint() const {
+    return records_since_checkpoint_;
+  }
+
+  /// Simulated crash recovery: cb(elapsed) after the redo pass completes
+  /// (undo is modeled as deferrable, like Aurora's, for a fair floor).
+  void Recover(std::function<void(SimDuration)> cb);
+
+  /// Closed-form expected recovery time (for table generation).
+  SimDuration ExpectedRecoveryTime() const;
+
+ private:
+  sim::Simulator* sim_;
+  AriesOptions options_;
+  uint64_t records_since_checkpoint_ = 0;
+};
+
+}  // namespace aurora::baseline

@@ -1,0 +1,39 @@
+#include "src/baseline/lease.h"
+
+#include <algorithm>
+
+namespace aurora::baseline {
+
+bool LeaseManager::Acquire(NodeId holder) {
+  const SimTime now = sim_->Now();
+  if (holder_ != kInvalidNode && holder_ != holder && expiry_ > now) {
+    return false;
+  }
+  holder_ = holder;
+  expiry_ = now + options_.ttl;
+  return true;
+}
+
+NodeId LeaseManager::Holder() const {
+  return expiry_ > sim_->Now() ? holder_ : kInvalidNode;
+}
+
+SimTime LeaseManager::EarliestTakeover() const {
+  const SimTime now = sim_->Now();
+  if (holder_ == kInvalidNode || expiry_ <= now) return now;
+  return expiry_ + options_.skew_margin;
+}
+
+void LeaseManager::AcquireWhenFree(NodeId new_holder,
+                                   std::function<void(SimDuration)> cb) {
+  const SimTime now = sim_->Now();
+  const SimTime when = std::max(EarliestTakeover(), now);
+  const SimDuration wait = when - now;
+  sim_->Schedule(wait, [this, new_holder, wait, cb = std::move(cb)]() {
+    holder_ = new_holder;
+    expiry_ = sim_->Now() + options_.ttl;
+    cb(wait);
+  });
+}
+
+}  // namespace aurora::baseline

@@ -1,0 +1,145 @@
+#include "src/baseline/paxos.h"
+
+namespace aurora::baseline {
+
+PaxosAcceptor::PaxosAcceptor(sim::Simulator* sim, sim::Network* network,
+                             NodeId id, AzId az, storage::DiskOptions disk)
+    : sim_(sim), network_(network), id_(id), disk_(sim, disk) {
+  network_->RegisterNode(id_, az);
+}
+
+void PaxosAcceptor::HandlePrepare(uint64_t slot, Ballot ballot,
+                                  std::function<void(PromiseReply)> reply) {
+  AcceptorSlot& state = slots_[slot];
+  if (ballot < state.promised) {
+    reply(PromiseReply{false, {}, {}});
+    return;
+  }
+  state.promised = ballot;
+  // Promises are durable.
+  disk_.SubmitWrite(128, [this, slot, reply = std::move(reply)]() {
+    if (!network_->IsUp(id_)) return;
+    const AcceptorSlot& s = slots_[slot];
+    reply(PromiseReply{true, s.accepted_ballot, s.accepted_value});
+  });
+}
+
+void PaxosAcceptor::HandleAccept(uint64_t slot, Ballot ballot,
+                                 std::string value,
+                                 std::function<void(bool)> reply) {
+  AcceptorSlot& state = slots_[slot];
+  if (ballot < state.promised) {
+    reply(false);
+    return;
+  }
+  state.promised = ballot;
+  state.accepted_ballot = ballot;
+  state.accepted_value = std::move(value);
+  disk_.SubmitWrite(256, [this, reply = std::move(reply)]() {
+    if (!network_->IsUp(id_)) return;
+    reply(true);
+  });
+}
+
+MultiPaxosLog::MultiPaxosLog(sim::Simulator* sim, sim::Network* network,
+                             NodeId id, AzId az,
+                             std::vector<PaxosAcceptor*> acceptors)
+    : sim_(sim),
+      network_(network),
+      id_(id),
+      acceptors_(std::move(acceptors)) {
+  network_->RegisterNode(id_, az);
+}
+
+void MultiPaxosLog::Append(std::string value,
+                           std::function<void(uint64_t)> cb) {
+  stats_.proposals++;
+  const uint64_t slot = next_slot_++;
+  const bool skip_prepare = have_leadership_;
+  Propose(slot, std::move(value), skip_prepare, std::move(cb), sim_->Now());
+}
+
+void MultiPaxosLog::Propose(uint64_t slot, std::string value,
+                            bool skip_prepare,
+                            std::function<void(uint64_t)> cb,
+                            SimTime started_at) {
+  if (!skip_prepare) round_++;  // fresh ballot for the full round
+  const Ballot ballot{round_, id_};
+  const size_t majority = acceptors_.size() / 2 + 1;
+
+  auto run_accept = [this, slot, ballot, majority, cb = std::move(cb),
+                     started_at](std::string chosen_value) {
+    auto accepts = std::make_shared<size_t>(0);
+    auto done = std::make_shared<bool>(false);
+    for (PaxosAcceptor* acceptor : acceptors_) {
+      stats_.messages++;
+      network_->Send(
+          id_, acceptor->id(), 256 + chosen_value.size(),
+          [this, acceptor, slot, ballot, chosen_value, accepts, done,
+           majority, cb, started_at]() {
+            acceptor->HandleAccept(
+                slot, ballot, chosen_value,
+                [this, acceptor, accepts, done, majority, cb, slot,
+                 started_at](bool ok) {
+                  stats_.messages++;
+                  network_->Send(acceptor->id(), id_, 64,
+                                 [this, accepts, done, majority, cb, slot,
+                                  started_at, ok]() {
+                                   if (*done || !ok) return;
+                                   if (++*accepts >= majority) {
+                                     *done = true;
+                                     have_leadership_ = true;
+                                     stats_.committed++;
+                                     latency_.Record(sim_->Now() -
+                                                     started_at);
+                                     cb(slot);
+                                   }
+                                 });
+                });
+          });
+    }
+  };
+
+  if (skip_prepare) {
+    run_accept(std::move(value));
+    return;
+  }
+  // Full round: prepare, adopt any previously accepted value, accept.
+  stats_.prepare_rounds++;
+  const Ballot new_ballot = ballot;
+  auto promises = std::make_shared<size_t>(0);
+  auto best = std::make_shared<std::pair<Ballot, std::string>>();
+  auto launched = std::make_shared<bool>(false);
+  for (PaxosAcceptor* acceptor : acceptors_) {
+    stats_.messages++;
+    network_->Send(
+        id_, acceptor->id(), 128,
+        [this, acceptor, slot, new_ballot, promises, best, launched,
+         majority, value, run_accept]() {
+          acceptor->HandlePrepare(
+              slot, new_ballot,
+              [this, acceptor, promises, best, launched, majority, value,
+               run_accept](PaxosAcceptor::PromiseReply reply) {
+                stats_.messages++;
+                network_->Send(
+                    acceptor->id(), id_, 128,
+                    [promises, best, launched, majority, value, run_accept,
+                     reply]() {
+                      if (*launched || !reply.ok) return;
+                      if (reply.accepted_ballot.has_value() &&
+                          *reply.accepted_ballot > best->first) {
+                        *best = {*reply.accepted_ballot,
+                                 reply.accepted_value};
+                      }
+                      if (++*promises >= majority) {
+                        *launched = true;
+                        run_accept(best->second.empty() ? value
+                                                        : best->second);
+                      }
+                    });
+              });
+        });
+  }
+}
+
+}  // namespace aurora::baseline

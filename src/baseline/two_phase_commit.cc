@@ -1,0 +1,106 @@
+#include "src/baseline/two_phase_commit.h"
+
+namespace aurora::baseline {
+
+TpcParticipant::TpcParticipant(sim::Simulator* sim, sim::Network* network,
+                               NodeId id, AzId az,
+                               storage::DiskOptions disk)
+    : sim_(sim), network_(network), id_(id), disk_(sim, disk) {
+  network_->RegisterNode(id_, az);
+}
+
+void TpcParticipant::HandlePrepare(uint64_t /*txn*/,
+                                   std::function<void(bool)> vote) {
+  disk_.SubmitWrite(256, [this, vote = std::move(vote)]() {
+    if (!network_->IsUp(id_)) return;
+    vote(!vote_no_);
+  });
+}
+
+void TpcParticipant::HandleDecision(uint64_t /*txn*/, bool /*commit*/,
+                                    std::function<void()> ack) {
+  disk_.SubmitWrite(256, [this, ack = std::move(ack)]() {
+    if (!network_->IsUp(id_)) return;
+    ack();
+  });
+}
+
+struct TpcCoordinator::Pending {
+  uint64_t txn;
+  size_t votes_yes = 0;
+  size_t votes_total = 0;
+  bool decided = false;
+  SimTime started_at;
+  std::function<void(bool)> cb;
+};
+
+TpcCoordinator::TpcCoordinator(sim::Simulator* sim, sim::Network* network,
+                               NodeId id, AzId az,
+                               std::vector<TpcParticipant*> participants,
+                               SimDuration prepare_timeout,
+                               storage::DiskOptions disk)
+    : sim_(sim),
+      network_(network),
+      id_(id),
+      participants_(std::move(participants)),
+      prepare_timeout_(prepare_timeout),
+      disk_(sim, disk) {
+  network_->RegisterNode(id_, az);
+}
+
+void TpcCoordinator::Commit(std::function<void(bool)> cb) {
+  auto pending = std::make_shared<Pending>();
+  pending->txn = next_txn_++;
+  pending->started_at = sim_->Now();
+  pending->cb = std::move(cb);
+
+  auto decide = [this, pending](bool commit) {
+    if (pending->decided) return;
+    pending->decided = true;
+    // Force-log the decision, then broadcast phase 2. The client is
+    // answered after the decision record is durable (presumed-nothing).
+    disk_.SubmitWrite(256, [this, pending, commit]() {
+      for (TpcParticipant* p : participants_) {
+        stats_.messages++;
+        network_->Send(id_, p->id(), 256, [this, p, pending, commit]() {
+          p->HandleDecision(pending->txn, commit, [this, p]() {
+            stats_.messages++;
+            network_->Send(p->id(), id_, 64, []() {});
+          });
+        });
+      }
+      latency_.Record(sim_->Now() - pending->started_at);
+      if (commit) {
+        stats_.commits++;
+      } else {
+        stats_.aborts++;
+      }
+      pending->cb(commit);
+    });
+  };
+
+  // Phase 1: prepare to every participant; ALL must vote yes.
+  for (TpcParticipant* p : participants_) {
+    stats_.messages++;
+    network_->Send(id_, p->id(), 256, [this, p, pending, decide]() {
+      p->HandlePrepare(pending->txn, [this, p, pending, decide](bool yes) {
+        stats_.messages++;
+        network_->Send(p->id(), id_, 64, [this, pending, decide, yes]() {
+          if (pending->decided) return;
+          pending->votes_total++;
+          if (yes) pending->votes_yes++;
+          if (!yes) {
+            decide(false);
+          } else if (pending->votes_yes == participants_.size()) {
+            decide(true);
+          }
+        });
+      });
+    });
+  }
+  // Unresponsive participants stall the transaction until timeout, then
+  // abort — the 2PC blocking problem the paper avoids.
+  sim_->Schedule(prepare_timeout_, [decide]() { decide(false); });
+}
+
+}  // namespace aurora::baseline

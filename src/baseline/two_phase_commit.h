@@ -1,0 +1,88 @@
+// Two-phase commit baseline.
+//
+// The paper's motivation (§1, §2.3): traditional distributed databases use
+// 2PC / Paxos commit to establish a consistency point across storage
+// servers, which "is heavyweight and introduces stalls and jitter into the
+// write path" — the coordinator must hear from EVERY participant, so the
+// slowest (or a failed) participant gates the commit. This implementation
+// runs on the same simulated network and disks as Aurora so the C1
+// benchmark compares latency shapes apples-to-apples.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/storage/disk.h"
+
+namespace aurora::baseline {
+
+/// A participant: force-logs prepare and commit decisions to its disk.
+class TpcParticipant {
+ public:
+  TpcParticipant(sim::Simulator* sim, sim::Network* network, NodeId id,
+                 AzId az, storage::DiskOptions disk = {});
+
+  NodeId id() const { return id_; }
+
+  /// Phase 1: force-log the prepare record, then vote.
+  void HandlePrepare(uint64_t txn, std::function<void(bool)> vote);
+  /// Phase 2: force-log the decision, then ack.
+  void HandleDecision(uint64_t txn, bool commit, std::function<void()> ack);
+
+  /// Fault injection: participants vote no while true.
+  void SetVoteNo(bool vote_no) { vote_no_ = vote_no; }
+
+ private:
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId id_;
+  storage::SimDisk disk_;
+  bool vote_no_ = false;
+};
+
+struct TpcStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t messages = 0;
+};
+
+/// The coordinator. Commit latency = prepare RTT to ALL participants (each
+/// with a forced log write) + coordinator decision force-write + decision
+/// RTT; an unresponsive participant stalls the transaction until timeout.
+class TpcCoordinator {
+ public:
+  TpcCoordinator(sim::Simulator* sim, sim::Network* network, NodeId id,
+                 AzId az, std::vector<TpcParticipant*> participants,
+                 SimDuration prepare_timeout = 1 * kSecond,
+                 storage::DiskOptions disk = {});
+
+  /// Runs the full protocol; cb(true) on commit, cb(false) on abort.
+  void Commit(std::function<void(bool)> cb);
+
+  const TpcStats& stats() const { return stats_; }
+  Histogram& latency() { return latency_; }
+
+ private:
+  struct Pending;
+
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId id_;
+  std::vector<TpcParticipant*> participants_;
+  SimDuration prepare_timeout_;
+  storage::SimDisk disk_;
+  uint64_t next_txn_ = 1;
+  TpcStats stats_;
+  Histogram latency_;
+};
+
+}  // namespace aurora::baseline

@@ -1,0 +1,156 @@
+#include "src/common/random.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aurora {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias (matters for small bounds in
+  // property tests).
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::NextGaussian() {
+  // Box-Muller; one value per call keeps the generator stream simple and
+  // reproducible across refactors.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xa02b'dbf7'bb3c'0a7aULL); }
+
+LatencyDistribution LatencyDistribution::LogNormal(SimDuration median_us,
+                                                   double sigma,
+                                                   double tail_probability,
+                                                   double tail_factor) {
+  LatencyDistribution d;
+  d.kind_ = Kind::kLogNormal;
+  d.median_ = median_us;
+  d.mu_ = std::log(static_cast<double>(std::max<SimDuration>(median_us, 1)));
+  d.sigma_ = sigma;
+  d.tail_probability_ = tail_probability;
+  d.tail_factor_ = tail_factor;
+  return d;
+}
+
+LatencyDistribution LatencyDistribution::Constant(SimDuration value_us) {
+  LatencyDistribution d;
+  d.kind_ = Kind::kConstant;
+  d.median_ = value_us;
+  return d;
+}
+
+LatencyDistribution LatencyDistribution::Uniform(SimDuration lo_us,
+                                                 SimDuration hi_us) {
+  LatencyDistribution d;
+  d.kind_ = Kind::kUniform;
+  d.lo_ = lo_us;
+  d.hi_ = hi_us;
+  d.median_ = (lo_us + hi_us) / 2;
+  return d;
+}
+
+SimDuration LatencyDistribution::Sample(Rng& rng) const {
+  switch (kind_) {
+    case Kind::kZero:
+      return 0;
+    case Kind::kConstant:
+      return median_;
+    case Kind::kUniform:
+      return rng.NextInRange(lo_, hi_);
+    case Kind::kLogNormal: {
+      double v = std::exp(mu_ + sigma_ * rng.NextGaussian());
+      if (tail_probability_ > 0.0 && rng.Bernoulli(tail_probability_)) {
+        v *= tail_factor_;
+      }
+      return static_cast<SimDuration>(std::max(1.0, v));
+    }
+  }
+  return 0;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) const {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(v, n_ - 1);
+}
+
+}  // namespace aurora

@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation and the latency
+// distributions used by the network simulator.
+//
+// Everything in the simulation draws from an explicitly seeded generator so
+// that every test and benchmark run is reproducible.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace aurora {
+
+/// splitmix64/xoshiro256** generator. Small, fast, and good enough for
+/// workload generation and latency sampling; explicitly not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  /// Uniform over the full 64-bit range.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Exponential with the given mean.
+  double NextExponential(double mean);
+
+  /// Creates an independent child generator (for per-actor streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// A sampled latency distribution. The paper's protocols care about latency
+/// *shape* (median vs tail, jitter) rather than absolute values, so we model
+/// links and disks with lognormal bodies plus an optional Pareto-ish tail —
+/// the standard shape for datacenter RPC latency.
+class LatencyDistribution {
+ public:
+  /// All-zero distribution (useful for logical-time tests).
+  LatencyDistribution() = default;
+
+  /// Lognormal with given median and sigma (log-space std-dev), plus a
+  /// `tail_probability` chance of multiplying the sample by `tail_factor`.
+  static LatencyDistribution LogNormal(SimDuration median_us, double sigma,
+                                       double tail_probability = 0.0,
+                                       double tail_factor = 1.0);
+
+  /// Degenerate distribution: always exactly `value_us`.
+  static LatencyDistribution Constant(SimDuration value_us);
+
+  /// Uniform in [lo_us, hi_us].
+  static LatencyDistribution Uniform(SimDuration lo_us, SimDuration hi_us);
+
+  SimDuration Sample(Rng& rng) const;
+
+  SimDuration median() const { return median_; }
+
+ private:
+  enum class Kind { kZero, kConstant, kLogNormal, kUniform };
+
+  Kind kind_ = Kind::kZero;
+  SimDuration median_ = 0;
+  SimDuration lo_ = 0;
+  SimDuration hi_ = 0;
+  double mu_ = 0.0;
+  double sigma_ = 0.0;
+  double tail_probability_ = 0.0;
+  double tail_factor_ = 1.0;
+};
+
+/// Zipfian generator over [0, n) with parameter theta, used by the
+/// YCSB-style workload generators in the benches.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace aurora

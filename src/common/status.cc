@@ -1,0 +1,53 @@
+#include "src/common/status.h"
+
+namespace aurora {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kQuorumUnavailable:
+      return "QuorumUnavailable";
+    case StatusCode::kStaleEpoch:
+      return "StaleEpoch";
+    case StatusCode::kFenced:
+      return "Fenced";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kConflict:
+      return "Conflict";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace aurora

@@ -1,0 +1,186 @@
+// Status / Result error-handling primitives.
+//
+// The library does not use exceptions (matching the style of large C++
+// database codebases such as RocksDB and Arrow). Every fallible operation
+// returns a Status, or a Result<T> when it also produces a value.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace aurora {
+
+/// Error taxonomy for the whole library.
+///
+/// The codes mirror the failure modalities the paper reasons about:
+/// `kStaleEpoch` is the storage-node rejection used for fencing (§4.1),
+/// `kQuorumUnavailable` is a failed read/write quorum, `kFenced` is a
+/// boxed-out writer instance.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kIoError,
+  kTimedOut,
+  kUnavailable,
+  kQuorumUnavailable,
+  kStaleEpoch,
+  kFenced,
+  kAborted,
+  kConflict,
+  kNotSupported,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("OK", "StaleEpoch", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value.
+///
+/// Cheap to copy in the success case (no allocation); carries a message in
+/// the error case. Modeled after rocksdb::Status.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status QuorumUnavailable(std::string msg) {
+    return Status(StatusCode::kQuorumUnavailable, std::move(msg));
+  }
+  static Status StaleEpoch(std::string msg) {
+    return Status(StatusCode::kStaleEpoch, std::move(msg));
+  }
+  static Status Fenced(std::string msg) {
+    return Status(StatusCode::kFenced, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsStaleEpoch() const { return code_ == StatusCode::kStaleEpoch; }
+  bool IsFenced() const { return code_ == StatusCode::kFenced; }
+  bool IsQuorumUnavailable() const {
+    return code_ == StatusCode::kQuorumUnavailable;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error Status. Minimal StatusOr-alike.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : value_(std::move(status)) {
+    assert(!std::get<Status>(value_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagate a non-OK status to the caller.
+#define AURORA_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::aurora::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Assign the value of a Result-returning expression or propagate its error.
+#define AURORA_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto AURORA_CONCAT_(_res, __LINE__) = (expr); \
+  if (!AURORA_CONCAT_(_res, __LINE__).ok())     \
+    return AURORA_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(AURORA_CONCAT_(_res, __LINE__)).value()
+
+#define AURORA_CONCAT_IMPL_(a, b) a##b
+#define AURORA_CONCAT_(a, b) AURORA_CONCAT_IMPL_(a, b)
+
+}  // namespace aurora

@@ -1,0 +1,10 @@
+#include "src/common/types.h"
+
+namespace aurora {
+
+std::string LsnToString(Lsn lsn) {
+  if (lsn == kInvalidLsn) return "-";
+  return "lsn:" + std::to_string(lsn);
+}
+
+}  // namespace aurora

@@ -1,0 +1,100 @@
+// Core identifier and ordinal types shared across the library.
+//
+// The paper's central invariant is a single monotonically increasing Log
+// Sequence Number (LSN) space allocated by the writer instance (§2.1). All
+// consistency points (SCL, PGCL, VCL, VDL, PGMRPL) are plain LSNs, which is
+// what makes them "compact and comparable" (§6). We keep LSNs as raw
+// integers with named aliases, and use strong types only where confusing two
+// identifiers would be a real bug (epochs vs LSNs vs node ids).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace aurora {
+
+/// Log Sequence Number. Allocated only by the writer instance,
+/// monotonically increasing, shared across the whole volume.
+using Lsn = uint64_t;
+
+/// Sentinel: "no LSN" / "before the first record".
+inline constexpr Lsn kInvalidLsn = 0;
+
+/// System Commit Number: the LSN of a transaction's commit redo record
+/// (§2.3). A commit may be acknowledged once SCN <= VCL.
+using Scn = Lsn;
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = int64_t;
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000;
+inline constexpr SimDuration kSecond = 1000 * 1000;
+
+/// Identifies an Availability Zone.
+using AzId = uint32_t;
+
+/// Identifies a simulated node (database instance, storage node, service).
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Identifies a protection group within a volume.
+using ProtectionGroupId = uint32_t;
+
+/// Identifies a segment (one replica of a protection group's data).
+/// Unique volume-wide.
+using SegmentId = uint32_t;
+inline constexpr SegmentId kInvalidSegment =
+    std::numeric_limits<SegmentId>::max();
+
+/// Identifies a data block (page) in the volume's block address space.
+using BlockId = uint64_t;
+inline constexpr BlockId kInvalidBlock = std::numeric_limits<BlockId>::max();
+
+/// Identifies a database transaction.
+using TxnId = uint64_t;
+inline constexpr TxnId kInvalidTxn = 0;
+
+/// Volume epoch (§2.4): incremented in the storage metadata service at crash
+/// recovery and recorded at a write quorum of every protection group.
+/// Storage nodes reject requests carrying a stale volume epoch, boxing out
+/// old instances ("changing the locks on the door").
+using VolumeEpoch = uint64_t;
+
+/// Membership epoch (§4.1): per protection group, monotonically incremented
+/// with each quorum membership change.
+using MembershipEpoch = uint64_t;
+
+/// Volume geometry epoch (§4.1): incremented when protection groups are
+/// added to (or the quorum model of) the volume changes.
+using GeometryEpoch = uint64_t;
+
+/// The set of epochs attached to every storage request for fencing.
+struct EpochVector {
+  VolumeEpoch volume_epoch = 0;
+  MembershipEpoch membership_epoch = 0;
+
+  bool operator==(const EpochVector&) const = default;
+};
+
+/// Durable consistency points visible at a database instance, as defined in
+/// §2.3/§3.2 of the paper. All are LSNs in the volume-wide space.
+struct ConsistencyPoints {
+  /// Volume Complete LSN: highest LSN such that every record at or below it
+  /// has met write quorum in its protection group.
+  Lsn vcl = kInvalidLsn;
+  /// Volume Durable LSN: the last LSN <= VCL that completes an MTR.
+  /// Read views and replica application are anchored here.
+  Lsn vdl = kInvalidLsn;
+
+  bool operator==(const ConsistencyPoints&) const = default;
+};
+
+/// Formats "lsn:<n>" / "-" for kInvalidLsn; used in traces and tests.
+std::string LsnToString(Lsn lsn);
+
+}  // namespace aurora

@@ -1,0 +1,736 @@
+#include "src/core/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace aurora::core {
+
+// ---------------------------------------------------------------------------
+// MetadataService
+// ---------------------------------------------------------------------------
+
+MetadataService::MetadataService(sim::Simulator* sim, sim::Network* network,
+                                 NodeId id, AzId az)
+    : sim_(sim), network_(network), id_(id) {
+  network_->RegisterNode(id_, az);
+}
+
+void MetadataService::IncrementVolumeEpoch(
+    NodeId caller, std::function<void(VolumeEpoch)> cb) {
+  network_->Send(caller, id_, 64, [this, caller, cb = std::move(cb)]() {
+    const VolumeEpoch next = ++volume_epoch_;
+    network_->Send(id_, caller, 64, [cb, next]() { cb(next); });
+  });
+}
+
+void MetadataService::FetchGeometry(
+    NodeId caller,
+    std::function<void(quorum::VolumeGeometry, VolumeEpoch)> cb) {
+  network_->Send(caller, id_, 64, [this, caller, cb = std::move(cb)]() {
+    const quorum::VolumeGeometry geometry = geometry_;
+    const VolumeEpoch epoch = volume_epoch_;
+    network_->Send(id_, caller, 1024,
+                   [cb, geometry, epoch]() { cb(geometry, epoch); });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// AuroraCluster assembly
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr NodeId kMetadataNode = 90;
+constexpr NodeId kFirstStorageNode = 100;
+}  // namespace
+
+AuroraCluster::AuroraCluster(AuroraOptions options)
+    : options_(options), sim_(options.seed), network_(&sim_, options.network) {
+  object_store_ =
+      std::make_unique<storage::ObjectStore>(&sim_, options_.object_store);
+  failure_injector_ = std::make_unique<sim::FailureInjector>(&sim_, &network_);
+  metadata_ =
+      std::make_unique<MetadataService>(&sim_, &network_, kMetadataNode, 0);
+  // Storage fleet.
+  NodeId id = kFirstStorageNode;
+  for (size_t az = 0; az < options_.num_azs; ++az) {
+    for (size_t i = 0; i < options_.storage_nodes_per_az; ++i) {
+      auto node = std::make_unique<storage::StorageNode>(
+          &sim_, &network_, id, static_cast<AzId>(az), object_store_.get(),
+          options_.storage_node);
+      node_index_[id] = node.get();
+      storage_nodes_.push_back(std::move(node));
+      ++id;
+    }
+  }
+  auto resolver = MakeResolver();
+  for (auto& node : storage_nodes_) {
+    node->SetResolver(resolver);
+  }
+}
+
+AuroraCluster::~AuroraCluster() = default;
+
+storage::NodeResolver AuroraCluster::MakeResolver() {
+  return [this](NodeId id) -> storage::StorageNode* {
+    auto it = node_index_.find(id);
+    return it == node_index_.end() ? nullptr : it->second;
+  };
+}
+
+engine::ControlPlane AuroraCluster::MakeControlPlane(NodeId caller) {
+  engine::ControlPlane cp;
+  cp.increment_volume_epoch =
+      [this, caller](std::function<void(VolumeEpoch)> cb) {
+        metadata_->IncrementVolumeEpoch(caller, std::move(cb));
+      };
+  cp.fetch_geometry =
+      [this, caller](
+          std::function<void(quorum::VolumeGeometry, VolumeEpoch)> cb) {
+        metadata_->FetchGeometry(caller, std::move(cb));
+      };
+  return cp;
+}
+
+quorum::PgConfig AuroraCluster::BuildPgConfig(ProtectionGroupId pg) {
+  // Six segments: two per AZ. With the full/tail model, one of the two in
+  // each AZ is full and the other is a tail (§4.2 keeps one full copy per
+  // AZ so an AZ loss cannot take every full segment).
+  std::vector<quorum::SegmentInfo> members;
+  for (size_t az = 0; az < options_.num_azs; ++az) {
+    for (int copy = 0; copy < 2; ++copy) {
+      quorum::SegmentInfo info;
+      info.id = next_segment_id_++;
+      info.az = static_cast<AzId>(az);
+      const size_t node_index =
+          az * options_.storage_nodes_per_az +
+          (pg + copy) % options_.storage_nodes_per_az;
+      info.node = storage_nodes_[node_index]->id();
+      info.is_full = options_.quorum_model == quorum::QuorumModel::kFullTail
+                         ? (copy == 0)
+                         : true;
+      members.push_back(info);
+    }
+  }
+  return quorum::PgConfig::Create(pg, options_.quorum_model,
+                                  std::move(members));
+}
+
+void AuroraCluster::CreateSegmentStores(const quorum::PgConfig& config) {
+  for (const auto& member : config.AllMembers()) {
+    storage::StorageNode* node = node_index_.at(member.node);
+    node->AddSegment(member, config.pg(), config,
+                     metadata_->volume_epoch());
+  }
+}
+
+std::unique_ptr<engine::DbInstance> AuroraCluster::MakeWriter(NodeId id,
+                                                              AzId az) {
+  return std::make_unique<engine::DbInstance>(&sim_, &network_, id, az,
+                                              MakeResolver(),
+                                              MakeControlPlane(id),
+                                              options_.db);
+}
+
+Status AuroraCluster::StartBlocking() {
+  // Build the volume geometry and create segment stores.
+  std::vector<quorum::PgConfig> pgs;
+  for (size_t pg = 0; pg < options_.num_pgs; ++pg) {
+    pgs.push_back(BuildPgConfig(static_cast<ProtectionGroupId>(pg)));
+  }
+  metadata_->SetGeometry(
+      quorum::VolumeGeometry(options_.blocks_per_pg, pgs));
+  for (const auto& pg : pgs) CreateSegmentStores(pg);
+  for (auto& node : storage_nodes_) node->StartBackground();
+
+  writer_ = MakeWriter(next_node_id_++, 0);
+  bool done = false;
+  Status result = Status::OK();
+  writer_->Bootstrap([&](Status st) {
+    result = std::move(st);
+    done = true;
+  });
+  if (!RunUntil([&]() { return done; })) {
+    return Status::TimedOut("bootstrap did not complete");
+  }
+  return result;
+}
+
+storage::StorageNode* AuroraCluster::node(NodeId id) {
+  auto it = node_index_.find(id);
+  return it == node_index_.end() ? nullptr : it->second;
+}
+
+std::vector<NodeId> AuroraCluster::StorageNodeIds() const {
+  std::vector<NodeId> ids;
+  for (const auto& node : storage_nodes_) ids.push_back(node->id());
+  return ids;
+}
+
+std::vector<AzId> AuroraCluster::AzIds() const {
+  std::vector<AzId> ids;
+  for (size_t az = 0; az < options_.num_azs; ++az) {
+    ids.push_back(static_cast<AzId>(az));
+  }
+  return ids;
+}
+
+storage::StorageNode* AuroraCluster::NodeForSegment(SegmentId segment) {
+  for (auto& node : storage_nodes_) {
+    if (node->FindSegment(segment) != nullptr) return node.get();
+  }
+  return nullptr;
+}
+
+bool AuroraCluster::RunUntil(const std::function<bool()>& pred,
+                             SimDuration timeout) {
+  if (timeout == 0) timeout = options_.blocking_timeout;
+  const SimTime deadline = sim_.Now() + timeout;
+  while (!pred()) {
+    if (sim_.Now() >= deadline) return false;
+    if (!sim_.Step()) return pred();
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Replicas & failover
+// ---------------------------------------------------------------------------
+
+replica::ReadReplica* AuroraCluster::AddReplica() {
+  const NodeId id = next_node_id_++;
+  const AzId az = static_cast<AzId>(replicas_.size() % options_.num_azs);
+  auto rep = std::make_unique<replica::ReadReplica>(
+      &sim_, &network_, id, az, MakeResolver(), writer_->id(),
+      metadata_->geometry(), metadata_->volume_epoch(), options_.replica);
+  replica::ReadReplica* raw = rep.get();
+  replicas_.push_back(std::move(rep));
+  WireReplica(raw);
+  raw->Start();
+  return raw;
+}
+
+void AuroraCluster::WireReplica(replica::ReadReplica* rep) {
+  writer_->AddReplicationSink(rep->id(),
+                              [rep](engine::ReplicationEvent event) {
+                                rep->OnReplicationEvent(event);
+                              });
+  engine::DbInstance* writer = writer_.get();
+  const NodeId rep_id = rep->id();
+  rep->SetReadPointReporter([writer, rep_id](Lsn point) {
+    writer->ObserveReplicaReadPoint(rep_id, point);
+  });
+}
+
+std::unique_ptr<engine::DbInstance> AuroraCluster::CreateDetachedInstance() {
+  return MakeWriter(next_node_id_++, 0);
+}
+
+Result<engine::DbInstance*> AuroraCluster::FailoverBlocking() {
+  if (writer_ && network_.IsUp(writer_->id())) {
+    network_.Crash(writer_->id());
+  }
+  // Promote: a fresh instance runs crash recovery against shared storage;
+  // "if a commit has been marked durable and acknowledged to the client,
+  // there is no data loss" (§3.2).
+  retired_writers_.push_back(std::move(writer_));
+  writer_ = MakeWriter(next_node_id_++, 0);
+  bool done = false;
+  Status result = Status::OK();
+  writer_->Open([&](Status st) {
+    result = std::move(st);
+    done = true;
+  });
+  if (!RunUntil([&]() { return done; })) {
+    return Status::TimedOut("failover recovery did not complete");
+  }
+  if (!result.ok()) return result;
+  // Re-attach replicas to the new writer's stream.
+  for (auto& rep : replicas_) {
+    WireReplica(rep.get());
+    rep->UpdateGeometry(metadata_->geometry(), metadata_->volume_epoch());
+  }
+  return writer_.get();
+}
+
+// ---------------------------------------------------------------------------
+// Simple data-path helpers
+// ---------------------------------------------------------------------------
+
+Status AuroraCluster::PutBlocking(const std::string& key,
+                                  const std::string& value) {
+  const TxnId txn = writer_->Begin();
+  bool done = false;
+  Status result = Status::OK();
+  writer_->Put(txn, key, value, [&](Status st) {
+    if (!st.ok()) {
+      result = std::move(st);
+      done = true;
+      return;
+    }
+    writer_->Commit(txn, [&](Status commit_st) {
+      result = std::move(commit_st);
+      done = true;
+    });
+  });
+  if (!RunUntil([&]() { return done; })) {
+    return Status::TimedOut("put did not complete");
+  }
+  return result;
+}
+
+Result<std::string> AuroraCluster::GetBlocking(const std::string& key) {
+  bool done = false;
+  Result<std::string> result = Status::Internal("unset");
+  writer_->Get(kInvalidTxn, key, [&](Result<std::string> r) {
+    result = std::move(r);
+    done = true;
+  });
+  if (!RunUntil([&]() { return done; })) {
+    return Status::TimedOut("get did not complete");
+  }
+  return result;
+}
+
+Status AuroraCluster::DeleteBlocking(const std::string& key) {
+  const TxnId txn = writer_->Begin();
+  bool done = false;
+  Status result = Status::OK();
+  writer_->Delete(txn, key, [&](Status st) {
+    if (!st.ok()) {
+      result = std::move(st);
+      done = true;
+      return;
+    }
+    writer_->Commit(txn, [&](Status commit_st) {
+      result = std::move(commit_st);
+      done = true;
+    });
+  });
+  if (!RunUntil([&]() { return done; })) {
+    return Status::TimedOut("delete did not complete");
+  }
+  return result;
+}
+
+Status AuroraCluster::CommitBlocking(TxnId txn) {
+  bool done = false;
+  Status result = Status::OK();
+  writer_->Commit(txn, [&](Status st) {
+    result = std::move(st);
+    done = true;
+  });
+  if (!RunUntil([&]() { return done; })) {
+    return Status::TimedOut("commit did not complete");
+  }
+  return result;
+}
+
+Status AuroraCluster::RollbackBlocking(TxnId txn) {
+  bool done = false;
+  Status result = Status::OK();
+  writer_->Rollback(txn, [&](Status st) {
+    result = std::move(st);
+    done = true;
+  });
+  if (!RunUntil([&]() { return done; })) {
+    return Status::TimedOut("rollback did not complete");
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Fault & membership operations
+// ---------------------------------------------------------------------------
+
+void AuroraCluster::CrashWriter() {
+  if (writer_) network_.Crash(writer_->id());
+}
+
+Status AuroraCluster::RecoverWriterBlocking() {
+  if (!writer_) return Status::Internal("no writer");
+  network_.Restart(writer_->id());
+  bool done = false;
+  Status result = Status::OK();
+  writer_->Open([&](Status st) {
+    result = std::move(st);
+    done = true;
+  });
+  if (!RunUntil([&]() { return done; })) {
+    return Status::TimedOut("recovery did not complete");
+  }
+  if (result.ok()) {
+    for (auto& rep : replicas_) {
+      WireReplica(rep.get());
+      rep->UpdateGeometry(metadata_->geometry(), metadata_->volume_epoch());
+    }
+  }
+  return result;
+}
+
+storage::StorageNode* AuroraCluster::PickNodeForNewSegment(
+    AzId az, const quorum::PgConfig& config) {
+  // Never co-locate two members of one protection group: a node failure
+  // must cost the quorum at most one member.
+  std::set<NodeId> occupied;
+  for (const auto& member : config.AllMembers()) occupied.insert(member.node);
+  storage::StorageNode* fallback = nullptr;
+  for (auto& node : storage_nodes_) {
+    if (node->az() != az) continue;
+    if (occupied.contains(node->id())) continue;
+    if (network_.IsUp(node->id())) return node.get();
+    fallback = node.get();
+  }
+  return fallback;
+}
+
+Status AuroraCluster::InstallPgConfigBlocking(
+    const quorum::PgConfig& old_config, const quorum::PgConfig& new_config) {
+  assert(quorum::TransitionIsSafe(old_config, new_config));
+  // An epoch increment requires a write quorum, like any other write
+  // (§4.1). Send the new config to every member; succeed once the OLD
+  // config's write set acknowledges.
+  auto acks = std::make_shared<quorum::SegmentSet>();
+  for (const auto& member : new_config.AllMembers()) {
+    storage::MembershipUpdateRequest request;
+    request.segment = member.id;
+    request.expected_epoch = old_config.epoch();
+    request.config = new_config;
+    request.volume_epoch = metadata_->volume_epoch();
+    storage::StorageNode* target = node_index_.at(member.node);
+    network_.Send(
+        writer_ ? writer_->id() : kMetadataNode, member.node,
+        request.SerializedSize(), [target, request, acks, this]() {
+          target->HandleMembershipUpdate(
+              request,
+              [acks, seg = request.segment](
+                  storage::MembershipUpdateResponse response) {
+                if (response.status.ok()) acks->insert(seg);
+              });
+        });
+  }
+  const auto& write_set = old_config.WriteSet();
+  if (!RunUntil([&]() { return write_set.SatisfiedBy(*acks); })) {
+    return Status::QuorumUnavailable(
+        "membership epoch increment did not reach write quorum");
+  }
+  // Record at the authority and refresh instances.
+  AURORA_RETURN_IF_ERROR(metadata_->mutable_geometry().UpdatePg(new_config));
+  if (writer_ && writer_->driver() != nullptr) {
+    writer_->driver()->UpdatePgConfig(new_config);
+  }
+  for (auto& rep : replicas_) {
+    rep->UpdateGeometry(metadata_->geometry(), metadata_->volume_epoch());
+  }
+  return Status::OK();
+}
+
+Result<MembershipChangeReport> AuroraCluster::BeginReplaceBlocking(
+    SegmentId old_segment) {
+  MembershipChangeReport report;
+  report.old_segment = old_segment;
+  report.started_at = sim_.Now();
+  // Locate the PG and the suspect member.
+  const quorum::PgConfig* config = nullptr;
+  for (const auto& pg : metadata_->geometry().pgs()) {
+    if (pg.ContainsSegment(old_segment)) {
+      config = &pg;
+      break;
+    }
+  }
+  if (config == nullptr) return Status::NotFound("segment not in volume");
+  const quorum::SegmentInfo* old_info = config->FindSegment(old_segment);
+
+  // New segment placed in the same AZ (preserves AZ+1 tolerance).
+  quorum::SegmentInfo new_info;
+  new_info.id = next_segment_id_++;
+  new_info.az = old_info->az;
+  new_info.is_full = old_info->is_full;
+  storage::StorageNode* host = PickNodeForNewSegment(old_info->az, *config);
+  if (host == nullptr) return Status::Unavailable("no host for new segment");
+  new_info.node = host->id();
+
+  auto next = config->BeginReplace(old_segment, new_info);
+  if (!next.ok()) return next.status();
+  report.new_segment = new_info.id;
+  report.begin_epoch = next->epoch();
+
+  // Hydration target: the highest SCL among reachable current members.
+  auto target_scl = std::make_shared<Lsn>(kInvalidLsn);
+  auto probes = std::make_shared<size_t>(0);
+  const NodeId prober = writer_ ? writer_->id() : kMetadataNode;
+  for (const auto& member : config->AllMembers()) {
+    storage::StorageNode* target = node_index_.at(member.node);
+    storage::SegmentStateRequest request{member.id};
+    network_.Send(prober, member.node, request.SerializedSize(),
+                  [target, request, target_scl, probes]() {
+                    target->HandleSegmentState(
+                        request, [target_scl, probes](
+                                     storage::SegmentStateResponse r) {
+                          if (r.status.ok()) {
+                            *target_scl = std::max(*target_scl, r.scl);
+                            (*probes)++;
+                          }
+                        });
+                  });
+  }
+  RunUntil([&]() { return *probes >= 3; }, 5 * kSecond);
+
+  // Create the (empty, un-hydrated) segment with the DUAL-quorum config.
+  host->AddSegment(new_info, config->pg(), *next, metadata_->volume_epoch(),
+                   /*hydrated=*/false);
+  host->FindSegment(new_info.id)->BeginHydration(*target_scl);
+
+  // Install the epoch increment at a write quorum of the old config.
+  const quorum::PgConfig old_copy = *config;
+  AURORA_RETURN_IF_ERROR(InstallPgConfigBlocking(old_copy, *next));
+  host->StartHydrationPull(new_info.id);
+  report.status = Status::OK();
+  report.finished_at = sim_.Now();
+  return report;
+}
+
+Status AuroraCluster::CommitReplaceBlocking(SegmentId old_segment) {
+  const quorum::PgConfig* config = nullptr;
+  for (const auto& pg : metadata_->geometry().pgs()) {
+    if (pg.ContainsSegment(old_segment)) {
+      config = &pg;
+      break;
+    }
+  }
+  if (config == nullptr) return Status::NotFound("segment not in volume");
+  auto next = config->CommitReplace(old_segment);
+  if (!next.ok()) return next.status();
+  // The replacement must be hydrated before the old member's data can be
+  // abandoned ("we do not discard any durable state until back to a fully
+  // repaired quorum", §4.1).
+  SegmentId replacement = kInvalidSegment;
+  for (const auto& slot : config->slots()) {
+    if (slot.size() == 2) {
+      replacement = slot[0].id == old_segment ? slot[1].id : slot[0].id;
+    }
+  }
+  if (replacement != kInvalidSegment) {
+    storage::StorageNode* host = NodeForSegment(replacement);
+    if (host != nullptr) {
+      host->StartHydrationPull(replacement);
+      storage::SegmentStore* store = host->FindSegment(replacement);
+      if (!RunUntil([&]() { return store->hydrated(); })) {
+        return Status::TimedOut("replacement did not hydrate");
+      }
+    }
+  }
+  const quorum::PgConfig old_copy = *config;
+  AURORA_RETURN_IF_ERROR(InstallPgConfigBlocking(old_copy, *next));
+  // Old segment's state can now be dropped (if its node still exists).
+  if (storage::StorageNode* host = NodeForSegment(old_segment)) {
+    host->DropSegment(old_segment);
+  }
+  return Status::OK();
+}
+
+Status AuroraCluster::RevertReplaceBlocking(SegmentId old_segment) {
+  const quorum::PgConfig* config = nullptr;
+  for (const auto& pg : metadata_->geometry().pgs()) {
+    if (pg.ContainsSegment(old_segment)) {
+      config = &pg;
+      break;
+    }
+  }
+  if (config == nullptr) return Status::NotFound("segment not in volume");
+  auto next = config->RevertReplace(old_segment);
+  if (!next.ok()) return next.status();
+  SegmentId replacement = kInvalidSegment;
+  for (const auto& slot : config->slots()) {
+    if (slot.size() == 2 &&
+        (slot[0].id == old_segment || slot[1].id == old_segment)) {
+      replacement = slot[0].id == old_segment ? slot[1].id : slot[0].id;
+    }
+  }
+  const quorum::PgConfig old_copy = *config;
+  AURORA_RETURN_IF_ERROR(InstallPgConfigBlocking(old_copy, *next));
+  if (replacement != kInvalidSegment) {
+    if (storage::StorageNode* host = NodeForSegment(replacement)) {
+      host->DropSegment(replacement);
+    }
+  }
+  return Status::OK();
+}
+
+Result<MembershipChangeReport> AuroraCluster::ReplaceSegmentBlocking(
+    SegmentId old_segment) {
+  auto report = BeginReplaceBlocking(old_segment);
+  if (!report.ok()) return report;
+  Status commit = CommitReplaceBlocking(old_segment);
+  if (!commit.ok()) return commit;
+  report->finished_at = sim_.Now();
+  for (const auto& pg : metadata_->geometry().pgs()) {
+    if (pg.ContainsSegment(report->new_segment)) {
+      report->final_epoch = pg.epoch();
+    }
+  }
+  return report;
+}
+
+Lsn AuroraCluster::ArchiveHorizon() const {
+  Lsn horizon = kInvalidLsn;
+  bool first = true;
+  for (const auto& pg : metadata_->geometry().pgs()) {
+    // A group that has never received a record (e.g. just added by volume
+    // growth) does not bound the horizon — there is nothing of it to
+    // restore.
+    bool has_data = false;
+    for (const auto& member : pg.AllMembers()) {
+      auto it = node_index_.find(member.node);
+      if (it == node_index_.end()) continue;
+      storage::SegmentStore* segment = it->second->FindSegment(member.id);
+      if (segment != nullptr && segment->scl() != kInvalidLsn) {
+        has_data = true;
+        break;
+      }
+    }
+    if (!has_data) continue;
+    const Lsn max_archived = object_store_->MaxArchivedLsn(pg.pg());
+    if (first || max_archived < horizon) horizon = max_archived;
+    first = false;
+  }
+  return horizon;
+}
+
+Status AuroraCluster::RestoreToPointBlocking(Lsn restore_point) {
+  if (restore_point == kInvalidLsn || restore_point > ArchiveHorizon()) {
+    return Status::InvalidArgument(
+        "restore point beyond the archive horizon");
+  }
+  if (writer_ && network_.IsUp(writer_->id())) {
+    network_.Crash(writer_->id());
+  }
+  // Reload every segment from the per-PG archive. This is an offline
+  // storage operation: segment state (disk) is rewritten even on nodes
+  // that are currently down.
+  for (const auto& pg : metadata_->geometry().pgs()) {
+    bool fetched = false;
+    std::vector<log::RedoRecord> records;
+    object_store_->Get(pg.pg(), 1, restore_point,
+                       [&](std::vector<log::RedoRecord> r) {
+                         records = std::move(r);
+                         fetched = true;
+                       });
+    if (!RunUntil([&]() { return fetched; })) {
+      return Status::TimedOut("archive fetch did not complete");
+    }
+    for (const auto& member : pg.AllMembers()) {
+      storage::StorageNode* node = node_index_.at(member.node);
+      storage::SegmentStore* segment = node->FindSegment(member.id);
+      if (segment == nullptr) {
+        segment = node->AddSegment(member, pg.pg(), pg,
+                                   metadata_->volume_epoch());
+      }
+      segment->ResetToArchive(records, restore_point,
+                              metadata_->volume_epoch());
+    }
+  }
+  // Replica caches hold pages from the abandoned timeline: bounce them.
+  for (auto& rep : replicas_) {
+    network_.Crash(rep->id());
+    network_.Restart(rep->id());
+  }
+  // Open a fresh writer against the restored volume; ordinary crash
+  // recovery recomputes VDL (== the restore point rounded to the last
+  // complete MTR) and fences the old timeline with a new volume epoch.
+  auto promoted = FailoverBlocking();
+  if (!promoted.ok()) return promoted.status();
+  for (auto& rep : replicas_) rep->Start();
+  return Status::OK();
+}
+
+Status AuroraCluster::ShrinkAfterAzLossBlocking(AzId lost_az) {
+  // Each PG transitions independently; all use the surviving members'
+  // write quorum to install the epoch increment.
+  for (const auto& pg : metadata_->geometry().pgs()) {
+    auto next = pg.ShrinkAfterAzLoss(lost_az);
+    if (!next.ok()) return next.status();
+    const quorum::PgConfig old_copy = pg;
+    AURORA_RETURN_IF_ERROR(InstallPgConfigBlocking(old_copy, *next));
+  }
+  return Status::OK();
+}
+
+Status AuroraCluster::ExpandToSixBlocking(AzId restored_az) {
+  for (const auto& pg : metadata_->geometry().pgs()) {
+    if (pg.slots().size() >= 6) continue;
+    // Two fresh members on distinct nodes in the restored AZ.
+    std::vector<quorum::SegmentInfo> fresh;
+    std::set<NodeId> occupied;
+    for (const auto& member : pg.AllMembers()) occupied.insert(member.node);
+    for (int copy = 0; copy < 2; ++copy) {
+      quorum::SegmentInfo info;
+      info.id = next_segment_id_++;
+      info.az = restored_az;
+      info.is_full = true;
+      storage::StorageNode* host = nullptr;
+      for (auto& node : storage_nodes_) {
+        if (node->az() != restored_az || occupied.contains(node->id())) {
+          continue;
+        }
+        if (network_.IsUp(node->id())) {
+          host = node.get();
+          break;
+        }
+      }
+      if (host == nullptr) {
+        return Status::Unavailable("no host for restored segment");
+      }
+      info.node = host->id();
+      occupied.insert(host->id());
+      fresh.push_back(info);
+    }
+    auto next = pg.ExpandToSix(fresh);
+    if (!next.ok()) return next.status();
+    // Probe the hydration target, create the segments, install, hydrate.
+    Lsn target = kInvalidLsn;
+    for (const auto& member : pg.AllMembers()) {
+      storage::StorageNode* node = node_index_.at(member.node);
+      storage::SegmentStore* store = node->FindSegment(member.id);
+      if (store != nullptr) target = std::max(target, store->scl());
+    }
+    for (const auto& info : fresh) {
+      storage::StorageNode* host = node_index_.at(info.node);
+      host->AddSegment(info, pg.pg(), *next, metadata_->volume_epoch(),
+                       /*hydrated=*/false);
+      host->FindSegment(info.id)->BeginHydration(target);
+    }
+    const quorum::PgConfig old_copy = pg;
+    AURORA_RETURN_IF_ERROR(InstallPgConfigBlocking(old_copy, *next));
+    for (const auto& info : fresh) {
+      node_index_.at(info.node)->StartHydrationPull(info.id);
+    }
+    for (const auto& info : fresh) {
+      storage::SegmentStore* store =
+          node_index_.at(info.node)->FindSegment(info.id);
+      if (!RunUntil([&]() { return store->hydrated(); })) {
+        return Status::TimedOut("restored segment did not hydrate");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status AuroraCluster::GrowVolumeBlocking() {
+  const auto pg_id =
+      static_cast<ProtectionGroupId>(metadata_->geometry().PgCount());
+  quorum::PgConfig config = BuildPgConfig(pg_id);
+  CreateSegmentStores(config);
+  metadata_->mutable_geometry().AddPg(config);
+  if (writer_ && writer_->driver() != nullptr) {
+    writer_->driver()->SetGeometry(metadata_->geometry(),
+                                   writer_->volume_epoch());
+  }
+  for (auto& rep : replicas_) {
+    rep->UpdateGeometry(metadata_->geometry(), metadata_->volume_epoch());
+  }
+  return Status::OK();
+}
+
+}  // namespace aurora::core

@@ -1,0 +1,245 @@
+// AuroraCluster: the public entry point of the library.
+//
+// Assembles a complete simulated deployment — three Availability Zones,
+// storage nodes hosting six-way protection groups, a metadata service, a
+// writer database instance, optional read replicas, an object-store
+// archive, and a failure injector — and exposes the paper's control
+// operations: crash/recover the writer, fail AZs and storage nodes,
+// replace segments with reversible two-step membership changes (Figure 5),
+// grow the volume, and promote replicas.
+//
+// The simulation is single-threaded and deterministic; the *Blocking
+// helpers drive the event loop until the corresponding asynchronous
+// operation completes, which keeps examples and tests linear to read.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/engine/db_instance.h"
+#include "src/quorum/geometry.h"
+#include "src/replica/read_replica.h"
+#include "src/sim/failure_injector.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/storage/object_store.h"
+#include "src/storage/storage_node.h"
+
+namespace aurora::core {
+
+struct AuroraOptions {
+  uint64_t seed = 42;
+  /// Protection groups in the volume (each owns blocks_per_pg blocks).
+  size_t num_pgs = 1;
+  uint64_t blocks_per_pg = 1 << 20;
+  quorum::QuorumModel quorum_model = quorum::QuorumModel::kUniform46;
+  size_t num_azs = 3;
+  /// Storage nodes per AZ; segments round-robin across them.
+  size_t storage_nodes_per_az = 2;
+  sim::NetworkOptions network;
+  storage::StorageNodeOptions storage_node;
+  storage::ObjectStoreOptions object_store;
+  engine::DbOptions db;
+  replica::ReplicaOptions replica;
+  /// Default timeout for the *Blocking helpers.
+  SimDuration blocking_timeout = 60 * kSecond;
+};
+
+/// The metadata service (§2.4, §4.1): the authority for volume epochs,
+/// membership epochs, and volume geometry. It is deliberately tiny — the
+/// point of the paper is that the DATA path never consults it; it is only
+/// touched at crash recovery and membership changes.
+class MetadataService {
+ public:
+  MetadataService(sim::Simulator* sim, sim::Network* network, NodeId id,
+                  AzId az);
+
+  NodeId id() const { return id_; }
+  VolumeEpoch volume_epoch() const { return volume_epoch_; }
+  const quorum::VolumeGeometry& geometry() const { return geometry_; }
+  quorum::VolumeGeometry& mutable_geometry() { return geometry_; }
+
+  void SetGeometry(quorum::VolumeGeometry geometry) {
+    geometry_ = std::move(geometry);
+  }
+
+  /// Network-mediated epoch increment (used by crash recovery).
+  void IncrementVolumeEpoch(NodeId caller,
+                            std::function<void(VolumeEpoch)> cb);
+  /// Network-mediated geometry fetch.
+  void FetchGeometry(
+      NodeId caller,
+      std::function<void(quorum::VolumeGeometry, VolumeEpoch)> cb);
+
+ private:
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId id_;
+  VolumeEpoch volume_epoch_ = 1;
+  quorum::VolumeGeometry geometry_;
+};
+
+/// Progress/outcome of a membership change (Figure 5).
+struct MembershipChangeReport {
+  Status status;
+  SegmentId old_segment = kInvalidSegment;
+  SegmentId new_segment = kInvalidSegment;
+  MembershipEpoch begin_epoch = 0;   // epoch of the dual-quorum config
+  MembershipEpoch final_epoch = 0;   // epoch after commit/revert
+  bool reverted = false;
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+};
+
+class AuroraCluster {
+ public:
+  explicit AuroraCluster(AuroraOptions options = {});
+  ~AuroraCluster();
+
+  AuroraCluster(const AuroraCluster&) = delete;
+  AuroraCluster& operator=(const AuroraCluster&) = delete;
+
+  // -- Assembly -----------------------------------------------------------
+
+  /// Creates storage nodes + segments + writer, bootstraps the volume.
+  Status StartBlocking();
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& network() { return network_; }
+  sim::FailureInjector& failures() { return *failure_injector_; }
+  storage::ObjectStore& object_store() { return *object_store_; }
+  MetadataService& metadata() { return *metadata_; }
+
+  engine::DbInstance* writer() { return writer_.get(); }
+  storage::StorageNode* node(NodeId id);
+  const std::vector<std::unique_ptr<storage::StorageNode>>& storage_nodes()
+      const {
+    return storage_nodes_;
+  }
+  std::vector<NodeId> StorageNodeIds() const;
+  std::vector<AzId> AzIds() const;
+
+  /// Storage node hosting `segment`, or nullptr.
+  storage::StorageNode* NodeForSegment(SegmentId segment);
+
+  // -- Replicas -----------------------------------------------------------
+
+  replica::ReadReplica* AddReplica();
+  const std::vector<std::unique_ptr<replica::ReadReplica>>& replicas() const {
+    return replicas_;
+  }
+
+  /// Fails over: crashes the writer (if alive), promotes a fresh instance
+  /// (recovery + fencing). Replicas keep running and re-attach to the new
+  /// writer's stream.
+  Result<engine::DbInstance*> FailoverBlocking();
+
+  /// Creates an additional, unmanaged database instance attached to the
+  /// same volume (it is NOT installed as the cluster's writer). Used to
+  /// exercise split-brain scenarios: two instances racing to open must
+  /// resolve via volume epochs, never via coordination.
+  std::unique_ptr<engine::DbInstance> CreateDetachedInstance();
+
+  // -- Simple data-path helpers (autocommit) -------------------------------
+
+  Status PutBlocking(const std::string& key, const std::string& value);
+  Result<std::string> GetBlocking(const std::string& key);
+  Status DeleteBlocking(const std::string& key);
+  Status CommitBlocking(TxnId txn);
+  Status RollbackBlocking(TxnId txn);
+
+  // -- Fault & membership operations ---------------------------------------
+
+  void CrashWriter();
+  Status RecoverWriterBlocking();
+
+  /// Replaces `old_segment` with a fresh segment via the two-step quorum-
+  /// set transition; commits once hydrated. I/O proceeds throughout.
+  Result<MembershipChangeReport> ReplaceSegmentBlocking(SegmentId old_segment);
+
+  /// Begins a replacement (dual-quorum epoch) without committing —
+  /// exposes the intermediate Figure-5 state for tests/benches.
+  Result<MembershipChangeReport> BeginReplaceBlocking(SegmentId old_segment);
+  /// Completes a pending replacement (requires hydration).
+  Status CommitReplaceBlocking(SegmentId old_segment);
+  /// Reverses a pending replacement (the suspect member came back).
+  Status RevertReplaceBlocking(SegmentId old_segment);
+
+  /// Appends a protection group to the volume (geometry epoch increment).
+  Status GrowVolumeBlocking();
+
+  /// Heat management (§1, §4.1): migrates a healthy segment to another
+  /// node in its AZ using the same two-step reversible transition as a
+  /// failure repair — the live source makes hydration fast.
+  Result<MembershipChangeReport> MoveSegmentBlocking(SegmentId segment) {
+    return ReplaceSegmentBlocking(segment);
+  }
+
+  /// Point-in-time restore (§2.1 activity 6, Figure 2's "point in time
+  /// snapshot"): crashes the writer, reloads every segment from the
+  /// object-store archive at `restore_point` (which must be at or below
+  /// the archive's coverage), and opens a fresh writer. All work after
+  /// the restore point is gone — that is the point.
+  Status RestoreToPointBlocking(Lsn restore_point);
+
+  /// Highest restore point currently covered by the archive for every PG.
+  Lsn ArchiveHorizon() const;
+
+  /// §4.1 extended AZ loss: drops the lost AZ's members from every PG and
+  /// switches to the 3/4 quorum model so a further single failure no
+  /// longer blocks writes.
+  Status ShrinkAfterAzLossBlocking(AzId lost_az);
+
+  /// Restores the 4/6 model with two fresh (hydrated) members per PG in
+  /// `restored_az`.
+  Status ExpandToSixBlocking(AzId restored_az);
+
+  // -- Event-loop helpers --------------------------------------------------
+
+  /// Runs the simulation until `pred` holds or `timeout` elapses.
+  bool RunUntil(const std::function<bool()>& pred,
+                SimDuration timeout = 0 /* = options.blocking_timeout */);
+  void RunFor(SimDuration duration) { sim_.RunFor(duration); }
+
+  const AuroraOptions& options() const { return options_; }
+  const quorum::VolumeGeometry& geometry() const {
+    return metadata_->geometry();
+  }
+
+ private:
+  quorum::PgConfig BuildPgConfig(ProtectionGroupId pg);
+  storage::NodeResolver MakeResolver();
+  engine::ControlPlane MakeControlPlane(NodeId caller);
+  void CreateSegmentStores(const quorum::PgConfig& config);
+  std::unique_ptr<engine::DbInstance> MakeWriter(NodeId id, AzId az);
+  void WireReplica(replica::ReadReplica* rep);
+  Status InstallPgConfigBlocking(const quorum::PgConfig& old_config,
+                                 const quorum::PgConfig& new_config);
+  storage::StorageNode* PickNodeForNewSegment(AzId az,
+                                              const quorum::PgConfig& config);
+
+  AuroraOptions options_;
+  sim::Simulator sim_;
+  sim::Network network_;
+  std::unique_ptr<storage::ObjectStore> object_store_;
+  std::unique_ptr<sim::FailureInjector> failure_injector_;
+  std::unique_ptr<MetadataService> metadata_;
+  std::vector<std::unique_ptr<storage::StorageNode>> storage_nodes_;
+  std::map<NodeId, storage::StorageNode*> node_index_;
+  std::unique_ptr<engine::DbInstance> writer_;
+  std::vector<std::unique_ptr<engine::DbInstance>> retired_writers_;
+  std::vector<std::unique_ptr<replica::ReadReplica>> replicas_;
+
+  NodeId next_node_id_ = 1;
+  SegmentId next_segment_id_ = 0;
+};
+
+}  // namespace aurora::core

@@ -1,0 +1,126 @@
+#include "src/engine/consistency_tracker.h"
+
+#include <algorithm>
+
+namespace aurora::engine {
+
+void ConsistencyTracker::ConfigurePg(ProtectionGroupId pg,
+                                     quorum::QuorumSet write_set,
+                                     std::vector<SegmentId> members) {
+  PgTracking& tracking = pgs_[pg];
+  tracking.write_set = std::move(write_set);
+  // Keep SCLs for surviving members; drop departed ones.
+  std::map<SegmentId, Lsn> kept;
+  for (SegmentId m : members) {
+    auto it = tracking.scls.find(m);
+    if (it != tracking.scls.end()) kept[m] = it->second;
+  }
+  tracking.scls = std::move(kept);
+  tracking.members = std::move(members);
+}
+
+void ConsistencyTracker::ObserveScl(ProtectionGroupId pg, SegmentId segment,
+                                    Lsn scl) {
+  auto it = pgs_.find(pg);
+  if (it == pgs_.end()) return;
+  Lsn& known = it->second.scls[segment];
+  known = std::max(known, scl);
+}
+
+void ConsistencyTracker::RecordIssued(ProtectionGroupId pg, Lsn lsn) {
+  auto it = pgs_.find(pg);
+  if (it == pgs_.end()) return;
+  if (lsn > it->second.pgcl) it->second.outstanding.insert(lsn);
+}
+
+void ConsistencyTracker::RecordMtrComplete(Lsn lsn) {
+  mtr_points_.insert(lsn);
+}
+
+void ConsistencyTracker::SetMaxAllocated(Lsn lsn) {
+  max_allocated_ = std::max(max_allocated_, lsn);
+}
+
+Lsn ConsistencyTracker::ComputePgcl(const PgTracking& tracking) const {
+  // Find the largest SCL value X such that the set of members with
+  // SCL >= X satisfies the write quorum. Iterate distinct SCLs downward,
+  // growing the satisfied set.
+  std::vector<std::pair<Lsn, SegmentId>> by_scl;
+  by_scl.reserve(tracking.scls.size());
+  for (const auto& [segment, scl] : tracking.scls) {
+    by_scl.emplace_back(scl, segment);
+  }
+  std::sort(by_scl.begin(), by_scl.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  quorum::SegmentSet at_or_above;
+  size_t i = 0;
+  while (i < by_scl.size()) {
+    const Lsn x = by_scl[i].first;
+    while (i < by_scl.size() && by_scl[i].first == x) {
+      at_or_above.insert(by_scl[i].second);
+      ++i;
+    }
+    if (x == kInvalidLsn) break;
+    if (tracking.write_set.SatisfiedBy(at_or_above)) return x;
+  }
+  return kInvalidLsn;
+}
+
+bool ConsistencyTracker::Advance() {
+  const Lsn old_vcl = vcl_;
+  const Lsn old_vdl = vdl_;
+  Lsn vcl_bound = max_allocated_;
+  for (auto& [pg, tracking] : pgs_) {
+    const Lsn pgcl = ComputePgcl(tracking);
+    tracking.pgcl = std::max(tracking.pgcl, pgcl);
+    tracking.outstanding.erase(
+        tracking.outstanding.begin(),
+        tracking.outstanding.upper_bound(tracking.pgcl));
+    if (!tracking.outstanding.empty()) {
+      // The first record of this PG above its PGCL has not met quorum;
+      // VCL may not pass it (§2.3: "no pending writes preventing PGCL
+      // from advancing").
+      vcl_bound = std::min(vcl_bound, *tracking.outstanding.begin() - 1);
+    }
+  }
+  vcl_ = std::max(vcl_, vcl_bound);
+  // VDL: highest MTR completion point at or below VCL.
+  auto it = mtr_points_.upper_bound(vcl_);
+  if (it != mtr_points_.begin()) {
+    --it;
+    vdl_ = std::max(vdl_, *it);
+    mtr_points_.erase(mtr_points_.begin(), it);
+  }
+  return vcl_ != old_vcl || vdl_ != old_vdl;
+}
+
+Lsn ConsistencyTracker::pgcl(ProtectionGroupId pg) const {
+  auto it = pgs_.find(pg);
+  return it == pgs_.end() ? kInvalidLsn : it->second.pgcl;
+}
+
+void ConsistencyTracker::Reset(Lsn vcl, Lsn vdl, Lsn max_allocated) {
+  for (auto& [pg, tracking] : pgs_) {
+    tracking.outstanding.clear();
+    tracking.pgcl = kInvalidLsn;
+    tracking.scls.clear();
+  }
+  mtr_points_.clear();
+  vcl_ = vcl;
+  vdl_ = vdl;
+  max_allocated_ = max_allocated;
+}
+
+void ConsistencyTracker::SeedPgcl(ProtectionGroupId pg, Lsn pgcl) {
+  auto it = pgs_.find(pg);
+  if (it != pgs_.end()) it->second.pgcl = std::max(it->second.pgcl, pgcl);
+}
+
+Lsn ConsistencyTracker::SclOf(ProtectionGroupId pg, SegmentId segment) const {
+  auto it = pgs_.find(pg);
+  if (it == pgs_.end()) return kInvalidLsn;
+  auto scl = it->second.scls.find(segment);
+  return scl == it->second.scls.end() ? kInvalidLsn : scl->second;
+}
+
+}  // namespace aurora::engine

@@ -1,0 +1,1277 @@
+#include "src/engine/db_instance.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/interval_set.h"
+#include "src/common/logging.h"
+
+namespace aurora::engine {
+
+uint64_t ReplicationEvent::SerializedSize() const {
+  uint64_t bytes = 64;
+  for (const auto& r : mtr) bytes += r.SerializedSize();
+  return bytes;
+}
+
+DbInstance::DbInstance(sim::Simulator* sim, sim::Network* network, NodeId id,
+                       AzId az, storage::NodeResolver resolver,
+                       ControlPlane control_plane, DbOptions options)
+    : sim_(sim),
+      network_(network),
+      id_(id),
+      az_(az),
+      resolver_(std::move(resolver)),
+      control_plane_(std::move(control_plane)),
+      options_(options) {
+  network_->RegisterNode(id_, az_, this);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void DbInstance::InitComponents(const quorum::VolumeGeometry& geometry,
+                                VolumeEpoch epoch) {
+  RetireDriver();
+  cache_ = std::make_unique<BufferCache>(options_.cache_pages);
+  driver_ = std::make_unique<StorageDriver>(sim_, network_, id_, resolver_,
+                                            options_.driver);
+  driver_->SetGeometry(geometry, epoch);
+  driver_->SetAdvanceCallback([this]() { OnDurabilityAdvance(); });
+  driver_->SetFencedCallback([this]() {
+    fenced_ = true;
+    open_ = false;
+  });
+  btree_ = std::make_unique<BTree>(
+      options_.btree,
+      [this](BlockId block, std::function<void(Result<storage::Page*>)> f) {
+        WithPage(block, std::move(f));
+      },
+      [this](BlockId block) { return CachedPage(block); });
+}
+
+void DbInstance::Bootstrap(std::function<void(Status)> cb) {
+  control_plane_.fetch_geometry([this, cb = std::move(cb)](
+                                    quorum::VolumeGeometry geometry,
+                                    VolumeEpoch epoch) {
+    InitComponents(geometry, epoch);
+    driver_->Start();
+    open_ = true;
+    fenced_ = false;
+    next_lsn_ = 1;
+    // The root leaf is the first allocation (PG0, offset 1); every PG
+    // starts its allocation cursor after its reserved block-0 slot.
+    const BlockId root = kFirstAllocatableBlock;
+    std::vector<uint64_t> cursors(geometry.PgCount(), 1);
+    cursors[0] = 2;  // root consumed PG0's first slot
+    const Lsn last = AppendMtr(BTree::BootstrapOps(root, cursors),
+                               kInvalidTxn, log::RecordType::kData);
+    // Acknowledge once the bootstrap MTR is durable.
+    commit_queue_.Enqueue(txn::PendingCommit{
+        kInvalidTxn, last, sim_->Now(),
+        [cb = std::move(cb)]() { cb(Status::OK()); }});
+  });
+}
+
+void DbInstance::RetireDriver() {
+  // The driver (and its boxcar batchers) is referenced by simulator
+  // events already scheduled (retry sweeps, hedge timers, boxcar
+  // dispatches). Those events guard on the driver's stopped state, so the
+  // object must outlive them: retire it instead of destroying it.
+  if (driver_) {
+    driver_->Stop();
+    retired_drivers_.push_back(std::move(driver_));
+  }
+}
+
+void DbInstance::OnCrash() {
+  // Everything here is the "local ephemeral state" of §2.4.
+  open_ = false;
+  RetireDriver();
+  btree_.reset();
+  if (cache_) cache_->Clear();
+  cache_.reset();
+  commit_queue_.Clear();
+  locks_.Clear();
+  txns_ = txn::TxnManager();
+  txn_views_.clear();
+  pending_fetches_.clear();
+  replica_sinks_.clear();
+  replica_read_points_.clear();
+  last_pg_lsn_.clear();
+  last_volume_lsn_ = kInvalidLsn;
+  current_undo_block_ = kInvalidBlock;
+  undo_entries_in_block_ = 0;
+  last_shipped_vdl_ = kInvalidLsn;
+}
+
+// ---------------------------------------------------------------------------
+// Page access
+// ---------------------------------------------------------------------------
+
+storage::Page* DbInstance::CachedPage(BlockId block) {
+  return cache_ ? cache_->Find(block) : nullptr;
+}
+
+void DbInstance::WithPage(BlockId block,
+                          std::function<void(Result<storage::Page*>)> cb) {
+  if (storage::Page* page = CachedPage(block); page != nullptr) {
+    cb(page);
+    return;
+  }
+  cache_->CountMiss();
+  auto [it, inserted] = pending_fetches_.try_emplace(block);
+  it->second.push_back(std::move(cb));
+  if (!inserted) return;  // fetch already in flight
+  driver_->ReadBlock(
+      block, vdl(), ComputePgmrpl(),
+      [this, block](Result<storage::Page> page) {
+        auto waiters = pending_fetches_.extract(block);
+        if (waiters.empty()) return;  // crashed meanwhile
+        if (!page.ok()) {
+          for (auto& waiter : waiters.mapped()) waiter(page.status());
+          return;
+        }
+        storage::Page* cached = cache_->Insert(std::move(*page), vdl());
+        for (auto& waiter : waiters.mapped()) {
+          // Re-find each time: a previous waiter may have grown the cache
+          // and evicted it (extremely unlikely, but correct).
+          storage::Page* p = cache_->Find(block);
+          if (p == nullptr) p = cached;  // best effort
+          waiter(p);
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// MTR append (the writer's only write primitive)
+// ---------------------------------------------------------------------------
+
+Lsn DbInstance::AppendMtr(const std::vector<StagedOp>& ops, TxnId txn,
+                          log::RecordType type) {
+  assert(!ops.empty());
+  assert(driver_ != nullptr);
+  // Latch every page this MTR touches: inserting a fresh page mid-MTR may
+  // trigger eviction, and no page the MTR still has to mutate may go.
+  std::set<BlockId> latched;
+  for (const auto& staged : ops) {
+    if (latched.insert(staged.block).second) cache_->Pin(staged.block);
+  }
+  std::vector<log::RedoRecord> records;
+  records.reserve(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const StagedOp& staged = ops[i];
+    auto pg = driver_->geometry().PgForBlock(staged.block);
+    assert(pg.ok() && "block outside volume geometry");
+    // Ensure the page exists in cache (new blocks start empty).
+    storage::Page* page = CachedPage(staged.block);
+    if (page == nullptr) {
+      // Only brand-new pages (first op = format) may be created blind;
+      // mutating an uncached existing page would fork its block chain.
+      if (staged.op.type != storage::PageOpType::kFormat) {
+        AURORA_ERROR << "AppendMtr: mutating uncached block " << staged.block
+                     << " — block chain will fork (caller bug)";
+        assert(false && "mutating an uncached existing page");
+      }
+      storage::Page fresh;
+      fresh.id = staged.block;
+      page = cache_->Insert(std::move(fresh), vdl());
+      cache_->Pin(staged.block);  // latch the fresh page too
+    }
+    log::RedoRecord record;
+    record.lsn = next_lsn_++;
+    record.prev_lsn_volume = last_volume_lsn_;
+    record.prev_lsn_segment = last_pg_lsn_[*pg];
+    record.prev_lsn_block = page->page_lsn;
+    record.pg = *pg;
+    record.block = staged.block;
+    record.txn = txn;
+    record.type = type;
+    if (ops.size() == 1) {
+      record.mtr = log::MtrBoundary::kSingle;
+    } else if (i == 0) {
+      record.mtr = log::MtrBoundary::kBegin;
+    } else if (i + 1 == ops.size()) {
+      record.mtr = log::MtrBoundary::kEnd;
+    } else {
+      record.mtr = log::MtrBoundary::kMiddle;
+    }
+    record.payload = EncodePageOp(staged.op);
+    last_volume_lsn_ = record.lsn;
+    last_pg_lsn_[*pg] = record.lsn;
+    // Apply to the cached image immediately (§2.2: changes modify the
+    // buffer-cache image and the redo record goes to the log).
+    Status st = ApplyPageOp(page, staged.op, record.lsn);
+    assert(st.ok());
+    (void)st;
+    records.push_back(std::move(record));
+  }
+  for (BlockId block : latched) cache_->Unpin(block);
+  const Lsn last = records.back().lsn;
+  driver_->SubmitRecords(records);
+  if (!replica_sinks_.empty()) {
+    ReplicationEvent event;
+    event.type = ReplicationEvent::Type::kMtr;
+    event.mtr = std::move(records);
+    ShipReplicationEvent(event);
+  }
+  return last;
+}
+
+BlockId DbInstance::AllocateBlock(std::vector<StagedOp>* ops) {
+  // Per-PG allocation cursors live in the meta page; new blocks go to the
+  // least-filled protection group so data stripes across the volume.
+  // Earlier ops in this MTR may already have bumped a cursor; staged meta
+  // updates win over the cached page state.
+  storage::Page* meta = CachedPage(kMetaBlock);
+  assert(meta != nullptr && "meta page must be cached for allocation");
+  const auto& geometry = driver_->geometry();
+  const uint64_t per_pg = geometry.blocks_per_pg();
+
+  auto cursor_of = [&](ProtectionGroupId pg) -> uint64_t {
+    const std::string key = AllocCursorKey(pg);
+    for (auto it = ops->rbegin(); it != ops->rend(); ++it) {
+      if (it->block == kMetaBlock && it->op.key == key) {
+        return *DecodeU64Value(it->op.value);
+      }
+    }
+    auto entry = meta->entries.find(key);
+    // A PG without a cursor entry was added by volume growth after
+    // bootstrap: it starts fresh at offset 1 (block 0 of each PG is
+    // reserved), and the first allocation writes its cursor entry.
+    if (entry == meta->entries.end()) return 1;
+    auto decoded = DecodeU64Value(entry->second);
+    return decoded.ok() ? *decoded : per_pg;
+  };
+
+  ProtectionGroupId best_pg = 0;
+  uint64_t best_cursor = per_pg;
+  for (size_t pg = 0; pg < geometry.PgCount(); ++pg) {
+    const uint64_t cursor = cursor_of(static_cast<ProtectionGroupId>(pg));
+    if (cursor < best_cursor) {
+      best_cursor = cursor;
+      best_pg = static_cast<ProtectionGroupId>(pg);
+    }
+  }
+  if (best_cursor >= per_pg) {
+    AURORA_WARN << "volume full: all " << geometry.PgCount()
+                << " protection groups exhausted; grow the volume";
+    return kInvalidBlock;
+  }
+  storage::PageOp bump;
+  bump.type = storage::PageOpType::kInsert;
+  bump.key = AllocCursorKey(best_pg);
+  bump.value = EncodeU64Value(best_cursor + 1);
+  ops->push_back({kMetaBlock, bump});
+  return static_cast<BlockId>(best_pg) * per_pg + best_cursor;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions: writes
+// ---------------------------------------------------------------------------
+
+TxnId DbInstance::Begin() {
+  assert(open_);
+  return txns_.Begin(sim_->Now())->id;
+}
+
+void DbInstance::Put(TxnId txn, const std::string& key,
+                     const std::string& value,
+                     std::function<void(Status)> cb) {
+  stats_.puts++;
+  PutInternal(txn, DataKey(key), value, /*deleted=*/false, std::move(cb),
+              options_.max_op_retries);
+}
+
+void DbInstance::Delete(TxnId txn, const std::string& key,
+                        std::function<void(Status)> cb) {
+  stats_.deletes++;
+  PutInternal(txn, DataKey(key), "", /*deleted=*/true, std::move(cb),
+              options_.max_op_retries);
+}
+
+void DbInstance::PutInternal(TxnId txn, std::string key, std::string value,
+                             bool deleted, std::function<void(Status)> cb,
+                             int retries) {
+  if (!open_) {
+    cb(fenced_ ? Status::Fenced("instance fenced")
+               : Status::Unavailable("instance not open"));
+    return;
+  }
+  txn::Transaction* t = txns_.Find(txn);
+  if (t == nullptr || t->state != txn::TxnState::kActive) {
+    cb(Status::InvalidArgument("transaction not active"));
+    return;
+  }
+  if (retries <= 0) {
+    cb(Status::Aborted("write retries exhausted"));
+    return;
+  }
+  if (Status st = locks_.Acquire(txn, key); !st.ok()) {
+    cb(std::move(st));
+    return;
+  }
+  auto path = btree_->FindPathSync(key);
+  if (!path.ok()) {
+    // Fault the path in asynchronously, then retry synchronously.
+    btree_->FindPath(key, [this, txn, key = std::move(key),
+                           value = std::move(value), deleted,
+                           cb = std::move(cb),
+                           retries](Result<std::vector<BlockId>> r) mutable {
+      if (!r.ok() && !r.status().IsAborted()) {
+        cb(r.status());
+        return;
+      }
+      PutInternal(txn, std::move(key), std::move(value), deleted,
+                  std::move(cb), retries - 1);
+    });
+    return;
+  }
+  storage::Page* leaf = CachedPage(path->back());
+  assert(leaf != nullptr);
+  std::optional<txn::RowVersion> existing;
+  if (auto it = leaf->entries.find(key); it != leaf->entries.end()) {
+    auto decoded = txn::DecodeRowVersion(it->second);
+    if (!decoded.ok()) {
+      cb(decoded.status());
+      return;
+    }
+    existing = std::move(*decoded);
+  }
+  if (existing.has_value() && existing->txn != txn) {
+    // If the current top version belongs to an uncommitted transaction
+    // that is not locally active, it is a leftover from a crashed
+    // incarnation: roll it back, then retry (§2.4: undo happens after
+    // open, in parallel with user activity).
+    const TxnId writer = existing->txn;
+    if (!txns_.ActiveSet().contains(writer)) {
+      ResolveCommitScn(writer, [this, txn, key = std::move(key),
+                                value = std::move(value), deleted,
+                                cb = std::move(cb), retries,
+                                existing](std::optional<Scn> scn) mutable {
+        if (scn.has_value()) {
+          // Committed: proceed with the write on a fresh descent.
+          txn::Transaction* t2 = txns_.Find(txn);
+          if (t2 == nullptr || t2->state != txn::TxnState::kActive) {
+            cb(Status::InvalidArgument("transaction not active"));
+            return;
+          }
+          auto path2 = btree_->FindPathSync(key);
+          if (!path2.ok()) {
+            PutInternal(txn, std::move(key), std::move(value), deleted,
+                        std::move(cb), retries - 1);
+            return;
+          }
+          ApplyWrite(t2, key, value, deleted, *path2, existing,
+                     std::move(cb));
+          return;
+        }
+        stats_.leftover_rollbacks++;
+        RollbackLeftover(
+            key, *existing,
+            [this, txn, key, value, deleted, cb = std::move(cb),
+             retries](Status st) mutable {
+              if (!st.ok()) {
+                cb(std::move(st));
+                return;
+              }
+              PutInternal(txn, std::move(key), std::move(value), deleted,
+                          std::move(cb), retries - 1);
+            });
+      });
+      return;
+    }
+    // Locally active other writer would have held the lock; Acquire above
+    // succeeded, so this must be our own or a committed version.
+  }
+  ApplyWrite(t, key, value, deleted, *path, existing, std::move(cb));
+}
+
+Result<std::pair<BlockId, std::string>> DbInstance::StageUndo(
+    txn::Transaction* txn, const std::string& key,
+    const std::optional<txn::RowVersion>& existing,
+    std::vector<StagedOp>* ops) {
+  if (current_undo_block_ == kInvalidBlock ||
+      undo_entries_in_block_ >= options_.undo_entries_per_page ||
+      CachedPage(current_undo_block_) == nullptr) {
+    // The third condition: the current undo page fell out of cache (its
+    // redo is durable). Appending blind would break its block chain, so
+    // simply start a fresh undo page.
+    current_undo_block_ = AllocateBlock(ops);
+    if (current_undo_block_ == kInvalidBlock) {
+      return Status::OutOfRange("volume full: grow the volume to continue");
+    }
+    undo_entries_in_block_ = 0;
+    storage::PageOp format;
+    format.type = storage::PageOpType::kFormat;
+    format.page_type = storage::PageType::kUndo;
+    ops->push_back({current_undo_block_, format});
+  }
+  txn::UndoEntry entry;
+  entry.row_key = key;
+  entry.prev_exists = existing.has_value();
+  if (existing.has_value()) entry.prev = *existing;
+  entry.next = txn->undo_head;
+  const std::string undo_key =
+      "u" + std::to_string(txn->id) + "-" + std::to_string(txn->undo_seq++);
+  storage::PageOp insert;
+  insert.type = storage::PageOpType::kInsert;
+  insert.key = undo_key;
+  insert.value = txn::EncodeUndoEntry(entry);
+  ops->push_back({current_undo_block_, insert});
+  undo_entries_in_block_++;
+  return std::make_pair(current_undo_block_, undo_key);
+}
+
+void DbInstance::ApplyWrite(txn::Transaction* txn, const std::string& key,
+                            const std::string& value, bool deleted,
+                            const std::vector<BlockId>& path,
+                            std::optional<txn::RowVersion> existing,
+                            std::function<void(Status)> cb) {
+  std::vector<StagedOp> ops;
+  auto undo_ptr = StageUndo(txn, key, existing, &ops);
+  if (!undo_ptr.ok()) {
+    cb(undo_ptr.status());
+    return;
+  }
+  txn::RowVersion version;
+  version.txn = txn->id;
+  version.deleted = deleted;
+  version.value = value;
+  version.undo = txn::UndoPtr{undo_ptr->first, undo_ptr->second};
+  auto plan = btree_->PlanInsert(
+      path, key, txn::EncodeRowVersion(version),
+      [this](std::vector<StagedOp>* staged) { return AllocateBlock(staged); });
+  if (!plan.ok()) {
+    cb(plan.status());
+    return;
+  }
+  ops.insert(ops.end(), plan->begin(), plan->end());
+  AppendMtr(ops, txn->id);
+  txn->undo_head = version.undo;
+  txn->writes.emplace_back(path.back(), key);
+  cb(Status::OK());
+}
+
+// ---------------------------------------------------------------------------
+// Transactions: reads
+// ---------------------------------------------------------------------------
+
+txn::ReadView DbInstance::ViewFor(TxnId txn) {
+  if (txn != kInvalidTxn) {
+    auto it = txn_views_.find(txn);
+    if (it != txn_views_.end()) return it->second;
+    txn::ReadView view = txns_.OpenReadView(vdl(), txn);
+    txn_views_.emplace(txn, view);
+    return view;
+  }
+  return txns_.OpenReadView(vdl(), kInvalidTxn);
+}
+
+void DbInstance::FinishStatementView(TxnId txn, const txn::ReadView& view) {
+  if (txn == kInvalidTxn) txns_.CloseReadView(view);
+}
+
+void DbInstance::ResolveCommitScn(
+    TxnId writer, std::function<void(std::optional<Scn>)> cb) {
+  if (auto scn = txns_.CommitScnOf(writer); scn.has_value()) {
+    cb(scn);
+    return;
+  }
+  if (txns_.ActiveSet().contains(writer)) {
+    cb(std::nullopt);
+    return;
+  }
+  // Consult the persistent transaction-status index in the tree
+  // (survives crashes; this is how the post-recovery instance and
+  // replicas learn outcomes).
+  ResolveCommitScnFromIndex(writer, std::move(cb), 4);
+}
+
+void DbInstance::ResolveCommitScnFromIndex(
+    TxnId writer, std::function<void(std::optional<Scn>)> cb, int retries) {
+  btree_->GetEntry(
+      StatusKey(writer),
+      [this, writer, cb = std::move(cb), retries](Result<std::string> raw) {
+        if (!raw.ok()) {
+          if (raw.status().IsAborted() && retries > 0) {
+            // Leaf evicted mid-lookup: retry rather than mis-reporting an
+            // actually-committed transaction as invisible.
+            ResolveCommitScnFromIndex(writer, std::move(cb), retries - 1);
+            return;
+          }
+          cb(std::nullopt);
+          return;
+        }
+        auto scn = DecodeU64Value(*raw);
+        if (!scn.ok()) {
+          cb(std::nullopt);
+          return;
+        }
+        txns_.InstallCommitNotification(writer, *scn);
+        cb(*scn);
+      });
+}
+
+void DbInstance::ResolveVisible(txn::RowVersion version, txn::ReadView view,
+                                std::function<void(Result<std::string>)> cb,
+                                int depth) {
+  if (depth <= 0) {
+    cb(Status::Internal("undo chain too deep"));
+    return;
+  }
+  ResolveCommitScn(version.txn, [this, version = std::move(version),
+                                 view = std::move(view), cb = std::move(cb),
+                                 depth](std::optional<Scn> scn) mutable {
+    const Scn commit_scn = scn.value_or(kInvalidLsn);
+    if (view.Sees(version.txn, commit_scn)) {
+      if (version.deleted) {
+        cb(Status::NotFound("deleted in snapshot"));
+      } else {
+        cb(std::move(version.value));
+      }
+      return;
+    }
+    if (version.undo.IsNull()) {
+      cb(Status::NotFound("no visible version"));
+      return;
+    }
+    stats_.undo_chain_walks++;
+    const txn::UndoPtr undo = version.undo;
+    WithPage(undo.block, [this, undo, view = std::move(view),
+                          cb = std::move(cb),
+                          depth](Result<storage::Page*> page) mutable {
+      if (!page.ok()) {
+        cb(page.status());
+        return;
+      }
+      auto it = (*page)->entries.find(undo.key);
+      if (it == (*page)->entries.end()) {
+        // Purged below every read point — treat as chain end.
+        cb(Status::NotFound("undo purged"));
+        return;
+      }
+      auto entry = txn::DecodeUndoEntry(it->second);
+      if (!entry.ok()) {
+        cb(entry.status());
+        return;
+      }
+      if (!entry->prev_exists) {
+        cb(Status::NotFound("row did not exist in snapshot"));
+        return;
+      }
+      ResolveVisible(entry->prev, std::move(view), std::move(cb), depth - 1);
+    });
+  });
+}
+
+void DbInstance::Get(TxnId txn, const std::string& key,
+                     std::function<void(Result<std::string>)> cb) {
+  stats_.gets++;
+  if (!open_) {
+    cb(Status::Unavailable("instance not open"));
+    return;
+  }
+  txn::ReadView view = ViewFor(txn);
+  btree_->GetEntry(DataKey(key), [this, txn, view, cb = std::move(cb)](
+                            Result<std::string> raw) mutable {
+    if (!raw.ok()) {
+      FinishStatementView(txn, view);
+      if (raw.status().IsAborted()) {
+        cb(Status::NotFound("key absent"));  // leaf evicted mid-read
+      } else {
+        cb(raw.status());
+      }
+      return;
+    }
+    auto version = txn::DecodeRowVersion(*raw);
+    if (!version.ok()) {
+      FinishStatementView(txn, view);
+      cb(version.status());
+      return;
+    }
+    ResolveVisible(std::move(*version), view,
+                   [this, txn, view, cb = std::move(cb)](
+                       Result<std::string> result) {
+                     FinishStatementView(txn, view);
+                     cb(std::move(result));
+                   },
+                   256);
+  });
+}
+
+void DbInstance::Scan(
+    TxnId txn, const std::string& lo, const std::string& hi, size_t limit,
+    std::function<
+        void(Result<std::vector<std::pair<std::string, std::string>>>)>
+        cb) {
+  stats_.scans++;
+  if (!open_) {
+    cb(Status::Unavailable("instance not open"));
+    return;
+  }
+  txn::ReadView view = ViewFor(txn);
+  btree_->ScanEntries(
+      DataKey(lo), DataKey(hi), limit,
+      [this, txn, view, cb = std::move(cb)](
+          Result<std::vector<std::pair<std::string, std::string>>> raw) {
+        if (!raw.ok()) {
+          FinishStatementView(txn, view);
+          cb(raw.status());
+          return;
+        }
+        ScanResolve(std::move(*raw), 0, view, {},
+                    [this, txn, view, cb = std::move(cb)](
+                        Result<std::vector<
+                            std::pair<std::string, std::string>>> result) {
+                      FinishStatementView(txn, view);
+                      cb(std::move(result));
+                    });
+      });
+}
+
+void DbInstance::ScanResolve(
+    std::vector<std::pair<std::string, std::string>> raw, size_t index,
+    txn::ReadView view, std::vector<std::pair<std::string, std::string>> acc,
+    std::function<void(
+        Result<std::vector<std::pair<std::string, std::string>>>)>
+        cb) {
+  if (index >= raw.size()) {
+    cb(std::move(acc));
+    return;
+  }
+  auto version = txn::DecodeRowVersion(raw[index].second);
+  if (!version.ok()) {
+    cb(version.status());
+    return;
+  }
+  std::string key = raw[index].first.substr(1);  // strip the namespace
+  ResolveVisible(
+      std::move(*version), view,
+      [this, raw = std::move(raw), index, view, acc = std::move(acc),
+       key = std::move(key), cb = std::move(cb)](
+          Result<std::string> value) mutable {
+        if (value.ok()) {
+          acc.emplace_back(std::move(key), std::move(*value));
+        } else if (!value.status().IsNotFound()) {
+          cb(value.status());
+          return;
+        }
+        ScanResolve(std::move(raw), index + 1, view, std::move(acc),
+                    std::move(cb));
+      },
+      256);
+}
+
+// ---------------------------------------------------------------------------
+// Commit / rollback
+// ---------------------------------------------------------------------------
+
+void DbInstance::Commit(TxnId txn, std::function<void(Status)> cb) {
+  if (!open_) {
+    cb(Status::Unavailable("instance not open"));
+    return;
+  }
+  txn::Transaction* t = txns_.Find(txn);
+  if (t == nullptr || t->state != txn::TxnState::kActive) {
+    cb(Status::InvalidArgument("transaction not active"));
+    return;
+  }
+  if (t->writes.empty()) {
+    // Read-only: nothing to make durable.
+    txns_.MarkCommitting(txn, vdl());
+    txns_.MarkCommitted(txn);
+    if (auto it = txn_views_.find(txn); it != txn_views_.end()) {
+      txns_.CloseReadView(it->second);
+      txn_views_.erase(it);
+    }
+    cb(Status::OK());
+    return;
+  }
+  FinishCommit(txn, std::move(cb), options_.max_op_retries);
+}
+
+void DbInstance::FinishCommit(TxnId txn, std::function<void(Status)> cb,
+                              int retries) {
+  // The commit record: a normal B-tree insert into the status index, so
+  // its pages stay bounded by splits. The record's MTR-final LSN is the
+  // SCN and doubles as the durable txn -> SCN mapping (readable by
+  // replicas and by recovery).
+  if (retries <= 0) {
+    cb(Status::Aborted("commit retries exhausted"));
+    return;
+  }
+  const std::string status_key = StatusKey(txn);
+  auto path = btree_->FindPathSync(status_key);
+  if (!path.ok()) {
+    btree_->FindPath(status_key, [this, txn, cb = std::move(cb), retries](
+                                     Result<std::vector<BlockId>>) mutable {
+      txn::Transaction* t = txns_.Find(txn);
+      if (t == nullptr || t->state != txn::TxnState::kActive) {
+        cb(Status::InvalidArgument("transaction not active"));
+        return;
+      }
+      FinishCommit(txn, std::move(cb), retries - 1);
+    });
+    return;
+  }
+  auto plan = btree_->PlanInsert(
+      *path, status_key, EncodeU64Value(0),
+      [this](std::vector<StagedOp>* staged) { return AllocateBlock(staged); });
+  if (!plan.ok()) {
+    FinishCommit(txn, std::move(cb), retries - 1);
+    return;
+  }
+  // SCN = the MTR's last LSN (the whole commit MTR is durable at SCN).
+  const Scn scn = next_lsn_ + plan->size() - 1;
+  for (auto& staged : *plan) {
+    if (staged.op.type == storage::PageOpType::kInsert &&
+        staged.op.key == status_key) {
+      staged.op.value = EncodeU64Value(scn);
+    }
+  }
+  const Lsn written = AppendMtr(*plan, txn, log::RecordType::kCommit);
+  assert(written == scn);
+  (void)written;
+  txns_.MarkCommitting(txn, scn);
+  locks_.ReleaseAll(txn);
+  // Ship the commit notification to replicas (§3.4); visibility there is
+  // still gated by their VDL.
+  if (!replica_sinks_.empty()) {
+    ReplicationEvent event;
+    event.type = ReplicationEvent::Type::kCommit;
+    event.txn = txn;
+    event.scn = scn;
+    ShipReplicationEvent(event);
+  }
+  // Worker thread moves on; the dedicated commit path acks when VCL
+  // passes the SCN (§2.3).
+  const SimTime enqueued = sim_->Now();
+  commit_queue_.Enqueue(txn::PendingCommit{
+      txn, scn, enqueued, [this, txn, enqueued, cb = std::move(cb)]() {
+        txns_.MarkCommitted(txn);
+        stats_.commits_acked++;
+        commit_latency_.Record(sim_->Now() - enqueued);
+        if (auto it = txn_views_.find(txn); it != txn_views_.end()) {
+          txns_.CloseReadView(it->second);
+          txn_views_.erase(it);
+        }
+        cb(Status::OK());
+      }});
+  // VCL may already cover the SCN (e.g. single-record MTRs acked fast).
+  OnDurabilityAdvance();
+}
+
+void DbInstance::Rollback(TxnId txn, std::function<void(Status)> cb) {
+  txn::Transaction* t = txns_.Find(txn);
+  if (t == nullptr || t->state != txn::TxnState::kActive) {
+    cb(Status::InvalidArgument("transaction not active"));
+    return;
+  }
+  const txn::UndoPtr head = t->undo_head;
+  RollbackChain(txn, head,
+                [this, txn, cb = std::move(cb)](Status st) {
+                  txns_.MarkAborted(txn);
+                  stats_.txn_aborts++;
+                  locks_.ReleaseAll(txn);
+                  if (auto it = txn_views_.find(txn);
+                      it != txn_views_.end()) {
+                    txns_.CloseReadView(it->second);
+                    txn_views_.erase(it);
+                  }
+                  cb(std::move(st));
+                },
+                1 << 20);
+}
+
+void DbInstance::RollbackChain(TxnId txn, txn::UndoPtr ptr,
+                               std::function<void(Status)> cb, int depth) {
+  if (ptr.IsNull() || depth <= 0) {
+    cb(Status::OK());
+    return;
+  }
+  WithPage(ptr.block, [this, txn, ptr, cb = std::move(cb),
+                       depth](Result<storage::Page*> page) mutable {
+    if (!page.ok()) {
+      cb(page.status());
+      return;
+    }
+    auto it = (*page)->entries.find(ptr.key);
+    if (it == (*page)->entries.end()) {
+      cb(Status::Internal("undo entry missing during rollback"));
+      return;
+    }
+    auto entry = txn::DecodeUndoEntry(it->second);
+    if (!entry.ok()) {
+      cb(entry.status());
+      return;
+    }
+    // Compensation: restore the previous version (or erase the key if the
+    // rolled-back write created it).
+    auto path = btree_->FindPathSync(entry->row_key);
+    if (!path.ok()) {
+      btree_->FindPath(entry->row_key,
+                       [this, txn, ptr, cb = std::move(cb), depth](
+                           Result<std::vector<BlockId>>) mutable {
+                         RollbackChain(txn, ptr, std::move(cb), depth - 1);
+                       });
+      return;
+    }
+    std::vector<StagedOp> ops;
+    if (entry->prev_exists) {
+      auto plan = btree_->PlanInsert(
+          *path, entry->row_key, txn::EncodeRowVersion(entry->prev),
+          [this](std::vector<StagedOp>* staged) {
+            return AllocateBlock(staged);
+          });
+      if (!plan.ok()) {
+        cb(plan.status());
+        return;
+      }
+      ops = std::move(*plan);
+    } else {
+      storage::PageOp erase;
+      erase.type = storage::PageOpType::kErase;
+      erase.key = entry->row_key;
+      ops.push_back({path->back(), erase});
+    }
+    AppendMtr(ops, txn);
+    RollbackChain(txn, entry->next, std::move(cb), depth - 1);
+  });
+}
+
+void DbInstance::RollbackLeftover(const std::string& key,
+                                  txn::RowVersion version,
+                                  std::function<void(Status)> cb) {
+  // Walk this key's version chain past every version written by the
+  // crashed transaction, then write the first surviving version back.
+  const TxnId leftover = version.txn;
+  if (version.undo.IsNull()) {
+    // The crashed txn created the key: erase it.
+    auto path = btree_->FindPathSync(key);
+    if (!path.ok()) {
+      cb(Status::Aborted("retry"));
+      return;
+    }
+    storage::PageOp erase;
+    erase.type = storage::PageOpType::kErase;
+    erase.key = key;
+    AppendMtr({{path->back(), erase}}, leftover);
+    cb(Status::OK());
+    return;
+  }
+  const txn::UndoPtr undo = version.undo;
+  WithPage(undo.block, [this, key, leftover, undo,
+                        cb = std::move(cb)](Result<storage::Page*> page) {
+    if (!page.ok()) {
+      cb(page.status());
+      return;
+    }
+    auto it = (*page)->entries.find(undo.key);
+    if (it == (*page)->entries.end()) {
+      cb(Status::Internal("undo entry missing for leftover rollback"));
+      return;
+    }
+    auto entry = txn::DecodeUndoEntry(it->second);
+    if (!entry.ok()) {
+      cb(entry.status());
+      return;
+    }
+    if (entry->prev_exists && entry->prev.txn == leftover) {
+      RollbackLeftover(key, entry->prev, std::move(cb));
+      return;
+    }
+    auto path = btree_->FindPathSync(key);
+    if (!path.ok()) {
+      cb(Status::Aborted("retry"));
+      return;
+    }
+    std::vector<StagedOp> ops;
+    if (entry->prev_exists) {
+      auto plan = btree_->PlanInsert(
+          *path, key, txn::EncodeRowVersion(entry->prev),
+          [this](std::vector<StagedOp>* staged) {
+            return AllocateBlock(staged);
+          });
+      if (!plan.ok()) {
+        cb(plan.status());
+        return;
+      }
+      ops = std::move(*plan);
+    } else {
+      storage::PageOp erase;
+      erase.type = storage::PageOpType::kErase;
+      erase.key = key;
+      ops.push_back({path->back(), erase});
+    }
+    AppendMtr(ops, leftover);
+    cb(Status::OK());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Durability advancement & replication
+// ---------------------------------------------------------------------------
+
+void DbInstance::OnDurabilityAdvance() {
+  if (driver_ == nullptr) return;
+  const Lsn current_vcl = driver_->tracker().vcl();
+  for (auto& pending : commit_queue_.DrainUpTo(current_vcl)) {
+    pending.ack();
+  }
+  const Lsn current_vdl = driver_->tracker().vdl();
+  if (current_vdl != last_shipped_vdl_ && !replica_sinks_.empty()) {
+    ReplicationEvent event;
+    event.type = ReplicationEvent::Type::kVdlUpdate;
+    event.vdl = current_vdl;
+    ShipReplicationEvent(event);
+  }
+  last_shipped_vdl_ = current_vdl;
+  if (cache_) cache_->TrimToCapacity(current_vdl);
+}
+
+void DbInstance::ShipReplicationEvent(const ReplicationEvent& event) {
+  for (const auto& [replica, deliver] : replica_sinks_) {
+    network_->Send(id_, replica, event.SerializedSize(),
+                   [deliver, event]() { deliver(event); });
+  }
+}
+
+void DbInstance::AddReplicationSink(
+    NodeId replica, std::function<void(ReplicationEvent)> deliver) {
+  replica_sinks_[replica] = std::move(deliver);
+  // Prime the replica with the current VDL.
+  ReplicationEvent event;
+  event.type = ReplicationEvent::Type::kVdlUpdate;
+  event.vdl = vdl();
+  network_->Send(id_, replica, event.SerializedSize(),
+                 [deliver = replica_sinks_[replica], event]() {
+                   deliver(event);
+                 });
+}
+
+void DbInstance::RemoveReplicationSink(NodeId replica) {
+  replica_sinks_.erase(replica);
+  replica_read_points_.erase(replica);
+}
+
+void DbInstance::ObserveReplicaReadPoint(NodeId replica, Lsn read_point) {
+  replica_read_points_[replica] = read_point;
+}
+
+Lsn DbInstance::ComputePgmrpl() const {
+  Lsn min_point = vdl();
+  const Lsn local = txns_.MinOpenReadLsn();
+  if (local != kInvalidLsn) min_point = std::min(min_point, local);
+  for (const auto& [replica, point] : replica_read_points_) {
+    min_point = std::min(min_point, point);
+  }
+  return min_point;
+}
+
+}  // namespace aurora::engine
+
+namespace aurora::engine {
+
+// ---------------------------------------------------------------------------
+// Crash recovery (§2.4, Figure 4)
+// ---------------------------------------------------------------------------
+
+struct DbInstance::RecoveryState {
+  enum class Phase { kProbing, kTails, kEpoch, kDone };
+
+  std::function<void(Status)> cb;
+  quorum::VolumeGeometry geometry;
+  VolumeEpoch old_epoch = 0;
+  VolumeEpoch new_epoch = 0;
+  Phase phase = Phase::kProbing;
+
+  // Probe results, keyed by PG then segment.
+  std::map<ProtectionGroupId,
+           std::map<SegmentId, storage::SegmentStateResponse>>
+      states;
+  std::map<ProtectionGroupId, Lsn> recovered_pgcl;
+  std::map<ProtectionGroupId, SegmentId> best_segment;
+
+  // Tail scan.
+  IntervalSet present;
+  std::map<Lsn, bool> tail_info;  // lsn -> mtr_complete
+  Lsn tail_floor = kInvalidLsn;
+  size_t tail_outstanding = 0;
+
+  Lsn recovered_vcl = kInvalidLsn;
+  Lsn recovered_vdl = kInvalidLsn;
+  log::TruncationRange truncation;
+
+  // Epoch installation.
+  std::map<ProtectionGroupId, quorum::SegmentSet> epoch_acks;
+  std::map<ProtectionGroupId, Lsn> post_truncation_scl;
+  int epoch_rounds = 0;
+  uint64_t generation = 0;
+};
+
+void DbInstance::Open(std::function<void(Status)> cb) {
+  if (open_) {
+    cb(Status::OK());
+    return;
+  }
+  auto state = std::make_shared<RecoveryState>();
+  state->cb = std::move(cb);
+  state->generation = ++recovery_generation_;
+  control_plane_.fetch_geometry(
+      [this, state](quorum::VolumeGeometry geometry, VolumeEpoch epoch) {
+        state->geometry = std::move(geometry);
+        state->old_epoch = epoch;
+        InitComponents(state->geometry, epoch);
+        StartRecovery(state);
+      });
+}
+
+void DbInstance::StartRecovery(std::shared_ptr<RecoveryState> state) {
+  if (state->generation != recovery_generation_ || driver_ == nullptr) return;
+  state->phase = RecoveryState::Phase::kProbing;
+  state->states.clear();
+  state->recovered_pgcl.clear();
+  state->best_segment.clear();
+  state->present = IntervalSet();
+  state->tail_info.clear();
+  ProbeRound(state);
+}
+
+void DbInstance::ProbeRound(std::shared_ptr<RecoveryState> state) {
+  if (state->generation != recovery_generation_ || driver_ == nullptr) return;
+  if (state->phase != RecoveryState::Phase::kProbing) return;
+  // Probe every segment of every PG; un-hydrated segments never count
+  // toward a read quorum.
+  for (const auto& pg : state->geometry.pgs()) {
+    for (const auto& member : pg.AllMembers()) {
+      driver_->ProbeSegmentState(
+          member, [this, state, pg_id = pg.pg()](
+                      storage::SegmentStateResponse response) {
+            if (state->phase != RecoveryState::Phase::kProbing) return;
+            if (!response.status.ok()) return;
+            state->states[pg_id][response.segment] = std::move(response);
+          });
+    }
+  }
+  // Evaluate after a settling delay; retry the round if any PG lacks a
+  // read quorum among hydrated responders.
+  sim_->Schedule(options_.recovery_retry, [this, state]() {
+    if (state->phase != RecoveryState::Phase::kProbing) return;
+    bool all_ready = true;
+    for (const auto& pg : state->geometry.pgs()) {
+      quorum::SegmentSet hydrated;
+      for (const auto& [seg, response] : state->states[pg.pg()]) {
+        if (response.hydrated) hydrated.insert(seg);
+      }
+      if (!pg.ReadSet().SatisfiedBy(hydrated)) {
+        all_ready = false;
+        break;
+      }
+    }
+    if (!all_ready) {
+      ProbeRound(state);
+      return;
+    }
+    // Read quorum reached everywhere: recover PGCLs (max SCL among
+    // hydrated responders) and collect truncation ranges.
+    Lsn min_pgcl = kInvalidLsn;
+    bool first = true;
+    for (const auto& pg : state->geometry.pgs()) {
+      Lsn best = kInvalidLsn;
+      SegmentId best_seg = kInvalidSegment;
+      for (const auto& [seg, response] : state->states[pg.pg()]) {
+        if (!response.hydrated) continue;
+        if (response.scl >= best || best_seg == kInvalidSegment) {
+          best = response.scl;
+          best_seg = seg;
+        }
+        for (const auto& range : response.truncations) {
+          state->present.AddRange(range.start, range.end);
+        }
+        if (response.gc_floor != kInvalidLsn && response.gc_floor > 0) {
+          // The GC floor is a chain-complete prefix that was archived
+          // before eviction; its records exist even though the hot log
+          // can no longer list them.
+          state->present.AddRange(1, response.gc_floor);
+        }
+      }
+      state->recovered_pgcl[pg.pg()] = best;
+      state->best_segment[pg.pg()] = best_seg;
+      if (first || best < min_pgcl) min_pgcl = best;
+      first = false;
+    }
+    if (min_pgcl > 0) state->present.AddRange(1, min_pgcl);
+    state->tail_floor = min_pgcl;
+    state->phase = RecoveryState::Phase::kTails;
+    ComputeRecoveryPoints(state);
+  });
+}
+
+void DbInstance::ComputeRecoveryPoints(
+    std::shared_ptr<RecoveryState> state) {
+  if (state->generation != recovery_generation_ || driver_ == nullptr) return;
+  if (state->phase != RecoveryState::Phase::kTails) return;
+  // Fetch the (lsn, mtr-complete) shape of each PG's chain above the
+  // floor from its best segment, then find the contiguous durable point
+  // and the last complete MTR below it.
+  state->tail_outstanding = 0;
+  const Lsn floor = state->tail_floor;
+  for (const auto& pg : state->geometry.pgs()) {
+    const SegmentId best = state->best_segment[pg.pg()];
+    const quorum::SegmentInfo* info = pg.FindSegment(best);
+    if (info == nullptr) continue;
+    state->tail_outstanding++;
+    const Lsn pg_cap = state->recovered_pgcl[pg.pg()];
+    driver_->FetchTailRecords(
+        *info, floor,
+        [this, state, pg_cap](storage::TailRecordsResponse response) {
+          if (state->phase != RecoveryState::Phase::kTails) return;
+          if (response.gc_floor != kInvalidLsn && response.gc_floor > 0) {
+            // Chain-complete prefix GC'd between the probe and this
+            // fetch: those LSNs exist (archived) even though the hot log
+            // can no longer list them.
+            state->present.AddRange(1, response.gc_floor);
+          }
+          for (const auto& rec : response.records) {
+            if (rec.lsn > pg_cap) continue;  // beyond provable point
+            state->present.Add(rec.lsn);
+            state->tail_info[rec.lsn] = rec.mtr_complete;
+          }
+          if (--state->tail_outstanding == 0) {
+            // All tails in: compute VCL (contiguous) and VDL (last
+            // complete MTR at or below VCL).
+            state->recovered_vcl =
+                state->present.Empty() ? 0
+                                       : state->present.ContiguousUpperBound(1);
+            Lsn vdl = kInvalidLsn;
+            for (const auto& [lsn, complete] : state->tail_info) {
+              if (lsn <= state->recovered_vcl && complete) {
+                vdl = std::max(vdl, lsn);
+              }
+            }
+            if (vdl == kInvalidLsn && state->recovered_vcl > 0 &&
+                state->tail_floor > 0) {
+              // No MTR boundary in the window: deepen the scan.
+              state->tail_floor = state->tail_floor / 2;
+              ComputeRecoveryPoints(state);
+              return;
+            }
+            state->recovered_vdl =
+                vdl == kInvalidLsn ? state->recovered_vcl : vdl;
+            state->truncation = log::TruncationRange{
+                state->recovered_vdl + 1,
+                state->recovered_vdl + kTruncationGap};
+            state->phase = RecoveryState::Phase::kEpoch;
+            control_plane_.increment_volume_epoch(
+                [this, state](VolumeEpoch new_epoch) {
+                  state->new_epoch = new_epoch;
+                  InstallRecovery(state);
+                });
+          }
+        });
+  }
+  if (state->tail_outstanding == 0) {
+    // No reachable best segments (should not happen after a successful
+    // probe round); restart.
+    sim_->Schedule(options_.recovery_retry,
+                   [this, state]() { StartRecovery(state); });
+  } else {
+    // Watchdog: if a tail fetch is lost (node crashed mid-recovery),
+    // restart from probing.
+    sim_->Schedule(options_.recovery_retry * 4, [this, state]() {
+      if (state->phase == RecoveryState::Phase::kTails) {
+        StartRecovery(state);
+      }
+    });
+  }
+}
+
+void DbInstance::InstallRecovery(std::shared_ptr<RecoveryState> state) {
+  if (state->generation != recovery_generation_ || driver_ == nullptr) return;
+  if (state->phase != RecoveryState::Phase::kEpoch) return;
+  if (++state->epoch_rounds > 20) {
+    // Storage membership likely changed under us; restart recovery.
+    StartRecovery(state);
+    return;
+  }
+  // Record the new volume epoch + truncation range at every segment;
+  // finalize once a write quorum of every PG (including its best segment,
+  // whose post-truncation SCL seeds the new chain tail) has accepted.
+  storage::VolumeEpochUpdateRequest base;
+  base.new_epoch = state->new_epoch;
+  base.truncation = state->truncation;
+  for (const auto& pg : state->geometry.pgs()) {
+    for (const auto& member : pg.AllMembers()) {
+      if (state->epoch_acks[pg.pg()].contains(member.id)) continue;
+      storage::VolumeEpochUpdateRequest request = base;
+      request.segment = member.id;
+      driver_->SendVolumeEpochUpdate(
+          member, request,
+          [this, state, pg_id = pg.pg(), seg = member.id](
+              storage::VolumeEpochUpdateResponse response) {
+            if (state->phase != RecoveryState::Phase::kEpoch) return;
+            if (!response.status.ok() &&
+                !response.status.IsStaleEpoch()) {
+              return;
+            }
+            if (response.status.IsStaleEpoch() &&
+                response.current_epoch > state->new_epoch) {
+              // A newer incarnation exists; we lost the race.
+              state->phase = RecoveryState::Phase::kDone;
+              state->cb(Status::Fenced("newer volume epoch exists"));
+              return;
+            }
+            state->epoch_acks[pg_id].insert(seg);
+            Lsn& tail = state->post_truncation_scl[pg_id];
+            tail = std::max(tail, response.scl);
+          });
+    }
+  }
+  sim_->Schedule(options_.recovery_retry, [this, state]() {
+    if (state->phase != RecoveryState::Phase::kEpoch) return;
+    bool all_ready = true;
+    for (const auto& pg : state->geometry.pgs()) {
+      const auto& acks = state->epoch_acks[pg.pg()];
+      if (!pg.WriteSet().SatisfiedBy(acks) ||
+          !acks.contains(state->best_segment[pg.pg()])) {
+        all_ready = false;
+        break;
+      }
+    }
+    if (!all_ready) {
+      InstallRecovery(state);
+      return;
+    }
+    state->phase = RecoveryState::Phase::kDone;
+    // Install the recovered state. Truncation annulled everything above
+    // VDL, so the effective VCL equals the recovered VDL.
+    const Lsn durable = state->recovered_vdl;
+    driver_->SetGeometry(state->geometry, state->new_epoch);
+    driver_->tracker().Reset(durable, durable, durable);
+    // Each group's durable chain tail (from the truncation acks) seeds its
+    // completion point so reads clamp correctly from the first query.
+    for (const auto& pg : state->geometry.pgs()) {
+      driver_->tracker().SeedPgcl(pg.pg(),
+                                  state->post_truncation_scl[pg.pg()]);
+    }
+    next_lsn_ = state->truncation.end + 1;
+    last_volume_lsn_ = durable;
+    last_pg_lsn_.clear();
+    for (const auto& pg : state->geometry.pgs()) {
+      last_pg_lsn_[pg.pg()] = state->post_truncation_scl[pg.pg()];
+    }
+    driver_->Start();
+    txns_.SetTxnIdFloor(next_lsn_);
+    open_ = true;
+    fenced_ = false;
+    stats_.crash_recoveries++;
+    AURORA_INFO << "instance " << id_ << " recovered: vdl=" << durable
+                << " epoch=" << state->new_epoch << " next_lsn="
+                << next_lsn_;
+    state->cb(Status::OK());
+  });
+}
+
+}  // namespace aurora::engine

@@ -1,0 +1,301 @@
+// The writer database instance.
+//
+// "Each database instance acts as a SQL endpoint and includes most of the
+// components of a traditional database kernel (query processing, access
+// methods, transactions, locking, buffer caching, and undo management)"
+// (§2.1). Here the "SQL endpoint" is a transactional key/value API over
+// the B+-tree; everything below it — MTR generation, asynchronous quorum
+// writes, consistency points, commit queue, MVCC with undo, crash
+// recovery with truncation and volume-epoch fencing — follows the paper.
+//
+// All state in this class is ephemeral ("local transient state", §2.4):
+// a crash clears it, and Open() re-establishes consistency from a read
+// quorum of segment SCLs.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/engine/btree.h"
+#include "src/engine/buffer_cache.h"
+#include "src/engine/storage_driver.h"
+#include "src/log/record.h"
+#include "src/quorum/geometry.h"
+#include "src/sim/network.h"
+#include "src/storage/storage_node.h"
+#include "src/txn/commit_queue.h"
+#include "src/txn/lock_table.h"
+#include "src/txn/read_view.h"
+#include "src/txn/row_version.h"
+#include "src/txn/txn_manager.h"
+
+namespace aurora::engine {
+
+/// New LSNs after crash recovery are allocated above the truncation range
+/// (§2.4); this is the width of the annulled gap.
+inline constexpr Lsn kTruncationGap = 1ULL << 30;
+
+/// Events shipped on the physical replication stream (§3.3): redo in MTR
+/// chunks, VDL update control records, and commit notifications.
+struct ReplicationEvent {
+  enum class Type { kMtr, kVdlUpdate, kCommit };
+  Type type = Type::kMtr;
+  std::vector<log::RedoRecord> mtr;
+  Lsn vdl = kInvalidLsn;
+  TxnId txn = kInvalidTxn;
+  Scn scn = kInvalidLsn;
+
+  uint64_t SerializedSize() const;
+};
+
+/// Control-plane hooks into the cluster's metadata service (volume epoch
+/// authority, geometry registry). Kept as callbacks so the engine does not
+/// depend on the cluster assembly.
+struct ControlPlane {
+  /// Atomically increments and returns the volume epoch (crash recovery).
+  std::function<void(std::function<void(VolumeEpoch)>)> increment_volume_epoch;
+  /// Fetches the current geometry + volume epoch.
+  std::function<void(
+      std::function<void(quorum::VolumeGeometry, VolumeEpoch)>)>
+      fetch_geometry;
+};
+
+struct DbOptions {
+  /// Buffer-cache capacity in pages. Must exceed one operation's working
+  /// set (tree depth + undo page + status-index leaf + meta, ~8 pages);
+  /// below that, fetch/evict livelock is possible — as in any real engine
+  /// whose buffer pool cannot hold a single operation's fix set.
+  size_t cache_pages = 8192;
+  BTreeOptions btree;
+  DriverOptions driver;
+  /// Undo page split threshold.
+  size_t undo_entries_per_page = 64;
+  /// Retry backoff for recovery probe rounds.
+  SimDuration recovery_retry = 50 * kMillisecond;
+  /// Max key-path retries before an operation reports Aborted.
+  int max_op_retries = 16;
+};
+
+struct DbStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t scans = 0;
+  uint64_t commits_acked = 0;
+  uint64_t txn_aborts = 0;
+  uint64_t undo_chain_walks = 0;
+  uint64_t crash_recoveries = 0;
+  uint64_t leftover_rollbacks = 0;
+};
+
+class DbInstance : public sim::NodeLifecycleListener {
+ public:
+  DbInstance(sim::Simulator* sim, sim::Network* network, NodeId id, AzId az,
+             storage::NodeResolver resolver, ControlPlane control_plane,
+             DbOptions options = {});
+
+  NodeId id() const { return id_; }
+  bool IsOpen() const { return open_; }
+  bool IsFenced() const { return fenced_; }
+
+  // -- Lifecycle ----------------------------------------------------------
+
+  /// Initializes a fresh volume (writes the bootstrap MTR) and opens.
+  void Bootstrap(std::function<void(Status)> cb);
+
+  /// Opens the volume with crash recovery (§2.4): probes read quorums,
+  /// recomputes VCL/VDL from SCLs, installs a truncation range and a new
+  /// volume epoch, then accepts work.
+  void Open(std::function<void(Status)> cb);
+
+  /// Simulated process crash: all ephemeral state vanishes.
+  void OnCrash() override;
+  void OnRestart() override {}
+
+  // -- Transactions -------------------------------------------------------
+
+  TxnId Begin();
+
+  void Put(TxnId txn, const std::string& key, const std::string& value,
+           std::function<void(Status)> cb);
+  void Delete(TxnId txn, const std::string& key,
+              std::function<void(Status)> cb);
+
+  /// Snapshot read. `txn` may be kInvalidTxn for an autocommit read
+  /// (statement-level view). Delivers NotFound if the key is absent or
+  /// deleted in the snapshot.
+  void Get(TxnId txn, const std::string& key,
+           std::function<void(Result<std::string>)> cb);
+
+  /// Snapshot range scan over [lo, hi], up to `limit` visible rows.
+  void Scan(TxnId txn, const std::string& lo, const std::string& hi,
+            size_t limit,
+            std::function<void(
+                Result<std::vector<std::pair<std::string, std::string>>>)>
+                cb);
+
+  /// Writes the commit record and acknowledges once SCN <= VCL (§2.3).
+  void Commit(TxnId txn, std::function<void(Status)> cb);
+
+  /// Rolls back via the undo chain, then releases locks.
+  void Rollback(TxnId txn, std::function<void(Status)> cb);
+
+  // -- Replication (writer side, §3.3) ------------------------------------
+
+  /// Registers a replica sink; events are shipped over the network.
+  void AddReplicationSink(NodeId replica,
+                          std::function<void(ReplicationEvent)> deliver);
+  void RemoveReplicationSink(NodeId replica);
+
+  /// Replicas report their minimum read points; PGMRPL is the fleet-wide
+  /// minimum (§3.4).
+  void ObserveReplicaReadPoint(NodeId replica, Lsn read_point);
+
+  // -- Introspection ------------------------------------------------------
+
+  Lsn vcl() const { return driver_ ? driver_->tracker().vcl() : kInvalidLsn; }
+  Lsn vdl() const { return driver_ ? driver_->tracker().vdl() : kInvalidLsn; }
+  Lsn pgcl(ProtectionGroupId pg) const {
+    return driver_ ? driver_->tracker().pgcl(pg) : kInvalidLsn;
+  }
+  Lsn ComputePgmrpl() const;
+  Lsn next_lsn() const { return next_lsn_; }
+  VolumeEpoch volume_epoch() const {
+    return driver_ ? driver_->volume_epoch() : 0;
+  }
+
+  StorageDriver* driver() { return driver_.get(); }
+  BufferCache& cache() { return *cache_; }
+  txn::TxnManager& txns() { return txns_; }
+  txn::LockTable& locks() { return locks_; }
+  BTree* btree() { return btree_.get(); }
+  const DbStats& stats() const { return stats_; }
+  Histogram& commit_latency() { return commit_latency_; }
+  size_t CommitQueueDepth() const { return commit_queue_.Size(); }
+
+  /// Direct MTR append — used by scripted benches (Figure 3) and the
+  /// bootstrap path. Records are built, applied to cache, and submitted.
+  Lsn AppendMtr(const std::vector<StagedOp>& ops, TxnId txn,
+                log::RecordType type = log::RecordType::kData);
+
+ private:
+  struct RecoveryState;
+
+  void InitComponents(const quorum::VolumeGeometry& geometry,
+                      VolumeEpoch epoch);
+  void RetireDriver();
+
+  // Page access.
+  void WithPage(BlockId block,
+                std::function<void(Result<storage::Page*>)> cb);
+  storage::Page* CachedPage(BlockId block);
+
+  // Write-path helpers.
+  void PutInternal(TxnId txn, std::string key, std::string value,
+                   bool deleted, std::function<void(Status)> cb, int retries);
+  void ApplyWrite(txn::Transaction* txn, const std::string& key,
+                  const std::string& value, bool deleted,
+                  const std::vector<BlockId>& path,
+                  std::optional<txn::RowVersion> existing,
+                  std::function<void(Status)> cb);
+  BlockId AllocateBlock(std::vector<StagedOp>* ops);
+  Result<std::pair<BlockId, std::string>> StageUndo(
+      txn::Transaction* txn, const std::string& key,
+      const std::optional<txn::RowVersion>& existing,
+      std::vector<StagedOp>* ops);
+
+  // Read-path helpers.
+  void ResolveCommitScn(TxnId writer,
+                        std::function<void(std::optional<Scn>)> cb);
+  void ResolveCommitScnFromIndex(TxnId writer,
+                                 std::function<void(std::optional<Scn>)> cb,
+                                 int retries);
+  void ResolveVisible(txn::RowVersion version, txn::ReadView view,
+                      std::function<void(Result<std::string>)> cb,
+                      int depth);
+  void ScanResolve(
+      std::vector<std::pair<std::string, std::string>> raw, size_t index,
+      txn::ReadView view,
+      std::vector<std::pair<std::string, std::string>> acc,
+      std::function<void(
+          Result<std::vector<std::pair<std::string, std::string>>>)>
+          cb);
+
+  // Crashed-writer cleanup: rolls back a leftover uncommitted version
+  // found on `key` (undo "in parallel with user activity", §2.4).
+  void RollbackLeftover(const std::string& key, txn::RowVersion version,
+                        std::function<void(Status)> cb);
+  void RollbackChain(TxnId txn, txn::UndoPtr ptr,
+                     std::function<void(Status)> cb, int depth);
+
+  // Commit-path helpers.
+  void FinishCommit(TxnId txn, std::function<void(Status)> cb, int retries);
+  void OnDurabilityAdvance();
+  void ShipReplicationEvent(const ReplicationEvent& event);
+
+  // Recovery.
+  void StartRecovery(std::shared_ptr<RecoveryState> state);
+  void ProbeRound(std::shared_ptr<RecoveryState> state);
+  void ComputeRecoveryPoints(std::shared_ptr<RecoveryState> state);
+  void InstallRecovery(std::shared_ptr<RecoveryState> state);
+  txn::ReadView ViewFor(TxnId txn);
+  void FinishStatementView(TxnId txn, const txn::ReadView& view);
+
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId id_;
+  AzId az_;
+  storage::NodeResolver resolver_;
+  ControlPlane control_plane_;
+  DbOptions options_;
+
+  bool open_ = false;
+  bool fenced_ = false;
+
+  std::unique_ptr<StorageDriver> driver_;
+  /// Stopped drivers from previous incarnations; kept alive because
+  /// in-flight simulator events still reference them.
+  std::vector<std::unique_ptr<StorageDriver>> retired_drivers_;
+  std::unique_ptr<BufferCache> cache_;
+  std::unique_ptr<BTree> btree_;
+  txn::TxnManager txns_;
+  txn::LockTable locks_;
+  txn::CommitQueue commit_queue_;
+
+  // LSN allocation (the writer is the sole allocator, §2.1).
+  Lsn next_lsn_ = 1;
+  Lsn last_volume_lsn_ = kInvalidLsn;
+  std::map<ProtectionGroupId, Lsn> last_pg_lsn_;
+
+  // Undo allocation state.
+  BlockId current_undo_block_ = kInvalidBlock;
+  size_t undo_entries_in_block_ = 0;
+
+  // Per-transaction read views (snapshot isolation).
+  std::map<TxnId, txn::ReadView> txn_views_;
+
+  // In-flight page fetches (dedup).
+  std::map<BlockId, std::vector<std::function<void(Result<storage::Page*>)>>>
+      pending_fetches_;
+
+  // Replication.
+  std::map<NodeId, std::function<void(ReplicationEvent)>> replica_sinks_;
+  std::map<NodeId, Lsn> replica_read_points_;
+  Lsn last_shipped_vdl_ = kInvalidLsn;
+
+  uint64_t recovery_generation_ = 0;
+  DbStats stats_;
+  Histogram commit_latency_;
+};
+
+}  // namespace aurora::engine

@@ -1,0 +1,384 @@
+#include "src/engine/storage_driver.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace aurora::engine {
+
+StorageDriver::StorageDriver(sim::Simulator* sim, sim::Network* network,
+                             NodeId self, storage::NodeResolver resolver,
+                             DriverOptions options)
+    : sim_(sim),
+      network_(network),
+      self_(self),
+      resolver_(std::move(resolver)),
+      options_(options),
+      router_(options.router),
+      rng_(sim->rng().Fork()) {}
+
+void StorageDriver::SetGeometry(const quorum::VolumeGeometry& geometry,
+                                VolumeEpoch volume_epoch) {
+  geometry_ = geometry;
+  volume_epoch_ = volume_epoch;
+  for (const auto& pg : geometry_.pgs()) {
+    UpdatePgConfig(pg);
+  }
+}
+
+void StorageDriver::UpdatePgConfig(const quorum::PgConfig& config) {
+  (void)geometry_.UpdatePg(config);
+  std::vector<SegmentId> members;
+  for (const auto& m : config.AllMembers()) members.push_back(m.id);
+  tracker_.ConfigurePg(config.pg(), config.WriteSet(), std::move(members));
+  EnsureChannels(config);
+}
+
+void StorageDriver::EnsureChannels(const quorum::PgConfig& config) {
+  for (const auto& member : config.AllMembers()) {
+    auto it = channels_.find(member.id);
+    if (it != channels_.end()) {
+      it->second.info = member;  // node placement may have been updated
+      continue;
+    }
+    SegmentChannel channel;
+    channel.info = member;
+    channel.pg = config.pg();
+    channels_.emplace(member.id, std::move(channel));
+    SegmentChannel* raw = &channels_[member.id];
+    raw->boxcar = std::make_unique<log::BoxcarBatcher>(
+        sim_, options_.boxcar,
+        [this, raw](std::vector<log::RedoRecord> batch) {
+          SendBatch(raw, std::move(batch));
+        });
+  }
+}
+
+void StorageDriver::SubmitRecords(
+    const std::vector<log::RedoRecord>& records) {
+  for (const auto& record : records) {
+    tracker_.SetMaxAllocated(record.lsn);
+    tracker_.RecordIssued(record.pg, record.lsn);
+    if (record.IsMtrComplete()) tracker_.RecordMtrComplete(record.lsn);
+    retained_.emplace(record.lsn, record);
+    // Fan out to every member (including both alternatives of a slot
+    // mid-membership-change; quorum evaluation handles the algebra).
+    const auto& config = geometry_.Pg(record.pg);
+    for (const auto& member : config.AllMembers()) {
+      auto it = channels_.find(member.id);
+      if (it == channels_.end()) continue;
+      it->second.max_sent = std::max(it->second.max_sent, record.lsn);
+      it->second.boxcar->Add(record);
+      stats_.records_sent++;
+    }
+  }
+}
+
+void StorageDriver::SendBatch(SegmentChannel* channel,
+                              std::vector<log::RedoRecord> records) {
+  if (!running_) return;
+  storage::WriteRequest request;
+  request.segment = channel->info.id;
+  request.epochs = EpochVector{volume_epoch_,
+                               geometry_.Pg(channel->pg).epoch()};
+  request.records = std::move(records);
+  stats_.write_requests++;
+  const SimTime sent_at = sim_->Now();
+  const NodeId target = channel->info.node;
+  sim::UnaryCall<storage::WriteAck>(
+      network_, self_, target, request.SerializedSize(),
+      [this, target, request](sim::ReplyFn<storage::WriteAck> reply) {
+        storage::StorageNode* node = resolver_ ? resolver_(target) : nullptr;
+        if (node == nullptr) {
+          reply(storage::WriteAck{request.segment,
+                                  Status::Unavailable("unresolved node"),
+                                  kInvalidLsn});
+          return;
+        }
+        node->HandleWrite(request, std::move(reply));
+      },
+      [](const storage::WriteAck& a) { return a.SerializedSize(); },
+      [this, channel, sent_at](storage::WriteAck ack) {
+        HandleAck(channel, ack, sent_at);
+      });
+}
+
+void StorageDriver::HandleAck(SegmentChannel* channel,
+                              const storage::WriteAck& ack, SimTime sent_at) {
+  if (!running_) return;
+  stats_.acks_received++;
+  if (ack.status.IsStaleEpoch() || ack.status.IsFenced()) {
+    stats_.stale_epoch_acks++;
+    AURORA_WARN << "instance " << self_ << " fenced by segment "
+                << ack.segment << ": " << ack.status.ToString();
+    if (on_fenced_) on_fenced_();
+    return;
+  }
+  if (!ack.status.ok()) return;
+  write_ack_latency_.Record(sim_->Now() - sent_at);
+  tracker_.ObserveScl(channel->pg, ack.segment, ack.scl);
+  if (tracker_.Advance()) {
+    // Durability advanced: drop retained records now known globally
+    // durable and wake the commit path.
+    retained_.erase(retained_.begin(),
+                    retained_.upper_bound(tracker_.vcl()));
+    if (on_advance_) on_advance_();
+  }
+}
+
+void StorageDriver::Start() {
+  if (running_) return;
+  running_ = true;
+  sim_->Schedule(options_.retry_interval, [this]() { RetrySweep(); });
+}
+
+void StorageDriver::Stop() { running_ = false; }
+
+void StorageDriver::RetrySweep() {
+  if (!running_) return;
+  for (auto& [segment_id, channel] : channels_) {
+    const Lsn known_scl = tracker_.SclOf(channel.pg, segment_id);
+    if (channel.max_sent == kInvalidLsn || known_scl >= channel.max_sent) {
+      continue;
+    }
+    // Resend retained records for this PG above the segment's known SCL
+    // (§2.3: missing writes are tolerated; gossip or this sweep fills
+    // them).
+    std::vector<log::RedoRecord> resend;
+    for (auto it = retained_.upper_bound(known_scl);
+         it != retained_.end() && resend.size() < options_.retry_batch;
+         ++it) {
+      if (it->second.pg == channel.pg) resend.push_back(it->second);
+    }
+    if (resend.empty()) continue;
+    stats_.retransmissions += resend.size();
+    SendBatch(&channel, std::move(resend));
+  }
+  sim_->Schedule(options_.retry_interval, [this]() { RetrySweep(); });
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+namespace {
+struct ReadStateImpl {
+  BlockId block;
+  Lsn read_lsn;
+  Lsn pgmrpl;
+  ProtectionGroupId pg;
+  std::vector<SegmentId> candidates;  // ranked
+  size_t next_candidate = 0;
+  bool done = false;
+  size_t outstanding = 0;
+  StorageDriver::ReadCallback cb;
+};
+}  // namespace
+
+struct ReadState : ReadStateImpl {};
+
+void StorageDriver::ReadBlock(BlockId block, Lsn read_lsn, Lsn pgmrpl,
+                              ReadCallback cb) {  // NOLINT
+  auto pg = geometry_.PgForBlock(block);
+  if (!pg.ok()) {
+    cb(pg.status());
+    return;
+  }
+  // Clamp the read point to this group's completion point: an LSN in the
+  // global space may exceed the group's own chain position (SCL), and a
+  // storage node only accepts reads at or below its SCL. No version is
+  // lost: every record of this group at or below VCL is at or below its
+  // PGCL.
+  const Lsn group_point = tracker_.pgcl(*pg);
+  if (group_point != kInvalidLsn && group_point < read_lsn) {
+    read_lsn = group_point;
+  }
+  // The piggybacked minimum read point is a GLOBAL LSN; never advertise
+  // one above the (group-clamped) read point or the node would reject the
+  // read as below PGMRPL. A lower report is always safe — it only delays
+  // version GC.
+  if (pgmrpl != kInvalidLsn) pgmrpl = std::min(pgmrpl, read_lsn);
+  const auto& config = geometry_.Pg(*pg);
+  // Eligible: full segments whose last observed SCL covers the read point
+  // (the §3.1 bookkeeping: we know who has the last durable version).
+  std::vector<SegmentId> eligible;
+  std::vector<SegmentId> fallback;
+  for (const auto& member : config.AllMembers()) {
+    if (!member.is_full) continue;
+    fallback.push_back(member.id);
+    if (tracker_.SclOf(*pg, member.id) >= read_lsn) {
+      eligible.push_back(member.id);
+    }
+  }
+  if (eligible.empty()) eligible = std::move(fallback);
+  if (eligible.empty()) {
+    cb(Status::Unavailable("no full segments for block"));
+    return;
+  }
+  auto state = std::make_shared<ReadState>();
+  state->block = block;
+  state->read_lsn = read_lsn;
+  state->pgmrpl = pgmrpl;
+  state->pg = *pg;
+  state->candidates = router_.Rank(std::move(eligible), rng_);
+  state->cb = std::move(cb);
+  sim_->Schedule(options_.read_deadline, [this, state]() {
+    if (state->done) return;
+    state->done = true;
+    stats_.read_failures++;
+    state->cb(Status::TimedOut("read deadline exceeded"));
+  });
+  IssueRead(state, 0);
+}
+
+void StorageDriver::IssueRead(std::shared_ptr<ReadState> state,
+                              size_t rank_index) {
+  if (state->done || rank_index >= state->candidates.size()) {
+    if (!state->done && state->outstanding == 0) {
+      state->done = true;
+      stats_.read_failures++;
+      state->cb(Status::Unavailable("all read candidates exhausted"));
+    }
+    return;
+  }
+  const SegmentId segment = state->candidates[rank_index];
+  const quorum::SegmentInfo* info =
+      geometry_.Pg(state->pg).FindSegment(segment);
+  if (info == nullptr) {
+    IssueRead(state, rank_index + 1);
+    return;
+  }
+  storage::ReadPageRequest request;
+  request.segment = segment;
+  request.epochs =
+      EpochVector{volume_epoch_, geometry_.Pg(state->pg).epoch()};
+  request.block = state->block;
+  request.read_lsn = state->read_lsn;
+  request.pgmrpl = state->pgmrpl;
+  stats_.reads_issued++;
+  state->outstanding++;
+  const SimTime sent_at = sim_->Now();
+  const NodeId target = info->node;
+  sim::UnaryCall<storage::ReadPageResponse>(
+      network_, self_, target, request.SerializedSize(),
+      [this, target, request](sim::ReplyFn<storage::ReadPageResponse> reply) {
+        storage::StorageNode* node = resolver_ ? resolver_(target) : nullptr;
+        if (node == nullptr) {
+          reply(storage::ReadPageResponse{
+              Status::Unavailable("unresolved node"), {}});
+          return;
+        }
+        node->HandleReadPage(request, std::move(reply));
+      },
+      [](const storage::ReadPageResponse& r) { return r.SerializedSize(); },
+      [this, state, segment, sent_at](storage::ReadPageResponse response) {
+        state->outstanding--;
+        if (!running_) return;
+        const SimDuration elapsed = sim_->Now() - sent_at;
+        if (response.status.ok()) {
+          router_.ObserveLatency(segment, elapsed);
+          if (!state->done) {
+            state->done = true;
+            read_latency_.Record(elapsed);
+            state->cb(std::move(*response.page));
+          }
+          return;
+        }
+        if (response.status.IsStaleEpoch() || response.status.IsFenced()) {
+          if (on_fenced_) on_fenced_();
+          return;
+        }
+        router_.Penalize(segment);
+        // Try the next candidate immediately on explicit failure.
+        IssueRead(state, state->next_candidate);
+      });
+  // Hedge: if the response is slow, launch the next candidate in parallel
+  // and take whichever returns first (§3.1 tail-latency cap).
+  const SimDuration hedge_delay = router_.HedgeDelay(segment);
+  const size_t hedge_index = rank_index + 1;
+  sim_->Schedule(hedge_delay, [this, state, hedge_index]() {
+    if (state->done || !running_) return;
+    if (hedge_index >= state->candidates.size()) return;
+    if (hedge_index < state->next_candidate) return;  // already issued
+    router_.CountHedge();
+    IssueRead(state, hedge_index);
+    state->next_candidate = std::max(state->next_candidate, hedge_index + 1);
+  });
+  state->next_candidate = std::max(state->next_candidate, rank_index + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+void StorageDriver::ProbeSegmentState(
+    const quorum::SegmentInfo& segment,
+    std::function<void(storage::SegmentStateResponse)> cb) {
+  storage::SegmentStateRequest request{segment.id};
+  const NodeId target = segment.node;
+  sim::UnaryCall<storage::SegmentStateResponse>(
+      network_, self_, target, request.SerializedSize(),
+      [this, target,
+       request](sim::ReplyFn<storage::SegmentStateResponse> reply) {
+        storage::StorageNode* node = resolver_ ? resolver_(target) : nullptr;
+        if (node == nullptr) {
+          storage::SegmentStateResponse response;
+          response.status = Status::Unavailable("unresolved node");
+          reply(std::move(response));
+          return;
+        }
+        node->HandleSegmentState(request, std::move(reply));
+      },
+      [](const storage::SegmentStateResponse& r) {
+        return r.SerializedSize();
+      },
+      std::move(cb));
+}
+
+void StorageDriver::FetchTailRecords(
+    const quorum::SegmentInfo& segment, Lsn from_lsn,
+    std::function<void(storage::TailRecordsResponse)> cb) {
+  storage::TailRecordsRequest request{segment.id, from_lsn};
+  const NodeId target = segment.node;
+  sim::UnaryCall<storage::TailRecordsResponse>(
+      network_, self_, target, request.SerializedSize(),
+      [this, target,
+       request](sim::ReplyFn<storage::TailRecordsResponse> reply) {
+        storage::StorageNode* node = resolver_ ? resolver_(target) : nullptr;
+        if (node == nullptr) {
+          reply(storage::TailRecordsResponse{
+              Status::Unavailable("unresolved node"), {}});
+          return;
+        }
+        node->HandleTailRecords(request, std::move(reply));
+      },
+      [](const storage::TailRecordsResponse& r) {
+        return r.SerializedSize();
+      },
+      std::move(cb));
+}
+
+void StorageDriver::SendVolumeEpochUpdate(
+    const quorum::SegmentInfo& segment,
+    const storage::VolumeEpochUpdateRequest& request,
+    std::function<void(storage::VolumeEpochUpdateResponse)> cb) {
+  const NodeId target = segment.node;
+  sim::UnaryCall<storage::VolumeEpochUpdateResponse>(
+      network_, self_, target, request.SerializedSize(),
+      [this, target,
+       request](sim::ReplyFn<storage::VolumeEpochUpdateResponse> reply) {
+        storage::StorageNode* node = resolver_ ? resolver_(target) : nullptr;
+        if (node == nullptr) {
+          reply(storage::VolumeEpochUpdateResponse{
+              Status::Unavailable("unresolved node"), 0, kInvalidLsn});
+          return;
+        }
+        node->HandleVolumeEpochUpdate(request, std::move(reply));
+      },
+      [](const storage::VolumeEpochUpdateResponse& r) {
+        return r.SerializedSize();
+      },
+      std::move(cb));
+}
+
+}  // namespace aurora::engine

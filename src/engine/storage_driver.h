@@ -1,0 +1,161 @@
+// The storage driver inside a database instance (§2.2).
+//
+// "Changes ... are periodically flushed to a storage driver to be made
+// durable. Inside the driver, they are shuffled to individual write
+// buffers for each storage node storing segments for the data volume. The
+// driver asynchronously issues writes, receives acknowledgments, and
+// establishes consistency points."
+//
+// The driver owns: per-segment boxcar batchers, the consistency tracker
+// (SCL→PGCL→VCL→VDL), unacknowledged-write retransmission, read routing
+// with hedging, and the epoch vector attached to every request. It never
+// blocks: every interaction is an asynchronous message plus local state.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/engine/consistency_tracker.h"
+#include "src/engine/read_router.h"
+#include "src/log/boxcar.h"
+#include "src/log/record.h"
+#include "src/quorum/geometry.h"
+#include "src/sim/network.h"
+#include "src/sim/rpc.h"
+#include "src/storage/messages.h"
+#include "src/storage/storage_node.h"
+
+namespace aurora::engine {
+
+struct DriverOptions {
+  log::BoxcarOptions boxcar;
+  /// Retransmission sweep for writes missing acknowledgements; gossip
+  /// usually beats it, so this is a safety net.
+  SimDuration retry_interval = 50 * kMillisecond;
+  size_t retry_batch = 512;
+  /// Overall deadline for one routed read (hedges included). Requests to
+  /// crashed nodes are silently lost; without a deadline a read against a
+  /// fully dark protection group would hang forever.
+  SimDuration read_deadline = 5 * kSecond;
+  ReadRouterOptions router;
+};
+
+struct DriverStats {
+  uint64_t records_sent = 0;
+  uint64_t write_requests = 0;
+  uint64_t acks_received = 0;
+  uint64_t stale_epoch_acks = 0;
+  uint64_t retransmissions = 0;
+  uint64_t reads_issued = 0;
+  uint64_t read_failures = 0;
+};
+
+/// Asynchronous quorum-write / routed-read client for one database
+/// instance. Recreated from scratch on crash recovery (all state here is
+/// the "local ephemeral state" of §2.4).
+class StorageDriver {
+ public:
+  using AdvanceCallback = std::function<void()>;
+  using FencedCallback = std::function<void()>;
+  using ReadCallback = std::function<void(Result<storage::Page>)>;
+
+  StorageDriver(sim::Simulator* sim, sim::Network* network, NodeId self,
+                storage::NodeResolver resolver, DriverOptions options = {});
+
+  /// Installs the volume geometry and epoch vector; (re)configures the
+  /// tracker's quorum shapes. Call at open and after membership changes
+  /// or volume growth.
+  void SetGeometry(const quorum::VolumeGeometry& geometry,
+                   VolumeEpoch volume_epoch);
+  void UpdatePgConfig(const quorum::PgConfig& config);
+
+  const quorum::VolumeGeometry& geometry() const { return geometry_; }
+  VolumeEpoch volume_epoch() const { return volume_epoch_; }
+
+  /// Called whenever VCL/VDL advance (wakes the commit thread, §2.3).
+  void SetAdvanceCallback(AdvanceCallback cb) { on_advance_ = std::move(cb); }
+  /// Called when storage rejects this instance's epoch: a newer
+  /// incarnation exists and this one is boxed out (§2.4).
+  void SetFencedCallback(FencedCallback cb) { on_fenced_ = std::move(cb); }
+
+  /// Submits a chained batch of records (one MTR or commit record). The
+  /// records must carry already-allocated LSNs and PG assignments.
+  void SubmitRecords(const std::vector<log::RedoRecord>& records);
+
+  /// Reads the durable version of `block` at `read_lsn` from the best
+  /// eligible segment, hedging on slowness (§3.1). `pgmrpl` piggybacks
+  /// the instance's minimum read point.
+  void ReadBlock(BlockId block, Lsn read_lsn, Lsn pgmrpl, ReadCallback cb);
+
+  /// Starts the retransmission sweep timer.
+  void Start();
+  /// Stops issuing (fenced or crashed). In-flight callbacks are dropped.
+  void Stop();
+
+  ConsistencyTracker& tracker() { return tracker_; }
+  const DriverStats& stats() const { return stats_; }
+  Histogram& write_ack_latency() { return write_ack_latency_; }
+  Histogram& read_latency() { return read_latency_; }
+  ReadRouter& router() { return router_; }
+
+  // -- Control-plane helpers (recovery, membership) -----------------------
+  void ProbeSegmentState(
+      const quorum::SegmentInfo& segment,
+      std::function<void(storage::SegmentStateResponse)> cb);
+  void FetchTailRecords(const quorum::SegmentInfo& segment, Lsn from_lsn,
+                        std::function<void(storage::TailRecordsResponse)> cb);
+  void SendVolumeEpochUpdate(
+      const quorum::SegmentInfo& segment,
+      const storage::VolumeEpochUpdateRequest& request,
+      std::function<void(storage::VolumeEpochUpdateResponse)> cb);
+
+ private:
+  struct SegmentChannel {
+    quorum::SegmentInfo info;
+    ProtectionGroupId pg = 0;
+    std::unique_ptr<log::BoxcarBatcher> boxcar;
+    Lsn max_sent = kInvalidLsn;
+  };
+
+  void EnsureChannels(const quorum::PgConfig& config);
+  void SendBatch(SegmentChannel* channel,
+                 std::vector<log::RedoRecord> records);
+  void HandleAck(SegmentChannel* channel, const storage::WriteAck& ack,
+                 SimTime sent_at);
+  void RetrySweep();
+  void IssueRead(std::shared_ptr<struct ReadState> state, size_t rank_index);
+
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId self_;
+  storage::NodeResolver resolver_;
+  DriverOptions options_;
+  quorum::VolumeGeometry geometry_;
+  VolumeEpoch volume_epoch_ = 0;
+  bool running_ = false;
+
+  ConsistencyTracker tracker_;
+  ReadRouter router_;
+  Rng rng_;
+
+  std::map<SegmentId, SegmentChannel> channels_;
+  /// Records not yet known globally durable (lsn > VCL): the
+  /// retransmission source.
+  std::map<Lsn, log::RedoRecord> retained_;
+
+  AdvanceCallback on_advance_;
+  FencedCallback on_fenced_;
+  DriverStats stats_;
+  Histogram write_ack_latency_;
+  Histogram read_latency_;
+};
+
+}  // namespace aurora::engine

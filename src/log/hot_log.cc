@@ -1,0 +1,123 @@
+#include "src/log/hot_log.h"
+
+#include <algorithm>
+
+namespace aurora::log {
+
+Status SegmentHotLog::Append(const RedoRecord& record) {
+  if (record.lsn == kInvalidLsn) {
+    return Status::InvalidArgument("record has invalid LSN");
+  }
+  for (const auto& range : truncations_) {
+    if (range.Annuls(record.lsn)) {
+      // Late-arriving in-flight write from before a crash: annulled.
+      return Status::OK();
+    }
+  }
+  if (records_.contains(record.lsn)) {
+    return Status::OK();  // idempotent re-delivery
+  }
+  if (record.lsn <= gc_floor_ && gc_floor_ != kInvalidLsn) {
+    return Status::OK();  // already coalesced + collected
+  }
+  total_bytes_ += record.SerializedSize();
+  chain_next_[record.prev_lsn_segment] = record.lsn;
+  records_.emplace(record.lsn, record);
+  AdvanceScl();
+  return Status::OK();
+}
+
+void SegmentHotLog::AdvanceScl() {
+  for (;;) {
+    auto it = chain_next_.find(scl_);
+    if (it == chain_next_.end()) break;
+    scl_ = it->second;
+  }
+}
+
+const RedoRecord* SegmentHotLog::Find(Lsn lsn) const {
+  auto it = records_.find(lsn);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<RedoRecord> SegmentHotLog::ChainAfter(Lsn from_scl,
+                                                  size_t max_records) const {
+  std::vector<RedoRecord> out;
+  Lsn cursor = from_scl;
+  while (out.size() < max_records) {
+    auto it = chain_next_.find(cursor);
+    if (it == chain_next_.end()) break;
+    auto rec = records_.find(it->second);
+    if (rec == records_.end()) break;  // evicted by GC
+    out.push_back(rec->second);
+    cursor = it->second;
+  }
+  return out;
+}
+
+std::vector<RedoRecord> SegmentHotLog::RecordsAbove(
+    Lsn lsn, size_t max_records) const {
+  std::vector<RedoRecord> out;
+  for (auto it = records_.upper_bound(lsn);
+       it != records_.end() && out.size() < max_records; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<RedoRecord> SegmentHotLog::RecordsInRange(Lsn lo, Lsn hi) const {
+  std::vector<RedoRecord> out;
+  for (auto it = records_.lower_bound(lo);
+       it != records_.end() && it->first <= hi; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+void SegmentHotLog::Truncate(const TruncationRange& range) {
+  if (range.start == kInvalidLsn) return;
+  truncations_.push_back(range);
+  // Drop stored records inside the annulled range and their chain edges.
+  auto it = records_.lower_bound(range.start);
+  while (it != records_.end() && it->first <= range.end) {
+    auto edge = chain_next_.find(it->second.prev_lsn_segment);
+    if (edge != chain_next_.end() && edge->second == it->first) {
+      chain_next_.erase(edge);
+    }
+    total_bytes_ -= it->second.SerializedSize();
+    it = records_.erase(it);
+  }
+  if (scl_ >= range.start) {
+    // SCL may not point into the annulled range; rewind to last kept
+    // record on the chain.
+    scl_ = kInvalidLsn;
+    AdvanceScl();
+  }
+}
+
+bool SegmentHotLog::Remove(Lsn lsn) {
+  auto it = records_.find(lsn);
+  if (it == records_.end()) return false;
+  auto edge = chain_next_.find(it->second.prev_lsn_segment);
+  if (edge != chain_next_.end() && edge->second == lsn) {
+    chain_next_.erase(edge);
+  }
+  total_bytes_ -= it->second.SerializedSize();
+  records_.erase(it);
+  if (scl_ >= lsn) {
+    scl_ = kInvalidLsn;
+    AdvanceScl();
+  }
+  return true;
+}
+
+void SegmentHotLog::EvictBelow(Lsn lsn) {
+  auto it = records_.begin();
+  while (it != records_.end() && it->first <= lsn) {
+    total_bytes_ -= it->second.SerializedSize();
+    it = records_.erase(it);
+  }
+  gc_floor_ = std::max(gc_floor_, lsn);
+}
+
+}  // namespace aurora::log

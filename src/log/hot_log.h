@@ -1,0 +1,100 @@
+// Per-segment "hot log": the storage-node-resident portion of the redo log
+// that has not yet been coalesced into data blocks.
+//
+// Implements the SCL (Segment Complete LSN) bookkeeping of §2.3: SCL is the
+// inclusive upper bound on log records continuously linked through the
+// segment chain without gaps. Because writes may be lost for any reason,
+// records arrive out of order and with holes; SCL only advances along the
+// unbroken chain, and the gap structure drives peer gossip.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/log/record.h"
+
+namespace aurora::log {
+
+/// A truncation range recorded during crash recovery (§2.4): all records
+/// with LSN in [start, end] are annulled, even if in-flight writes for them
+/// land after recovery completes.
+struct TruncationRange {
+  Lsn start = kInvalidLsn;  // first annulled LSN
+  Lsn end = kInvalidLsn;    // last annulled LSN (inclusive)
+  bool Annuls(Lsn lsn) const {
+    return start != kInvalidLsn && lsn >= start && lsn <= end;
+  }
+  bool operator==(const TruncationRange&) const = default;
+};
+
+/// Storage for one segment's redo records, with chain-based completeness
+/// tracking.
+class SegmentHotLog {
+ public:
+  /// Appends a record. Idempotent: re-appending an LSN already present is
+  /// OK (quorum writes retry). Records annulled by a truncation range are
+  /// silently ignored (§2.4: in-flight operations completing during crash
+  /// recovery must be ignored).
+  Status Append(const RedoRecord& record);
+
+  /// Segment Complete LSN: highest LSN reachable from the chain start with
+  /// no gaps. kInvalidLsn if nothing is complete yet.
+  Lsn scl() const { return scl_; }
+
+  bool Contains(Lsn lsn) const { return records_.contains(lsn); }
+  const RedoRecord* Find(Lsn lsn) const;
+
+  size_t RecordCount() const { return records_.size(); }
+  uint64_t TotalBytes() const { return total_bytes_; }
+
+  /// Records on the segment chain strictly above `from_scl`, in chain
+  /// order, up to `max_records`. This is the gossip reply (§2.3): a peer
+  /// advertises its SCL and receives the records it is missing.
+  std::vector<RedoRecord> ChainAfter(Lsn from_scl, size_t max_records) const;
+
+  /// Records held above the current SCL (the out-of-order tail); used by
+  /// gossip to also fill holes below a stalled chain head.
+  std::vector<RedoRecord> RecordsAbove(Lsn lsn, size_t max_records) const;
+
+  /// All records in [lo, hi], LSN order (backup / repair reads).
+  std::vector<RedoRecord> RecordsInRange(Lsn lo, Lsn hi) const;
+
+  /// Installs a truncation range: drops stored records inside it and
+  /// refuses future appends inside it. Ranges accumulate across repeated
+  /// crash recoveries.
+  void Truncate(const TruncationRange& range);
+
+  const std::vector<TruncationRange>& truncations() const {
+    return truncations_;
+  }
+
+  /// Drops records at or below `lsn` that have been coalesced and backed
+  /// up (GC, §2.1 activity 7). Chain completeness below SCL is preserved
+  /// logically by remembering the GC floor.
+  void EvictBelow(Lsn lsn);
+
+  /// Removes one record (scrub found it corrupt). SCL rewinds if the
+  /// removal breaks the chain; gossip is expected to re-fill the hole.
+  /// Returns true if the record was present.
+  bool Remove(Lsn lsn);
+
+  Lsn gc_floor() const { return gc_floor_; }
+
+ private:
+  void AdvanceScl();
+
+  std::map<Lsn, RedoRecord> records_;
+  // segment-chain edges: prev_lsn_segment -> lsn
+  std::map<Lsn, Lsn> chain_next_;
+  Lsn scl_ = kInvalidLsn;
+  Lsn gc_floor_ = kInvalidLsn;
+  uint64_t total_bytes_ = 0;
+  std::vector<TruncationRange> truncations_;
+};
+
+}  // namespace aurora::log

@@ -1,0 +1,144 @@
+#include "src/log/record.h"
+
+#include <cstring>
+
+#include "src/common/crc32.h"
+
+namespace aurora::log {
+
+namespace {
+
+constexpr size_t kHeaderSize = 8 * 4 +  // lsn + 3 chain pointers
+                               4 +      // pg
+                               8 +      // block
+                               8 +      // txn
+                               1 +      // type
+                               1 +      // mtr
+                               4;       // payload length
+
+void PutU32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+uint64_t RedoRecord::SerializedSize() const {
+  return kHeaderSize + payload.size() + 4;  // + CRC
+}
+
+std::string RedoRecord::ToString() const {
+  std::string out = "RedoRecord{lsn=" + std::to_string(lsn) +
+                    " prev_vol=" + std::to_string(prev_lsn_volume) +
+                    " prev_seg=" + std::to_string(prev_lsn_segment) +
+                    " prev_blk=" + std::to_string(prev_lsn_block) +
+                    " pg=" + std::to_string(pg);
+  out += " block=" + (block == kInvalidBlock ? std::string("-")
+                                             : std::to_string(block));
+  out += " txn=" + std::to_string(txn);
+  switch (type) {
+    case RecordType::kData:
+      out += " DATA";
+      break;
+    case RecordType::kCommit:
+      out += " COMMIT";
+      break;
+    case RecordType::kControl:
+      out += " CONTROL";
+      break;
+  }
+  switch (mtr) {
+    case MtrBoundary::kSingle:
+      out += "/single";
+      break;
+    case MtrBoundary::kBegin:
+      out += "/begin";
+      break;
+    case MtrBoundary::kMiddle:
+      out += "/middle";
+      break;
+    case MtrBoundary::kEnd:
+      out += "/end";
+      break;
+  }
+  out += " payload=" + std::to_string(payload.size()) + "B}";
+  return out;
+}
+
+uint32_t RecordBodyCrc(const RedoRecord& record) {
+  const std::string encoded = EncodeRecord(record);
+  return Crc32c(encoded.data(), encoded.size() - 4);
+}
+
+std::string EncodeRecord(const RedoRecord& record) {
+  std::string out;
+  out.reserve(record.SerializedSize());
+  PutU64(out, record.lsn);
+  PutU64(out, record.prev_lsn_volume);
+  PutU64(out, record.prev_lsn_segment);
+  PutU64(out, record.prev_lsn_block);
+  PutU32(out, record.pg);
+  PutU64(out, record.block);
+  PutU64(out, record.txn);
+  out.push_back(static_cast<char>(record.type));
+  out.push_back(static_cast<char>(record.mtr));
+  PutU32(out, static_cast<uint32_t>(record.payload.size()));
+  out.append(record.payload);
+  PutU32(out, Crc32c(out.data(), out.size()));
+  return out;
+}
+
+Result<RedoRecord> DecodeRecord(std::string_view encoded) {
+  if (encoded.size() < kHeaderSize + 4) {
+    return Status::Corruption("record too short");
+  }
+  const char* p = encoded.data();
+  RedoRecord rec;
+  rec.lsn = GetU64(p);
+  rec.prev_lsn_volume = GetU64(p + 8);
+  rec.prev_lsn_segment = GetU64(p + 16);
+  rec.prev_lsn_block = GetU64(p + 24);
+  rec.pg = GetU32(p + 32);
+  rec.block = GetU64(p + 36);
+  rec.txn = GetU64(p + 44);
+  const uint8_t type = static_cast<uint8_t>(p[52]);
+  const uint8_t mtr = static_cast<uint8_t>(p[53]);
+  if (type > static_cast<uint8_t>(RecordType::kControl) ||
+      mtr > static_cast<uint8_t>(MtrBoundary::kEnd)) {
+    return Status::Corruption("bad record enum");
+  }
+  rec.type = static_cast<RecordType>(type);
+  rec.mtr = static_cast<MtrBoundary>(mtr);
+  const uint32_t payload_len = GetU32(p + 54);
+  if (encoded.size() != kHeaderSize + payload_len + 4) {
+    return Status::Corruption("record length mismatch");
+  }
+  rec.payload.assign(p + kHeaderSize, payload_len);
+  const uint32_t stored_crc = GetU32(p + kHeaderSize + payload_len);
+  const uint32_t computed_crc = Crc32c(p, kHeaderSize + payload_len);
+  if (stored_crc != computed_crc) {
+    return Status::Corruption("record CRC mismatch");
+  }
+  return rec;
+}
+
+}  // namespace aurora::log

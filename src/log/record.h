@@ -1,0 +1,84 @@
+// Redo log records and their binary codec.
+//
+// Each record stores three back-chain pointers (§2.2):
+//  * the LSN of the preceding record in the volume (full log chain —
+//    fallback path for regenerating volume metadata),
+//  * the previous LSN for the protection group's segment log (the
+//    "segment chain" used for gap detection, gossip, and SCL),
+//  * the previous LSN for the block being modified (the "block chain" used
+//    to materialize individual blocks on demand).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace aurora::log {
+
+/// What kind of change a record carries.
+enum class RecordType : uint8_t {
+  /// A change to one data block (payload = encoded PageOp).
+  kData = 0,
+  /// A transaction commit marker; its LSN is the transaction's SCN (§2.3).
+  kCommit = 1,
+  /// A control record carrying no block change (epoch bumps, tests).
+  kControl = 2,
+};
+
+/// Position of a record within its mini-transaction (§3.2). VDL is the
+/// highest LSN <= VCL that completes an MTR, i.e. has kSingle or kEnd.
+enum class MtrBoundary : uint8_t {
+  kSingle = 0,
+  kBegin = 1,
+  kMiddle = 2,
+  kEnd = 3,
+};
+
+/// One redo log record. LSNs are allocated by the writer instance only and
+/// are unique volume-wide.
+struct RedoRecord {
+  Lsn lsn = kInvalidLsn;
+  Lsn prev_lsn_volume = kInvalidLsn;
+  /// Previous LSN for this protection group's log ("segment chain").
+  Lsn prev_lsn_segment = kInvalidLsn;
+  /// Previous LSN for the target block ("block chain").
+  Lsn prev_lsn_block = kInvalidLsn;
+  ProtectionGroupId pg = 0;
+  BlockId block = kInvalidBlock;
+  TxnId txn = kInvalidTxn;
+  RecordType type = RecordType::kData;
+  MtrBoundary mtr = MtrBoundary::kSingle;
+  std::string payload;
+
+  /// True if this record closes its mini-transaction.
+  bool IsMtrComplete() const {
+    return mtr == MtrBoundary::kSingle || mtr == MtrBoundary::kEnd;
+  }
+
+  /// Bytes this record occupies on the wire / on disk (header + payload).
+  uint64_t SerializedSize() const;
+
+  bool operator==(const RedoRecord&) const = default;
+
+  std::string ToString() const;
+};
+
+/// Serializes a record with a trailing CRC-32C. The scrubber re-validates
+/// this checksum against stored bytes.
+std::string EncodeRecord(const RedoRecord& record);
+
+/// Decodes a record, verifying length framing and CRC. Returns
+/// Status::Corruption on any mismatch.
+Result<RedoRecord> DecodeRecord(std::string_view encoded);
+
+/// CRC-32C of the record's serialized body (header + payload, EXCLUDING
+/// the trailing checksum field). This is what integrity checks must
+/// compare: the checksum of encoding-plus-trailing-CRC is a constant
+/// residue for every record and detects nothing.
+uint32_t RecordBodyCrc(const RedoRecord& record);
+
+}  // namespace aurora::log

@@ -1,0 +1,50 @@
+#include "src/quorum/geometry.h"
+
+namespace aurora::quorum {
+
+VolumeGeometry::VolumeGeometry(uint64_t blocks_per_pg,
+                               std::vector<PgConfig> pgs)
+    : blocks_per_pg_(blocks_per_pg),
+      geometry_epoch_(1),
+      pgs_(std::move(pgs)) {}
+
+Status VolumeGeometry::UpdatePg(PgConfig config) {
+  const ProtectionGroupId id = config.pg();
+  if (id >= pgs_.size()) {
+    return Status::NotFound("unknown protection group");
+  }
+  if (config.epoch() < pgs_[id].epoch()) {
+    return Status::StaleEpoch("membership epoch regression");
+  }
+  pgs_[id] = std::move(config);
+  return Status::OK();
+}
+
+void VolumeGeometry::AddPg(PgConfig config) {
+  pgs_.push_back(std::move(config));
+  ++geometry_epoch_;
+}
+
+Result<ProtectionGroupId> VolumeGeometry::PgForBlock(BlockId block) const {
+  if (blocks_per_pg_ == 0) {
+    return Status::Internal("geometry not initialized");
+  }
+  const uint64_t pg = block / blocks_per_pg_;
+  if (pg >= pgs_.size()) {
+    return Status::OutOfRange("block beyond volume geometry");
+  }
+  return static_cast<ProtectionGroupId>(pg);
+}
+
+std::string VolumeGeometry::ToString() const {
+  std::string out =
+      "VolumeGeometry{ge=" + std::to_string(geometry_epoch_) +
+      " blocks_per_pg=" + std::to_string(blocks_per_pg_) + "\n";
+  for (const auto& pg : pgs_) {
+    out += "  " + pg.ToString() + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace aurora::quorum

@@ -1,0 +1,55 @@
+// Volume geometry: the ordered list of protection groups that concatenate
+// into a storage volume (§2.1), plus the geometry epoch that tracks volume
+// growth and quorum-model changes (§4.1).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/quorum/membership.h"
+
+namespace aurora::quorum {
+
+/// The full shape of one volume: protection groups, block mapping, epochs.
+///
+/// Protection groups own contiguous block ranges (`blocks_per_pg` each);
+/// every data block maps to exactly one PG. The geometry epoch increments
+/// when a PG is appended (volume growth) or a PG's quorum model changes;
+/// the membership epoch of each PG evolves independently.
+class VolumeGeometry {
+ public:
+  VolumeGeometry() = default;
+  VolumeGeometry(uint64_t blocks_per_pg, std::vector<PgConfig> pgs);
+
+  GeometryEpoch geometry_epoch() const { return geometry_epoch_; }
+  uint64_t blocks_per_pg() const { return blocks_per_pg_; }
+
+  size_t PgCount() const { return pgs_.size(); }
+  const std::vector<PgConfig>& pgs() const { return pgs_; }
+
+  const PgConfig& Pg(ProtectionGroupId pg) const { return pgs_.at(pg); }
+  Status UpdatePg(PgConfig config);
+
+  /// Appends a protection group (volume growth); geometry epoch +1.
+  void AddPg(PgConfig config);
+
+  /// Which PG stores `block`. Blocks beyond the current geometry are an
+  /// error (the engine grows the volume first).
+  Result<ProtectionGroupId> PgForBlock(BlockId block) const;
+
+  /// Total addressable blocks at the current geometry.
+  uint64_t Capacity() const { return blocks_per_pg_ * pgs_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  uint64_t blocks_per_pg_ = 0;
+  GeometryEpoch geometry_epoch_ = 0;
+  std::vector<PgConfig> pgs_;
+};
+
+}  // namespace aurora::quorum

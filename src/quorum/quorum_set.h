@@ -1,0 +1,87 @@
+// Quorum sets as monotone Boolean formulas over segment ids.
+//
+// §4.1: "Aurora uses the abstraction of quorum sets to quickly transition
+// membership changes, using Boolean logic to ensure more sophisticated read
+// quorums and write quorums that are guaranteed to overlap... Using Boolean
+// logic, we can prove that each transition is correct, safe, and
+// reversible." This module provides that algebra plus the exhaustive
+// overlap prover used by tests and by the membership state machine's
+// debug-mode self-checks.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace aurora::quorum {
+
+/// A set of segments that acknowledged (or can serve) a request.
+using SegmentSet = std::set<SegmentId>;
+
+/// Monotone Boolean formula: leaves are "k of {members}" threshold clauses,
+/// internal nodes are AND / OR. Monotonicity (a superset of a satisfying
+/// set also satisfies) is what makes quorum-overlap checkable with a single
+/// subset enumeration.
+class QuorumSet {
+ public:
+  /// Threshold clause: at least `k` of `members` must be present.
+  static QuorumSet KofN(uint32_t k, std::vector<SegmentId> members);
+  /// All children must be satisfied.
+  static QuorumSet And(std::vector<QuorumSet> children);
+  /// At least one child must be satisfied.
+  static QuorumSet Or(std::vector<QuorumSet> children);
+
+  QuorumSet() = default;  // empty formula; satisfied by anything
+
+  bool IsEmpty() const { return root_ == nullptr; }
+
+  /// True iff `acked` satisfies the formula.
+  bool SatisfiedBy(const SegmentSet& acked) const;
+
+  /// Union of all member ids mentioned anywhere in the formula.
+  SegmentSet Universe() const;
+
+  /// True iff every satisfying set of `a` intersects every satisfying set
+  /// of `b`. Exhaustive over the joint universe; intended for universes of
+  /// up to ~20 segments (tests, debug checks, membership transitions).
+  ///
+  /// By monotonicity, a disjoint satisfying pair exists iff some subset S
+  /// of the universe satisfies `a` while its complement satisfies `b` — a
+  /// single 2^|U| scan.
+  static bool AlwaysOverlaps(const QuorumSet& a, const QuorumSet& b);
+
+  /// True iff every set satisfying `a` also satisfies `b` (a is at least
+  /// as strict). Used to prove membership transitions preserve prior
+  /// write-set overlap (§2.1 rule 2 / §4.1 reversibility).
+  static bool Implies(const QuorumSet& a, const QuorumSet& b);
+
+  std::string ToString() const;
+
+ private:
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+
+  enum class Op { kThreshold, kAnd, kOr };
+
+  struct Node {
+    Op op;
+    uint32_t k = 0;
+    std::vector<SegmentId> members;  // kThreshold
+    std::vector<NodePtr> children;   // kAnd / kOr
+  };
+
+  static bool Eval(const Node& node, const SegmentSet& acked);
+  static void CollectUniverse(const Node& node, SegmentSet* out);
+  static std::string NodeToString(const Node& node);
+
+  explicit QuorumSet(NodePtr root) : root_(std::move(root)) {}
+
+  NodePtr root_;
+};
+
+}  // namespace aurora::quorum

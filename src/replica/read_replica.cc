@@ -1,0 +1,404 @@
+#include "src/replica/read_replica.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace aurora::replica {
+
+ReadReplica::ReadReplica(sim::Simulator* sim, sim::Network* network,
+                         NodeId id, AzId az, storage::NodeResolver resolver,
+                         NodeId writer,
+                         const quorum::VolumeGeometry& geometry,
+                         VolumeEpoch volume_epoch, ReplicaOptions options)
+    : sim_(sim),
+      network_(network),
+      id_(id),
+      az_(az),
+      writer_(writer),
+      options_(options) {
+  network_->RegisterNode(id_, az_, this);
+  cache_ = std::make_unique<engine::BufferCache>(options_.cache_pages);
+  driver_ = std::make_unique<engine::StorageDriver>(
+      sim_, network_, id_, std::move(resolver), options_.driver);
+  driver_->SetGeometry(geometry, volume_epoch);
+  btree_ = std::make_unique<engine::BTree>(
+      options_.btree,
+      [this](BlockId block, std::function<void(Result<storage::Page*>)> f) {
+        WithPage(block, std::move(f));
+      },
+      [this](BlockId block) { return CachedPage(block); });
+}
+
+void ReadReplica::Start() {
+  if (running_) return;
+  running_ = true;
+  driver_->Start();
+  SeedHighWaterMarks();
+  ReportLoop();
+}
+
+void ReadReplica::SeedHighWaterMarks() {
+  // The replica attaches mid-stream: probe each group's segments so reads
+  // of data written before attach know the group's chain position.
+  for (const auto& pg : driver_->geometry().pgs()) {
+    for (const auto& member : pg.AllMembers()) {
+      driver_->ProbeSegmentState(
+          member, [this, pg_id = pg.pg()](
+                      storage::SegmentStateResponse response) {
+            if (!response.status.ok() || !response.hydrated) return;
+            Lsn& mark = pg_high_water_[pg_id];
+            mark = std::max(mark, response.scl);
+          });
+    }
+  }
+}
+
+Lsn ReadReplica::ClampToGroup(BlockId block, Lsn read_lsn) const {
+  auto pg = driver_->geometry().PgForBlock(block);
+  if (!pg.ok()) return read_lsn;
+  auto it = pg_high_water_.find(*pg);
+  if (it == pg_high_water_.end()) return read_lsn;
+  return std::min(read_lsn, it->second);
+}
+
+void ReadReplica::OnCrash() {
+  running_ = false;
+  if (driver_) driver_->Stop();
+  if (cache_) cache_->Clear();
+  pending_fetches_.clear();
+  txns_ = txn::TxnManager();
+  vdl_ = kInvalidLsn;
+}
+
+void ReadReplica::UpdateGeometry(const quorum::VolumeGeometry& geometry,
+                                 VolumeEpoch volume_epoch) {
+  driver_->SetGeometry(geometry, volume_epoch);
+}
+
+storage::Page* ReadReplica::CachedPage(BlockId block) {
+  return cache_ ? cache_->Find(block) : nullptr;
+}
+
+void ReadReplica::WithPage(BlockId block,
+                           std::function<void(Result<storage::Page*>)> cb) {
+  if (storage::Page* page = CachedPage(block); page != nullptr) {
+    cb(page);
+    return;
+  }
+  cache_->CountMiss();
+  auto [it, inserted] = pending_fetches_.try_emplace(block);
+  it->second.push_back(std::move(cb));
+  if (!inserted) return;
+  driver_->ReadBlock(block, ClampToGroup(block, vdl_), MinReadPoint(),
+                     [this, block](Result<storage::Page> page) {
+                       auto waiters = pending_fetches_.extract(block);
+                       if (waiters.empty()) return;
+                       if (!page.ok()) {
+                         for (auto& w : waiters.mapped()) w(page.status());
+                         return;
+                       }
+                       storage::Page* cached =
+                           cache_->Insert(std::move(*page), vdl_);
+                       for (auto& w : waiters.mapped()) {
+                         storage::Page* p = cache_->Find(block);
+                         w(p != nullptr ? p : cached);
+                       }
+                     });
+}
+
+// ---------------------------------------------------------------------------
+// Replication stream application (§3.2, §3.3)
+// ---------------------------------------------------------------------------
+
+void ReadReplica::OnReplicationEvent(const engine::ReplicationEvent& event) {
+  if (!running_) return;
+  switch (event.type) {
+    case engine::ReplicationEvent::Type::kMtr:
+      ApplyMtr(event.mtr);
+      break;
+    case engine::ReplicationEvent::Type::kVdlUpdate:
+      if (event.vdl > vdl_) vdl_ = event.vdl;
+      break;
+    case engine::ReplicationEvent::Type::kCommit:
+      // Commit notification (§3.4): maintain transaction commit history.
+      txns_.InstallCommitNotification(event.txn, event.scn);
+      break;
+  }
+}
+
+void ReadReplica::ApplyMtr(const std::vector<log::RedoRecord>& records) {
+  // MTR chunks are applied atomically to the subset of blocks in the
+  // cache (§3.2). Within one simulator event, no read can interleave, so
+  // applying record-by-record here IS atomic from the readers' view.
+  stats_.mtrs_applied++;
+  for (const auto& record : records) {
+    if (record.block == kInvalidBlock) continue;
+    Lsn& mark = pg_high_water_[record.pg];
+    mark = std::max(mark, record.lsn);
+    storage::Page* page = cache_ ? cache_->Find(record.block) : nullptr;
+    if (page == nullptr) {
+      // Redo for uncached blocks is discarded; shared storage serves them
+      // on demand (§3.2).
+      stats_.records_discarded_uncached++;
+      continue;
+    }
+    if (page->page_lsn != record.prev_lsn_block) {
+      // Block-chain mismatch (e.g. the replica attached mid-stream or
+      // missed events while crashed): the cached copy is stale and must
+      // be re-read from storage.
+      cache_->Erase(record.block);
+      stats_.pages_invalidated++;
+      continue;
+    }
+    Status st = ApplyRedoPayload(page, record.payload, record.lsn);
+    if (!st.ok()) {
+      cache_->Erase(record.block);
+      stats_.pages_invalidated++;
+      continue;
+    }
+    stats_.records_applied++;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reads (§3.4)
+// ---------------------------------------------------------------------------
+
+Lsn ReadReplica::MinReadPoint() const {
+  const Lsn open_min = txns_.MinOpenReadLsn();
+  if (open_min != kInvalidLsn) return std::min(open_min, vdl_);
+  return vdl_;
+}
+
+void ReadReplica::ResolveCommitScn(
+    TxnId writer_txn, std::function<void(std::optional<Scn>)> cb) {
+  if (auto scn = txns_.CommitScnOf(writer_txn); scn.has_value()) {
+    cb(scn);
+    return;
+  }
+  // Fall back to the persistent status index in the shared B-tree
+  // (handles commits from before this replica attached). Entries above
+  // this replica's VDL are invisible here, which is exactly right: such
+  // commits are not yet visible to this replica's read views either.
+  btree_->GetEntry(
+      engine::StatusKey(writer_txn),
+      [this, writer_txn, cb = std::move(cb)](Result<std::string> raw) {
+        if (!raw.ok()) {
+          cb(std::nullopt);
+          return;
+        }
+        auto scn = engine::DecodeU64Value(*raw);
+        if (!scn.ok()) {
+          cb(std::nullopt);
+          return;
+        }
+        txns_.InstallCommitNotification(writer_txn, *scn);
+        cb(*scn);
+      });
+}
+
+void ReadReplica::ReadLeafFromStorage(
+    const std::string& key, txn::ReadView view,
+    std::function<void(Result<std::string>)> cb) {
+  // Fallback path: the cached image ran ahead of this view's anchor and
+  // undo was not available locally; re-read the leaf as of the anchor
+  // directly from storage (bypassing the cache, which must keep the
+  // newer image for the replication chain).
+  stats_.storage_fallback_reads++;
+  auto path = btree_->FindPathSync(key);
+  BlockId leaf;
+  if (path.ok()) {
+    leaf = path->back();
+  } else {
+    cb(Status::Unavailable("replica fallback: path unavailable"));
+    return;
+  }
+  driver_->ReadBlock(
+      leaf, ClampToGroup(leaf, view.read_lsn()), MinReadPoint(),
+      [this, key, view, cb = std::move(cb)](Result<storage::Page> page) {
+        if (!page.ok()) {
+          cb(page.status());
+          return;
+        }
+        auto it = page->entries.find(key);
+        if (it == page->entries.end()) {
+          cb(Status::NotFound("key absent in snapshot"));
+          return;
+        }
+        auto version = txn::DecodeRowVersion(it->second);
+        if (!version.ok()) {
+          cb(version.status());
+          return;
+        }
+        ResolveVisible(key, std::move(*version), view, /*from_storage=*/true,
+                       std::move(cb), 256);
+      });
+}
+
+void ReadReplica::ResolveVisible(const std::string& key,
+                                 txn::RowVersion version, txn::ReadView view,
+                                 bool from_storage,
+                                 std::function<void(Result<std::string>)> cb,
+                                 int depth) {
+  if (depth <= 0) {
+    cb(Status::Internal("undo chain too deep"));
+    return;
+  }
+  ResolveCommitScn(
+      version.txn,
+      [this, key, version = std::move(version), view, from_storage,
+       cb = std::move(cb), depth](std::optional<Scn> scn) mutable {
+        if (view.Sees(version.txn, scn.value_or(kInvalidLsn))) {
+          if (version.deleted) {
+            cb(Status::NotFound("deleted in snapshot"));
+          } else {
+            cb(std::move(version.value));
+          }
+          return;
+        }
+        if (version.undo.IsNull()) {
+          cb(Status::NotFound("no visible version"));
+          return;
+        }
+        const txn::UndoPtr undo = version.undo;
+        WithPage(undo.block, [this, key, undo, view, from_storage,
+                              cb = std::move(cb),
+                              depth](Result<storage::Page*> page) mutable {
+          if (page.ok()) {
+            auto it = (*page)->entries.find(undo.key);
+            if (it != (*page)->entries.end()) {
+              auto entry = txn::DecodeUndoEntry(it->second);
+              if (!entry.ok()) {
+                cb(entry.status());
+                return;
+              }
+              if (!entry->prev_exists) {
+                cb(Status::NotFound("row did not exist in snapshot"));
+                return;
+              }
+              ResolveVisible(key, entry->prev, view, from_storage,
+                             std::move(cb), depth - 1);
+              return;
+            }
+          }
+          if (!from_storage) {
+            // Undo not reachable locally (the entry's redo is above this
+            // replica's VDL and the undo page is uncached): anchor the
+            // whole read at storage instead.
+            ReadLeafFromStorage(key, view, std::move(cb));
+            return;
+          }
+          cb(Status::NotFound("undo unavailable in snapshot"));
+        });
+      });
+}
+
+void ReadReplica::Get(const std::string& key,
+                      std::function<void(Result<std::string>)> cb) {
+  stats_.gets++;
+  if (!running_ || vdl_ == kInvalidLsn) {
+    cb(Status::Unavailable("replica not ready"));
+    return;
+  }
+  txn::ReadView view = txns_.OpenReadView(vdl_);
+  const SimTime start = sim_->Now();
+  const std::string internal_key = engine::DataKey(key);
+  btree_->GetEntry(internal_key,
+                   [this, internal_key, view, start, cb = std::move(cb)](
+                            Result<std::string> raw) mutable {
+    auto finish = [this, view, start, cb = std::move(cb)](
+                      Result<std::string> result) {
+      txns_.CloseReadView(view);
+      read_latency_.Record(sim_->Now() - start);
+      cb(std::move(result));
+    };
+    if (!raw.ok()) {
+      finish(raw.status().IsAborted() ? Status::NotFound("key absent")
+                                      : raw.status());
+      return;
+    }
+    auto version = txn::DecodeRowVersion(*raw);
+    if (!version.ok()) {
+      finish(version.status());
+      return;
+    }
+    ResolveVisible(internal_key, std::move(*version), view,
+                   /*from_storage=*/false, std::move(finish), 256);
+  });
+}
+
+void ReadReplica::Scan(
+    const std::string& lo, const std::string& hi, size_t limit,
+    std::function<
+        void(Result<std::vector<std::pair<std::string, std::string>>>)>
+        cb) {
+  if (!running_ || vdl_ == kInvalidLsn) {
+    cb(Status::Unavailable("replica not ready"));
+    return;
+  }
+  txn::ReadView view = txns_.OpenReadView(vdl_);
+  btree_->ScanEntries(
+      engine::DataKey(lo), engine::DataKey(hi), limit,
+      [this, view, cb = std::move(cb)](
+          Result<std::vector<std::pair<std::string, std::string>>> raw) {
+        if (!raw.ok()) {
+          txns_.CloseReadView(view);
+          cb(raw.status());
+          return;
+        }
+        ScanResolve(std::move(*raw), 0, view, {},
+                    [this, view, cb = std::move(cb)](
+                        Result<std::vector<
+                            std::pair<std::string, std::string>>> result) {
+                      txns_.CloseReadView(view);
+                      cb(std::move(result));
+                    });
+      });
+}
+
+void ReadReplica::ScanResolve(
+    std::vector<std::pair<std::string, std::string>> raw, size_t index,
+    txn::ReadView view, std::vector<std::pair<std::string, std::string>> acc,
+    std::function<void(
+        Result<std::vector<std::pair<std::string, std::string>>>)>
+        cb) {
+  if (index >= raw.size()) {
+    cb(std::move(acc));
+    return;
+  }
+  auto version = txn::DecodeRowVersion(raw[index].second);
+  if (!version.ok()) {
+    cb(version.status());
+    return;
+  }
+  std::string internal_key = raw[index].first;
+  ResolveVisible(
+      internal_key, std::move(*version), view, /*from_storage=*/false,
+      [this, raw = std::move(raw), index, view, acc = std::move(acc),
+       internal_key, cb = std::move(cb)](Result<std::string> value) mutable {
+        if (value.ok()) {
+          acc.emplace_back(internal_key.substr(1), std::move(*value));
+        } else if (!value.status().IsNotFound() &&
+                   !value.status().IsTimedOut()) {
+          cb(value.status());
+          return;
+        }
+        ScanResolve(std::move(raw), index + 1, view, std::move(acc),
+                    std::move(cb));
+      },
+      256);
+}
+
+void ReadReplica::ReportLoop() {
+  if (!running_) return;
+  // Report the minimum read point to the writer for PGMRPL (§3.4).
+  if (reporter_) {
+    const Lsn point = MinReadPoint();
+    network_->Send(id_, writer_, 64,
+                   [reporter = reporter_, point]() { reporter(point); });
+  }
+  sim_->Schedule(options_.report_interval, [this]() { ReportLoop(); });
+}
+
+}  // namespace aurora::replica

@@ -1,0 +1,158 @@
+// Aurora read replicas (§3.2–§3.4).
+//
+// A replica attaches to the SAME storage volume as the writer: it receives
+// the physical redo stream from the writer and applies it ONLY to data
+// blocks present in its local cache, in LSN order and atomically in MTR
+// chunks; records for uncached blocks are discarded, since those blocks
+// can always be read from shared storage (§3.2). Read views anchor at VDL
+// control points shipped by the writer, and transaction visibility uses
+// shipped commit notifications plus the persistent status index; MVCC
+// reversion uses undo exactly as on the writer (§3.4).
+//
+// Invariants implemented here (§3.3):
+//  1. replica read views lag the writer's durability points (anchor = the
+//     last shipped VDL);
+//  2. structural changes become visible atomically (MTR-chunk application
+//     to cached blocks; chain mismatch invalidates the cached page);
+//  3. read views anchor at points equivalent to writer-side points (the
+//     shipped VDLs themselves).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/engine/btree.h"
+#include "src/engine/buffer_cache.h"
+#include "src/engine/db_instance.h"
+#include "src/engine/storage_driver.h"
+#include "src/sim/network.h"
+#include "src/txn/txn_manager.h"
+
+namespace aurora::replica {
+
+struct ReplicaOptions {
+  size_t cache_pages = 8192;
+  engine::BTreeOptions btree;
+  engine::DriverOptions driver;
+  /// How often the replica reports its minimum read point to the writer
+  /// (feeds PGMRPL, §3.4) and refreshes segment SCL knowledge.
+  SimDuration report_interval = 100 * kMillisecond;
+};
+
+struct ReplicaStats {
+  uint64_t mtrs_applied = 0;
+  uint64_t records_applied = 0;
+  uint64_t records_discarded_uncached = 0;
+  uint64_t pages_invalidated = 0;
+  uint64_t gets = 0;
+  uint64_t storage_fallback_reads = 0;
+};
+
+/// One read replica instance.
+class ReadReplica : public sim::NodeLifecycleListener {
+ public:
+  ReadReplica(sim::Simulator* sim, sim::Network* network, NodeId id,
+              AzId az, storage::NodeResolver resolver, NodeId writer,
+              const quorum::VolumeGeometry& geometry,
+              VolumeEpoch volume_epoch, ReplicaOptions options = {});
+
+  NodeId id() const { return id_; }
+  Lsn vdl() const { return vdl_; }
+
+  /// Entry point for the writer's replication stream (delivered over the
+  /// simulated network by the cluster wiring).
+  void OnReplicationEvent(const engine::ReplicationEvent& event);
+
+  /// Snapshot read anchored at the replica's VDL.
+  void Get(const std::string& key,
+           std::function<void(Result<std::string>)> cb);
+
+  /// Snapshot range scan anchored at the replica's VDL.
+  void Scan(const std::string& lo, const std::string& hi, size_t limit,
+            std::function<void(
+                Result<std::vector<std::pair<std::string, std::string>>>)>
+                cb);
+
+  /// Lowest LSN any request on this replica may still read.
+  Lsn MinReadPoint() const;
+
+  /// Refreshes geometry after membership changes (pushed by the cluster).
+  void UpdateGeometry(const quorum::VolumeGeometry& geometry,
+                      VolumeEpoch volume_epoch);
+
+  /// Wires the periodic read-point report; the callback runs at the
+  /// writer after network delivery (feeds ObserveReplicaReadPoint).
+  void SetReadPointReporter(std::function<void(Lsn)> reporter) {
+    reporter_ = std::move(reporter);
+  }
+
+  void Start();
+  void OnCrash() override;
+  void OnRestart() override {}
+
+  const ReplicaStats& stats() const { return stats_; }
+  engine::BufferCache& cache() { return *cache_; }
+  engine::StorageDriver* driver() { return driver_.get(); }
+  Histogram& read_latency() { return read_latency_; }
+
+ private:
+  void WithPage(BlockId block,
+                std::function<void(Result<storage::Page*>)> cb);
+  storage::Page* CachedPage(BlockId block);
+  void ApplyMtr(const std::vector<log::RedoRecord>& records);
+  void ResolveCommitScn(TxnId writer_txn,
+                        std::function<void(std::optional<Scn>)> cb);
+  void ResolveVisible(const std::string& key, txn::RowVersion version,
+                      txn::ReadView view, bool from_storage,
+                      std::function<void(Result<std::string>)> cb,
+                      int depth);
+  void ReadLeafFromStorage(const std::string& key, txn::ReadView view,
+                           std::function<void(Result<std::string>)> cb);
+  void ScanResolve(
+      std::vector<std::pair<std::string, std::string>> raw, size_t index,
+      txn::ReadView view,
+      std::vector<std::pair<std::string, std::string>> acc,
+      std::function<void(
+          Result<std::vector<std::pair<std::string, std::string>>>)>
+          cb);
+  void ReportLoop();
+  void SeedHighWaterMarks();
+  Lsn ClampToGroup(BlockId block, Lsn read_lsn) const;
+
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId id_;
+  AzId az_;
+  NodeId writer_;
+  ReplicaOptions options_;
+  bool running_ = false;
+
+  std::unique_ptr<engine::StorageDriver> driver_;
+  std::unique_ptr<engine::BufferCache> cache_;
+  std::unique_ptr<engine::BTree> btree_;
+  txn::TxnManager txns_;
+
+  Lsn vdl_ = kInvalidLsn;
+  /// Highest record LSN seen per protection group (stream + probes); a
+  /// block read is clamped to its group's mark, because an LSN in the
+  /// global space may exceed the group's own chain position.
+  std::map<ProtectionGroupId, Lsn> pg_high_water_;
+  std::function<void(Lsn)> reporter_;
+  std::map<BlockId,
+           std::vector<std::function<void(Result<storage::Page*>)>>>
+      pending_fetches_;
+
+  ReplicaStats stats_;
+  Histogram read_latency_;
+  Histogram replica_lag_;
+};
+
+}  // namespace aurora::replica

@@ -1,0 +1,85 @@
+#include "src/sim/failure_injector.h"
+
+namespace aurora::sim {
+
+FailureInjector::FailureInjector(Simulator* sim, Network* network,
+                                 FailureModel model)
+    : sim_(sim), network_(network), model_(model),
+      rng_(sim->rng().Fork()) {}
+
+void FailureInjector::Start(std::vector<NodeId> nodes, std::vector<AzId> azs) {
+  running_ = true;
+  ++generation_;
+  for (NodeId n : nodes) ScheduleNodeFailure(n);
+  if (model_.az_mttf > 0) {
+    for (AzId az : azs) ScheduleAzFailure(az);
+  }
+}
+
+void FailureInjector::Stop() {
+  running_ = false;
+  ++generation_;
+}
+
+void FailureInjector::ScheduleNodeFailure(NodeId node) {
+  const auto delay = static_cast<SimDuration>(
+      rng_.NextExponential(static_cast<double>(model_.node_mttf)));
+  const uint64_t gen = generation_;
+  sim_->Schedule(delay, [this, node, gen]() {
+    if (!running_ || gen != generation_) return;
+    if (network_->IsUp(node)) {
+      network_->Crash(node);
+      ++node_failures_;
+      const auto repair = static_cast<SimDuration>(
+          rng_.NextExponential(static_cast<double>(model_.node_mttr)));
+      sim_->Schedule(repair, [this, node, gen]() {
+        if (!running_ || gen != generation_) return;
+        network_->Restart(node);
+      });
+    }
+    ScheduleNodeFailure(node);
+  });
+}
+
+void FailureInjector::ScheduleAzFailure(AzId az) {
+  const auto delay = static_cast<SimDuration>(
+      rng_.NextExponential(static_cast<double>(model_.az_mttf)));
+  const uint64_t gen = generation_;
+  sim_->Schedule(delay, [this, az, gen]() {
+    if (!running_ || gen != generation_) return;
+    network_->FailAz(az);
+    ++az_failures_;
+    sim_->Schedule(model_.az_mttr, [this, az, gen]() {
+      if (gen != generation_) return;
+      network_->RestoreAz(az);
+    });
+    ScheduleAzFailure(az);
+  });
+}
+
+void FailureInjector::CrashNodeAt(SimTime when, NodeId node) {
+  sim_->ScheduleAt(when, [this, node]() { network_->Crash(node); });
+}
+
+void FailureInjector::RestartNodeAt(SimTime when, NodeId node) {
+  sim_->ScheduleAt(when, [this, node]() { network_->Restart(node); });
+}
+
+void FailureInjector::FailAzAt(SimTime when, AzId az, SimDuration outage) {
+  sim_->ScheduleAt(when, [this, az, outage]() {
+    network_->FailAz(az);
+    ++az_failures_;
+    sim_->Schedule(outage, [this, az]() { network_->RestoreAz(az); });
+  });
+}
+
+void FailureInjector::SlowNodeAt(SimTime when, NodeId node, double factor,
+                                 SimDuration duration) {
+  sim_->ScheduleAt(when, [this, node, factor, duration]() {
+    network_->SetNodeSlowdown(node, factor);
+    sim_->Schedule(duration,
+                   [this, node]() { network_->SetNodeSlowdown(node, 1.0); });
+  });
+}
+
+}  // namespace aurora::sim

@@ -1,0 +1,67 @@
+// Stochastic and scripted failure injection.
+//
+// Drives the Figure-1 availability experiment (independent segment failures
+// plus correlated AZ failures) and the fault-tolerance integration tests.
+// The paper's durability argument (§2.1) is about the joint probability of
+// two independent segment failures plus an AZ failure within one
+// detect-and-repair window; this injector produces exactly that process.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace aurora::sim {
+
+/// Parameters of the background failure process.
+struct FailureModel {
+  /// Mean time to failure per node (exponential inter-arrival).
+  SimDuration node_mttf = 3600LL * kSecond;
+  /// Mean time to detect + repair a failed node.
+  SimDuration node_mttr = 10 * kSecond;
+  /// Mean time between whole-AZ failures (0 disables them).
+  SimDuration az_mttf = 0;
+  /// AZ outage duration.
+  SimDuration az_mttr = 60 * kSecond;
+};
+
+/// Drives crash/repair events against a Network according to a
+/// FailureModel, or via explicit scripted calls.
+class FailureInjector {
+ public:
+  FailureInjector(Simulator* sim, Network* network, FailureModel model = {});
+
+  /// Starts the background Poisson failure process for `nodes` and
+  /// (optionally) the AZ failure process for `azs`.
+  void Start(std::vector<NodeId> nodes, std::vector<AzId> azs = {});
+  void Stop();
+
+  /// Scripted faults.
+  void CrashNodeAt(SimTime when, NodeId node);
+  void RestartNodeAt(SimTime when, NodeId node);
+  void FailAzAt(SimTime when, AzId az, SimDuration outage);
+  void SlowNodeAt(SimTime when, NodeId node, double factor,
+                  SimDuration duration);
+
+  uint64_t node_failures() const { return node_failures_; }
+  uint64_t az_failures() const { return az_failures_; }
+
+ private:
+  void ScheduleNodeFailure(NodeId node);
+  void ScheduleAzFailure(AzId az);
+
+  Simulator* sim_;
+  Network* network_;
+  FailureModel model_;
+  Rng rng_;
+  bool running_ = false;
+  uint64_t generation_ = 0;  // invalidates scheduled background events
+  uint64_t node_failures_ = 0;
+  uint64_t az_failures_ = 0;
+};
+
+}  // namespace aurora::sim

@@ -1,0 +1,57 @@
+// Unary RPC helper over the simulated network.
+//
+// Actors hold direct pointers to each other; the network only models
+// latency, liveness, and partitions. A call delivers the server closure
+// after one-way latency; the server replies (possibly asynchronously, e.g.
+// after simulated disk I/O) and the response crosses the network back. If
+// either hop is dropped the client callback simply never runs — exactly the
+// paper's failure model, where "any given write may be lost for any reason"
+// and the protocol tolerates missing acknowledgements rather than relying
+// on reliable delivery.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "src/sim/network.h"
+
+namespace aurora::sim {
+
+/// Server-side reply continuation for a call expecting a `Resp`.
+template <typename Resp>
+using ReplyFn = std::function<void(Resp)>;
+
+/// Issues a unary call from `client` to `server_node`.
+///
+/// `server_fn` runs at the server after request latency; it receives a
+/// reply function it may invoke at most once, now or later. `resp_bytes`
+/// sizes the response message for bandwidth accounting. `on_response` runs
+/// back at the client. Either leg may be silently dropped by the network.
+template <typename Resp>
+void UnaryCall(Network* net, NodeId client, NodeId server_node,
+               uint64_t request_bytes,
+               std::function<void(ReplyFn<Resp>)> server_fn,
+               std::function<uint64_t(const Resp&)> resp_bytes,
+               std::function<void(Resp)> on_response) {
+  net->Send(client, server_node, request_bytes,
+            [net, client, server_node, server_fn = std::move(server_fn),
+             resp_bytes = std::move(resp_bytes),
+             on_response = std::move(on_response)]() {
+              auto reply = [net, client, server_node,
+                            resp_bytes = std::move(resp_bytes),
+                            on_response = std::move(on_response)](Resp resp) {
+                const uint64_t bytes = resp_bytes(resp);
+                auto shared =
+                    std::make_shared<Resp>(std::move(resp));
+                net->Send(server_node, client, bytes,
+                          [shared, on_response]() {
+                            on_response(std::move(*shared));
+                          });
+              };
+              server_fn(std::move(reply));
+            });
+}
+
+}  // namespace aurora::sim

@@ -1,0 +1,48 @@
+#include "src/storage/disk.h"
+
+#include <algorithm>
+
+namespace aurora::storage {
+
+SimDisk::SimDisk(sim::Simulator* sim, DiskOptions options)
+    : sim_(sim), options_(options), rng_(sim->rng().Fork()) {}
+
+void SimDisk::SubmitWrite(uint64_t bytes, std::function<void()> done) {
+  Submit(true, bytes, std::move(done));
+}
+
+void SimDisk::SubmitRead(uint64_t bytes, std::function<void()> done) {
+  Submit(false, bytes, std::move(done));
+}
+
+void SimDisk::Submit(bool is_write, uint64_t bytes,
+                     std::function<void()> done) {
+  const auto& dist =
+      is_write ? options_.write_latency : options_.read_latency;
+  double service = static_cast<double>(dist.Sample(rng_));
+  if (options_.bytes_per_us > 0.0) {
+    service += static_cast<double>(bytes) / options_.bytes_per_us;
+  }
+  queue_.push_back(Op{static_cast<SimDuration>(std::max(1.0, service)),
+                      sim_->Now(), std::move(done)});
+  if (!busy_) StartNext();
+}
+
+void SimDisk::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Op op = std::move(queue_.front());
+  queue_.pop_front();
+  sim_->Schedule(op.service_time, [this, enqueued_at = op.enqueued_at,
+                                   done = std::move(op.done)]() {
+    op_latency_.Record(sim_->Now() - enqueued_at);
+    ops_completed_++;
+    done();
+    StartNext();
+  });
+}
+
+}  // namespace aurora::storage

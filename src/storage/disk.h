@@ -1,0 +1,62 @@
+// Simple FIFO disk model with sampled service times.
+//
+// Storage nodes acknowledge writes only after the update-queue append is
+// durable (§2.1 activities 1-2), so the disk is on the ack critical path;
+// queueing here is what makes a "busy" storage node slow, which the
+// hedged-read logic (§3.1) then routes around.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/sim/simulator.h"
+
+namespace aurora::storage {
+
+struct DiskOptions {
+  /// Service time for one write op (log append): NVMe-ish.
+  LatencyDistribution write_latency =
+      LatencyDistribution::LogNormal(40, 0.3, 0.005, 10.0);
+  /// Service time for one read op (block fetch).
+  LatencyDistribution read_latency =
+      LatencyDistribution::LogNormal(60, 0.3, 0.005, 10.0);
+  /// Additional transfer time per byte (0 disables).
+  double bytes_per_us = 2000.0;  // ~2 GB/s
+};
+
+/// One device per storage node, serving ops in FIFO order, one at a time.
+class SimDisk {
+ public:
+  SimDisk(sim::Simulator* sim, DiskOptions options = {});
+
+  void SubmitWrite(uint64_t bytes, std::function<void()> done);
+  void SubmitRead(uint64_t bytes, std::function<void()> done);
+
+  size_t QueueDepth() const { return queue_.size() + (busy_ ? 1 : 0); }
+  const Histogram& op_latency() const { return op_latency_; }
+  uint64_t ops_completed() const { return ops_completed_; }
+
+ private:
+  struct Op {
+    SimDuration service_time;
+    SimTime enqueued_at;
+    std::function<void()> done;
+  };
+
+  void Submit(bool is_write, uint64_t bytes, std::function<void()> done);
+  void StartNext();
+
+  sim::Simulator* sim_;
+  DiskOptions options_;
+  Rng rng_;
+  std::deque<Op> queue_;
+  bool busy_ = false;
+  Histogram op_latency_;  // includes queueing delay
+  uint64_t ops_completed_ = 0;
+};
+
+}  // namespace aurora::storage

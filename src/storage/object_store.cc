@@ -1,0 +1,52 @@
+#include "src/storage/object_store.h"
+
+#include <memory>
+
+namespace aurora::storage {
+
+ObjectStore::ObjectStore(sim::Simulator* sim, ObjectStoreOptions options)
+    : sim_(sim), options_(options), rng_(sim->rng().Fork()) {}
+
+void ObjectStore::Put(ProtectionGroupId pg,
+                      std::vector<log::RedoRecord> records,
+                      std::function<void(Lsn)> done) {
+  puts_++;
+  const SimDuration latency = options_.put_latency.Sample(rng_);
+  auto shared =
+      std::make_shared<std::vector<log::RedoRecord>>(std::move(records));
+  sim_->Schedule(latency, [this, pg, shared, done = std::move(done)]() {
+    Lsn max_lsn = kInvalidLsn;
+    auto& pg_archive = archive_[pg];
+    for (auto& record : *shared) {
+      max_lsn = std::max(max_lsn, record.lsn);
+      auto [it, inserted] = pg_archive.emplace(record.lsn, std::move(record));
+      if (inserted) bytes_stored_ += it->second.SerializedSize();
+    }
+    done(max_lsn);
+  });
+}
+
+void ObjectStore::Get(ProtectionGroupId pg, Lsn lo, Lsn hi,
+                      std::function<void(std::vector<log::RedoRecord>)> done) {
+  gets_++;
+  const SimDuration latency = options_.get_latency.Sample(rng_);
+  sim_->Schedule(latency, [this, pg, lo, hi, done = std::move(done)]() {
+    std::vector<log::RedoRecord> out;
+    auto it = archive_.find(pg);
+    if (it != archive_.end()) {
+      for (auto rec = it->second.lower_bound(lo);
+           rec != it->second.end() && rec->first <= hi; ++rec) {
+        out.push_back(rec->second);
+      }
+    }
+    done(std::move(out));
+  });
+}
+
+Lsn ObjectStore::MaxArchivedLsn(ProtectionGroupId pg) const {
+  auto it = archive_.find(pg);
+  if (it == archive_.end() || it->second.empty()) return kInvalidLsn;
+  return it->second.rbegin()->first;
+}
+
+}  // namespace aurora::storage

@@ -1,0 +1,63 @@
+// Simulated object store (stands in for Amazon S3, §2.1 activity 6).
+//
+// Storage nodes continuously archive chain-complete redo into the object
+// store; garbage collection of the hot log is gated on the archive. The
+// archive also provides point-in-time snapshots and the fallback source for
+// repairing segments whose peers have already evicted old records.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/log/record.h"
+#include "src/sim/simulator.h"
+
+namespace aurora::storage {
+
+struct ObjectStoreOptions {
+  LatencyDistribution put_latency =
+      LatencyDistribution::LogNormal(20 * kMillisecond, 0.4);
+  LatencyDistribution get_latency =
+      LatencyDistribution::LogNormal(30 * kMillisecond, 0.4);
+};
+
+/// Region-durable archive of redo records, keyed by protection group.
+/// All segments of a PG carry the same log, so one archive per PG
+/// deduplicates the six copies.
+class ObjectStore {
+ public:
+  ObjectStore(sim::Simulator* sim, ObjectStoreOptions options = {});
+
+  /// Archives `records` for `pg`; `done(highest_lsn_archived)` runs after
+  /// simulated upload latency. Records become visible at completion.
+  void Put(ProtectionGroupId pg, std::vector<log::RedoRecord> records,
+           std::function<void(Lsn)> done);
+
+  /// Fetches archived records for `pg` in [lo, hi].
+  void Get(ProtectionGroupId pg, Lsn lo, Lsn hi,
+           std::function<void(std::vector<log::RedoRecord>)> done);
+
+  /// Highest contiguous archived LSN chain position per PG is not tracked;
+  /// this returns the max archived LSN (tests / PITR bounds).
+  Lsn MaxArchivedLsn(ProtectionGroupId pg) const;
+
+  uint64_t bytes_stored() const { return bytes_stored_; }
+  uint64_t puts() const { return puts_; }
+  uint64_t gets() const { return gets_; }
+
+ private:
+  sim::Simulator* sim_;
+  ObjectStoreOptions options_;
+  Rng rng_;
+  std::map<ProtectionGroupId, std::map<Lsn, log::RedoRecord>> archive_;
+  uint64_t bytes_stored_ = 0;
+  uint64_t puts_ = 0;
+  uint64_t gets_ = 0;
+};
+
+}  // namespace aurora::storage

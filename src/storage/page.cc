@@ -1,0 +1,149 @@
+#include "src/storage/page.h"
+
+#include <cstring>
+
+namespace aurora::storage {
+
+namespace {
+
+void PutU16(std::string& out, uint16_t v) {
+  char buf[2];
+  std::memcpy(buf, &v, 2);
+  out.append(buf, 2);
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void PutString(std::string& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ReadU16(uint16_t* v) { return ReadRaw(v, 2); }
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, 4); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, 8); }
+
+  bool ReadString(std::string* s) {
+    uint32_t len;
+    if (!ReadU32(&len)) return false;
+    if (data_.size() - pos_ < len) return false;
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  bool ReadRaw(void* out, size_t n) {
+    if (data_.size() - pos_ < n) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+uint64_t Page::SizeBytes() const {
+  uint64_t size = 40;  // header
+  for (const auto& [k, v] : entries) size += k.size() + v.size() + 8;
+  return size;
+}
+
+std::string Page::ToString() const {
+  std::string out = "Page{" + std::to_string(id) + " lsn=" +
+                    std::to_string(page_lsn) + " type=" +
+                    std::to_string(static_cast<int>(type)) + " entries=" +
+                    std::to_string(entries.size()) + "}";
+  return out;
+}
+
+std::string EncodePageOp(const PageOp& op) {
+  std::string out;
+  out.push_back(static_cast<char>(op.type));
+  out.push_back(static_cast<char>(op.page_type));
+  PutU16(out, op.level);
+  PutU64(out, op.next);
+  PutU64(out, op.prev);
+  PutString(out, op.key);
+  PutString(out, op.value);
+  return out;
+}
+
+Result<PageOp> DecodePageOp(std::string_view payload) {
+  if (payload.size() < 2) return Status::Corruption("page op too short");
+  PageOp op;
+  const auto type = static_cast<uint8_t>(payload[0]);
+  const auto page_type = static_cast<uint8_t>(payload[1]);
+  if (type > static_cast<uint8_t>(PageOpType::kTruncateFrom) ||
+      page_type > static_cast<uint8_t>(PageType::kMeta)) {
+    return Status::Corruption("bad page op enum");
+  }
+  op.type = static_cast<PageOpType>(type);
+  op.page_type = static_cast<PageType>(page_type);
+  Reader reader(payload.substr(2));
+  uint64_t next, prev;
+  if (!reader.ReadU16(&op.level) || !reader.ReadU64(&next) ||
+      !reader.ReadU64(&prev) || !reader.ReadString(&op.key) ||
+      !reader.ReadString(&op.value) || !reader.AtEnd()) {
+    return Status::Corruption("truncated page op");
+  }
+  op.next = next;
+  op.prev = prev;
+  return op;
+}
+
+Status ApplyPageOp(Page* page, const PageOp& op, Lsn lsn) {
+  switch (op.type) {
+    case PageOpType::kFormat:
+      page->type = op.page_type;
+      page->level = op.level;
+      page->entries.clear();
+      page->next = kInvalidBlock;
+      page->prev = kInvalidBlock;
+      break;
+    case PageOpType::kInsert:
+      page->entries[op.key] = op.value;
+      break;
+    case PageOpType::kErase:
+      page->entries.erase(op.key);
+      break;
+    case PageOpType::kSetLinks:
+      page->next = op.next;
+      page->prev = op.prev;
+      break;
+    case PageOpType::kTruncateFrom: {
+      auto it = page->entries.lower_bound(op.key);
+      page->entries.erase(it, page->entries.end());
+      break;
+    }
+  }
+  page->page_lsn = lsn;
+  return Status::OK();
+}
+
+Status ApplyRedoPayload(Page* page, std::string_view payload, Lsn lsn) {
+  auto op = DecodePageOp(payload);
+  if (!op.ok()) return op.status();
+  return ApplyPageOp(page, *op, lsn);
+}
+
+}  // namespace aurora::storage

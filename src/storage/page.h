@@ -1,0 +1,97 @@
+// Data block (page) model and redo page operations.
+//
+// §2.2: "No data blocks are written from the database instance... redo log
+// application code is run within the storage nodes, materializing blocks in
+// background or on-demand to satisfy a read request." This header defines
+// the page structure shared by the storage nodes (materialization), the
+// writer's buffer cache, and replicas (cache application) — all three apply
+// the SAME PageOp payloads, which is what makes log application idempotent
+// and location-independent.
+//
+// Pages are B+-tree nodes: sorted key→value entries plus header fields.
+// Values are opaque to storage; the transaction layer encodes row versions
+// (txn id + undo pointer) inside them.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace aurora::storage {
+
+/// What role a page plays in the access method.
+enum class PageType : uint8_t {
+  kFree = 0,
+  kLeaf = 1,
+  kInternal = 2,
+  kUndo = 3,
+  kMeta = 4,
+};
+
+/// One materialized data block version. `page_lsn` is the LSN of the last
+/// redo record applied; the block chain guarantees records apply in order.
+struct Page {
+  BlockId id = kInvalidBlock;
+  Lsn page_lsn = kInvalidLsn;
+  PageType type = PageType::kFree;
+  uint16_t level = 0;              // B-tree level (0 = leaf)
+  BlockId next = kInvalidBlock;    // right-sibling link for leaf scans
+  BlockId prev = kInvalidBlock;    // left-sibling link
+  std::map<std::string, std::string> entries;
+
+  bool operator==(const Page&) const = default;
+
+  uint64_t SizeBytes() const;
+  std::string ToString() const;
+};
+
+/// The kinds of physical page changes carried in redo payloads.
+enum class PageOpType : uint8_t {
+  /// (Re)formats the page with a type/level; clears entries.
+  kFormat = 0,
+  /// Upserts one entry.
+  kInsert = 1,
+  /// Removes one entry (no-op if absent; idempotent application).
+  kErase = 2,
+  /// Sets the sibling links.
+  kSetLinks = 3,
+  /// Removes all entries with key >= pivot (split: donor side).
+  kTruncateFrom = 4,
+};
+
+/// A single physical operation on one page. Encoded into
+/// RedoRecord::payload; applied identically by storage nodes, the writer's
+/// cache, and replica caches.
+struct PageOp {
+  PageOpType type = PageOpType::kInsert;
+  PageType page_type = PageType::kLeaf;  // kFormat
+  uint16_t level = 0;                    // kFormat
+  std::string key;                       // kInsert/kErase/kTruncateFrom
+  std::string value;                     // kInsert
+  BlockId next = kInvalidBlock;          // kSetLinks
+  BlockId prev = kInvalidBlock;          // kSetLinks
+
+  bool operator==(const PageOp&) const = default;
+};
+
+/// Serializes a PageOp into a redo payload.
+std::string EncodePageOp(const PageOp& op);
+
+/// Decodes a redo payload; Corruption on malformed input.
+Result<PageOp> DecodePageOp(std::string_view payload);
+
+/// Applies `op` to `page` and stamps `lsn` as the new page_lsn. The caller
+/// is responsible for ordering (prev_lsn_block chain); application itself
+/// is deterministic and total.
+Status ApplyPageOp(Page* page, const PageOp& op, Lsn lsn);
+
+/// Convenience: decode + apply a raw redo payload.
+Status ApplyRedoPayload(Page* page, std::string_view payload, Lsn lsn);
+
+}  // namespace aurora::storage

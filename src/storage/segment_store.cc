@@ -1,0 +1,436 @@
+#include "src/storage/segment_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/crc32.h"
+#include "src/common/logging.h"
+
+namespace aurora::storage {
+
+SegmentStore::SegmentStore(quorum::SegmentInfo info, ProtectionGroupId pg,
+                           quorum::PgConfig config, VolumeEpoch volume_epoch,
+                           bool hydrated)
+    : info_(info),
+      pg_(pg),
+      config_(std::move(config)),
+      volume_epoch_(volume_epoch),
+      hydrated_(hydrated) {}
+
+Status SegmentStore::CheckEpochs(const EpochVector& epochs) {
+  if (epochs.volume_epoch < volume_epoch_) {
+    stats_.stale_epoch_rejections++;
+    return Status::StaleEpoch("stale volume epoch " +
+                              std::to_string(epochs.volume_epoch) + " < " +
+                              std::to_string(volume_epoch_));
+  }
+  // Epochs are minted by a single authority and monotone: a newer volume
+  // epoch teaches this node it missed the recovery write.
+  volume_epoch_ = std::max(volume_epoch_, epochs.volume_epoch);
+  if (epochs.membership_epoch < config_.epoch()) {
+    stats_.stale_epoch_rejections++;
+    return Status::StaleEpoch("stale membership epoch " +
+                              std::to_string(epochs.membership_epoch) +
+                              " < " + std::to_string(config_.epoch()));
+  }
+  return Status::OK();
+}
+
+void SegmentStore::IndexRecord(const log::RedoRecord& record) {
+  record_crcs_[record.lsn] = log::RecordBodyCrc(record);
+  // Commit records carry a status-index page op and materialize like any
+  // other change; only control records carry no block payload.
+  if (info_.is_full && record.type != log::RecordType::kControl &&
+      record.block != kInvalidBlock) {
+    pending_redo_[record.block].emplace(record.lsn, record);
+  }
+}
+
+Status SegmentStore::Append(const std::vector<log::RedoRecord>& records) {
+  for (const auto& record : records) {
+    if (record.pg != pg_) {
+      return Status::InvalidArgument("record addressed to wrong PG");
+    }
+    if (hot_log_.Contains(record.lsn)) {
+      stats_.records_duplicate++;
+      continue;
+    }
+    const size_t before = hot_log_.RecordCount();
+    AURORA_RETURN_IF_ERROR(hot_log_.Append(record));
+    if (hot_log_.RecordCount() > before) {
+      stats_.records_received++;
+      IndexRecord(record);
+    }
+  }
+  MaybeFinishHydration();
+  return Status::OK();
+}
+
+Status SegmentStore::AbsorbGossip(const std::vector<log::RedoRecord>& records) {
+  for (const auto& record : records) {
+    if (hot_log_.Contains(record.lsn)) continue;
+    const size_t before = hot_log_.RecordCount();
+    AURORA_RETURN_IF_ERROR(hot_log_.Append(record));
+    if (hot_log_.RecordCount() > before) {
+      stats_.records_gossip_filled++;
+      IndexRecord(record);
+    }
+  }
+  MaybeFinishHydration();
+  return Status::OK();
+}
+
+size_t SegmentStore::CoalesceStep(size_t max_records) {
+  if (!info_.is_full) return 0;
+  size_t applied = 0;
+  const Lsn scl = hot_log_.scl();
+  for (auto block_it = pending_redo_.begin();
+       block_it != pending_redo_.end() && applied < max_records;) {
+    auto& pending = block_it->second;
+    auto& block_versions = versions_[block_it->first];
+    while (!pending.empty() && applied < max_records) {
+      const auto& [lsn, record] = *pending.begin();
+      if (lsn > scl) break;  // not yet chain-complete
+      const Page* latest =
+          block_versions.empty() ? nullptr : &block_versions.rbegin()->second;
+      const Lsn latest_lsn = latest ? latest->page_lsn : kInvalidLsn;
+      if (lsn <= latest_lsn) {
+        // Already applied via on-demand materialization or hydration.
+        pending.erase(pending.begin());
+        continue;
+      }
+      if (record.prev_lsn_block != latest_lsn) {
+        // Hole in the block chain below this record (e.g. version state
+        // absorbed from hydration is ahead/behind); wait for gossip.
+        break;
+      }
+      Page next = latest ? *latest : Page{};
+      next.id = block_it->first;
+      const Status st = ApplyRedoPayload(&next, record.payload, lsn);
+      if (!st.ok()) {
+        AURORA_ERROR << "segment " << info_.id << " coalesce failed: "
+                     << st.ToString();
+        break;
+      }
+      block_versions.emplace(lsn, std::move(next));
+      pending.erase(pending.begin());
+      stats_.records_coalesced++;
+      applied++;
+    }
+    if (pending.empty()) {
+      block_it = pending_redo_.erase(block_it);
+    } else {
+      ++block_it;
+    }
+  }
+  return applied;
+}
+
+const Page* SegmentStore::LatestVersionAtOrBelow(BlockId block,
+                                                 Lsn lsn) const {
+  auto it = versions_.find(block);
+  if (it == versions_.end() || it->second.empty()) return nullptr;
+  auto v = it->second.upper_bound(lsn);
+  if (v == it->second.begin()) return nullptr;
+  --v;
+  return &v->second;
+}
+
+Result<Page> SegmentStore::ReadPage(BlockId block, Lsn read_lsn) {
+  if (!info_.is_full) {
+    stats_.reads_rejected++;
+    return Status::NotSupported("tail segments store redo only");
+  }
+  if (!hydrated_) {
+    stats_.reads_rejected++;
+    return Status::Unavailable("segment hydrating");
+  }
+  if (pgmrpl_ != kInvalidLsn && read_lsn < pgmrpl_) {
+    stats_.reads_rejected++;
+    return Status::OutOfRange("read below PGMRPL");
+  }
+  if (read_lsn > hot_log_.scl()) {
+    stats_.reads_rejected++;
+    return Status::Unavailable("read above SCL");
+  }
+  const Page* base = LatestVersionAtOrBelow(block, read_lsn);
+  // Collect pending redo in (base_lsn, read_lsn] for on-demand
+  // materialization along the block chain (§2.2).
+  const Lsn base_lsn = base ? base->page_lsn : kInvalidLsn;
+  Page page;
+  if (base != nullptr) {
+    page = *base;
+  } else {
+    page.id = block;
+  }
+  auto pending_it = pending_redo_.find(block);
+  bool applied_any = false;
+  if (pending_it != pending_redo_.end()) {
+    for (auto it = pending_it->second.upper_bound(base_lsn);
+         it != pending_it->second.end() && it->first <= read_lsn; ++it) {
+      const auto& record = it->second;
+      if (record.prev_lsn_block != page.page_lsn) {
+        stats_.reads_rejected++;
+        return Status::Unavailable("block chain hole during materialization");
+      }
+      AURORA_RETURN_IF_ERROR(ApplyRedoPayload(&page, record.payload,
+                                              record.lsn));
+      applied_any = true;
+    }
+  }
+  if (base == nullptr && !applied_any) {
+    stats_.reads_rejected++;
+    return Status::NotFound("block has no data at or below read point");
+  }
+  if (applied_any) {
+    // Keep the on-demand result (background coalesce will skip past it).
+    versions_[block].emplace(page.page_lsn, page);
+  }
+  stats_.reads_served++;
+  return page;
+}
+
+void SegmentStore::ObservePgmrpl(Lsn pgmrpl) {
+  pgmrpl_ = std::max(pgmrpl_, pgmrpl);
+}
+
+void SegmentStore::MarkBackedUp(Lsn lsn) {
+  backup_lsn_ = std::max(backup_lsn_, lsn);
+}
+
+std::vector<log::RedoRecord> SegmentStore::PendingBackup(
+    size_t max_records) const {
+  // Only chain-complete records are backed up (no holes in the archive).
+  std::vector<log::RedoRecord> out;
+  for (const auto& record :
+       hot_log_.RecordsAbove(backup_lsn_, max_records)) {
+    if (record.lsn > hot_log_.scl()) break;
+    out.push_back(record);
+  }
+  return out;
+}
+
+size_t SegmentStore::GarbageCollect() {
+  size_t removed = 0;
+  // Hot-log eviction: records must be backed up AND (coalesced, for full
+  // segments). The eviction point is a prefix.
+  Lsn evict_to = std::min(backup_lsn_, hot_log_.scl());
+  if (info_.is_full) {
+    for (const auto& [block, pending] : pending_redo_) {
+      if (!pending.empty()) {
+        evict_to = std::min(evict_to, pending.begin()->first - 1);
+      }
+    }
+  }
+  if (evict_to != kInvalidLsn && evict_to > hot_log_.gc_floor()) {
+    const size_t before = hot_log_.RecordCount();
+    hot_log_.EvictBelow(evict_to);
+    removed += before - hot_log_.RecordCount();
+    stats_.records_gced += before - hot_log_.RecordCount();
+    record_crcs_.erase(record_crcs_.begin(),
+                       record_crcs_.upper_bound(evict_to));
+  }
+  // Version GC: older versions are reclaimed only once no reader (writer
+  // instance or replica) can need them (§3.4): keep everything above
+  // PGMRPL plus the newest version at or below it.
+  if (pgmrpl_ != kInvalidLsn) {
+    for (auto& [block, block_versions] : versions_) {
+      auto keep = block_versions.upper_bound(pgmrpl_);
+      if (keep != block_versions.begin()) --keep;
+      const size_t before = block_versions.size();
+      block_versions.erase(block_versions.begin(), keep);
+      removed += before - block_versions.size();
+      stats_.versions_gced += before - block_versions.size();
+    }
+  }
+  return removed;
+}
+
+size_t SegmentStore::Scrub() {
+  size_t corruptions = 0;
+  std::vector<Lsn> bad;
+  for (const auto& [lsn, crc] : record_crcs_) {
+    const log::RedoRecord* record = hot_log_.Find(lsn);
+    if (record == nullptr) continue;
+    if (log::RecordBodyCrc(*record) != crc) {
+      bad.push_back(lsn);
+    }
+  }
+  for (Lsn lsn : bad) {
+    hot_log_.Remove(lsn);
+    record_crcs_.erase(lsn);
+    // Drop any pending-redo entry built from the corrupt record.
+    for (auto& [block, pending] : pending_redo_) pending.erase(lsn);
+    corruptions++;
+    stats_.scrub_corruptions_found++;
+    AURORA_WARN << "segment " << info_.id << " scrub dropped corrupt record "
+                << lsn;
+  }
+  return corruptions;
+}
+
+Status SegmentStore::UpdateMembership(const MembershipUpdateRequest& request) {
+  // Monotone install: configs are minted by the single membership
+  // authority with strictly increasing epochs, so any strictly newer
+  // config is accepted (this also lets a node that missed an intermediate
+  // epoch catch up). A request at or below the stored epoch is stale —
+  // "clients with stale membership epochs have their requests rejected
+  // and must update membership information" (§4.1).
+  if (request.config.epoch() <= config_.epoch()) {
+    stats_.stale_epoch_rejections++;
+    return Status::StaleEpoch("membership epoch " +
+                              std::to_string(request.config.epoch()) +
+                              " <= " + std::to_string(config_.epoch()));
+  }
+  config_ = request.config;
+  volume_epoch_ = std::max(volume_epoch_, request.volume_epoch);
+  return Status::OK();
+}
+
+Status SegmentStore::UpdateVolumeEpoch(
+    const VolumeEpochUpdateRequest& request) {
+  if (request.new_epoch <= volume_epoch_) {
+    stats_.stale_epoch_rejections++;
+    return Status::StaleEpoch("volume epoch " +
+                              std::to_string(request.new_epoch) + " <= " +
+                              std::to_string(volume_epoch_));
+  }
+  volume_epoch_ = request.new_epoch;
+  if (request.truncation.has_value()) {
+    const auto& range = *request.truncation;
+    hot_log_.Truncate(range);
+    record_crcs_.erase(record_crcs_.lower_bound(range.start),
+                       record_crcs_.upper_bound(range.end));
+    // Drop pending redo and materialized versions inside the annulled
+    // range (§2.4: in-flight writes completing during recovery must be
+    // ignored; versions built from annulled records are invalid).
+    for (auto it = pending_redo_.begin(); it != pending_redo_.end();) {
+      auto& pending = it->second;
+      pending.erase(pending.lower_bound(range.start),
+                    pending.upper_bound(range.end));
+      it = pending.empty() ? pending_redo_.erase(it) : std::next(it);
+    }
+    for (auto& [block, block_versions] : versions_) {
+      block_versions.erase(block_versions.lower_bound(range.start),
+                           block_versions.end());
+    }
+  }
+  return Status::OK();
+}
+
+void SegmentStore::BeginHydration(Lsn target_scl) {
+  hydrated_ = false;
+  hydration_target_ = target_scl;
+  MaybeFinishHydration();
+}
+
+void SegmentStore::MaybeFinishHydration() {
+  if (!hydrated_ && hot_log_.scl() >= hydration_target_) {
+    hydrated_ = true;
+    AURORA_DEBUG << "segment " << info_.id << " hydrated to scl "
+                 << hot_log_.scl();
+  }
+}
+
+Status SegmentStore::AbsorbHydration(const HydrationResponse& response) {
+  for (const auto& range : response.truncations) {
+    hot_log_.Truncate(range);
+  }
+  AURORA_RETURN_IF_ERROR(AbsorbGossip(response.records));
+  for (const auto& page : response.pages) {
+    auto& block_versions = versions_[page.id];
+    block_versions.emplace(page.page_lsn, page);
+    // Pending redo at or below the absorbed version is already reflected.
+    auto pending_it = pending_redo_.find(page.id);
+    if (pending_it != pending_redo_.end()) {
+      auto& pending = pending_it->second;
+      pending.erase(pending.begin(), pending.upper_bound(page.page_lsn));
+      if (pending.empty()) pending_redo_.erase(pending_it);
+    }
+  }
+  MaybeFinishHydration();
+  return Status::OK();
+}
+
+HydrationResponse SegmentStore::BuildHydration(
+    const HydrationRequest& request) const {
+  HydrationResponse response;
+  response.status = Status::OK();
+  response.truncations = hot_log_.truncations();
+  constexpr size_t kMaxRecords = 4096;
+  response.records = hot_log_.RecordsAbove(request.have_scl, kMaxRecords);
+  if (request.need_blocks && info_.is_full) {
+    for (const auto& [block, block_versions] : versions_) {
+      if (block_versions.empty()) continue;
+      // The newest version is sufficient for repair; history below PGMRPL
+      // is not needed by any reader.
+      response.pages.push_back(block_versions.rbegin()->second);
+    }
+  }
+  return response;
+}
+
+void SegmentStore::ResetToArchive(const std::vector<log::RedoRecord>& records,
+                                  Lsn restore_point, VolumeEpoch new_epoch) {
+  // Truncation history survives the reset: ranges annulled by earlier
+  // recoveries/restores may still have records in the archive (they were
+  // backed up before being annulled) and must not be resurrected.
+  const std::vector<log::TruncationRange> annulled =
+      hot_log_.truncations();
+  hot_log_ = log::SegmentHotLog();
+  for (const auto& range : annulled) hot_log_.Truncate(range);
+  record_crcs_.clear();
+  pending_redo_.clear();
+  versions_.clear();
+  coalesce_cursor_ = kInvalidLsn;
+  pgmrpl_ = kInvalidLsn;
+  backup_lsn_ = kInvalidLsn;
+  hydrated_ = true;
+  hydration_target_ = kInvalidLsn;
+  volume_epoch_ = new_epoch;
+  for (const auto& record : records) {
+    if (record.lsn > restore_point) continue;
+    if (record.pg != pg_) continue;
+    if (hot_log_.Append(record).ok() &&
+        hot_log_.Contains(record.lsn)) {
+      IndexRecord(record);
+    }
+  }
+  // Everything the archive held was once backed up by definition.
+  backup_lsn_ = hot_log_.scl();
+  // Annul the old timeline above the restore point (writes archived after
+  // it or still straggling through the network). The range width matches
+  // the engine's truncation gap so the post-restore recovery allocates
+  // new LSNs just above it.
+  hot_log_.Truncate(
+      log::TruncationRange{restore_point + 1, restore_point + (1ULL << 30)});
+}
+
+bool SegmentStore::CorruptRecordForTest(Lsn lsn) {
+  log::RedoRecord* record =
+      const_cast<log::RedoRecord*>(hot_log_.Find(lsn));
+  if (record == nullptr || record->payload.empty()) return false;
+  record->payload[0] = static_cast<char>(record->payload[0] ^ 0x40);
+  return true;
+}
+
+size_t SegmentStore::VersionCount(BlockId block) const {
+  auto it = versions_.find(block);
+  return it == versions_.end() ? 0 : it->second.size();
+}
+
+uint64_t SegmentStore::TotalVersionBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [block, block_versions] : versions_) {
+    for (const auto& [lsn, page] : block_versions) bytes += page.SizeBytes();
+  }
+  return bytes;
+}
+
+size_t SegmentStore::PendingRedoCount() const {
+  size_t n = 0;
+  for (const auto& [block, pending] : pending_redo_) n += pending.size();
+  return n;
+}
+
+}  // namespace aurora::storage

@@ -1,0 +1,176 @@
+// Per-segment state held by a storage node: hot log, materialized block
+// versions, epochs, hydration and scrub state.
+//
+// This implements the storage half of the paper's protocol:
+//  * idempotent redo appends with SCL tracking (§2.3) — storage nodes "do
+//    not have a vote in determining whether to accept a write, they must
+//    do so";
+//  * on-demand block materialization along the block chain (§2.2);
+//  * out-of-place, non-destructive block versions retained until PGMRPL
+//    advances (§3.4);
+//  * epoch validation for volume and membership fencing (§2.4, §4.1);
+//  * truncation-range enforcement so in-flight writes from before a crash
+//    are annulled (§2.4);
+//  * tail segments that store redo only (§4.2).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/log/hot_log.h"
+#include "src/log/record.h"
+#include "src/quorum/membership.h"
+#include "src/storage/messages.h"
+#include "src/storage/page.h"
+
+namespace aurora::storage {
+
+/// Counters exposed per segment (drive the Figure-2 pipeline benchmark).
+struct SegmentStats {
+  uint64_t records_received = 0;
+  uint64_t records_duplicate = 0;
+  uint64_t records_coalesced = 0;
+  uint64_t records_gossip_filled = 0;
+  uint64_t records_gced = 0;
+  uint64_t records_backed_up = 0;
+  uint64_t reads_served = 0;
+  uint64_t reads_rejected = 0;
+  uint64_t stale_epoch_rejections = 0;
+  uint64_t scrub_corruptions_found = 0;
+  uint64_t versions_gced = 0;
+};
+
+/// One segment replica. All methods are local (the owning StorageNode
+/// mediates network and disk latency).
+class SegmentStore {
+ public:
+  SegmentStore(quorum::SegmentInfo info, ProtectionGroupId pg,
+               quorum::PgConfig config, VolumeEpoch volume_epoch,
+               bool hydrated = true);
+
+  SegmentId id() const { return info_.id; }
+  ProtectionGroupId pg() const { return pg_; }
+  bool is_full() const { return info_.is_full; }
+  bool hydrated() const { return hydrated_; }
+  Lsn scl() const { return hot_log_.scl(); }
+  VolumeEpoch volume_epoch() const { return volume_epoch_; }
+  const quorum::PgConfig& config() const { return config_; }
+  const SegmentStats& stats() const { return stats_; }
+  const log::SegmentHotLog& hot_log() const { return hot_log_; }
+
+  /// Rejects requests carrying stale epochs (§4.1: "storage nodes will not
+  /// accept requests at stale volume epochs"). A request at a NEWER volume
+  /// epoch teaches the node the new epoch (epochs are issued by a single
+  /// authority and monotone).
+  Status CheckEpochs(const EpochVector& epochs);
+
+  /// Appends a batch of redo records (idempotent; §2.2 steps 1-3).
+  Status Append(const std::vector<log::RedoRecord>& records);
+
+  /// Appends records learned via gossip (same as Append, separate stat).
+  Status AbsorbGossip(const std::vector<log::RedoRecord>& records);
+
+  /// Gossip reply: the chain records a peer at `peer_scl` is missing.
+  std::vector<log::RedoRecord> ChainAfter(Lsn peer_scl,
+                                          size_t max_records) const {
+    return hot_log_.ChainAfter(peer_scl, max_records);
+  }
+
+  /// Applies up to `max_records` chain-complete records (<= SCL) to block
+  /// versions (§2.1 activity 5). No-op for tail segments. Returns records
+  /// applied.
+  size_t CoalesceStep(size_t max_records);
+
+  /// Serves a block version at or below `read_lsn`, materializing
+  /// on-demand from the newest coalesced version plus hot-log records
+  /// (§2.2). Only full segments serve pages. The node only accepts reads
+  /// between PGMRPL and SCL (§3.4).
+  Result<Page> ReadPage(BlockId block, Lsn read_lsn);
+
+  /// Observes the instance's minimum read point (§3.4); unlocks GC below.
+  void ObservePgmrpl(Lsn pgmrpl);
+  Lsn pgmrpl() const { return pgmrpl_; }
+
+  /// Marks records at or below `lsn` as durably backed up (§2.1 act. 6).
+  void MarkBackedUp(Lsn lsn);
+  Lsn backup_lsn() const { return backup_lsn_; }
+
+  /// Records eligible for the next backup batch.
+  std::vector<log::RedoRecord> PendingBackup(size_t max_records) const;
+
+  /// Garbage collection (§2.1 activity 7): evicts hot-log records that are
+  /// coalesced (full) or backed up, and block versions older than PGMRPL
+  /// (keeping the newest version at or below it). Returns items removed.
+  size_t GarbageCollect();
+
+  /// Scrub (§2.1 activity 8): re-verifies stored record checksums. Corrupt
+  /// records are dropped (gossip will re-fill them). Returns corruptions.
+  size_t Scrub();
+
+  /// Installs a new membership config. Accepts monotonically newer epochs
+  /// from the membership authority; rejects stale or non-matching ones.
+  Status UpdateMembership(const MembershipUpdateRequest& request);
+
+  /// Installs a new volume epoch and optional truncation range (§2.4).
+  Status UpdateVolumeEpoch(const VolumeEpochUpdateRequest& request);
+
+  /// Hydration of a replacement segment (§4.2): absorb peer state. The
+  /// segment reports hydrated once its SCL reaches `target_scl`.
+  void BeginHydration(Lsn target_scl);
+  Status AbsorbHydration(const HydrationResponse& response);
+
+  /// Builds a hydration reply for a peer (donor side).
+  HydrationResponse BuildHydration(const HydrationRequest& request) const;
+
+  /// Point-in-time restore (§2.1 activity 6): discards ALL local state and
+  /// reloads from archived records at or below `restore_point`, installing
+  /// `new_epoch` and a truncation range that annuls everything above the
+  /// restore point. Only records on the contiguous chain survive.
+  void ResetToArchive(const std::vector<log::RedoRecord>& records,
+                      Lsn restore_point, VolumeEpoch new_epoch);
+
+  /// Test hook: flips a byte inside a stored record's payload so Scrub()
+  /// finds it.
+  bool CorruptRecordForTest(Lsn lsn);
+
+  /// Test/inspection: number of retained versions for a block.
+  size_t VersionCount(BlockId block) const;
+  uint64_t TotalVersionBytes() const;
+  uint64_t HotLogBytes() const { return hot_log_.TotalBytes(); }
+  Lsn coalesce_cursor() const { return coalesce_cursor_; }
+  size_t PendingRedoCount() const;
+
+ private:
+  void IndexRecord(const log::RedoRecord& record);
+  void MaybeFinishHydration();
+  const Page* LatestVersionAtOrBelow(BlockId block, Lsn lsn) const;
+
+  quorum::SegmentInfo info_;
+  ProtectionGroupId pg_;
+  quorum::PgConfig config_;
+  VolumeEpoch volume_epoch_;
+  bool hydrated_ = true;
+  Lsn hydration_target_ = kInvalidLsn;
+
+  log::SegmentHotLog hot_log_;
+  // Record checksums captured at append; Scrub() re-verifies.
+  std::map<Lsn, uint32_t> record_crcs_;
+  // Per-block pending (un-coalesced) redo, in LSN order.
+  std::map<BlockId, std::map<Lsn, log::RedoRecord>> pending_redo_;
+  // Out-of-place materialized versions per block, keyed by page_lsn.
+  std::map<BlockId, std::map<Lsn, Page>> versions_;
+
+  Lsn coalesce_cursor_ = kInvalidLsn;  // all records <= this are coalesced
+  Lsn pgmrpl_ = kInvalidLsn;
+  Lsn backup_lsn_ = kInvalidLsn;
+
+  SegmentStats stats_;
+};
+
+}  // namespace aurora::storage

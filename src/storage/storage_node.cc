@@ -1,0 +1,376 @@
+#include "src/storage/storage_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace aurora::storage {
+
+StorageNode::StorageNode(sim::Simulator* sim, sim::Network* network,
+                         NodeId id, AzId az, ObjectStore* object_store,
+                         StorageNodeOptions options)
+    : sim_(sim),
+      network_(network),
+      id_(id),
+      az_(az),
+      object_store_(object_store),
+      options_(options),
+      disk_(sim, options.disk),
+      rng_(sim->rng().Fork()) {
+  network_->RegisterNode(id_, az_, this);
+}
+
+SegmentStore* StorageNode::AddSegment(quorum::SegmentInfo info,
+                                      ProtectionGroupId pg,
+                                      quorum::PgConfig config,
+                                      VolumeEpoch volume_epoch,
+                                      bool hydrated) {
+  auto store = std::make_unique<SegmentStore>(info, pg, std::move(config),
+                                              volume_epoch, hydrated);
+  SegmentStore* raw = store.get();
+  segments_[info.id] = std::move(store);
+  return raw;
+}
+
+SegmentStore* StorageNode::FindSegment(SegmentId segment) {
+  auto it = segments_.find(segment);
+  return it == segments_.end() ? nullptr : it->second.get();
+}
+
+void StorageNode::DropSegment(SegmentId segment) {
+  segments_.erase(segment);
+}
+
+void StorageNode::HandleWrite(const WriteRequest& request,
+                              sim::ReplyFn<WriteAck> reply) {
+  SegmentStore* segment = FindSegment(request.segment);
+  if (segment == nullptr) {
+    reply(WriteAck{request.segment, Status::NotFound("no such segment"),
+                   kInvalidLsn});
+    return;
+  }
+  if (Status st = segment->CheckEpochs(request.epochs); !st.ok()) {
+    reply(WriteAck{request.segment, std::move(st), segment->scl()});
+    return;
+  }
+  // Durable append to the update queue, then acknowledge with the SCL
+  // reached after sort/group (§2.1 activities 1-3). The disk write is the
+  // only synchronous cost on the ack path.
+  uint64_t bytes = 0;
+  for (const auto& r : request.records) bytes += r.SerializedSize();
+  disk_.SubmitWrite(bytes, [this, request, reply = std::move(reply),
+                            segment]() {
+    if (!IsUp()) return;  // crashed mid-I/O: write lost, never acked
+    Status st = segment->Append(request.records);
+    reply(WriteAck{request.segment, std::move(st), segment->scl()});
+  });
+}
+
+void StorageNode::HandleReadPage(const ReadPageRequest& request,
+                                 sim::ReplyFn<ReadPageResponse> reply) {
+  SegmentStore* segment = FindSegment(request.segment);
+  if (segment == nullptr) {
+    reply(ReadPageResponse{Status::NotFound("no such segment"), {}});
+    return;
+  }
+  if (Status st = segment->CheckEpochs(request.epochs); !st.ok()) {
+    reply(ReadPageResponse{std::move(st), {}});
+    return;
+  }
+  if (request.pgmrpl != kInvalidLsn) {
+    segment->ObservePgmrpl(request.pgmrpl);
+  }
+  disk_.SubmitRead(4096, [this, request, reply = std::move(reply),
+                          segment]() {
+    if (!IsUp()) return;
+    auto page = segment->ReadPage(request.block, request.read_lsn);
+    if (!page.ok()) {
+      reply(ReadPageResponse{page.status(), {}});
+      return;
+    }
+    reply(ReadPageResponse{Status::OK(), std::move(*page)});
+  });
+}
+
+void StorageNode::HandleSegmentState(const SegmentStateRequest& request,
+                                     sim::ReplyFn<SegmentStateResponse> reply) {
+  SegmentStore* segment = FindSegment(request.segment);
+  if (segment == nullptr) {
+    reply(SegmentStateResponse{Status::NotFound("no such segment"),
+                               request.segment, kInvalidLsn, false, false, 0,
+                               0});
+    return;
+  }
+  SegmentStateResponse response;
+  response.status = Status::OK();
+  response.segment = segment->id();
+  response.scl = segment->scl();
+  response.hydrated = segment->hydrated();
+  response.is_full = segment->is_full();
+  response.volume_epoch = segment->volume_epoch();
+  response.membership_epoch = segment->config().epoch();
+  response.truncations = segment->hot_log().truncations();
+  response.gc_floor = segment->hot_log().gc_floor();
+  reply(std::move(response));
+}
+
+void StorageNode::HandleTailRecords(const TailRecordsRequest& request,
+                                    sim::ReplyFn<TailRecordsResponse> reply) {
+  SegmentStore* segment = FindSegment(request.segment);
+  if (segment == nullptr) {
+    reply(TailRecordsResponse{Status::NotFound("no such segment"), {}});
+    return;
+  }
+  TailRecordsResponse response;
+  response.status = Status::OK();
+  response.gc_floor = segment->hot_log().gc_floor();
+  for (const auto& record :
+       segment->hot_log().RecordsAbove(request.from_lsn, 1 << 20)) {
+    response.records.push_back(
+        TailRecordInfo{record.lsn, record.IsMtrComplete()});
+  }
+  reply(std::move(response));
+}
+
+void StorageNode::HandleGossip(const GossipRequest& request,
+                               sim::ReplyFn<GossipResponse> reply) {
+  SegmentStore* segment = FindSegment(request.to_segment);
+  if (segment == nullptr) {
+    reply(GossipResponse{Status::NotFound("no such segment"), {}});
+    return;
+  }
+  GossipResponse response;
+  response.status = Status::OK();
+  response.records = segment->ChainAfter(request.scl, options_.gossip_batch);
+  reply(std::move(response));
+}
+
+void StorageNode::HandleMembershipUpdate(
+    const MembershipUpdateRequest& request,
+    sim::ReplyFn<MembershipUpdateResponse> reply) {
+  SegmentStore* segment = FindSegment(request.segment);
+  if (segment == nullptr) {
+    reply(MembershipUpdateResponse{Status::NotFound("no such segment"), 0});
+    return;
+  }
+  Status st = segment->UpdateMembership(request);
+  reply(MembershipUpdateResponse{std::move(st), segment->config().epoch()});
+}
+
+void StorageNode::HandleVolumeEpochUpdate(
+    const VolumeEpochUpdateRequest& request,
+    sim::ReplyFn<VolumeEpochUpdateResponse> reply) {
+  SegmentStore* segment = FindSegment(request.segment);
+  if (segment == nullptr) {
+    reply(VolumeEpochUpdateResponse{Status::NotFound("no such segment"), 0,
+                                    kInvalidLsn});
+    return;
+  }
+  Status st = segment->UpdateVolumeEpoch(request);
+  reply(VolumeEpochUpdateResponse{std::move(st), segment->volume_epoch(),
+                                  segment->scl()});
+}
+
+void StorageNode::HandleHydration(const HydrationRequest& request,
+                                  sim::ReplyFn<HydrationResponse> reply) {
+  SegmentStore* segment = FindSegment(request.from_segment);
+  if (segment == nullptr) {
+    reply(HydrationResponse{Status::NotFound("no such segment"), {}, {}});
+    return;
+  }
+  disk_.SubmitRead(64 * 1024, [reply = std::move(reply), segment, request,
+                               this]() {
+    if (!IsUp()) return;
+    reply(segment->BuildHydration(request));
+  });
+}
+
+template <typename Fn>
+void StorageNode::Every(SimDuration interval, Fn fn) {
+  // Jittered period so nodes do not run stages in lockstep.
+  const SimDuration delay =
+      interval / 2 +
+      static_cast<SimDuration>(rng_.NextBounded(
+          static_cast<uint64_t>(std::max<SimDuration>(interval, 1))));
+  sim_->Schedule(delay, [this, interval, fn]() {
+    if (IsUp()) fn();
+    Every(interval, fn);
+  });
+}
+
+void StorageNode::StartBackground() {
+  if (background_started_ || !options_.background_enabled) return;
+  background_started_ = true;
+  Every(options_.gossip_interval, [this]() { RunGossipOnce(); });
+  Every(options_.coalesce_interval, [this]() { RunCoalesceOnce(); });
+  Every(options_.backup_interval, [this]() { RunBackupOnce(); });
+  Every(options_.gc_interval, [this]() { RunGcOnce(); });
+  Every(options_.scrub_interval, [this]() { RunScrubOnce(); });
+}
+
+void StorageNode::RunGossipOnce() {
+  for (auto& [id, segment] : segments_) {
+    GossipSegment(segment.get());
+  }
+}
+
+void StorageNode::GossipSegment(SegmentStore* segment) {
+  // Pick a random peer from the current membership.
+  const auto members = segment->config().AllMembers();
+  std::vector<quorum::SegmentInfo> peers;
+  for (const auto& m : members) {
+    if (m.id != segment->id() && m.node != id_) peers.push_back(m);
+  }
+  if (peers.empty()) return;
+  const auto& peer = peers[rng_.NextBounded(peers.size())];
+  GossipRequest request{segment->id(), peer.id, segment->scl()};
+  SegmentId local_id = segment->id();
+  sim::UnaryCall<GossipResponse>(
+      network_, id_, peer.node, request.SerializedSize(),
+      [this, peer, request](sim::ReplyFn<GossipResponse> reply) {
+        StorageNode* peer_node = resolver_ ? resolver_(peer.node) : nullptr;
+        if (peer_node == nullptr) {
+          reply(GossipResponse{Status::Unavailable("peer unresolved"), {}});
+          return;
+        }
+        peer_node->HandleGossip(request, std::move(reply));
+      },
+      [](const GossipResponse& r) { return r.SerializedSize(); },
+      [this, local_id](GossipResponse response) {
+        if (!response.status.ok()) return;
+        SegmentStore* local = FindSegment(local_id);
+        if (local != nullptr && !response.records.empty()) {
+          (void)local->AbsorbGossip(response.records);
+        }
+      });
+}
+
+void StorageNode::RunCoalesceOnce() {
+  for (auto& [id, segment] : segments_) {
+    segment->CoalesceStep(options_.coalesce_batch);
+  }
+}
+
+void StorageNode::RunBackupOnce() {
+  if (object_store_ == nullptr) return;
+  for (auto& [id, segment] : segments_) {
+    auto records = segment->PendingBackup(options_.backup_batch);
+    if (records.empty()) continue;
+    const SegmentId seg_id = id;
+    object_store_->Put(segment->pg(), std::move(records),
+                       [this, seg_id](Lsn max_lsn) {
+                         SegmentStore* s = FindSegment(seg_id);
+                         if (s != nullptr && max_lsn != kInvalidLsn) {
+                           s->MarkBackedUp(max_lsn);
+                         }
+                       });
+  }
+}
+
+void StorageNode::RunGcOnce() {
+  for (auto& [id, segment] : segments_) {
+    segment->GarbageCollect();
+  }
+}
+
+void StorageNode::RunScrubOnce() {
+  for (auto& [id, segment] : segments_) {
+    segment->Scrub();
+  }
+}
+
+void StorageNode::StartHydrationPull(SegmentId local_segment) {
+  SegmentStore* segment = FindSegment(local_segment);
+  if (segment == nullptr || segment->hydrated()) return;
+  const uint64_t token = ++hydration_tokens_[local_segment];
+  // Watchdog: a pull whose donor died mid-transfer never responds; retry
+  // if no newer pull has been started by then.
+  sim_->Schedule(500 * kMillisecond, [this, local_segment, token]() {
+    auto it = hydration_tokens_.find(local_segment);
+    if (it == hydration_tokens_.end() || it->second != token) return;
+    SegmentStore* s = FindSegment(local_segment);
+    if (s != nullptr && !s->hydrated()) StartHydrationPull(local_segment);
+  });
+  // Choose a donor: prefer a reachable full peer when we need block state.
+  const bool need_blocks = segment->is_full();
+  const auto members = segment->config().AllMembers();
+  std::vector<quorum::SegmentInfo> donors;
+  for (const auto& m : members) {
+    if (m.id == segment->id()) continue;
+    if (need_blocks && !m.is_full) continue;
+    if (!network_->IsUp(m.node)) continue;
+    donors.push_back(m);
+  }
+  if (donors.empty()) {
+    for (const auto& m : members) {
+      if (m.id != segment->id() && network_->IsUp(m.node)) donors.push_back(m);
+    }
+  }
+  if (donors.empty()) return;
+  const auto& donor = donors[rng_.NextBounded(donors.size())];
+  HydrationRequest request{donor.id, local_segment, segment->scl(),
+                           need_blocks};
+  sim::UnaryCall<HydrationResponse>(
+      network_, id_, donor.node, request.SerializedSize(),
+      [this, donor, request](sim::ReplyFn<HydrationResponse> reply) {
+        StorageNode* donor_node = resolver_ ? resolver_(donor.node) : nullptr;
+        if (donor_node == nullptr) {
+          reply(HydrationResponse{Status::Unavailable("donor unresolved"),
+                                  {}, {}});
+          return;
+        }
+        donor_node->HandleHydration(request, std::move(reply));
+      },
+      [](const HydrationResponse& r) { return r.SerializedSize(); },
+      [this, local_segment](HydrationResponse response) {
+        SegmentStore* local = FindSegment(local_segment);
+        if (local == nullptr) return;
+        const Lsn scl_before = local->scl();
+        if (response.status.ok()) {
+          (void)local->AbsorbHydration(response);
+        }
+        if (local->hydrated()) return;
+        // Progress means the chain actually advanced. A donor whose hot
+        // log was garbage-collected below our position returns records we
+        // cannot link; the archive must fill that prefix.
+        if (local->scl() > scl_before) {
+          StartHydrationPull(local_segment);
+          return;
+        }
+        // Donor had nothing for us (evicted below its GC floor, or
+        // unlucky donor choice): fall back to the archive, then retry.
+        if (object_store_ != nullptr) {
+          // Fetch to the end of the archive: recovery gaps (truncation
+          // ranges) make LSNs non-contiguous, so a bounded window above
+          // the local SCL can miss everything.
+          object_store_->Get(
+              local->pg(), local->scl() + 1,
+              std::numeric_limits<Lsn>::max(),
+              [this, local_segment](std::vector<log::RedoRecord> records) {
+                SegmentStore* s = FindSegment(local_segment);
+                if (s == nullptr) return;
+                if (!records.empty()) (void)s->AbsorbGossip(records);
+                if (!s->hydrated()) {
+                  sim_->Schedule(10 * kMillisecond, [this, local_segment]() {
+                    StartHydrationPull(local_segment);
+                  });
+                }
+              });
+        } else {
+          sim_->Schedule(10 * kMillisecond, [this, local_segment]() {
+            StartHydrationPull(local_segment);
+          });
+        }
+      });
+}
+
+void StorageNode::OnCrash() {
+  // Segment state is disk-durable; nothing volatile to clear. In-flight
+  // disk completions and network deliveries are guarded by IsUp checks /
+  // incarnation numbers.
+}
+
+void StorageNode::OnRestart() {}
+
+}  // namespace aurora::storage

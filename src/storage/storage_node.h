@@ -1,0 +1,132 @@
+// A storage node: hosts segments, runs the Figure-2 activity pipeline.
+//
+// Foreground: (1) receive redo records, (2) append to the update queue on
+// disk and acknowledge. Background: (3) sort/group into the hot log,
+// (4) gossip with peers to fill holes, (5) coalesce records into data
+// blocks, (6) archive to the object store, (7) garbage-collect, (8) scrub
+// checksums. Crucially, storage nodes "do not have a vote in determining
+// whether to accept a write, they must do so" (§2.3) — every handler is
+// idempotent and works from local state only.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/sim/network.h"
+#include "src/sim/rpc.h"
+#include "src/sim/simulator.h"
+#include "src/storage/disk.h"
+#include "src/storage/messages.h"
+#include "src/storage/object_store.h"
+#include "src/storage/segment_store.h"
+
+namespace aurora::storage {
+
+struct StorageNodeOptions {
+  DiskOptions disk;
+  SimDuration gossip_interval = 100 * kMillisecond;
+  SimDuration coalesce_interval = 5 * kMillisecond;
+  SimDuration backup_interval = 100 * kMillisecond;
+  SimDuration gc_interval = 500 * kMillisecond;
+  SimDuration scrub_interval = 30 * kSecond;
+  size_t coalesce_batch = 1024;
+  size_t gossip_batch = 1024;
+  size_t backup_batch = 4096;
+  /// If false, no periodic timers are scheduled; tests drive stages
+  /// manually via the Run*Once methods.
+  bool background_enabled = true;
+};
+
+/// Resolves a peer node id to its StorageNode instance (cluster
+/// directory); the network still mediates latency and liveness.
+class StorageNode;
+using NodeResolver = std::function<StorageNode*(NodeId)>;
+
+class StorageNode : public sim::NodeLifecycleListener {
+ public:
+  StorageNode(sim::Simulator* sim, sim::Network* network, NodeId id,
+              AzId az, ObjectStore* object_store,
+              StorageNodeOptions options = {});
+
+  NodeId id() const { return id_; }
+  AzId az() const { return az_; }
+  SimDisk& disk() { return disk_; }
+
+  void SetResolver(NodeResolver resolver) { resolver_ = std::move(resolver); }
+
+  /// Hosts a new segment on this node.
+  SegmentStore* AddSegment(quorum::SegmentInfo info, ProtectionGroupId pg,
+                           quorum::PgConfig config, VolumeEpoch volume_epoch,
+                           bool hydrated = true);
+
+  SegmentStore* FindSegment(SegmentId segment);
+  const std::map<SegmentId, std::unique_ptr<SegmentStore>>& segments() const {
+    return segments_;
+  }
+
+  /// Removes a segment (after a committed membership change away from it).
+  void DropSegment(SegmentId segment);
+
+  // -- RPC handlers (invoked at this node after request delivery) --------
+  void HandleWrite(const WriteRequest& request,
+                   sim::ReplyFn<WriteAck> reply);
+  void HandleReadPage(const ReadPageRequest& request,
+                      sim::ReplyFn<ReadPageResponse> reply);
+  void HandleSegmentState(const SegmentStateRequest& request,
+                          sim::ReplyFn<SegmentStateResponse> reply);
+  void HandleTailRecords(const TailRecordsRequest& request,
+                         sim::ReplyFn<TailRecordsResponse> reply);
+  void HandleGossip(const GossipRequest& request,
+                    sim::ReplyFn<GossipResponse> reply);
+  void HandleMembershipUpdate(const MembershipUpdateRequest& request,
+                              sim::ReplyFn<MembershipUpdateResponse> reply);
+  void HandleVolumeEpochUpdate(const VolumeEpochUpdateRequest& request,
+                               sim::ReplyFn<VolumeEpochUpdateResponse> reply);
+  void HandleHydration(const HydrationRequest& request,
+                       sim::ReplyFn<HydrationResponse> reply);
+
+  // -- Background stages (also runnable manually for tests) --------------
+  void StartBackground();
+  void RunGossipOnce();
+  void RunCoalesceOnce();
+  void RunBackupOnce();
+  void RunGcOnce();
+  void RunScrubOnce();
+
+  /// Drives hydration of a local (replacement) segment by pulling from a
+  /// donor peer until the segment reports hydrated (§4.2 repair).
+  void StartHydrationPull(SegmentId local_segment);
+
+  // -- Lifecycle ----------------------------------------------------------
+  void OnCrash() override;
+  void OnRestart() override;
+
+  bool IsUp() const { return network_->IsUp(id_); }
+
+ private:
+  template <typename Fn>
+  void Every(SimDuration interval, Fn fn);
+
+  void GossipSegment(SegmentStore* segment);
+
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId id_;
+  AzId az_;
+  ObjectStore* object_store_;
+  StorageNodeOptions options_;
+  SimDisk disk_;
+  Rng rng_;
+  NodeResolver resolver_;
+  std::map<SegmentId, std::unique_ptr<SegmentStore>> segments_;
+  std::map<SegmentId, uint64_t> hydration_tokens_;
+  bool background_started_ = false;
+};
+
+}  // namespace aurora::storage

@@ -1,0 +1,62 @@
+// Row-level write locks.
+//
+// §2.3: "Locking, transaction management, deadlocks, constraints, and other
+// conditions that influence whether an operation may proceed are all
+// resolved at the database tier" — storage nodes never vote on writes.
+// This table provides exclusive row locks with immediate conflict
+// signaling (no waits, hence no deadlocks); callers retry or abort.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace aurora::txn {
+
+class LockTable {
+ public:
+  /// Acquires an exclusive lock on `key` for `txn`. Re-acquisition by the
+  /// holder is a no-op. Returns kConflict if another transaction holds it.
+  Status Acquire(TxnId txn, const std::string& key) {
+    auto [it, inserted] = locks_.try_emplace(key, txn);
+    if (!inserted && it->second != txn) {
+      conflicts_++;
+      return Status::Conflict("row locked by txn " +
+                              std::to_string(it->second));
+    }
+    if (inserted) held_[txn].push_back(key);
+    return Status::OK();
+  }
+
+  /// Releases every lock held by `txn` (commit or abort).
+  void ReleaseAll(TxnId txn) {
+    auto it = held_.find(txn);
+    if (it == held_.end()) return;
+    for (const auto& key : it->second) {
+      auto lock = locks_.find(key);
+      if (lock != locks_.end() && lock->second == txn) locks_.erase(lock);
+    }
+    held_.erase(it);
+  }
+
+  bool IsLocked(const std::string& key) const { return locks_.contains(key); }
+  size_t LockCount() const { return locks_.size(); }
+  uint64_t conflicts() const { return conflicts_; }
+
+  /// Crash: all lock state is ephemeral.
+  void Clear() {
+    locks_.clear();
+    held_.clear();
+  }
+
+ private:
+  std::map<std::string, TxnId> locks_;
+  std::map<TxnId, std::vector<std::string>> held_;
+  uint64_t conflicts_ = 0;
+};
+
+}  // namespace aurora::txn

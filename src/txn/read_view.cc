@@ -1,0 +1,19 @@
+#include "src/txn/read_view.h"
+
+namespace aurora::txn {
+
+std::string ReadView::ToString() const {
+  std::string out = "ReadView{lsn=" + std::to_string(read_lsn_) + " active={";
+  bool first = true;
+  for (TxnId t : active_) {
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(t);
+  }
+  out += "}";
+  if (own_ != kInvalidTxn) out += " own=" + std::to_string(own_);
+  out += "}";
+  return out;
+}
+
+}  // namespace aurora::txn

@@ -1,0 +1,65 @@
+// Row version encoding for MVCC (§3.1).
+//
+// Leaf-page entry values are encoded row versions carrying the writing
+// transaction id and a pointer to the undo entry holding the previous
+// version. Aurora-style visibility: a reader with a read view either sees
+// the version (its writer committed at or before the view's anchor LSN) or
+// follows the undo chain to reconstruct an older version — "replicas revert
+// active transactions for MVCC using undo, just as on the writer" (§3.4).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace aurora::txn {
+
+/// Locates one undo entry: a key inside a dedicated undo page. Undo pages
+/// are ordinary volume blocks materialized through the same redo path, so
+/// replicas can read undo from shared storage.
+struct UndoPtr {
+  BlockId block = kInvalidBlock;
+  std::string key;
+
+  bool IsNull() const { return block == kInvalidBlock; }
+  bool operator==(const UndoPtr&) const = default;
+};
+
+/// One visible row state.
+struct RowVersion {
+  TxnId txn = kInvalidTxn;
+  bool deleted = false;
+  std::string value;
+  UndoPtr undo;  // previous version, or null at the chain end
+
+  bool operator==(const RowVersion&) const = default;
+};
+
+/// Serializes a row version into a page-entry value.
+std::string EncodeRowVersion(const RowVersion& version);
+
+/// Decodes a page-entry value.
+Result<RowVersion> DecodeRowVersion(std::string_view encoded);
+
+/// The payload stored in an undo entry: the full previous RowVersion, or
+/// "row did not exist" (insert rollback). `row_key` locates the row for
+/// compensation; `next` chains the writing transaction's undo entries
+/// (most recent first) for rollback.
+struct UndoEntry {
+  std::string row_key;
+  bool prev_exists = false;
+  RowVersion prev;
+  UndoPtr next;
+
+  bool operator==(const UndoEntry&) const = default;
+};
+
+std::string EncodeUndoEntry(const UndoEntry& entry);
+Result<UndoEntry> DecodeUndoEntry(std::string_view encoded);
+
+}  // namespace aurora::txn

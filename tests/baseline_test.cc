@@ -1,0 +1,278 @@
+// Unit tests for the comparison baselines: 2PC, Paxos/Multi-Paxos, lease
+// fencing, ARIES recovery pricing, and page-shipping replication.
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/aries.h"
+#include "src/baseline/lease.h"
+#include "src/baseline/paxos.h"
+#include "src/baseline/sync_replication.h"
+#include "src/baseline/two_phase_commit.h"
+
+namespace aurora::baseline {
+namespace {
+
+sim::NetworkOptions FlatNetwork() {
+  sim::NetworkOptions options;
+  options.intra_az = LatencyDistribution::Constant(100);
+  options.cross_az = LatencyDistribution::Constant(600);
+  options.bytes_per_us = 0;
+  return options;
+}
+
+storage::DiskOptions FlatDisk() {
+  storage::DiskOptions options;
+  options.write_latency = LatencyDistribution::Constant(50);
+  options.read_latency = LatencyDistribution::Constant(50);
+  options.bytes_per_us = 0;
+  return options;
+}
+
+// ---------------------------------------------------------------------- //
+// 2PC
+
+TEST(TwoPhaseCommit, CommitsWhenAllVoteYes) {
+  sim::Simulator sim;
+  sim::Network net(&sim, FlatNetwork());
+  std::vector<std::unique_ptr<TpcParticipant>> participants;
+  std::vector<TpcParticipant*> raw;
+  for (NodeId id = 10; id < 13; ++id) {
+    participants.push_back(
+        std::make_unique<TpcParticipant>(&sim, &net, id, id % 3, FlatDisk()));
+    raw.push_back(participants.back().get());
+  }
+  TpcCoordinator coordinator(&sim, &net, 1, 0, raw, 1 * kSecond, FlatDisk());
+  bool committed = false;
+  coordinator.Commit([&](bool ok) { committed = ok; });
+  sim.Run();
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(coordinator.stats().commits, 1u);
+  // Latency: slowest participant RTT (cross-AZ 600*2) + 2 disk writes +
+  // coordinator force-write — well above a single one-way hop.
+  EXPECT_GT(coordinator.latency().max(), 1200);
+}
+
+TEST(TwoPhaseCommit, AnyNoVoteAborts) {
+  sim::Simulator sim;
+  sim::Network net(&sim, FlatNetwork());
+  TpcParticipant p1(&sim, &net, 10, 0, FlatDisk());
+  TpcParticipant p2(&sim, &net, 11, 1, FlatDisk());
+  p2.SetVoteNo(true);
+  TpcCoordinator coordinator(&sim, &net, 1, 0, {&p1, &p2}, 1 * kSecond,
+                             FlatDisk());
+  bool committed = true;
+  coordinator.Commit([&](bool ok) { committed = ok; });
+  sim.Run();
+  EXPECT_FALSE(committed);
+  EXPECT_EQ(coordinator.stats().aborts, 1u);
+}
+
+TEST(TwoPhaseCommit, DeadParticipantStallsUntilTimeout) {
+  sim::Simulator sim;
+  sim::Network net(&sim, FlatNetwork());
+  TpcParticipant p1(&sim, &net, 10, 0, FlatDisk());
+  TpcParticipant p2(&sim, &net, 11, 1, FlatDisk());
+  net.Crash(11);
+  TpcCoordinator coordinator(&sim, &net, 1, 0, {&p1, &p2},
+                             /*timeout=*/500 * kMillisecond, FlatDisk());
+  bool done = false;
+  bool committed = true;
+  coordinator.Commit([&](bool ok) {
+    committed = ok;
+    done = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(committed);
+  EXPECT_GE(sim.Now(), 500 * kMillisecond)
+      << "2PC blocks on the failed participant — the availability problem "
+         "Aurora's quorum writes avoid";
+}
+
+// ---------------------------------------------------------------------- //
+// Paxos
+
+std::vector<std::unique_ptr<PaxosAcceptor>> MakeAcceptors(
+    sim::Simulator& sim, sim::Network& net, int n) {
+  std::vector<std::unique_ptr<PaxosAcceptor>> acceptors;
+  for (int i = 0; i < n; ++i) {
+    acceptors.push_back(std::make_unique<PaxosAcceptor>(
+        &sim, &net, 20 + i, i % 3, FlatDisk()));
+  }
+  return acceptors;
+}
+
+TEST(Paxos, ChoosesValueWithMajority) {
+  sim::Simulator sim;
+  sim::Network net(&sim, FlatNetwork());
+  auto acceptors = MakeAcceptors(sim, net, 3);
+  MultiPaxosLog log(&sim, &net, 1, 0,
+                    {acceptors[0].get(), acceptors[1].get(),
+                     acceptors[2].get()});
+  uint64_t chosen_slot = 99;
+  log.Append("value-a", [&](uint64_t slot) { chosen_slot = slot; });
+  sim.Run();
+  EXPECT_EQ(chosen_slot, 0u);
+  EXPECT_EQ(log.stats().committed, 1u);
+  // First append pays the prepare round; later ones skip it.
+  EXPECT_EQ(log.stats().prepare_rounds, 1u);
+  log.Append("value-b", [](uint64_t) {});
+  sim.Run();
+  EXPECT_EQ(log.stats().prepare_rounds, 1u);
+}
+
+TEST(Paxos, SurvivesMinorityAcceptorFailure) {
+  sim::Simulator sim;
+  sim::Network net(&sim, FlatNetwork());
+  auto acceptors = MakeAcceptors(sim, net, 5);
+  std::vector<PaxosAcceptor*> raw;
+  for (auto& a : acceptors) raw.push_back(a.get());
+  MultiPaxosLog log(&sim, &net, 1, 0, raw);
+  net.Crash(20);
+  net.Crash(21);
+  bool committed = false;
+  log.Append("v", [&](uint64_t) { committed = true; });
+  sim.Run();
+  EXPECT_TRUE(committed) << "majority (3/5) still reachable";
+}
+
+TEST(Paxos, StallsWithoutMajority) {
+  sim::Simulator sim;
+  sim::Network net(&sim, FlatNetwork());
+  auto acceptors = MakeAcceptors(sim, net, 3);
+  std::vector<PaxosAcceptor*> raw;
+  for (auto& a : acceptors) raw.push_back(a.get());
+  MultiPaxosLog log(&sim, &net, 1, 0, raw);
+  net.Crash(20);
+  net.Crash(21);
+  bool committed = false;
+  log.Append("v", [&](uint64_t) { committed = true; });
+  sim.RunUntil(10 * kSecond);
+  EXPECT_FALSE(committed);
+}
+
+TEST(Paxos, LeadershipLossForcesPrepare) {
+  sim::Simulator sim;
+  sim::Network net(&sim, FlatNetwork());
+  auto acceptors = MakeAcceptors(sim, net, 3);
+  MultiPaxosLog log(&sim, &net, 1, 0,
+                    {acceptors[0].get(), acceptors[1].get(),
+                     acceptors[2].get()});
+  log.Append("a", [](uint64_t) {});
+  sim.Run();
+  log.LoseLeadership();
+  log.Append("b", [](uint64_t) {});
+  sim.Run();
+  EXPECT_EQ(log.stats().prepare_rounds, 2u);
+}
+
+// ---------------------------------------------------------------------- //
+// Lease fencing
+
+TEST(Lease, HolderBlocksOthersUntilExpiry) {
+  sim::Simulator sim;
+  LeaseOptions options;
+  options.ttl = 10 * kSecond;
+  LeaseManager lease(&sim, options);
+  EXPECT_TRUE(lease.Acquire(1));
+  EXPECT_FALSE(lease.Acquire(2));
+  EXPECT_TRUE(lease.Acquire(1)) << "renewal";
+  sim.RunUntil(11 * kSecond);
+  EXPECT_EQ(lease.Holder(), kInvalidNode);
+  EXPECT_TRUE(lease.Acquire(2));
+}
+
+TEST(Lease, FailoverWaitsForExpiryPlusSkew) {
+  sim::Simulator sim;
+  LeaseOptions options;
+  options.ttl = 10 * kSecond;
+  options.skew_margin = 500 * kMillisecond;
+  LeaseManager lease(&sim, options);
+  ASSERT_TRUE(lease.Acquire(1));
+  // Holder dies immediately; a new writer must still wait out the TTL.
+  SimDuration waited = -1;
+  lease.AcquireWhenFree(2, [&](SimDuration wait) { waited = wait; });
+  sim.Run();
+  EXPECT_EQ(waited, 10 * kSecond + 500 * kMillisecond);
+  EXPECT_EQ(lease.Holder(), 2u);
+}
+
+TEST(Lease, NoWaitWhenFree) {
+  sim::Simulator sim;
+  LeaseManager lease(&sim);
+  SimDuration waited = -1;
+  lease.AcquireWhenFree(2, [&](SimDuration wait) { waited = wait; });
+  sim.Run();
+  EXPECT_EQ(waited, 0);
+}
+
+// ---------------------------------------------------------------------- //
+// ARIES recovery pricing
+
+TEST(Aries, RecoveryTimeScalesWithLogDepth) {
+  sim::Simulator sim;
+  AriesEngine small(&sim);
+  AriesEngine large(&sim);
+  small.AppendRecords(1000);
+  large.AppendRecords(80000);
+  EXPECT_GT(large.ExpectedRecoveryTime(), 10 * small.ExpectedRecoveryTime());
+}
+
+TEST(Aries, CheckpointResetsReplayWindow) {
+  sim::Simulator sim;
+  AriesEngine engine(&sim);
+  engine.AppendRecords(50000);
+  const SimDuration before = engine.ExpectedRecoveryTime();
+  engine.Checkpoint();
+  EXPECT_LT(engine.ExpectedRecoveryTime(), before);
+  EXPECT_EQ(engine.records_since_checkpoint(), 0u);
+}
+
+TEST(Aries, RecoverTakesSimulatedTime) {
+  sim::Simulator sim;
+  AriesEngine engine(&sim);
+  engine.AppendRecords(10000);
+  SimDuration elapsed = 0;
+  engine.Recover([&](SimDuration t) { elapsed = t; });
+  sim.Run();
+  EXPECT_EQ(elapsed, engine.ExpectedRecoveryTime());
+  EXPECT_GT(elapsed, 0);
+}
+
+// ---------------------------------------------------------------------- //
+// Page-shipping replication
+
+TEST(PageShipping, SynchronousWaitsForAllStandbys) {
+  sim::Simulator sim;
+  sim::Network net(&sim, FlatNetwork());
+  Standby s1(&sim, &net, 10, 1, FlatDisk());
+  Standby s2(&sim, &net, 11, 2, FlatDisk());
+  PageShippingOptions options;
+  options.synchronous = true;
+  options.disk = FlatDisk();
+  PageShippingPrimary primary(&sim, &net, 1, 0, {&s1, &s2}, options);
+  bool done = false;
+  primary.CommitTxn(3, [&]() { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+  // 3 pages + log record to each of 2 standbys.
+  EXPECT_EQ(primary.bytes_shipped(), 2 * (3 * 8192 + 256));
+  EXPECT_GT(primary.latency().max(), 1200) << "cross-AZ RTT + standby disk";
+}
+
+TEST(PageShipping, AsynchronousReturnsAfterLocalWrite) {
+  sim::Simulator sim;
+  sim::Network net(&sim, FlatNetwork());
+  Standby s1(&sim, &net, 10, 1, FlatDisk());
+  PageShippingOptions options;
+  options.synchronous = false;
+  options.disk = FlatDisk();
+  PageShippingPrimary primary(&sim, &net, 1, 0, {&s1}, options);
+  SimTime done_at = -1;
+  primary.CommitTxn(1, [&]() { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, 50) << "just the local log force-write";
+}
+
+}  // namespace
+}  // namespace aurora::baseline

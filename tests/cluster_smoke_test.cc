@@ -1,0 +1,207 @@
+// End-to-end smoke tests: bootstrap, write/commit/read, consistency-point
+// advancement, crash recovery, and replica basics on a full cluster.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+
+namespace aurora {
+namespace {
+
+core::AuroraOptions SmallOptions() {
+  core::AuroraOptions options;
+  options.seed = 7;
+  options.num_pgs = 2;
+  options.blocks_per_pg = 1 << 16;
+  options.db.cache_pages = 1024;
+  return options;
+}
+
+TEST(ClusterSmoke, BootstrapAndPutGet) {
+  core::AuroraCluster cluster(SmallOptions());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+
+  ASSERT_TRUE(cluster.PutBlocking("alpha", "1").ok());
+  ASSERT_TRUE(cluster.PutBlocking("beta", "2").ok());
+
+  auto alpha = cluster.GetBlocking("alpha");
+  ASSERT_TRUE(alpha.ok()) << alpha.status().ToString();
+  EXPECT_EQ(*alpha, "1");
+  auto beta = cluster.GetBlocking("beta");
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ(*beta, "2");
+
+  auto missing = cluster.GetBlocking("gamma");
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST(ClusterSmoke, ConsistencyPointsAdvance) {
+  core::AuroraCluster cluster(SmallOptions());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  const Lsn vcl_before = cluster.writer()->vcl();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        cluster.PutBlocking("key" + std::to_string(i), "v").ok());
+  }
+  EXPECT_GT(cluster.writer()->vcl(), vcl_before);
+  EXPECT_LE(cluster.writer()->vdl(), cluster.writer()->vcl());
+  EXPECT_GT(cluster.writer()->vdl(), vcl_before);
+}
+
+TEST(ClusterSmoke, OverwriteAndDelete) {
+  core::AuroraCluster cluster(SmallOptions());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+
+  ASSERT_TRUE(cluster.PutBlocking("k", "v1").ok());
+  ASSERT_TRUE(cluster.PutBlocking("k", "v2").ok());
+  auto v = cluster.GetBlocking("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v2");
+
+  ASSERT_TRUE(cluster.DeleteBlocking("k").ok());
+  EXPECT_TRUE(cluster.GetBlocking("k").status().IsNotFound());
+}
+
+TEST(ClusterSmoke, ManyKeysForceSplits) {
+  core::AuroraCluster cluster(SmallOptions());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  // Enough keys to force several leaf and internal splits.
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%05d", i);
+    ASSERT_TRUE(cluster.PutBlocking(key, std::to_string(i)).ok()) << i;
+  }
+  EXPECT_GT(cluster.writer()->btree()->splits(), 0u);
+  for (int i = 0; i < n; i += 37) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%05d", i);
+    auto v = cluster.GetBlocking(key);
+    ASSERT_TRUE(v.ok()) << key << ": " << v.status().ToString();
+    EXPECT_EQ(*v, std::to_string(i));
+  }
+}
+
+TEST(ClusterSmoke, MultiKeyTransactionCommit) {
+  core::AuroraCluster cluster(SmallOptions());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+
+  auto* writer = cluster.writer();
+  const TxnId txn = writer->Begin();
+  int pending = 2;
+  writer->Put(txn, "x", "10", [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    pending--;
+  });
+  writer->Put(txn, "y", "20", [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    pending--;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return pending == 0; }));
+  ASSERT_TRUE(cluster.CommitBlocking(txn).ok());
+
+  EXPECT_EQ(*cluster.GetBlocking("x"), "10");
+  EXPECT_EQ(*cluster.GetBlocking("y"), "20");
+}
+
+TEST(ClusterSmoke, RollbackRestoresPreviousVersions) {
+  core::AuroraCluster cluster(SmallOptions());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+
+  ASSERT_TRUE(cluster.PutBlocking("a", "old").ok());
+  auto* writer = cluster.writer();
+  const TxnId txn = writer->Begin();
+  bool put_done = false;
+  writer->Put(txn, "a", "new", [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    put_done = true;
+  });
+  bool put2_done = false;
+  writer->Put(txn, "b", "created", [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    put2_done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return put_done && put2_done; }));
+  ASSERT_TRUE(cluster.RollbackBlocking(txn).ok());
+
+  auto a = cluster.GetBlocking("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, "old");
+  EXPECT_TRUE(cluster.GetBlocking("b").status().IsNotFound());
+}
+
+TEST(ClusterSmoke, UncommittedInvisibleToOtherReaders) {
+  core::AuroraCluster cluster(SmallOptions());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  ASSERT_TRUE(cluster.PutBlocking("k", "committed").ok());
+
+  auto* writer = cluster.writer();
+  const TxnId txn = writer->Begin();
+  bool put_done = false;
+  writer->Put(txn, "k", "dirty", [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    put_done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return put_done; }));
+
+  // Autocommit reader must not see the uncommitted value.
+  auto v = cluster.GetBlocking("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "committed");
+
+  // But the writing transaction sees its own write.
+  bool got = false;
+  writer->Get(txn, "k", [&](Result<std::string> r) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, "dirty");
+    got = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return got; }));
+  ASSERT_TRUE(cluster.CommitBlocking(txn).ok());
+}
+
+TEST(ClusterSmoke, CrashRecoveryPreservesAckedCommits) {
+  core::AuroraCluster cluster(SmallOptions());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("p" + std::to_string(i), "v").ok());
+  }
+  const VolumeEpoch epoch_before = cluster.writer()->volume_epoch();
+  cluster.CrashWriter();
+  cluster.RunFor(50 * kMillisecond);
+  ASSERT_TRUE(cluster.RecoverWriterBlocking().ok());
+  EXPECT_GT(cluster.writer()->volume_epoch(), epoch_before);
+  for (int i = 0; i < 30; ++i) {
+    auto v = cluster.GetBlocking("p" + std::to_string(i));
+    ASSERT_TRUE(v.ok()) << i << ": " << v.status().ToString();
+    EXPECT_EQ(*v, "v");
+  }
+  // And the database accepts new work after recovery.
+  ASSERT_TRUE(cluster.PutBlocking("after", "recovery").ok());
+  EXPECT_EQ(*cluster.GetBlocking("after"), "recovery");
+}
+
+TEST(ClusterSmoke, ScanReturnsVisibleRows) {
+  core::AuroraCluster cluster(SmallOptions());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  for (int i = 0; i < 20; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "s%03d", i);
+    ASSERT_TRUE(cluster.PutBlocking(key, std::to_string(i)).ok());
+  }
+  bool done = false;
+  std::vector<std::pair<std::string, std::string>> rows;
+  cluster.writer()->Scan(
+      kInvalidTxn, "s000", "s999", 100,
+      [&](Result<std::vector<std::pair<std::string, std::string>>> r) {
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        rows = std::move(*r);
+        done = true;
+      });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return done; }));
+  EXPECT_EQ(rows.size(), 20u);
+  EXPECT_EQ(rows.front().first, "s000");
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,282 @@
+// Unit tests for the engine: the consistency tracker (including the exact
+// Figure-3 scenario), the buffer cache WAL rule, and the read router.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/engine/buffer_cache.h"
+#include "src/engine/consistency_tracker.h"
+#include "src/engine/read_router.h"
+
+namespace aurora::engine {
+namespace {
+
+quorum::QuorumSet FourOfSix(SegmentId base) {
+  return quorum::QuorumSet::KofN(
+      4, {base, base + 1, base + 2, base + 3, base + 4, base + 5});
+}
+
+std::vector<SegmentId> Members(SegmentId base) {
+  return {base, base + 1, base + 2, base + 3, base + 4, base + 5};
+}
+
+// ---------------------------------------------------------------------- //
+// ConsistencyTracker
+
+TEST(ConsistencyTracker, PgclNeedsWriteQuorum) {
+  ConsistencyTracker tracker;
+  tracker.ConfigurePg(0, FourOfSix(0), Members(0));
+  tracker.RecordIssued(0, 1);
+  tracker.SetMaxAllocated(1);
+  for (SegmentId s = 0; s < 3; ++s) tracker.ObserveScl(0, s, 1);
+  tracker.Advance();
+  EXPECT_EQ(tracker.pgcl(0), kInvalidLsn) << "3 of 6 is not a write quorum";
+  tracker.ObserveScl(0, 3, 1);
+  tracker.Advance();
+  EXPECT_EQ(tracker.pgcl(0), 1u);
+  EXPECT_EQ(tracker.vcl(), 1u);
+}
+
+TEST(ConsistencyTracker, Figure3Scenario) {
+  // Figure 3: odd LSNs -> PG1, even LSNs -> PG2. 105 and 106 have not met
+  // quorum. Expected: PGCL(PG1)=103, PGCL(PG2)=104, VCL=104.
+  ConsistencyTracker tracker;
+  tracker.ConfigurePg(1, FourOfSix(0), Members(0));
+  tracker.ConfigurePg(2, FourOfSix(6), Members(6));
+  for (Lsn lsn : {101, 103, 105}) tracker.RecordIssued(1, lsn);
+  for (Lsn lsn : {102, 104, 106}) tracker.RecordIssued(2, lsn);
+  tracker.SetMaxAllocated(106);
+  // PG1: quorum (4 segments) has SCL 103; the other two have 105.
+  for (SegmentId s = 0; s < 4; ++s) tracker.ObserveScl(1, s, 103);
+  for (SegmentId s = 4; s < 6; ++s) tracker.ObserveScl(1, s, 105);
+  // PG2: quorum has SCL 104; one has 106.
+  for (SegmentId s = 6; s < 10; ++s) tracker.ObserveScl(2, s, 104);
+  tracker.ObserveScl(2, 10, 106);
+  tracker.Advance();
+  EXPECT_EQ(tracker.pgcl(1), 103u);
+  EXPECT_EQ(tracker.pgcl(2), 104u);
+  EXPECT_EQ(tracker.vcl(), 104u)
+      << "highest point at which all previous records met quorum";
+}
+
+TEST(ConsistencyTracker, VclWaitsForGapsAcrossPgs) {
+  ConsistencyTracker tracker;
+  tracker.ConfigurePg(0, FourOfSix(0), Members(0));
+  tracker.ConfigurePg(1, FourOfSix(6), Members(6));
+  tracker.RecordIssued(0, 1);
+  tracker.RecordIssued(1, 2);
+  tracker.RecordIssued(0, 3);
+  tracker.SetMaxAllocated(3);
+  // PG1 record (lsn 2) durable everywhere, PG0 has nothing yet.
+  for (SegmentId s = 6; s < 12; ++s) tracker.ObserveScl(1, s, 2);
+  tracker.Advance();
+  EXPECT_EQ(tracker.vcl(), kInvalidLsn) << "lsn 1 (PG0) still outstanding";
+  for (SegmentId s = 0; s < 4; ++s) tracker.ObserveScl(0, s, 1);
+  tracker.Advance();
+  EXPECT_EQ(tracker.vcl(), 2u) << "lsn 3 still outstanding";
+  for (SegmentId s = 0; s < 4; ++s) tracker.ObserveScl(0, s, 3);
+  tracker.Advance();
+  EXPECT_EQ(tracker.vcl(), 3u);
+}
+
+TEST(ConsistencyTracker, VdlTracksMtrBoundaries) {
+  ConsistencyTracker tracker;
+  tracker.ConfigurePg(0, FourOfSix(0), Members(0));
+  // MTR spanning LSNs 1-3 (complete at 3) and 4-5 (complete at 5).
+  for (Lsn lsn = 1; lsn <= 5; ++lsn) tracker.RecordIssued(0, lsn);
+  tracker.SetMaxAllocated(5);
+  tracker.RecordMtrComplete(3);
+  tracker.RecordMtrComplete(5);
+  for (SegmentId s = 0; s < 4; ++s) tracker.ObserveScl(0, s, 4);
+  tracker.Advance();
+  EXPECT_EQ(tracker.vcl(), 4u);
+  EXPECT_EQ(tracker.vdl(), 3u) << "VDL is the last MTR completion <= VCL";
+  for (SegmentId s = 0; s < 4; ++s) tracker.ObserveScl(0, s, 5);
+  tracker.Advance();
+  EXPECT_EQ(tracker.vdl(), 5u);
+}
+
+TEST(ConsistencyTracker, MonotoneUnderStaleAcks) {
+  ConsistencyTracker tracker;
+  tracker.ConfigurePg(0, FourOfSix(0), Members(0));
+  tracker.RecordIssued(0, 1);
+  tracker.SetMaxAllocated(1);
+  for (SegmentId s = 0; s < 6; ++s) tracker.ObserveScl(0, s, 1);
+  tracker.Advance();
+  EXPECT_EQ(tracker.vcl(), 1u);
+  // A stale (lower) SCL observation must not regress anything.
+  tracker.ObserveScl(0, 0, 0);
+  tracker.Advance();
+  EXPECT_EQ(tracker.vcl(), 1u);
+  EXPECT_EQ(tracker.pgcl(0), 1u);
+}
+
+TEST(ConsistencyTracker, MembershipChangeReconfigures) {
+  ConsistencyTracker tracker;
+  tracker.ConfigurePg(0, FourOfSix(0), Members(0));
+  tracker.RecordIssued(0, 1);
+  tracker.SetMaxAllocated(1);
+  for (SegmentId s = 0; s < 6; ++s) tracker.ObserveScl(0, s, 1);
+  tracker.Advance();
+  // Dual-quorum phase: write set requires 4/6 of BOTH candidate sets.
+  auto dual = quorum::QuorumSet::And(
+      {quorum::QuorumSet::KofN(4, {0, 1, 2, 3, 4, 5}),
+       quorum::QuorumSet::KofN(4, {0, 1, 2, 3, 4, 6})});
+  tracker.ConfigurePg(0, dual, {0, 1, 2, 3, 4, 5, 6});
+  tracker.RecordIssued(0, 2);
+  tracker.SetMaxAllocated(2);
+  for (SegmentId s = 0; s < 4; ++s) tracker.ObserveScl(0, s, 2);
+  tracker.Advance();
+  EXPECT_EQ(tracker.vcl(), 2u) << "ABCD satisfies both 4/6 clauses";
+}
+
+TEST(ConsistencyTracker, ResetInstallsRecoveredPoints) {
+  ConsistencyTracker tracker;
+  tracker.ConfigurePg(0, FourOfSix(0), Members(0));
+  tracker.Reset(500, 480, 500);
+  EXPECT_EQ(tracker.vcl(), 500u);
+  EXPECT_EQ(tracker.vdl(), 480u);
+  // New work above the recovered points advances normally.
+  tracker.RecordIssued(0, 1000);
+  tracker.SetMaxAllocated(1000);
+  tracker.RecordMtrComplete(1000);
+  for (SegmentId s = 0; s < 4; ++s) tracker.ObserveScl(0, s, 1000);
+  tracker.Advance();
+  EXPECT_EQ(tracker.vcl(), 1000u);
+  EXPECT_EQ(tracker.vdl(), 1000u);
+}
+
+// ---------------------------------------------------------------------- //
+// BufferCache (WAL rule)
+
+storage::Page MakePage(BlockId id, Lsn lsn) {
+  storage::Page page;
+  page.id = id;
+  page.page_lsn = lsn;
+  page.type = storage::PageType::kLeaf;
+  return page;
+}
+
+TEST(BufferCache, HitMissAccounting) {
+  BufferCache cache(4);
+  cache.Insert(MakePage(1, 10), /*vdl=*/100);
+  EXPECT_NE(cache.Find(1), nullptr);
+  EXPECT_EQ(cache.Find(2), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(BufferCache, EvictsLruCleanPages) {
+  BufferCache cache(2);
+  cache.Insert(MakePage(1, 10), 100);
+  cache.Insert(MakePage(2, 20), 100);
+  cache.Find(1);  // promote 1; LRU order: 2, 1
+  cache.Insert(MakePage(3, 30), 100);
+  EXPECT_EQ(cache.Size(), 2u);
+  EXPECT_EQ(cache.Peek(2), nullptr) << "page 2 was LRU";
+  EXPECT_NE(cache.Peek(1), nullptr);
+}
+
+TEST(BufferCache, WalRulePinsDirtyPages) {
+  BufferCache cache(2);
+  // Pages 1 and 2 have redo above VDL=15: they may NOT be evicted.
+  cache.Insert(MakePage(1, 20), /*vdl=*/15);
+  cache.Insert(MakePage(2, 30), 15);
+  cache.Insert(MakePage(3, 10), 15);
+  EXPECT_EQ(cache.Size(), 3u) << "over capacity but nothing evictable";
+  EXPECT_GT(cache.stats().wal_blocked_evictions, 0u);
+  // VDL advances past their LSNs: now they can go.
+  cache.TrimToCapacity(/*vdl=*/40);
+  EXPECT_EQ(cache.Size(), 2u);
+}
+
+TEST(BufferCache, InsertReplacesInPlace) {
+  BufferCache cache(4);
+  cache.Insert(MakePage(1, 10), 100);
+  cache.Insert(MakePage(1, 20), 100);
+  EXPECT_EQ(cache.Size(), 1u);
+  EXPECT_EQ(cache.Peek(1)->page_lsn, 20u);
+}
+
+TEST(BufferCache, EraseAndClear) {
+  BufferCache cache(4);
+  cache.Insert(MakePage(1, 10), 100);
+  cache.Erase(1);
+  EXPECT_EQ(cache.Size(), 0u);
+  cache.Insert(MakePage(2, 10), 100);
+  cache.Clear();
+  EXPECT_EQ(cache.Size(), 0u);
+}
+
+// ---------------------------------------------------------------------- //
+// ReadRouter
+
+TEST(ReadRouter, RanksByObservedLatency) {
+  ReadRouterOptions options;
+  options.explore_probability = 0.0;
+  ReadRouter router(options);
+  Rng rng(1);
+  router.ObserveLatency(1, 1000);
+  router.ObserveLatency(2, 200);
+  router.ObserveLatency(3, 500);
+  auto ranked = router.Rank({1, 2, 3}, rng);
+  EXPECT_EQ(ranked, (std::vector<SegmentId>{2, 3, 1}));
+}
+
+TEST(ReadRouter, EwmaSmoothsObservations) {
+  ReadRouter router;
+  router.ObserveLatency(1, 100);
+  router.ObserveLatency(1, 200);
+  const SimDuration expected = router.ExpectedLatency(1);
+  EXPECT_GT(expected, 100);
+  EXPECT_LT(expected, 200);
+}
+
+TEST(ReadRouter, PenaltyDeprioritizes) {
+  ReadRouterOptions options;
+  options.explore_probability = 0.0;
+  ReadRouter router(options);
+  Rng rng(1);
+  router.ObserveLatency(1, 100);
+  router.ObserveLatency(2, 150);
+  router.Penalize(1);
+  auto ranked = router.Rank({1, 2}, rng);
+  EXPECT_EQ(ranked[0], 2u);
+  // A fresh success rehabilitates.
+  router.ObserveLatency(1, 100);
+  // EWMA pulls back down over a few observations.
+  router.ObserveLatency(1, 100);
+  router.ObserveLatency(1, 100);
+  router.ObserveLatency(1, 100);
+  router.ObserveLatency(1, 100);
+  router.ObserveLatency(1, 100);
+  router.ObserveLatency(1, 100);
+  router.ObserveLatency(1, 100);
+  ranked = router.Rank({1, 2}, rng);
+  EXPECT_EQ(ranked[0], 1u);
+}
+
+TEST(ReadRouter, HedgeDelayClamped) {
+  ReadRouterOptions options;
+  options.min_hedge_delay = 500;
+  options.max_hedge_delay = 10000;
+  options.hedge_multiplier = 3.0;
+  ReadRouter router(options);
+  router.ObserveLatency(1, 10);  // 3x = 30 -> clamped up
+  EXPECT_EQ(router.HedgeDelay(1), 500);
+  router.ObserveLatency(2, 100000);  // 3x = 300000 -> clamped down
+  EXPECT_EQ(router.HedgeDelay(2), 10000);
+}
+
+TEST(ReadRouter, ExplorationOccasionallySwapsSecond) {
+  ReadRouterOptions options;
+  options.explore_probability = 1.0;  // force it
+  ReadRouter router(options);
+  Rng rng(1);
+  router.ObserveLatency(1, 100);
+  router.ObserveLatency(2, 200);
+  auto ranked = router.Rank({1, 2}, rng);
+  EXPECT_EQ(ranked[0], 2u) << "explore swaps the second-best to the front";
+}
+
+}  // namespace
+}  // namespace aurora::engine

@@ -1,0 +1,206 @@
+// Failure-injection stress tests: sustained workloads under random storage
+// node churn, AZ outages, slow nodes, scrub-corruption storms, and
+// combined chaos — verifying the durability and availability claims hold
+// under fire.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/cluster.h"
+
+namespace aurora {
+namespace {
+
+core::AuroraOptions Options(uint64_t seed) {
+  core::AuroraOptions options;
+  options.seed = seed;
+  options.num_pgs = 1;
+  options.blocks_per_pg = 1 << 16;
+  options.storage_nodes_per_az = 3;
+  return options;
+}
+
+TEST(FailureInjection, WorkloadSurvivesStorageNodeChurn) {
+  core::AuroraCluster cluster(Options(42));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  // Background Poisson failures: one storage node down at a time, often.
+  sim::FailureModel model;
+  model.node_mttf = 5 * kSecond;
+  model.node_mttr = 500 * kMillisecond;
+  sim::FailureInjector churn(&cluster.sim(), &cluster.network(), model);
+  churn.Start(cluster.StorageNodeIds());
+
+  std::map<std::string, std::string> acked;
+  for (int i = 0; i < 120; ++i) {
+    const std::string key = "k" + std::to_string(i % 30);
+    const std::string value = "v" + std::to_string(i);
+    Status st = cluster.PutBlocking(key, value);
+    // With Vw=4/6 and at most a couple nodes down, writes should succeed.
+    ASSERT_TRUE(st.ok()) << "iteration " << i << ": " << st.ToString();
+    acked[key] = value;
+    cluster.RunFor(50 * kMillisecond);
+  }
+  churn.Stop();
+  EXPECT_GT(churn.node_failures(), 0u) << "churn actually happened";
+  for (NodeId id : cluster.StorageNodeIds()) cluster.network().Restart(id);
+  cluster.RunFor(500 * kMillisecond);
+  for (const auto& [key, value] : acked) {
+    auto v = cluster.GetBlocking(key);
+    ASSERT_TRUE(v.ok()) << key << ": " << v.status().ToString();
+    EXPECT_EQ(*v, value);
+  }
+}
+
+TEST(FailureInjection, AzOutageDuringWorkload) {
+  core::AuroraCluster cluster(Options(43));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  std::map<std::string, std::string> acked;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("pre" + std::to_string(i), "v").ok());
+    acked["pre" + std::to_string(i)] = "v";
+  }
+  cluster.network().FailAz(1);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("mid" + std::to_string(i), "v").ok())
+        << "writes must continue through an AZ outage (Figure 1)";
+    acked["mid" + std::to_string(i)] = "v";
+  }
+  cluster.network().RestoreAz(1);
+  cluster.RunFor(1 * kSecond);  // gossip heals the returned AZ
+  for (const auto& [key, value] : acked) {
+    ASSERT_TRUE(cluster.GetBlocking(key).ok()) << key;
+  }
+  // The healed AZ's segments caught up via gossip: their SCLs converge.
+  Lsn max_scl = 0, min_scl = UINT64_MAX;
+  for (const auto& node : cluster.storage_nodes()) {
+    for (const auto& [id, segment] : node->segments()) {
+      max_scl = std::max(max_scl, segment->scl());
+      min_scl = std::min(min_scl, segment->scl());
+    }
+  }
+  EXPECT_EQ(min_scl, max_scl) << "gossip converges all six copies";
+}
+
+TEST(FailureInjection, SlowNodeDoesNotStallCommits) {
+  core::AuroraCluster cluster(Options(44));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  // Warm up and measure baseline commit latency.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("w" + std::to_string(i), "v").ok());
+  }
+  cluster.writer()->commit_latency().Reset();
+  // Make one storage node pathologically slow (x50).
+  cluster.network().SetNodeSlowdown(cluster.StorageNodeIds()[0], 50.0);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("s" + std::to_string(i), "v").ok());
+  }
+  // 4/6 quorum never waits for the slow copy: p50 stays in the normal
+  // cross-AZ commit range rather than 50x of it.
+  EXPECT_LT(cluster.writer()->commit_latency().P50(), 20 * kMillisecond);
+}
+
+TEST(FailureInjection, ScrubCorruptionStormHealsViaGossip) {
+  core::AuroraCluster cluster(Options(45));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("c" + std::to_string(i), "v").ok());
+  }
+  // Corrupt a handful of records on one segment, run scrub, let gossip
+  // re-fill, and verify convergence.
+  auto* node = cluster.storage_nodes()[0].get();
+  auto& [seg_id, segment] = *node->segments().begin();
+  const Lsn scl_before = segment->scl();
+  int corrupted = 0;
+  for (Lsn lsn = scl_before / 2; lsn < scl_before / 2 + 20 && lsn > 0;
+       ++lsn) {
+    if (segment->CorruptRecordForTest(lsn)) corrupted++;
+  }
+  ASSERT_GT(corrupted, 0);
+  EXPECT_EQ(segment->Scrub(), static_cast<size_t>(corrupted));
+  EXPECT_LT(segment->scl(), scl_before);
+  cluster.RunFor(2 * kSecond);  // gossip interval is 100ms
+  EXPECT_GE(segment->scl(), scl_before) << "gossip healed the scrubbed gap";
+  EXPECT_GT(segment->stats().records_gossip_filled, 0u);
+}
+
+TEST(FailureInjection, WriterCrashDuringAzOutage) {
+  core::AuroraCluster cluster(Options(46));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  std::map<std::string, std::string> acked;
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("k" + std::to_string(i), "v").ok());
+    acked["k" + std::to_string(i)] = "v";
+  }
+  // AZ down AND the writer crashes: recovery must still find read quorums
+  // (4 of 6 segments reachable > Vr=3).
+  cluster.network().FailAz(2);
+  cluster.CrashWriter();
+  cluster.RunFor(100 * kMillisecond);
+  ASSERT_TRUE(cluster.RecoverWriterBlocking().ok());
+  for (const auto& [key, value] : acked) {
+    auto v = cluster.GetBlocking(key);
+    ASSERT_TRUE(v.ok()) << key;
+  }
+  ASSERT_TRUE(cluster.PutBlocking("during-outage", "ok").ok());
+  cluster.network().RestoreAz(2);
+}
+
+TEST(FailureInjection, RepeatedFailoverStorm) {
+  core::AuroraCluster cluster(Options(47));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  std::map<std::string, std::string> acked;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      const std::string key =
+          "r" + std::to_string(round) + "-" + std::to_string(i);
+      ASSERT_TRUE(cluster.PutBlocking(key, "v").ok());
+      acked[key] = "v";
+    }
+    auto promoted = cluster.FailoverBlocking();
+    ASSERT_TRUE(promoted.ok()) << "round " << round;
+  }
+  for (const auto& [key, value] : acked) {
+    ASSERT_TRUE(cluster.GetBlocking(key).ok()) << key;
+  }
+}
+
+TEST(FailureInjection, CombinedChaos) {
+  core::AuroraCluster cluster(Options(48));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  auto* rep = cluster.AddReplica();
+  (void)rep;
+  sim::FailureModel model;
+  model.node_mttf = 8 * kSecond;
+  model.node_mttr = 1 * kSecond;
+  sim::FailureInjector churn(&cluster.sim(), &cluster.network(), model);
+  churn.Start(cluster.StorageNodeIds());
+  cluster.failures().SlowNodeAt(cluster.sim().Now() + 2 * kSecond,
+                                cluster.StorageNodeIds()[2], 20.0,
+                                3 * kSecond);
+
+  std::map<std::string, std::string> acked;
+  Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    const std::string key = "x" + std::to_string(rng.NextBounded(25));
+    const std::string value = "v" + std::to_string(i);
+    if (cluster.PutBlocking(key, value).ok()) acked[key] = value;
+    cluster.RunFor(100 * kMillisecond);
+    if (i == 30) {
+      cluster.CrashWriter();
+      cluster.RunFor(50 * kMillisecond);
+      ASSERT_TRUE(cluster.RecoverWriterBlocking().ok());
+    }
+  }
+  churn.Stop();
+  for (NodeId id : cluster.StorageNodeIds()) cluster.network().Restart(id);
+  cluster.RunFor(1 * kSecond);
+  for (const auto& [key, value] : acked) {
+    auto v = cluster.GetBlocking(key);
+    ASSERT_TRUE(v.ok()) << key << ": " << v.status().ToString();
+    EXPECT_EQ(*v, value);
+  }
+}
+
+}  // namespace
+}  // namespace aurora

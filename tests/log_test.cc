@@ -1,0 +1,266 @@
+// Unit tests for the redo log: record codec, segment hot log (SCL / gaps /
+// gossip chains / truncation / GC / scrub removal), and the boxcar
+// batching policies.
+
+#include <gtest/gtest.h>
+
+#include "src/log/boxcar.h"
+#include "src/log/hot_log.h"
+#include "src/log/record.h"
+#include "src/sim/simulator.h"
+
+namespace aurora::log {
+namespace {
+
+RedoRecord MakeRecord(Lsn lsn, Lsn prev_seg, ProtectionGroupId pg = 0,
+                      BlockId block = 7, std::string payload = "op") {
+  RedoRecord rec;
+  rec.lsn = lsn;
+  rec.prev_lsn_volume = lsn - 1;
+  rec.prev_lsn_segment = prev_seg;
+  rec.prev_lsn_block = 0;
+  rec.pg = pg;
+  rec.block = block;
+  rec.txn = 1;
+  rec.payload = std::move(payload);
+  return rec;
+}
+
+// ---------------------------------------------------------------------- //
+// Codec
+
+TEST(RecordCodec, RoundTrip) {
+  RedoRecord rec = MakeRecord(42, 41);
+  rec.type = RecordType::kCommit;
+  rec.mtr = MtrBoundary::kEnd;
+  rec.payload = std::string("\x00\x01\x02 binary \xff", 16);
+  const std::string encoded = EncodeRecord(rec);
+  EXPECT_EQ(encoded.size(), rec.SerializedSize());
+  auto decoded = DecodeRecord(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, rec);
+}
+
+TEST(RecordCodec, EmptyPayload) {
+  RedoRecord rec = MakeRecord(1, 0, 0, kInvalidBlock, "");
+  auto decoded = DecodeRecord(EncodeRecord(rec));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, rec);
+}
+
+TEST(RecordCodec, DetectsCorruption) {
+  std::string encoded = EncodeRecord(MakeRecord(5, 4));
+  encoded[10] ^= 0x40;
+  EXPECT_TRUE(DecodeRecord(encoded).status().IsCorruption());
+}
+
+TEST(RecordCodec, DetectsTruncation) {
+  std::string encoded = EncodeRecord(MakeRecord(5, 4));
+  encoded.resize(encoded.size() - 3);
+  EXPECT_TRUE(DecodeRecord(encoded).status().IsCorruption());
+}
+
+TEST(RecordCodec, RejectsBadEnums) {
+  std::string encoded = EncodeRecord(MakeRecord(5, 4));
+  encoded[52] = 9;  // type byte out of range
+  EXPECT_TRUE(DecodeRecord(encoded).status().IsCorruption());
+}
+
+// ---------------------------------------------------------------------- //
+// SegmentHotLog
+
+TEST(HotLog, SclAdvancesAlongChain) {
+  SegmentHotLog log;
+  EXPECT_EQ(log.scl(), kInvalidLsn);
+  ASSERT_TRUE(log.Append(MakeRecord(1, 0)).ok());
+  EXPECT_EQ(log.scl(), 1u);
+  ASSERT_TRUE(log.Append(MakeRecord(2, 1)).ok());
+  EXPECT_EQ(log.scl(), 2u);
+}
+
+TEST(HotLog, GapHoldsSclThenFills) {
+  SegmentHotLog log;
+  ASSERT_TRUE(log.Append(MakeRecord(1, 0)).ok());
+  ASSERT_TRUE(log.Append(MakeRecord(3, 2)).ok());  // 2 missing
+  EXPECT_EQ(log.scl(), 1u);
+  ASSERT_TRUE(log.Append(MakeRecord(4, 3)).ok());
+  EXPECT_EQ(log.scl(), 1u);
+  ASSERT_TRUE(log.Append(MakeRecord(2, 1)).ok());  // hole filled
+  EXPECT_EQ(log.scl(), 4u) << "SCL jumps across the filled hole";
+}
+
+TEST(HotLog, AppendIsIdempotent) {
+  SegmentHotLog log;
+  ASSERT_TRUE(log.Append(MakeRecord(1, 0)).ok());
+  ASSERT_TRUE(log.Append(MakeRecord(1, 0)).ok());
+  EXPECT_EQ(log.RecordCount(), 1u);
+}
+
+TEST(HotLog, OutOfOrderDeliveryConverges) {
+  // Property: any delivery permutation yields the same SCL.
+  std::vector<RedoRecord> records;
+  for (Lsn l = 1; l <= 8; ++l) records.push_back(MakeRecord(l, l - 1));
+  std::vector<size_t> perm = {7, 2, 0, 5, 1, 6, 3, 4};
+  SegmentHotLog log;
+  for (size_t i : perm) ASSERT_TRUE(log.Append(records[i]).ok());
+  EXPECT_EQ(log.scl(), 8u);
+}
+
+TEST(HotLog, ChainAfterReturnsMissingSuffix) {
+  SegmentHotLog log;
+  for (Lsn l = 1; l <= 5; ++l) ASSERT_TRUE(log.Append(MakeRecord(l, l - 1)).ok());
+  auto chain = log.ChainAfter(2, 10);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0].lsn, 3u);
+  EXPECT_EQ(chain[2].lsn, 5u);
+  EXPECT_TRUE(log.ChainAfter(5, 10).empty());
+}
+
+TEST(HotLog, GossipFillsPeerGap) {
+  SegmentHotLog complete, lagging;
+  for (Lsn l = 1; l <= 6; ++l) {
+    ASSERT_TRUE(complete.Append(MakeRecord(l, l - 1)).ok());
+  }
+  ASSERT_TRUE(lagging.Append(MakeRecord(1, 0)).ok());
+  ASSERT_TRUE(lagging.Append(MakeRecord(5, 4)).ok());
+  ASSERT_TRUE(lagging.Append(MakeRecord(6, 5)).ok());
+  EXPECT_EQ(lagging.scl(), 1u);
+  // Gossip exchange: lagging advertises SCL=1; peer responds with chain.
+  for (const auto& rec : complete.ChainAfter(lagging.scl(), 100)) {
+    ASSERT_TRUE(lagging.Append(rec).ok());
+  }
+  EXPECT_EQ(lagging.scl(), 6u);
+}
+
+TEST(HotLog, TruncationAnnulsRangeAndLateArrivals) {
+  SegmentHotLog log;
+  for (Lsn l = 1; l <= 10; ++l) ASSERT_TRUE(log.Append(MakeRecord(l, l - 1)).ok());
+  log.Truncate(TruncationRange{6, 1000});
+  EXPECT_EQ(log.scl(), 5u);
+  EXPECT_FALSE(log.Contains(7));
+  // A late in-flight write inside the annulled range is ignored (§2.4).
+  ASSERT_TRUE(log.Append(MakeRecord(8, 7)).ok());
+  EXPECT_FALSE(log.Contains(8));
+  // Post-recovery records above the range chain onto the kept tail.
+  ASSERT_TRUE(log.Append(MakeRecord(1001, 5)).ok());
+  EXPECT_EQ(log.scl(), 1001u);
+}
+
+TEST(HotLog, MultipleTruncationsAccumulate) {
+  SegmentHotLog log;
+  for (Lsn l = 1; l <= 4; ++l) ASSERT_TRUE(log.Append(MakeRecord(l, l - 1)).ok());
+  log.Truncate(TruncationRange{3, 100});
+  ASSERT_TRUE(log.Append(MakeRecord(101, 2)).ok());
+  log.Truncate(TruncationRange{101, 200});
+  EXPECT_EQ(log.scl(), 2u);
+  EXPECT_EQ(log.truncations().size(), 2u);
+  ASSERT_TRUE(log.Append(MakeRecord(50, 2)).ok());   // annulled by first
+  ASSERT_TRUE(log.Append(MakeRecord(150, 2)).ok());  // annulled by second
+  EXPECT_FALSE(log.Contains(50));
+  EXPECT_FALSE(log.Contains(150));
+}
+
+TEST(HotLog, EvictBelowKeepsLogicalChain) {
+  SegmentHotLog log;
+  for (Lsn l = 1; l <= 10; ++l) ASSERT_TRUE(log.Append(MakeRecord(l, l - 1)).ok());
+  log.EvictBelow(5);
+  EXPECT_EQ(log.RecordCount(), 5u);
+  EXPECT_EQ(log.gc_floor(), 5u);
+  EXPECT_EQ(log.scl(), 10u) << "GC must not regress SCL";
+  // New appends continue the chain.
+  ASSERT_TRUE(log.Append(MakeRecord(11, 10)).ok());
+  EXPECT_EQ(log.scl(), 11u);
+}
+
+TEST(HotLog, RemoveRewindsScl) {
+  SegmentHotLog log;
+  for (Lsn l = 1; l <= 5; ++l) ASSERT_TRUE(log.Append(MakeRecord(l, l - 1)).ok());
+  EXPECT_TRUE(log.Remove(3));
+  EXPECT_EQ(log.scl(), 2u) << "scrubbed-out record breaks the chain";
+  // Re-delivery (gossip) heals it.
+  ASSERT_TRUE(log.Append(MakeRecord(3, 2)).ok());
+  EXPECT_EQ(log.scl(), 5u);
+}
+
+TEST(HotLog, TotalBytesTracksContents) {
+  SegmentHotLog log;
+  const RedoRecord rec = MakeRecord(1, 0);
+  ASSERT_TRUE(log.Append(rec).ok());
+  EXPECT_EQ(log.TotalBytes(), rec.SerializedSize());
+  log.EvictBelow(1);
+  EXPECT_EQ(log.TotalBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------- //
+// Boxcar
+
+TEST(Boxcar, SubmitOnFirstDispatchesQuickly) {
+  sim::Simulator sim;
+  std::vector<size_t> batch_sizes;
+  BoxcarOptions options;
+  options.policy = BoxcarPolicy::kSubmitOnFirst;
+  options.dispatch_delay = 20;
+  BoxcarBatcher boxcar(&sim, options, [&](std::vector<RedoRecord> batch) {
+    batch_sizes.push_back(batch.size());
+  });
+  boxcar.Add(MakeRecord(1, 0));
+  sim.Schedule(5, [&]() { boxcar.Add(MakeRecord(2, 1)); });
+  sim.Run();
+  // Both records ride the single dispatch scheduled by the first.
+  ASSERT_EQ(batch_sizes.size(), 1u);
+  EXPECT_EQ(batch_sizes[0], 2u);
+  EXPECT_EQ(sim.Now(), 20);
+}
+
+TEST(Boxcar, FillOrTimeoutWaitsFullTimeout) {
+  sim::Simulator sim;
+  SimTime dispatched_at = -1;
+  BoxcarOptions options;
+  options.policy = BoxcarPolicy::kFillOrTimeout;
+  options.fill_timeout = 4000;
+  BoxcarBatcher boxcar(&sim, options, [&](std::vector<RedoRecord>) {
+    dispatched_at = sim.Now();
+  });
+  boxcar.Add(MakeRecord(1, 0));
+  sim.Run();
+  EXPECT_EQ(dispatched_at, 4000) << "low-load boxcar pays the full timeout";
+}
+
+TEST(Boxcar, SizeTriggerBeatsTimer) {
+  sim::Simulator sim;
+  size_t dispatches = 0;
+  BoxcarOptions options;
+  options.policy = BoxcarPolicy::kFillOrTimeout;
+  options.fill_timeout = 4000;
+  options.max_batch_bytes = 3 * MakeRecord(1, 0).SerializedSize();
+  BoxcarBatcher boxcar(&sim, options,
+                       [&](std::vector<RedoRecord>) { dispatches++; });
+  for (Lsn l = 1; l <= 3; ++l) boxcar.Add(MakeRecord(l, l - 1));
+  EXPECT_EQ(dispatches, 1u);
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(Boxcar, FlushForcesDispatch) {
+  sim::Simulator sim;
+  size_t dispatches = 0;
+  BoxcarBatcher boxcar(&sim, BoxcarOptions{},
+                       [&](std::vector<RedoRecord>) { dispatches++; });
+  boxcar.Add(MakeRecord(1, 0));
+  boxcar.Flush();
+  EXPECT_EQ(dispatches, 1u);
+  sim.Run();
+  EXPECT_EQ(dispatches, 1u) << "cancelled timer must not double-dispatch";
+}
+
+TEST(Boxcar, MeanBatchFillAccounting) {
+  sim::Simulator sim;
+  BoxcarBatcher boxcar(&sim, BoxcarOptions{}, [](std::vector<RedoRecord>) {});
+  for (Lsn l = 1; l <= 4; ++l) boxcar.Add(MakeRecord(l, l - 1));
+  sim.Run();
+  EXPECT_EQ(boxcar.batches_sent(), 1u);
+  EXPECT_EQ(boxcar.records_sent(), 4u);
+  EXPECT_DOUBLE_EQ(boxcar.MeanBatchFill(), 4.0);
+}
+
+}  // namespace
+}  // namespace aurora::log

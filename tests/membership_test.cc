@@ -1,0 +1,180 @@
+// Membership-change integration tests (§4.1, Figure 5): two-step
+// reversible transitions, epochs, hydration, non-blocking I/O, and the
+// double-failure case.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+
+namespace aurora {
+namespace {
+
+core::AuroraOptions Options() {
+  core::AuroraOptions options;
+  options.seed = 23;
+  options.num_pgs = 1;
+  options.blocks_per_pg = 1 << 16;
+  options.storage_nodes_per_az = 3;  // room to place replacements
+  return options;
+}
+
+TEST(Membership, ReplaceFailedSegmentEndToEnd) {
+  core::AuroraCluster cluster(Options());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("m" + std::to_string(i), "v").ok());
+  }
+  // Fail the node hosting segment 5, then replace the segment.
+  auto* host = cluster.NodeForSegment(5);
+  ASSERT_NE(host, nullptr);
+  cluster.network().Crash(host->id());
+
+  const MembershipEpoch epoch_before = cluster.geometry().Pg(0).epoch();
+  auto report = cluster.ReplaceSegmentBlocking(5);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->reverted);
+  EXPECT_EQ(report->begin_epoch, epoch_before + 1);
+  EXPECT_EQ(report->final_epoch, epoch_before + 2) << "two-step transition";
+
+  const auto& pg = cluster.geometry().Pg(0);
+  EXPECT_FALSE(pg.ContainsSegment(5));
+  EXPECT_TRUE(pg.ContainsSegment(report->new_segment));
+  EXPECT_FALSE(pg.HasPendingChange());
+
+  // All data still readable; new writes work.
+  for (int i = 0; i < 40; ++i) {
+    auto v = cluster.GetBlocking("m" + std::to_string(i));
+    ASSERT_TRUE(v.ok()) << i << ": " << v.status().ToString();
+  }
+  ASSERT_TRUE(cluster.PutBlocking("post-change", "ok").ok());
+}
+
+TEST(Membership, WritesProceedDuringChange) {
+  core::AuroraCluster cluster(Options());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  ASSERT_TRUE(cluster.PutBlocking("seed", "1").ok());
+
+  auto* host = cluster.NodeForSegment(3);
+  cluster.network().Crash(host->id());
+  auto report = cluster.BeginReplaceBlocking(3);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(cluster.geometry().Pg(0).HasPendingChange());
+
+  // "Membership changes do not block either reads or writes" (§4.1):
+  // commit latency during the dual-quorum phase stays bounded.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("dq" + std::to_string(i), "v").ok()) << i;
+  }
+  ASSERT_TRUE(cluster.CommitReplaceBlocking(3).ok());
+  for (int i = 0; i < 20; ++i) {
+    auto v = cluster.GetBlocking("dq" + std::to_string(i));
+    ASSERT_TRUE(v.ok()) << i;
+  }
+}
+
+TEST(Membership, RevertWhenSuspectComesBack) {
+  core::AuroraCluster cluster(Options());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("r" + std::to_string(i), "v").ok());
+  }
+  auto* host = cluster.NodeForSegment(2);
+  cluster.network().Crash(host->id());
+  auto report = cluster.BeginReplaceBlocking(2);
+  ASSERT_TRUE(report.ok());
+  const SegmentId new_segment = report->new_segment;
+
+  // F comes back: revert to the original membership (Figure 5, epoch 2 ->
+  // back to ABCDEF at epoch 3).
+  cluster.network().Restart(host->id());
+  cluster.RunFor(50 * kMillisecond);
+  ASSERT_TRUE(cluster.RevertReplaceBlocking(2).ok());
+
+  const auto& pg = cluster.geometry().Pg(0);
+  EXPECT_TRUE(pg.ContainsSegment(2));
+  EXPECT_FALSE(pg.ContainsSegment(new_segment));
+  EXPECT_FALSE(pg.HasPendingChange());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.GetBlocking("r" + std::to_string(i)).ok()) << i;
+  }
+  ASSERT_TRUE(cluster.PutBlocking("after-revert", "ok").ok());
+}
+
+TEST(Membership, DoubleFailureDuringChange) {
+  core::AuroraOptions options = Options();
+  options.storage_nodes_per_az = 4;
+  core::AuroraCluster cluster(options);
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("d" + std::to_string(i), "v").ok());
+  }
+  // Fail F (segment 5), begin replacing with G; then fail E (segment 4)
+  // mid-change and replace it with H (§4.1's quadruple-quorum state).
+  cluster.network().Crash(cluster.NodeForSegment(5)->id());
+  auto report_g = cluster.BeginReplaceBlocking(5);
+  ASSERT_TRUE(report_g.ok()) << report_g.status().ToString();
+
+  cluster.network().Crash(cluster.NodeForSegment(4)->id());
+  auto report_h = cluster.BeginReplaceBlocking(4);
+  ASSERT_TRUE(report_h.ok()) << report_h.status().ToString();
+
+  // Writing to the four stable members still meets quorum: I/O proceeds.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("dd" + std::to_string(i), "v").ok()) << i;
+  }
+  ASSERT_TRUE(cluster.CommitReplaceBlocking(5).ok());
+  ASSERT_TRUE(cluster.CommitReplaceBlocking(4).ok());
+  EXPECT_FALSE(cluster.geometry().Pg(0).HasPendingChange());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.GetBlocking("d" + std::to_string(i)).ok());
+    ASSERT_TRUE(cluster.GetBlocking("dd" + std::to_string(i)).ok());
+  }
+}
+
+TEST(Membership, StaleEpochRequestsRejected) {
+  core::AuroraCluster cluster(Options());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  ASSERT_TRUE(cluster.PutBlocking("k", "v").ok());
+
+  // Install a membership change directly; then hand-craft a write with
+  // the OLD membership epoch and verify the segment rejects it.
+  auto* host = cluster.NodeForSegment(1);
+  auto* segment = host->FindSegment(1);
+  const MembershipEpoch old_epoch = segment->config().epoch();
+
+  auto report = cluster.ReplaceSegmentBlocking(0);  // bump epochs
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(segment->config().epoch(), old_epoch);
+
+  EpochVector stale{cluster.writer()->volume_epoch(), old_epoch};
+  EXPECT_TRUE(segment->CheckEpochs(stale).IsStaleEpoch());
+  // "Updates of stale state are simply... one additional request past the
+  // one rejected": the current epoch succeeds.
+  EpochVector fresh{cluster.writer()->volume_epoch(),
+                    segment->config().epoch()};
+  EXPECT_TRUE(segment->CheckEpochs(fresh).ok());
+}
+
+TEST(Membership, AzFailureQuorumSurvives) {
+  core::AuroraCluster cluster(Options());
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("az" + std::to_string(i), "v").ok());
+  }
+  // Fail a whole AZ: 2 of 6 segments gone; 4/6 writes and reads continue
+  // (Figure 1's right side).
+  cluster.network().FailAz(2);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("during" + std::to_string(i), "v").ok())
+        << i;
+    ASSERT_TRUE(cluster.GetBlocking("az" + std::to_string(i)).ok()) << i;
+  }
+  cluster.network().RestoreAz(2);
+  cluster.RunFor(500 * kMillisecond);  // gossip refills the returned AZ
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.GetBlocking("during" + std::to_string(i)).ok());
+  }
+}
+
+}  // namespace
+}  // namespace aurora

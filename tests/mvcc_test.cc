@@ -1,0 +1,210 @@
+// MVCC edge cases on the live engine: long version chains, undo-page
+// rollover, write-write conflicts, delete visibility, leftover cleanup
+// after crashes, scans under concurrent writers, and history purge.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+
+namespace aurora {
+namespace {
+
+core::AuroraOptions Options(uint64_t seed) {
+  core::AuroraOptions options;
+  options.seed = seed;
+  options.blocks_per_pg = 1 << 16;
+  return options;
+}
+
+TEST(Mvcc, LongVersionChainResolvesAtEveryAnchor) {
+  core::AuroraCluster cluster(Options(91));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  // Open a view, then bury the key under many committed versions.
+  auto* writer = cluster.writer();
+  ASSERT_TRUE(cluster.PutBlocking("deep", "v0").ok());
+  const TxnId old_reader = writer->Begin();
+  bool pinned = false;
+  writer->Get(old_reader, "deep", [&](Result<std::string> r) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, "v0");
+    pinned = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return pinned; }));
+  for (int i = 1; i <= 30; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("deep", "v" + std::to_string(i)).ok());
+  }
+  // The pinned reader still resolves v0 through 30 undo hops.
+  bool read_done = false;
+  writer->Get(old_reader, "deep", [&](Result<std::string> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(*r, "v0");
+    read_done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return read_done; }));
+  EXPECT_GT(writer->stats().undo_chain_walks, 25u);
+  ASSERT_TRUE(cluster.CommitBlocking(old_reader).ok());
+  EXPECT_EQ(*cluster.GetBlocking("deep"), "v30");
+}
+
+TEST(Mvcc, UndoPageRolloverWithinOneTransaction) {
+  core::AuroraOptions options = Options(92);
+  options.db.undo_entries_per_page = 8;  // force several undo pages
+  core::AuroraCluster cluster(options);
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  auto* writer = cluster.writer();
+  const TxnId txn = writer->Begin();
+  int pending = 30;
+  for (int i = 0; i < 30; ++i) {
+    writer->Put(txn, "u" + std::to_string(i), "v", [&](Status st) {
+      ASSERT_TRUE(st.ok());
+      pending--;
+    });
+  }
+  ASSERT_TRUE(cluster.RunUntil([&]() { return pending == 0; }));
+  // Rollback walks the chain across all undo pages.
+  ASSERT_TRUE(cluster.RollbackBlocking(txn).ok());
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(
+        cluster.GetBlocking("u" + std::to_string(i)).status().IsNotFound())
+        << i;
+  }
+}
+
+TEST(Mvcc, WriteWriteConflictSurfacesImmediately) {
+  core::AuroraCluster cluster(Options(93));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  auto* writer = cluster.writer();
+  const TxnId t1 = writer->Begin();
+  const TxnId t2 = writer->Begin();
+  bool t1_done = false;
+  writer->Put(t1, "contested", "t1", [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    t1_done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return t1_done; }));
+  bool t2_done = false;
+  Status t2_status = Status::OK();
+  writer->Put(t2, "contested", "t2", [&](Status st) {
+    t2_status = std::move(st);
+    t2_done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return t2_done; }));
+  EXPECT_TRUE(t2_status.IsConflict()) << "no waits => immediate conflict";
+  // After t1 commits (releasing locks), t2's retry succeeds.
+  ASSERT_TRUE(cluster.CommitBlocking(t1).ok());
+  t2_done = false;
+  writer->Put(t2, "contested", "t2", [&](Status st) {
+    t2_status = std::move(st);
+    t2_done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return t2_done; }));
+  EXPECT_TRUE(t2_status.ok());
+  ASSERT_TRUE(cluster.CommitBlocking(t2).ok());
+  EXPECT_EQ(*cluster.GetBlocking("contested"), "t2");
+}
+
+TEST(Mvcc, DeleteVisibleOnlyAfterCommit) {
+  core::AuroraCluster cluster(Options(94));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  ASSERT_TRUE(cluster.PutBlocking("doomed", "alive").ok());
+  auto* writer = cluster.writer();
+  const TxnId txn = writer->Begin();
+  bool del_done = false;
+  writer->Delete(txn, "doomed", [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    del_done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return del_done; }));
+  // Uncommitted delete: other readers still see the row.
+  EXPECT_EQ(*cluster.GetBlocking("doomed"), "alive");
+  // The deleter's own view sees the tombstone.
+  bool own_done = false;
+  writer->Get(txn, "doomed", [&](Result<std::string> r) {
+    EXPECT_TRUE(r.status().IsNotFound());
+    own_done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return own_done; }));
+  ASSERT_TRUE(cluster.CommitBlocking(txn).ok());
+  EXPECT_TRUE(cluster.GetBlocking("doomed").status().IsNotFound());
+}
+
+TEST(Mvcc, LeftoverFromCrashedWriterCleanedOnTouch) {
+  core::AuroraCluster cluster(Options(95));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  ASSERT_TRUE(cluster.PutBlocking("touched", "committed").ok());
+  auto* writer = cluster.writer();
+  const TxnId loser = writer->Begin();
+  bool put_done = false;
+  writer->Put(loser, "touched", "dirty", [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    put_done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return put_done; }));
+  cluster.RunFor(50 * kMillisecond);  // leftover becomes durable
+  cluster.CrashWriter();
+  cluster.RunFor(10 * kMillisecond);
+  ASSERT_TRUE(cluster.RecoverWriterBlocking().ok());
+
+  // A new WRITE to the key must first roll the leftover back (§2.4 undo
+  // "in parallel with user activity"), then apply.
+  ASSERT_TRUE(cluster.PutBlocking("touched", "fresh").ok());
+  EXPECT_EQ(*cluster.GetBlocking("touched"), "fresh");
+  EXPECT_GE(cluster.writer()->stats().leftover_rollbacks, 1u);
+}
+
+TEST(Mvcc, ScanIsSnapshotConsistentUnderConcurrentCommits) {
+  core::AuroraCluster cluster(Options(96));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  for (int i = 0; i < 10; ++i) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "s%02d", i);
+    ASSERT_TRUE(cluster.PutBlocking(key, "old").ok());
+  }
+  auto* writer = cluster.writer();
+  const TxnId reader = writer->Begin();
+  // Pin the snapshot with a first statement.
+  bool pinned = false;
+  writer->Get(reader, "s00", [&](Result<std::string> r) {
+    ASSERT_TRUE(r.ok());
+    pinned = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return pinned; }));
+  // Concurrent overwrites + a new row.
+  for (int i = 0; i < 5; ++i) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "s%02d", i);
+    ASSERT_TRUE(cluster.PutBlocking(key, "new").ok());
+  }
+  ASSERT_TRUE(cluster.PutBlocking("s99", "phantom").ok());
+
+  bool scanned = false;
+  writer->Scan(reader, "s00", "s99", 100, [&](auto rows) {
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ(rows->size(), 10u) << "phantom must not appear";
+    for (const auto& [k, v] : *rows) {
+      EXPECT_EQ(v, "old") << k << " must show the snapshot version";
+    }
+    scanned = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return scanned; }));
+  ASSERT_TRUE(cluster.CommitBlocking(reader).ok());
+}
+
+TEST(Mvcc, HistoryPurgeKeepsVisibleOutcomes) {
+  core::AuroraCluster cluster(Options(97));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("p" + std::to_string(i), "v").ok());
+  }
+  auto& txns = cluster.writer()->txns();
+  const size_t purged = txns.PurgeHistoryBelow(cluster.writer()->vdl() + 1);
+  EXPECT_GT(purged, 0u);
+  // Reads re-resolve outcomes from the durable status index.
+  for (int i = 0; i < 20; i += 3) {
+    auto v = cluster.GetBlocking("p" + std::to_string(i));
+    ASSERT_TRUE(v.ok()) << i << ": " << v.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,144 @@
+// Point-in-time restore tests (§2.1 activity 6 / Figure 2's "point in
+// time snapshot"): restore discards the post-point timeline, the archive
+// horizon bounds valid points, and the restored volume is fully usable
+// (new writes, new crash recoveries, replicas).
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+
+namespace aurora {
+namespace {
+
+core::AuroraOptions Options(uint64_t seed) {
+  core::AuroraOptions options;
+  options.seed = seed;
+  options.blocks_per_pg = 1 << 16;
+  // Fast archive so tests don't wait long for coverage.
+  options.storage_node.backup_interval = 20 * kMillisecond;
+  return options;
+}
+
+// Writes n rows and waits until the archive covers them.
+void WritePhaseAndArchive(core::AuroraCluster& cluster,
+                          const std::string& prefix, int n) {
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking(prefix + std::to_string(i), prefix).ok());
+  }
+  const Lsn vdl = cluster.writer()->vdl();
+  ASSERT_TRUE(cluster.RunUntil(
+      [&]() { return cluster.ArchiveHorizon() >= vdl; }, 10 * kSecond))
+      << "archive did not catch up";
+}
+
+TEST(Pitr, RestoreDiscardsLaterTimeline) {
+  core::AuroraCluster cluster(Options(61));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+
+  WritePhaseAndArchive(cluster, "phase1-", 20);
+  const Lsn point = cluster.writer()->vdl();
+
+  WritePhaseAndArchive(cluster, "phase2-", 20);
+  ASSERT_TRUE(cluster.PutBlocking("phase1-3", "overwritten").ok());
+
+  ASSERT_TRUE(cluster.RestoreToPointBlocking(point).ok());
+
+  // Phase 1 data at its pre-overwrite values; phase 2 gone.
+  for (int i = 0; i < 20; ++i) {
+    auto v = cluster.GetBlocking("phase1-" + std::to_string(i));
+    ASSERT_TRUE(v.ok()) << i << ": " << v.status().ToString();
+    EXPECT_EQ(*v, "phase1-") << i;
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(cluster.GetBlocking("phase2-" + std::to_string(i))
+                    .status().IsNotFound())
+        << i;
+  }
+}
+
+TEST(Pitr, RestoredVolumeAcceptsNewWork) {
+  core::AuroraCluster cluster(Options(62));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  WritePhaseAndArchive(cluster, "base-", 15);
+  const Lsn point = cluster.writer()->vdl();
+  WritePhaseAndArchive(cluster, "discard-", 10);
+
+  ASSERT_TRUE(cluster.RestoreToPointBlocking(point).ok());
+  // The new timeline accepts writes; they persist across ANOTHER crash.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("new-" + std::to_string(i), "v").ok())
+        << i;
+  }
+  cluster.CrashWriter();
+  cluster.RunFor(10 * kMillisecond);
+  ASSERT_TRUE(cluster.RecoverWriterBlocking().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.GetBlocking("new-" + std::to_string(i)).ok()) << i;
+  }
+  ASSERT_TRUE(cluster.GetBlocking("base-0").ok());
+  EXPECT_TRUE(cluster.GetBlocking("discard-0").status().IsNotFound());
+}
+
+TEST(Pitr, RejectsPointBeyondArchiveHorizon) {
+  core::AuroraCluster cluster(Options(63));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  WritePhaseAndArchive(cluster, "a-", 5);
+  const Lsn horizon = cluster.ArchiveHorizon();
+  EXPECT_FALSE(cluster.RestoreToPointBlocking(horizon + 1000).ok());
+  EXPECT_FALSE(cluster.RestoreToPointBlocking(kInvalidLsn).ok());
+}
+
+TEST(Pitr, ReplicasServeTheRestoredTimeline) {
+  core::AuroraCluster cluster(Options(64));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  auto* rep = cluster.AddReplica();
+  WritePhaseAndArchive(cluster, "keep-", 10);
+  const Lsn point = cluster.writer()->vdl();
+  WritePhaseAndArchive(cluster, "drop-", 10);
+  cluster.RunFor(100 * kMillisecond);  // replica applies the drop- phase
+
+  ASSERT_TRUE(cluster.RestoreToPointBlocking(point).ok());
+  cluster.RunFor(300 * kMillisecond);  // replica re-seeds and catches up
+
+  bool done = false;
+  Result<std::string> kept = Status::Internal("unset");
+  rep->Get("keep-3", [&](Result<std::string> r) {
+    kept = std::move(r);
+    done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return done; }));
+  ASSERT_TRUE(kept.ok()) << kept.status().ToString();
+  EXPECT_EQ(*kept, "keep-");
+
+  done = false;
+  Result<std::string> dropped = Status::Internal("unset");
+  rep->Get("drop-3", [&](Result<std::string> r) {
+    dropped = std::move(r);
+    done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return done; }));
+  EXPECT_TRUE(dropped.status().IsNotFound())
+      << "replica must not see the abandoned timeline";
+}
+
+TEST(Pitr, RepeatedRestores) {
+  core::AuroraCluster cluster(Options(65));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  WritePhaseAndArchive(cluster, "p1-", 8);
+  const Lsn point1 = cluster.writer()->vdl();
+  WritePhaseAndArchive(cluster, "p2-", 8);
+
+  ASSERT_TRUE(cluster.RestoreToPointBlocking(point1).ok());
+  WritePhaseAndArchive(cluster, "p3-", 8);
+  const Lsn point2 = cluster.writer()->vdl();
+  WritePhaseAndArchive(cluster, "p4-", 8);
+
+  ASSERT_TRUE(cluster.RestoreToPointBlocking(point2).ok());
+  ASSERT_TRUE(cluster.GetBlocking("p1-0").ok());
+  ASSERT_TRUE(cluster.GetBlocking("p3-0").ok());
+  EXPECT_TRUE(cluster.GetBlocking("p2-0").status().IsNotFound());
+  EXPECT_TRUE(cluster.GetBlocking("p4-0").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace aurora

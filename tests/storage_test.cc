@@ -1,0 +1,461 @@
+// Unit tests for the storage service: page ops, segment stores (SCL,
+// coalescing, on-demand materialization, MVCC version retention/GC,
+// truncation, scrub, hydration), the disk model, and the object store.
+
+#include <gtest/gtest.h>
+
+#include "src/log/record.h"
+#include "src/quorum/membership.h"
+#include "src/storage/disk.h"
+#include "src/storage/object_store.h"
+#include "src/storage/page.h"
+#include "src/storage/segment_store.h"
+
+namespace aurora::storage {
+namespace {
+
+quorum::PgConfig TestConfig() {
+  std::vector<quorum::SegmentInfo> members;
+  for (SegmentId id = 0; id < 6; ++id) {
+    members.push_back({id, static_cast<NodeId>(100 + id),
+                       static_cast<AzId>(id / 2), true});
+  }
+  return quorum::PgConfig::Create(0, quorum::QuorumModel::kUniform46,
+                                  members);
+}
+
+SegmentStore MakeStore(bool is_full = true, bool hydrated = true) {
+  quorum::SegmentInfo info{0, 100, 0, is_full};
+  return SegmentStore(info, 0, TestConfig(), /*volume_epoch=*/1, hydrated);
+}
+
+log::RedoRecord DataRecord(Lsn lsn, Lsn prev_seg, BlockId block,
+                           Lsn prev_block, const PageOp& op) {
+  log::RedoRecord rec;
+  rec.lsn = lsn;
+  rec.prev_lsn_volume = lsn - 1;
+  rec.prev_lsn_segment = prev_seg;
+  rec.prev_lsn_block = prev_block;
+  rec.pg = 0;
+  rec.block = block;
+  rec.txn = 1;
+  rec.payload = EncodePageOp(op);
+  return rec;
+}
+
+PageOp FormatOp(PageType type = PageType::kLeaf) {
+  PageOp op;
+  op.type = PageOpType::kFormat;
+  op.page_type = type;
+  return op;
+}
+
+PageOp InsertOp(std::string key, std::string value) {
+  PageOp op;
+  op.type = PageOpType::kInsert;
+  op.key = std::move(key);
+  op.value = std::move(value);
+  return op;
+}
+
+// ---------------------------------------------------------------------- //
+// Page ops
+
+TEST(PageOps, CodecRoundTrip) {
+  PageOp op;
+  op.type = PageOpType::kSetLinks;
+  op.page_type = PageType::kInternal;
+  op.level = 3;
+  op.key = "piv";
+  op.value = std::string("\x00\x01", 2);
+  op.next = 42;
+  op.prev = 41;
+  auto decoded = DecodePageOp(EncodePageOp(op));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, op);
+}
+
+TEST(PageOps, DecodeRejectsGarbage) {
+  EXPECT_TRUE(DecodePageOp("").status().IsCorruption());
+  EXPECT_TRUE(DecodePageOp("zz").status().IsCorruption());
+  std::string bad = EncodePageOp(InsertOp("k", "v"));
+  bad.resize(bad.size() - 1);
+  EXPECT_TRUE(DecodePageOp(bad).status().IsCorruption());
+}
+
+TEST(PageOps, ApplySequence) {
+  Page page;
+  page.id = 9;
+  ASSERT_TRUE(ApplyPageOp(&page, FormatOp(), 1).ok());
+  EXPECT_EQ(page.type, PageType::kLeaf);
+  ASSERT_TRUE(ApplyPageOp(&page, InsertOp("b", "2"), 2).ok());
+  ASSERT_TRUE(ApplyPageOp(&page, InsertOp("a", "1"), 3).ok());
+  EXPECT_EQ(page.entries.size(), 2u);
+  EXPECT_EQ(page.page_lsn, 3u);
+
+  PageOp erase;
+  erase.type = PageOpType::kErase;
+  erase.key = "a";
+  ASSERT_TRUE(ApplyPageOp(&page, erase, 4).ok());
+  EXPECT_FALSE(page.entries.contains("a"));
+
+  PageOp truncate;
+  truncate.type = PageOpType::kTruncateFrom;
+  truncate.key = "b";
+  ASSERT_TRUE(ApplyPageOp(&page, truncate, 5).ok());
+  EXPECT_TRUE(page.entries.empty());
+}
+
+// ---------------------------------------------------------------------- //
+// SegmentStore: write path + SCL
+
+TEST(SegmentStore, AppendAdvancesScl) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store.Append({DataRecord(1, 0, 7, 0, FormatOp())}).ok());
+  ASSERT_TRUE(store.Append({DataRecord(2, 1, 7, 1, InsertOp("k", "v"))}).ok());
+  EXPECT_EQ(store.scl(), 2u);
+  EXPECT_EQ(store.stats().records_received, 2u);
+}
+
+TEST(SegmentStore, DuplicateAppendCounted) {
+  auto store = MakeStore();
+  auto rec = DataRecord(1, 0, 7, 0, FormatOp());
+  ASSERT_TRUE(store.Append({rec}).ok());
+  ASSERT_TRUE(store.Append({rec}).ok());
+  EXPECT_EQ(store.stats().records_duplicate, 1u);
+}
+
+TEST(SegmentStore, WrongPgRejected) {
+  auto store = MakeStore();
+  auto rec = DataRecord(1, 0, 7, 0, FormatOp());
+  rec.pg = 3;
+  EXPECT_FALSE(store.Append({rec}).ok());
+}
+
+TEST(SegmentStore, EpochChecks) {
+  auto store = MakeStore();
+  EXPECT_TRUE(store.CheckEpochs({1, 1}).ok());
+  EXPECT_TRUE(store.CheckEpochs({0, 1}).IsStaleEpoch());
+  // Newer volume epoch teaches the node.
+  EXPECT_TRUE(store.CheckEpochs({5, 1}).ok());
+  EXPECT_EQ(store.volume_epoch(), 5u);
+  EXPECT_TRUE(store.CheckEpochs({4, 1}).IsStaleEpoch());
+  EXPECT_TRUE(store.CheckEpochs({5, 0}).IsStaleEpoch());
+}
+
+// ---------------------------------------------------------------------- //
+// SegmentStore: coalesce + reads
+
+TEST(SegmentStore, CoalesceMaterializesVersions) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store.Append({DataRecord(1, 0, 7, 0, FormatOp()),
+                            DataRecord(2, 1, 7, 1, InsertOp("a", "1")),
+                            DataRecord(3, 2, 7, 2, InsertOp("b", "2"))})
+                  .ok());
+  EXPECT_EQ(store.CoalesceStep(100), 3u);
+  EXPECT_EQ(store.VersionCount(7), 3u);  // out-of-place: one per record
+  auto page = store.ReadPage(7, 3);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->entries.size(), 2u);
+}
+
+TEST(SegmentStore, OnDemandMaterializationWithoutCoalesce) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store.Append({DataRecord(1, 0, 7, 0, FormatOp()),
+                            DataRecord(2, 1, 7, 1, InsertOp("a", "1"))})
+                  .ok());
+  // No CoalesceStep: the read materializes on demand (§2.2).
+  auto page = store.ReadPage(7, 2);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(page->page_lsn, 2u);
+  EXPECT_EQ(page->entries.at("a"), "1");
+}
+
+TEST(SegmentStore, ReadsAtOlderLsnSeeOlderVersion) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store.Append({DataRecord(1, 0, 7, 0, FormatOp()),
+                            DataRecord(2, 1, 7, 1, InsertOp("k", "v1")),
+                            DataRecord(3, 2, 7, 2, InsertOp("k", "v2"))})
+                  .ok());
+  store.CoalesceStep(100);
+  auto old_page = store.ReadPage(7, 2);
+  ASSERT_TRUE(old_page.ok());
+  EXPECT_EQ(old_page->entries.at("k"), "v1");
+  auto new_page = store.ReadPage(7, 3);
+  ASSERT_TRUE(new_page.ok());
+  EXPECT_EQ(new_page->entries.at("k"), "v2");
+}
+
+TEST(SegmentStore, ReadAboveSclRejected) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store.Append({DataRecord(1, 0, 7, 0, FormatOp())}).ok());
+  EXPECT_EQ(store.ReadPage(7, 5).status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SegmentStore, ReadBelowPgmrplRejected) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store.Append({DataRecord(1, 0, 7, 0, FormatOp()),
+                            DataRecord(2, 1, 7, 1, InsertOp("a", "1"))})
+                  .ok());
+  store.ObservePgmrpl(2);
+  EXPECT_EQ(store.ReadPage(7, 1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SegmentStore, TailSegmentServesNoPages) {
+  auto store = MakeStore(/*is_full=*/false);
+  ASSERT_TRUE(store.Append({DataRecord(1, 0, 7, 0, FormatOp())}).ok());
+  EXPECT_EQ(store.CoalesceStep(100), 0u);
+  EXPECT_EQ(store.ReadPage(7, 1).status().code(), StatusCode::kNotSupported);
+  EXPECT_EQ(store.scl(), 1u) << "tail still tracks the log chain";
+}
+
+// ---------------------------------------------------------------------- //
+// SegmentStore: GC, backup, scrub
+
+TEST(SegmentStore, GcRequiresBackupAndCoalesce) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store.Append({DataRecord(1, 0, 7, 0, FormatOp()),
+                            DataRecord(2, 1, 7, 1, InsertOp("a", "1"))})
+                  .ok());
+  EXPECT_EQ(store.GarbageCollect(), 0u) << "nothing backed up yet";
+  store.CoalesceStep(100);
+  store.MarkBackedUp(2);
+  EXPECT_GT(store.GarbageCollect(), 0u);
+  EXPECT_EQ(store.hot_log().RecordCount(), 0u);
+  // Reads still work from materialized versions.
+  EXPECT_TRUE(store.ReadPage(7, 2).ok());
+}
+
+TEST(SegmentStore, VersionGcKeepsNewestAtOrBelowPgmrpl) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store.Append({DataRecord(1, 0, 7, 0, FormatOp()),
+                            DataRecord(2, 1, 7, 1, InsertOp("k", "v1")),
+                            DataRecord(3, 2, 7, 2, InsertOp("k", "v2")),
+                            DataRecord(4, 3, 7, 3, InsertOp("k", "v3"))})
+                  .ok());
+  store.CoalesceStep(100);
+  EXPECT_EQ(store.VersionCount(7), 4u);
+  store.ObservePgmrpl(3);
+  store.GarbageCollect();
+  // Versions 1,2 collected; version 3 (newest <= PGMRPL) and 4 retained.
+  EXPECT_EQ(store.VersionCount(7), 2u);
+  auto page = store.ReadPage(7, 3);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->entries.at("k"), "v2");
+}
+
+TEST(SegmentStore, PendingBackupOnlyChainComplete) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store.Append({DataRecord(1, 0, 7, 0, FormatOp()),
+                            DataRecord(3, 2, 7, 2, InsertOp("b", "2"))})
+                  .ok());
+  auto pending = store.PendingBackup(100);
+  ASSERT_EQ(pending.size(), 1u) << "record 3 is beyond SCL (gap at 2)";
+  EXPECT_EQ(pending[0].lsn, 1u);
+}
+
+TEST(SegmentStore, ScrubDetectsAndDropsCorruption) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store.Append({DataRecord(1, 0, 7, 0, FormatOp()),
+                            DataRecord(2, 1, 7, 1, InsertOp("a", "1"))})
+                  .ok());
+  EXPECT_EQ(store.Scrub(), 0u);
+  ASSERT_TRUE(store.CorruptRecordForTest(2));
+  EXPECT_EQ(store.Scrub(), 1u);
+  EXPECT_EQ(store.scl(), 1u) << "corrupt record dropped; SCL rewound";
+  // Gossip redelivery heals.
+  ASSERT_TRUE(
+      store.AbsorbGossip({DataRecord(2, 1, 7, 1, InsertOp("a", "1"))}).ok());
+  EXPECT_EQ(store.scl(), 2u);
+}
+
+// ---------------------------------------------------------------------- //
+// SegmentStore: truncation & hydration
+
+TEST(SegmentStore, TruncationDropsAnnulledVersions) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store.Append({DataRecord(1, 0, 7, 0, FormatOp()),
+                            DataRecord(2, 1, 7, 1, InsertOp("k", "v1")),
+                            DataRecord(3, 2, 7, 2, InsertOp("k", "dead"))})
+                  .ok());
+  store.CoalesceStep(100);
+  VolumeEpochUpdateRequest request;
+  request.segment = 0;
+  request.new_epoch = 2;
+  request.truncation = log::TruncationRange{3, 1000};
+  ASSERT_TRUE(store.UpdateVolumeEpoch(request).ok());
+  EXPECT_EQ(store.scl(), 2u);
+  auto page = store.ReadPage(7, 2);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->entries.at("k"), "v1") << "annulled version dropped";
+  // Stale epoch update rejected.
+  EXPECT_TRUE(store.UpdateVolumeEpoch(request).IsStaleEpoch());
+}
+
+TEST(SegmentStore, HydrationViaGossipRecords) {
+  auto donor = MakeStore();
+  ASSERT_TRUE(donor.Append({DataRecord(1, 0, 7, 0, FormatOp()),
+                            DataRecord(2, 1, 7, 1, InsertOp("a", "1")),
+                            DataRecord(3, 2, 7, 2, InsertOp("b", "2"))})
+                  .ok());
+  donor.CoalesceStep(100);
+
+  quorum::SegmentInfo fresh_info{6, 110, 2, true};
+  SegmentStore fresh(fresh_info, 0, TestConfig(), 1, /*hydrated=*/false);
+  fresh.BeginHydration(/*target_scl=*/3);
+  EXPECT_FALSE(fresh.hydrated());
+
+  HydrationRequest request{0, 6, fresh.scl(), true};
+  auto response = donor.BuildHydration(request);
+  ASSERT_TRUE(fresh.AbsorbHydration(response).ok());
+  EXPECT_TRUE(fresh.hydrated());
+  EXPECT_EQ(fresh.scl(), 3u);
+  auto page = fresh.ReadPage(7, 3);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->entries.size(), 2u);
+}
+
+TEST(SegmentStore, MembershipInstallMonotone) {
+  auto store = MakeStore();
+  auto next = TestConfig().BeginReplace(5, quorum::SegmentInfo{6, 110, 2, true});
+  MembershipUpdateRequest request;
+  request.segment = 0;
+  request.expected_epoch = 1;
+  request.config = *next;
+  ASSERT_TRUE(store.UpdateMembership(request).ok());
+  EXPECT_EQ(store.config().epoch(), 2u);
+  EXPECT_TRUE(store.UpdateMembership(request).IsStaleEpoch());
+}
+
+// ---------------------------------------------------------------------- //
+// SimDisk & ObjectStore
+
+TEST(SimDisk, FifoQueueing) {
+  sim::Simulator sim;
+  DiskOptions options;
+  options.write_latency = LatencyDistribution::Constant(100);
+  options.bytes_per_us = 0;
+  SimDisk disk(&sim, options);
+  std::vector<int> order;
+  disk.SubmitWrite(10, [&]() { order.push_back(1); });
+  disk.SubmitWrite(10, [&]() { order.push_back(2); });
+  EXPECT_EQ(disk.QueueDepth(), 2u);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.Now(), 200) << "serial service";
+  EXPECT_EQ(disk.ops_completed(), 2u);
+}
+
+TEST(ObjectStore, PutThenGetVisibleAfterLatency) {
+  sim::Simulator sim;
+  ObjectStore store(&sim);
+  std::vector<log::RedoRecord> records = {
+      DataRecord(1, 0, 7, 0, FormatOp()),
+      DataRecord(2, 1, 7, 1, InsertOp("a", "1"))};
+  Lsn archived = kInvalidLsn;
+  store.Put(0, records, [&](Lsn max_lsn) { archived = max_lsn; });
+  sim.Run();
+  EXPECT_EQ(archived, 2u);
+  EXPECT_EQ(store.MaxArchivedLsn(0), 2u);
+
+  std::vector<log::RedoRecord> fetched;
+  store.Get(0, 1, 10, [&](std::vector<log::RedoRecord> r) {
+    fetched = std::move(r);
+  });
+  sim.Run();
+  EXPECT_EQ(fetched.size(), 2u);
+  EXPECT_GT(store.bytes_stored(), 0u);
+}
+
+TEST(ObjectStore, DeduplicatesRecords) {
+  sim::Simulator sim;
+  ObjectStore store(&sim);
+  auto rec = DataRecord(1, 0, 7, 0, FormatOp());
+  store.Put(0, {rec}, [](Lsn) {});
+  store.Put(0, {rec}, [](Lsn) {});
+  sim.Run();
+  EXPECT_EQ(store.bytes_stored(), rec.SerializedSize());
+}
+
+}  // namespace
+}  // namespace aurora::storage
+
+// Regression tests for truncation-history propagation (annulled timelines
+// must never be resurrected) and archive-reset semantics.
+namespace aurora::storage {
+namespace {
+
+quorum::PgConfig RegressionConfig() {
+  std::vector<quorum::SegmentInfo> members;
+  for (SegmentId id = 0; id < 6; ++id) {
+    members.push_back({id, static_cast<NodeId>(100 + id),
+                       static_cast<AzId>(id / 2), true});
+  }
+  return quorum::PgConfig::Create(0, quorum::QuorumModel::kUniform46,
+                                  members);
+}
+
+log::RedoRecord ChainRecord(Lsn lsn, Lsn prev) {
+  log::RedoRecord rec;
+  rec.lsn = lsn;
+  rec.prev_lsn_segment = prev;
+  rec.prev_lsn_block = 0;
+  rec.pg = 0;
+  rec.block = 3;
+  PageOp op;
+  op.type = PageOpType::kFormat;
+  op.page_type = PageType::kLeaf;
+  rec.payload = EncodePageOp(op);
+  return rec;
+}
+
+TEST(SegmentStore, HydrationCarriesTruncationHistory) {
+  // Donor lived through a recovery that annulled [3, 100].
+  SegmentStore donor({0, 100, 0, true}, 0, RegressionConfig(), 1);
+  ASSERT_TRUE(donor.Append({ChainRecord(1, 0), ChainRecord(2, 1),
+                            ChainRecord(3, 2)}).ok());
+  VolumeEpochUpdateRequest epoch_update;
+  epoch_update.segment = 0;
+  epoch_update.new_epoch = 2;
+  epoch_update.truncation = log::TruncationRange{3, 100};
+  ASSERT_TRUE(donor.UpdateVolumeEpoch(epoch_update).ok());
+  ASSERT_TRUE(donor.Append({ChainRecord(101, 2)}).ok());
+  ASSERT_EQ(donor.scl(), 101u);
+
+  // A fresh segment hydrates from the donor, then is offered the annulled
+  // record (e.g. from a stale archive): it must refuse it.
+  SegmentStore fresh({9, 109, 2, true}, 0, RegressionConfig(), 2,
+                     /*hydrated=*/false);
+  fresh.BeginHydration(101);
+  HydrationRequest request{0, 9, kInvalidLsn, true};
+  ASSERT_TRUE(fresh.AbsorbHydration(donor.BuildHydration(request)).ok());
+  EXPECT_TRUE(fresh.hydrated());
+  EXPECT_EQ(fresh.scl(), 101u);
+  ASSERT_TRUE(fresh.AbsorbGossip({ChainRecord(3, 2)}).ok());
+  EXPECT_FALSE(fresh.hot_log().Contains(3))
+      << "annulled record resurrected through hydration";
+}
+
+TEST(SegmentStore, ResetToArchivePreservesTruncations) {
+  SegmentStore store({0, 100, 0, true}, 0, RegressionConfig(), 1);
+  ASSERT_TRUE(store.Append({ChainRecord(1, 0), ChainRecord(2, 1)}).ok());
+  VolumeEpochUpdateRequest epoch_update;
+  epoch_update.segment = 0;
+  epoch_update.new_epoch = 2;
+  epoch_update.truncation = log::TruncationRange{2, 50};
+  ASSERT_TRUE(store.UpdateVolumeEpoch(epoch_update).ok());
+
+  // Restore from an archive that (legitimately) still contains the
+  // annulled record 2: it must stay annulled.
+  store.ResetToArchive({ChainRecord(1, 0), ChainRecord(2, 1)},
+                       /*restore_point=*/60, /*new_epoch=*/3);
+  EXPECT_EQ(store.scl(), 1u);
+  EXPECT_FALSE(store.hot_log().Contains(2));
+  // And the reset installed its own range above the restore point.
+  ASSERT_TRUE(store.Append({ChainRecord(61, 1)}).ok());
+  EXPECT_FALSE(store.hot_log().Contains(61))
+      << "old-timeline record above the restore point must be annulled";
+}
+
+}  // namespace
+}  // namespace aurora::storage
