@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_boxcar_jitter.dir/bench_c2_boxcar_jitter.cc.o"
+  "CMakeFiles/bench_c2_boxcar_jitter.dir/bench_c2_boxcar_jitter.cc.o.d"
+  "bench_c2_boxcar_jitter"
+  "bench_c2_boxcar_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_boxcar_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

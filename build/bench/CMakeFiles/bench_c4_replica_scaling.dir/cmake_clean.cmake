@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_replica_scaling.dir/bench_c4_replica_scaling.cc.o"
+  "CMakeFiles/bench_c4_replica_scaling.dir/bench_c4_replica_scaling.cc.o.d"
+  "bench_c4_replica_scaling"
+  "bench_c4_replica_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_replica_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_epoch_fencing.dir/bench_c5_epoch_fencing.cc.o"
+  "CMakeFiles/bench_c5_epoch_fencing.dir/bench_c5_epoch_fencing.cc.o.d"
+  "bench_c5_epoch_fencing"
+  "bench_c5_epoch_fencing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_epoch_fencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_cost_amplification.dir/bench_c6_cost_amplification.cc.o"
+  "CMakeFiles/bench_c6_cost_amplification.dir/bench_c6_cost_amplification.cc.o.d"
+  "bench_c6_cost_amplification"
+  "bench_c6_cost_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_cost_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c8_network_traffic.dir/bench_c8_network_traffic.cc.o"
+  "CMakeFiles/bench_c8_network_traffic.dir/bench_c8_network_traffic.cc.o.d"
+  "bench_c8_network_traffic"
+  "bench_c8_network_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c8_network_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

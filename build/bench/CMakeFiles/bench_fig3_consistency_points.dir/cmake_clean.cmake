@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_consistency_points.dir/bench_fig3_consistency_points.cc.o"
+  "CMakeFiles/bench_fig3_consistency_points.dir/bench_fig3_consistency_points.cc.o.d"
+  "bench_fig3_consistency_points"
+  "bench_fig3_consistency_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_consistency_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_membership_changes.dir/bench_fig5_membership_changes.cc.o"
+  "CMakeFiles/bench_fig5_membership_changes.dir/bench_fig5_membership_changes.cc.o.d"
+  "bench_fig5_membership_changes"
+  "bench_fig5_membership_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_membership_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_change.dir/membership_change.cpp.o"
+  "CMakeFiles/membership_change.dir/membership_change.cpp.o.d"
+  "membership_change"
+  "membership_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_scaling.dir/read_scaling.cpp.o"
+  "CMakeFiles/read_scaling.dir/read_scaling.cpp.o.d"
+  "read_scaling"
+  "read_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

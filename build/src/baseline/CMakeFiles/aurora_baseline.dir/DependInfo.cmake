@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/aries.cc" "src/baseline/CMakeFiles/aurora_baseline.dir/aries.cc.o" "gcc" "src/baseline/CMakeFiles/aurora_baseline.dir/aries.cc.o.d"
+  "/root/repo/src/baseline/lease.cc" "src/baseline/CMakeFiles/aurora_baseline.dir/lease.cc.o" "gcc" "src/baseline/CMakeFiles/aurora_baseline.dir/lease.cc.o.d"
+  "/root/repo/src/baseline/paxos.cc" "src/baseline/CMakeFiles/aurora_baseline.dir/paxos.cc.o" "gcc" "src/baseline/CMakeFiles/aurora_baseline.dir/paxos.cc.o.d"
+  "/root/repo/src/baseline/sync_replication.cc" "src/baseline/CMakeFiles/aurora_baseline.dir/sync_replication.cc.o" "gcc" "src/baseline/CMakeFiles/aurora_baseline.dir/sync_replication.cc.o.d"
+  "/root/repo/src/baseline/two_phase_commit.cc" "src/baseline/CMakeFiles/aurora_baseline.dir/two_phase_commit.cc.o" "gcc" "src/baseline/CMakeFiles/aurora_baseline.dir/two_phase_commit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aurora_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aurora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aurora_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/aurora_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/aurora_quorum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

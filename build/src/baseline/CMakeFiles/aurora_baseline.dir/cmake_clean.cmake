@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_baseline.dir/aries.cc.o"
+  "CMakeFiles/aurora_baseline.dir/aries.cc.o.d"
+  "CMakeFiles/aurora_baseline.dir/lease.cc.o"
+  "CMakeFiles/aurora_baseline.dir/lease.cc.o.d"
+  "CMakeFiles/aurora_baseline.dir/paxos.cc.o"
+  "CMakeFiles/aurora_baseline.dir/paxos.cc.o.d"
+  "CMakeFiles/aurora_baseline.dir/sync_replication.cc.o"
+  "CMakeFiles/aurora_baseline.dir/sync_replication.cc.o.d"
+  "CMakeFiles/aurora_baseline.dir/two_phase_commit.cc.o"
+  "CMakeFiles/aurora_baseline.dir/two_phase_commit.cc.o.d"
+  "libaurora_baseline.a"
+  "libaurora_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

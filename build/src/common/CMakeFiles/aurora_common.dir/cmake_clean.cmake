@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_common.dir/crc32.cc.o"
+  "CMakeFiles/aurora_common.dir/crc32.cc.o.d"
+  "CMakeFiles/aurora_common.dir/histogram.cc.o"
+  "CMakeFiles/aurora_common.dir/histogram.cc.o.d"
+  "CMakeFiles/aurora_common.dir/interval_set.cc.o"
+  "CMakeFiles/aurora_common.dir/interval_set.cc.o.d"
+  "CMakeFiles/aurora_common.dir/logging.cc.o"
+  "CMakeFiles/aurora_common.dir/logging.cc.o.d"
+  "CMakeFiles/aurora_common.dir/random.cc.o"
+  "CMakeFiles/aurora_common.dir/random.cc.o.d"
+  "CMakeFiles/aurora_common.dir/status.cc.o"
+  "CMakeFiles/aurora_common.dir/status.cc.o.d"
+  "CMakeFiles/aurora_common.dir/types.cc.o"
+  "CMakeFiles/aurora_common.dir/types.cc.o.d"
+  "libaurora_common.a"
+  "libaurora_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_core.dir/cluster.cc.o"
+  "CMakeFiles/aurora_core.dir/cluster.cc.o.d"
+  "libaurora_core.a"
+  "libaurora_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/btree.cc" "src/engine/CMakeFiles/aurora_engine.dir/btree.cc.o" "gcc" "src/engine/CMakeFiles/aurora_engine.dir/btree.cc.o.d"
+  "/root/repo/src/engine/buffer_cache.cc" "src/engine/CMakeFiles/aurora_engine.dir/buffer_cache.cc.o" "gcc" "src/engine/CMakeFiles/aurora_engine.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/engine/consistency_tracker.cc" "src/engine/CMakeFiles/aurora_engine.dir/consistency_tracker.cc.o" "gcc" "src/engine/CMakeFiles/aurora_engine.dir/consistency_tracker.cc.o.d"
+  "/root/repo/src/engine/db_instance.cc" "src/engine/CMakeFiles/aurora_engine.dir/db_instance.cc.o" "gcc" "src/engine/CMakeFiles/aurora_engine.dir/db_instance.cc.o.d"
+  "/root/repo/src/engine/read_router.cc" "src/engine/CMakeFiles/aurora_engine.dir/read_router.cc.o" "gcc" "src/engine/CMakeFiles/aurora_engine.dir/read_router.cc.o.d"
+  "/root/repo/src/engine/storage_driver.cc" "src/engine/CMakeFiles/aurora_engine.dir/storage_driver.cc.o" "gcc" "src/engine/CMakeFiles/aurora_engine.dir/storage_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aurora_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aurora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/aurora_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/aurora_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aurora_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/aurora_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

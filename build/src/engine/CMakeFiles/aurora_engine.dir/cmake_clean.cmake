@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_engine.dir/btree.cc.o"
+  "CMakeFiles/aurora_engine.dir/btree.cc.o.d"
+  "CMakeFiles/aurora_engine.dir/buffer_cache.cc.o"
+  "CMakeFiles/aurora_engine.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/aurora_engine.dir/consistency_tracker.cc.o"
+  "CMakeFiles/aurora_engine.dir/consistency_tracker.cc.o.d"
+  "CMakeFiles/aurora_engine.dir/db_instance.cc.o"
+  "CMakeFiles/aurora_engine.dir/db_instance.cc.o.d"
+  "CMakeFiles/aurora_engine.dir/read_router.cc.o"
+  "CMakeFiles/aurora_engine.dir/read_router.cc.o.d"
+  "CMakeFiles/aurora_engine.dir/storage_driver.cc.o"
+  "CMakeFiles/aurora_engine.dir/storage_driver.cc.o.d"
+  "libaurora_engine.a"
+  "libaurora_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/boxcar.cc" "src/log/CMakeFiles/aurora_log.dir/boxcar.cc.o" "gcc" "src/log/CMakeFiles/aurora_log.dir/boxcar.cc.o.d"
+  "/root/repo/src/log/hot_log.cc" "src/log/CMakeFiles/aurora_log.dir/hot_log.cc.o" "gcc" "src/log/CMakeFiles/aurora_log.dir/hot_log.cc.o.d"
+  "/root/repo/src/log/record.cc" "src/log/CMakeFiles/aurora_log.dir/record.cc.o" "gcc" "src/log/CMakeFiles/aurora_log.dir/record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aurora_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aurora_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

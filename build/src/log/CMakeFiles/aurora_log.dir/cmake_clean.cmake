@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_log.dir/boxcar.cc.o"
+  "CMakeFiles/aurora_log.dir/boxcar.cc.o.d"
+  "CMakeFiles/aurora_log.dir/hot_log.cc.o"
+  "CMakeFiles/aurora_log.dir/hot_log.cc.o.d"
+  "CMakeFiles/aurora_log.dir/record.cc.o"
+  "CMakeFiles/aurora_log.dir/record.cc.o.d"
+  "libaurora_log.a"
+  "libaurora_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quorum/geometry.cc" "src/quorum/CMakeFiles/aurora_quorum.dir/geometry.cc.o" "gcc" "src/quorum/CMakeFiles/aurora_quorum.dir/geometry.cc.o.d"
+  "/root/repo/src/quorum/membership.cc" "src/quorum/CMakeFiles/aurora_quorum.dir/membership.cc.o" "gcc" "src/quorum/CMakeFiles/aurora_quorum.dir/membership.cc.o.d"
+  "/root/repo/src/quorum/quorum_set.cc" "src/quorum/CMakeFiles/aurora_quorum.dir/quorum_set.cc.o" "gcc" "src/quorum/CMakeFiles/aurora_quorum.dir/quorum_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aurora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

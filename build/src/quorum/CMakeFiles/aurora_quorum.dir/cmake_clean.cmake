@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_quorum.dir/geometry.cc.o"
+  "CMakeFiles/aurora_quorum.dir/geometry.cc.o.d"
+  "CMakeFiles/aurora_quorum.dir/membership.cc.o"
+  "CMakeFiles/aurora_quorum.dir/membership.cc.o.d"
+  "CMakeFiles/aurora_quorum.dir/quorum_set.cc.o"
+  "CMakeFiles/aurora_quorum.dir/quorum_set.cc.o.d"
+  "libaurora_quorum.a"
+  "libaurora_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

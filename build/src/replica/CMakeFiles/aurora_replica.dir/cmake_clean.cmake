@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_replica.dir/read_replica.cc.o"
+  "CMakeFiles/aurora_replica.dir/read_replica.cc.o.d"
+  "libaurora_replica.a"
+  "libaurora_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

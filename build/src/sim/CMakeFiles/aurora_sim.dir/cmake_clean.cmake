@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_sim.dir/failure_injector.cc.o"
+  "CMakeFiles/aurora_sim.dir/failure_injector.cc.o.d"
+  "CMakeFiles/aurora_sim.dir/network.cc.o"
+  "CMakeFiles/aurora_sim.dir/network.cc.o.d"
+  "CMakeFiles/aurora_sim.dir/simulator.cc.o"
+  "CMakeFiles/aurora_sim.dir/simulator.cc.o.d"
+  "libaurora_sim.a"
+  "libaurora_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk.cc" "src/storage/CMakeFiles/aurora_storage.dir/disk.cc.o" "gcc" "src/storage/CMakeFiles/aurora_storage.dir/disk.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/storage/CMakeFiles/aurora_storage.dir/object_store.cc.o" "gcc" "src/storage/CMakeFiles/aurora_storage.dir/object_store.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/aurora_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/aurora_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/segment_store.cc" "src/storage/CMakeFiles/aurora_storage.dir/segment_store.cc.o" "gcc" "src/storage/CMakeFiles/aurora_storage.dir/segment_store.cc.o.d"
+  "/root/repo/src/storage/storage_node.cc" "src/storage/CMakeFiles/aurora_storage.dir/storage_node.cc.o" "gcc" "src/storage/CMakeFiles/aurora_storage.dir/storage_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aurora_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aurora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/aurora_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/aurora_quorum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

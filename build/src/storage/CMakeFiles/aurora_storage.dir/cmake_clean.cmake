@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_storage.dir/disk.cc.o"
+  "CMakeFiles/aurora_storage.dir/disk.cc.o.d"
+  "CMakeFiles/aurora_storage.dir/object_store.cc.o"
+  "CMakeFiles/aurora_storage.dir/object_store.cc.o.d"
+  "CMakeFiles/aurora_storage.dir/page.cc.o"
+  "CMakeFiles/aurora_storage.dir/page.cc.o.d"
+  "CMakeFiles/aurora_storage.dir/segment_store.cc.o"
+  "CMakeFiles/aurora_storage.dir/segment_store.cc.o.d"
+  "CMakeFiles/aurora_storage.dir/storage_node.cc.o"
+  "CMakeFiles/aurora_storage.dir/storage_node.cc.o.d"
+  "libaurora_storage.a"
+  "libaurora_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

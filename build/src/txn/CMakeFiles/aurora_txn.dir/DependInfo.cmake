@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/read_view.cc" "src/txn/CMakeFiles/aurora_txn.dir/read_view.cc.o" "gcc" "src/txn/CMakeFiles/aurora_txn.dir/read_view.cc.o.d"
+  "/root/repo/src/txn/row_version.cc" "src/txn/CMakeFiles/aurora_txn.dir/row_version.cc.o" "gcc" "src/txn/CMakeFiles/aurora_txn.dir/row_version.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "src/txn/CMakeFiles/aurora_txn.dir/txn_manager.cc.o" "gcc" "src/txn/CMakeFiles/aurora_txn.dir/txn_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aurora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aurora_txn.dir/read_view.cc.o"
+  "CMakeFiles/aurora_txn.dir/read_view.cc.o.d"
+  "CMakeFiles/aurora_txn.dir/row_version.cc.o"
+  "CMakeFiles/aurora_txn.dir/row_version.cc.o.d"
+  "CMakeFiles/aurora_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/aurora_txn.dir/txn_manager.cc.o.d"
+  "libaurora_txn.a"
+  "libaurora_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aurora_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_smoke_test.dir/cluster_smoke_test.cc.o"
+  "CMakeFiles/cluster_smoke_test.dir/cluster_smoke_test.cc.o.d"
+  "cluster_smoke_test"
+  "cluster_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/failure_injection_test.cc" "tests/CMakeFiles/failure_injection_test.dir/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/failure_injection_test.dir/failure_injection_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aurora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/aurora_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/aurora_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/aurora_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/aurora_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aurora_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/aurora_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/aurora_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aurora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aurora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

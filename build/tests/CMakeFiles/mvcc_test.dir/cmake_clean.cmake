@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcc_test.dir/mvcc_test.cc.o"
+  "CMakeFiles/mvcc_test.dir/mvcc_test.cc.o.d"
+  "mvcc_test"
+  "mvcc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

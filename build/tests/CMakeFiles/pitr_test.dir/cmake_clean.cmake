@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitr_test.dir/pitr_test.cc.o"
+  "CMakeFiles/pitr_test.dir/pitr_test.cc.o.d"
+  "pitr_test"
+  "pitr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_ops_test.dir/volume_ops_test.cc.o"
+  "CMakeFiles/volume_ops_test.dir/volume_ops_test.cc.o.d"
+  "volume_ops_test"
+  "volume_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
