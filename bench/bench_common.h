@@ -10,7 +10,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -75,6 +77,80 @@ inline std::string LatencySummary(const Histogram& h) {
   return "p50=" + Us(h.P50()) + " p99=" + Us(h.P99()) +
          " p999=" + Us(h.P999());
 }
+
+/// Machine-readable companion to the printf tables: collects flat
+/// key→value metrics and writes them as `BENCH_<name>.json` so the perf
+/// trajectory can be tracked across PRs (diffable, parseable, append-only
+/// per run). Output goes to $AURORA_BENCH_JSON_DIR if set, else the
+/// current directory. Keys keep insertion order.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  BenchJson& Set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    entries_.emplace_back(key, buf);
+    return *this;
+  }
+  BenchJson& Set(const std::string& key, uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  BenchJson& Set(const std::string& key, int64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  BenchJson& Set(const std::string& key, int value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  BenchJson& SetString(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted.push_back('\\');
+      quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    entries_.emplace_back(key, std::move(quoted));
+    return *this;
+  }
+
+  std::string Render() const {
+    std::string out = "{\n  \"bench\": \"" + name_ + "\"";
+    for (const auto& [key, value] : entries_) {
+      out += ",\n  \"" + key + "\": " + value;
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  std::string FilePath() const {
+    const char* dir = std::getenv("AURORA_BENCH_JSON_DIR");
+    std::string path = (dir != nullptr && dir[0] != '\0')
+                           ? std::string(dir) + "/"
+                           : std::string();
+    return path + "BENCH_" + name_ + ".json";
+  }
+
+  /// Writes the JSON file; prints the destination so runs are traceable.
+  bool WriteFile() const {
+    const std::string path = FilePath();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot open %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = Render();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("[bench-json] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// Issues `n` autocommit single-key transactions back-to-back (closed
 /// loop), recording commit latency into the writer's histogram.

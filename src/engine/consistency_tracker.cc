@@ -30,11 +30,26 @@ void ConsistencyTracker::ObserveScl(ProtectionGroupId pg, SegmentId segment,
 void ConsistencyTracker::RecordIssued(ProtectionGroupId pg, Lsn lsn) {
   auto it = pgs_.find(pg);
   if (it == pgs_.end()) return;
-  if (lsn > it->second.pgcl) it->second.outstanding.insert(lsn);
+  if (lsn <= it->second.pgcl) return;
+  std::deque<Lsn>& outstanding = it->second.outstanding;
+  // The single writer issues LSNs in ascending order, so this is an O(1)
+  // push; tolerate out-of-order or duplicate notifications defensively.
+  if (outstanding.empty() || lsn > outstanding.back()) {
+    outstanding.push_back(lsn);
+    return;
+  }
+  auto pos = std::lower_bound(outstanding.begin(), outstanding.end(), lsn);
+  if (pos == outstanding.end() || *pos != lsn) outstanding.insert(pos, lsn);
 }
 
 void ConsistencyTracker::RecordMtrComplete(Lsn lsn) {
-  mtr_points_.insert(lsn);
+  // Same monotonic shape as RecordIssued.
+  if (mtr_points_.empty() || lsn > mtr_points_.back()) {
+    mtr_points_.push_back(lsn);
+    return;
+  }
+  auto pos = std::lower_bound(mtr_points_.begin(), mtr_points_.end(), lsn);
+  if (pos == mtr_points_.end() || *pos != lsn) mtr_points_.insert(pos, lsn);
 }
 
 void ConsistencyTracker::SetMaxAllocated(Lsn lsn) {
@@ -44,8 +59,10 @@ void ConsistencyTracker::SetMaxAllocated(Lsn lsn) {
 Lsn ConsistencyTracker::ComputePgcl(const PgTracking& tracking) const {
   // Find the largest SCL value X such that the set of members with
   // SCL >= X satisfies the write quorum. Iterate distinct SCLs downward,
-  // growing the satisfied set.
-  std::vector<std::pair<Lsn, SegmentId>> by_scl;
+  // growing the satisfied set. Runs once per write ack; the sort buffer
+  // is a reused member so the hot path does not allocate.
+  std::vector<std::pair<Lsn, SegmentId>>& by_scl = by_scl_scratch_;
+  by_scl.clear();
   by_scl.reserve(tracking.scls.size());
   for (const auto& [segment, scl] : tracking.scls) {
     by_scl.emplace_back(scl, segment);
@@ -73,23 +90,28 @@ bool ConsistencyTracker::Advance() {
   for (auto& [pg, tracking] : pgs_) {
     const Lsn pgcl = ComputePgcl(tracking);
     tracking.pgcl = std::max(tracking.pgcl, pgcl);
-    tracking.outstanding.erase(
-        tracking.outstanding.begin(),
-        tracking.outstanding.upper_bound(tracking.pgcl));
+    // Ascending deque: everything covered by PGCL drains off the front.
+    while (!tracking.outstanding.empty() &&
+           tracking.outstanding.front() <= tracking.pgcl) {
+      tracking.outstanding.pop_front();
+    }
     if (!tracking.outstanding.empty()) {
       // The first record of this PG above its PGCL has not met quorum;
       // VCL may not pass it (§2.3: "no pending writes preventing PGCL
       // from advancing").
-      vcl_bound = std::min(vcl_bound, *tracking.outstanding.begin() - 1);
+      vcl_bound = std::min(vcl_bound, tracking.outstanding.front() - 1);
     }
   }
   vcl_ = std::max(vcl_, vcl_bound);
-  // VDL: highest MTR completion point at or below VCL.
-  auto it = mtr_points_.upper_bound(vcl_);
-  if (it != mtr_points_.begin()) {
-    --it;
-    vdl_ = std::max(vdl_, *it);
-    mtr_points_.erase(mtr_points_.begin(), it);
+  // VDL: highest MTR completion point at or below VCL; passed points
+  // drain off the front.
+  Lsn last_passed = kInvalidLsn;
+  while (!mtr_points_.empty() && mtr_points_.front() <= vcl_) {
+    last_passed = mtr_points_.front();
+    mtr_points_.pop_front();
+  }
+  if (last_passed != kInvalidLsn) {
+    vdl_ = std::max(vdl_, last_passed);
   }
   return vcl_ != old_vcl || vdl_ != old_vdl;
 }

@@ -17,9 +17,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
-#include <set>
 #include <vector>
 
 #include "src/common/types.h"
@@ -28,13 +28,19 @@
 namespace aurora::engine {
 
 /// Per-PG tracking state.
+///
+/// LSNs are allocated monotonically by the single writer, so the issued
+/// set is a monotonic deque (pushed at the back in order, drained from the
+/// front as PGCL advances) rather than a node-based std::set — no
+/// allocation per record on the hot path.
 struct PgTracking {
   quorum::QuorumSet write_set;
   std::vector<SegmentId> members;
   /// Latest SCL observed from each member (ack piggyback).
   std::map<SegmentId, Lsn> scls;
-  /// Record LSNs issued to this PG and not yet covered by its PGCL.
-  std::set<Lsn> outstanding;
+  /// Record LSNs issued to this PG and not yet covered by its PGCL,
+  /// ascending.
+  std::deque<Lsn> outstanding;
   Lsn pgcl = kInvalidLsn;
 };
 
@@ -85,7 +91,12 @@ class ConsistencyTracker {
   Lsn ComputePgcl(const PgTracking& tracking) const;
 
   std::map<ProtectionGroupId, PgTracking> pgs_;
-  std::set<Lsn> mtr_points_;
+  /// MTR completion points, ascending (monotonic LSN allocation); drained
+  /// from the front as VCL passes them in Advance().
+  std::deque<Lsn> mtr_points_;
+  /// Scratch for ComputePgcl, kept across calls so the per-ack Advance()
+  /// does not allocate.
+  mutable std::vector<std::pair<Lsn, SegmentId>> by_scl_scratch_;
   Lsn vcl_ = kInvalidLsn;
   Lsn vdl_ = kInvalidLsn;
   Lsn max_allocated_ = kInvalidLsn;

@@ -60,7 +60,11 @@ void StorageDriver::SubmitRecords(
     tracker_.SetMaxAllocated(record.lsn);
     tracker_.RecordIssued(record.pg, record.lsn);
     if (record.IsMtrComplete()) tracker_.RecordMtrComplete(record.lsn);
-    retained_.emplace(record.lsn, record);
+    // LSNs are allocated in ascending order; crash recovery rebuilds the
+    // driver from scratch, so the deque never sees a regression.
+    if (retained_.empty() || record.lsn > retained_.back().lsn) {
+      retained_.push_back(record);
+    }
     // Fan out to every member (including both alternatives of a slot
     // mid-membership-change; quorum evaluation handles the algebra).
     const auto& config = geometry_.Pg(record.pg);
@@ -77,25 +81,28 @@ void StorageDriver::SubmitRecords(
 void StorageDriver::SendBatch(SegmentChannel* channel,
                               std::vector<log::RedoRecord> records) {
   if (!running_) return;
-  storage::WriteRequest request;
-  request.segment = channel->info.id;
-  request.epochs = EpochVector{volume_epoch_,
-                               geometry_.Pg(channel->pg).epoch()};
-  request.records = std::move(records);
+  // The request is shared, not copied, into the RPC closures: the batch
+  // vector (and each record's refcounted payload) crosses the simulated
+  // wire without duplication.
+  auto request = std::make_shared<storage::WriteRequest>();
+  request->segment = channel->info.id;
+  request->epochs = EpochVector{volume_epoch_,
+                                geometry_.Pg(channel->pg).epoch()};
+  request->records = std::move(records);
   stats_.write_requests++;
   const SimTime sent_at = sim_->Now();
   const NodeId target = channel->info.node;
   sim::UnaryCall<storage::WriteAck>(
-      network_, self_, target, request.SerializedSize(),
+      network_, self_, target, request->SerializedSize(),
       [this, target, request](sim::ReplyFn<storage::WriteAck> reply) {
         storage::StorageNode* node = resolver_ ? resolver_(target) : nullptr;
         if (node == nullptr) {
-          reply(storage::WriteAck{request.segment,
+          reply(storage::WriteAck{request->segment,
                                   Status::Unavailable("unresolved node"),
                                   kInvalidLsn});
           return;
         }
-        node->HandleWrite(request, std::move(reply));
+        node->HandleWrite(*request, std::move(reply));
       },
       [](const storage::WriteAck& a) { return a.SerializedSize(); },
       [this, channel, sent_at](storage::WriteAck ack) {
@@ -120,8 +127,9 @@ void StorageDriver::HandleAck(SegmentChannel* channel,
   if (tracker_.Advance()) {
     // Durability advanced: drop retained records now known globally
     // durable and wake the commit path.
-    retained_.erase(retained_.begin(),
-                    retained_.upper_bound(tracker_.vcl()));
+    while (!retained_.empty() && retained_.front().lsn <= tracker_.vcl()) {
+      retained_.pop_front();
+    }
     if (on_advance_) on_advance_();
   }
 }
@@ -145,10 +153,12 @@ void StorageDriver::RetrySweep() {
     // (§2.3: missing writes are tolerated; gossip or this sweep fills
     // them).
     std::vector<log::RedoRecord> resend;
-    for (auto it = retained_.upper_bound(known_scl);
-         it != retained_.end() && resend.size() < options_.retry_batch;
+    auto it = std::lower_bound(
+        retained_.begin(), retained_.end(), known_scl + 1,
+        [](const log::RedoRecord& r, Lsn value) { return r.lsn < value; });
+    for (; it != retained_.end() && resend.size() < options_.retry_batch;
          ++it) {
-      if (it->second.pg == channel.pg) resend.push_back(it->second);
+      if (it->pg == channel.pg) resend.push_back(*it);
     }
     if (resend.empty()) continue;
     stats_.retransmissions += resend.size();

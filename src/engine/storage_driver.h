@@ -14,10 +14,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -148,8 +148,10 @@ class StorageDriver {
 
   std::map<SegmentId, SegmentChannel> channels_;
   /// Records not yet known globally durable (lsn > VCL): the
-  /// retransmission source.
-  std::map<Lsn, log::RedoRecord> retained_;
+  /// retransmission source. LSNs are allocated monotonically by this
+  /// instance, so the deque stays sorted — O(1) append on submit, O(1)
+  /// front-pruning as VCL advances, binary search for retransmission.
+  std::deque<log::RedoRecord> retained_;
 
   AdvanceCallback on_advance_;
   FencedCallback on_fenced_;

@@ -1,56 +1,95 @@
 #include "src/log/hot_log.h"
 
 #include <algorithm>
+#include <string>
 
 namespace aurora::log {
+
+SegmentHotLog::Iter SegmentHotLog::LowerBound(Lsn lsn) const {
+  return std::lower_bound(
+      records_.begin(), records_.end(), lsn,
+      [](const RedoRecord& r, Lsn value) { return r.lsn < value; });
+}
+
+bool SegmentHotLog::Annulled(Lsn lsn) const {
+  for (const auto& range : truncations_) {
+    if (range.Annuls(lsn)) return true;
+  }
+  return false;
+}
 
 Status SegmentHotLog::Append(const RedoRecord& record) {
   if (record.lsn == kInvalidLsn) {
     return Status::InvalidArgument("record has invalid LSN");
   }
-  for (const auto& range : truncations_) {
-    if (range.Annuls(record.lsn)) {
-      // Late-arriving in-flight write from before a crash: annulled.
-      return Status::OK();
-    }
-  }
-  if (records_.contains(record.lsn)) {
-    return Status::OK();  // idempotent re-delivery
+  if (Annulled(record.lsn)) {
+    // Late-arriving in-flight write from before a crash: annulled.
+    return Status::OK();
   }
   if (record.lsn <= gc_floor_ && gc_floor_ != kInvalidLsn) {
     return Status::OK();  // already coalesced + collected
   }
+  // Hot path: a single writer allocates LSNs monotonically, so almost
+  // every arrival lands past the current back — O(1), no node allocation.
+  if (records_.empty() || record.lsn > records_.back().lsn) {
+    records_.push_back(record);
+  } else {
+    const Iter it = LowerBound(record.lsn);
+    if (it != records_.end() && it->lsn == record.lsn) {
+      return Status::OK();  // idempotent re-delivery
+    }
+    // Out-of-order arrival (gossip fill, retransmission): sorted insert.
+    records_.insert(records_.begin() + (it - records_.begin()), record);
+  }
   total_bytes_ += record.SerializedSize();
-  chain_next_[record.prev_lsn_segment] = record.lsn;
-  records_.emplace(record.lsn, record);
   AdvanceScl();
   return Status::OK();
 }
 
 void SegmentHotLog::AdvanceScl() {
-  for (;;) {
-    auto it = chain_next_.find(scl_);
-    if (it == chain_next_.end()) break;
-    scl_ = it->second;
+  // In sorted order the chain is implicit: the next stored record extends
+  // the chain iff its segment back-pointer equals the current SCL.
+  Iter it = LowerBound(scl_ + 1);
+  while (it != records_.end() && it->prev_lsn_segment == scl_) {
+    scl_ = it->lsn;
+    ++it;
   }
 }
 
+void SegmentHotLog::RewindScl() {
+  // Everything at or below the GC floor was chain-complete when evicted,
+  // so the walk re-anchors there (or at the very start if nothing was
+  // ever evicted).
+  scl_ = gc_floor_;
+  AdvanceScl();
+}
+
+bool SegmentHotLog::Contains(Lsn lsn) const {
+  const Iter it = LowerBound(lsn);
+  return it != records_.end() && it->lsn == lsn;
+}
+
 const RedoRecord* SegmentHotLog::Find(Lsn lsn) const {
-  auto it = records_.find(lsn);
-  return it == records_.end() ? nullptr : &it->second;
+  const Iter it = LowerBound(lsn);
+  return (it != records_.end() && it->lsn == lsn) ? &*it : nullptr;
+}
+
+RedoRecord* SegmentHotLog::FindMutable(Lsn lsn) {
+  const Iter it = LowerBound(lsn);
+  if (it == records_.end() || it->lsn != lsn) return nullptr;
+  return &records_[it - records_.begin()];
 }
 
 std::vector<RedoRecord> SegmentHotLog::ChainAfter(Lsn from_scl,
                                                   size_t max_records) const {
   std::vector<RedoRecord> out;
   Lsn cursor = from_scl;
-  while (out.size() < max_records) {
-    auto it = chain_next_.find(cursor);
-    if (it == chain_next_.end()) break;
-    auto rec = records_.find(it->second);
-    if (rec == records_.end()) break;  // evicted by GC
-    out.push_back(rec->second);
-    cursor = it->second;
+  for (Iter it = LowerBound(from_scl + 1);
+       it != records_.end() && out.size() < max_records &&
+       it->prev_lsn_segment == cursor;
+       ++it) {
+    out.push_back(*it);
+    cursor = it->lsn;
   }
   return out;
 }
@@ -58,18 +97,18 @@ std::vector<RedoRecord> SegmentHotLog::ChainAfter(Lsn from_scl,
 std::vector<RedoRecord> SegmentHotLog::RecordsAbove(
     Lsn lsn, size_t max_records) const {
   std::vector<RedoRecord> out;
-  for (auto it = records_.upper_bound(lsn);
+  for (Iter it = LowerBound(lsn + 1);
        it != records_.end() && out.size() < max_records; ++it) {
-    out.push_back(it->second);
+    out.push_back(*it);
   }
   return out;
 }
 
 std::vector<RedoRecord> SegmentHotLog::RecordsInRange(Lsn lo, Lsn hi) const {
   std::vector<RedoRecord> out;
-  for (auto it = records_.lower_bound(lo);
-       it != records_.end() && it->first <= hi; ++it) {
-    out.push_back(it->second);
+  for (Iter it = LowerBound(lo); it != records_.end() && it->lsn <= hi;
+       ++it) {
+    out.push_back(*it);
   }
   return out;
 }
@@ -77,45 +116,51 @@ std::vector<RedoRecord> SegmentHotLog::RecordsInRange(Lsn lo, Lsn hi) const {
 void SegmentHotLog::Truncate(const TruncationRange& range) {
   if (range.start == kInvalidLsn) return;
   truncations_.push_back(range);
-  // Drop stored records inside the annulled range and their chain edges.
-  auto it = records_.lower_bound(range.start);
-  while (it != records_.end() && it->first <= range.end) {
-    auto edge = chain_next_.find(it->second.prev_lsn_segment);
-    if (edge != chain_next_.end() && edge->second == it->first) {
-      chain_next_.erase(edge);
-    }
-    total_bytes_ -= it->second.SerializedSize();
-    it = records_.erase(it);
+  // Drop stored records inside the annulled range (a contiguous run in
+  // sorted order).
+  const Iter lo = LowerBound(range.start);
+  Iter hi = lo;
+  while (hi != records_.end() && hi->lsn <= range.end) {
+    total_bytes_ -= hi->SerializedSize();
+    ++hi;
   }
+  records_.erase(records_.begin() + (lo - records_.begin()),
+                 records_.begin() + (hi - records_.begin()));
   if (scl_ >= range.start) {
-    // SCL may not point into the annulled range; rewind to last kept
+    // SCL may not point into the annulled range; rewind to the last kept
     // record on the chain.
-    scl_ = kInvalidLsn;
-    AdvanceScl();
+    RewindScl();
   }
 }
 
 bool SegmentHotLog::Remove(Lsn lsn) {
-  auto it = records_.find(lsn);
-  if (it == records_.end()) return false;
-  auto edge = chain_next_.find(it->second.prev_lsn_segment);
-  if (edge != chain_next_.end() && edge->second == lsn) {
-    chain_next_.erase(edge);
-  }
-  total_bytes_ -= it->second.SerializedSize();
-  records_.erase(it);
+  const Iter it = LowerBound(lsn);
+  if (it == records_.end() || it->lsn != lsn) return false;
+  total_bytes_ -= it->SerializedSize();
+  records_.erase(records_.begin() + (it - records_.begin()));
   if (scl_ >= lsn) {
-    scl_ = kInvalidLsn;
-    AdvanceScl();
+    RewindScl();
   }
   return true;
 }
 
+bool SegmentHotLog::CorruptPayloadForTest(Lsn lsn) {
+  RedoRecord* record = FindMutable(lsn);
+  if (record == nullptr || record->payload.empty()) return false;
+  // Copy-on-write: the payload buffer is shared with every other holder
+  // of this record (peers, retransmission buffers, the archive); only
+  // this segment's copy may go bad.
+  std::string bytes(record->payload.view());
+  bytes[0] = static_cast<char>(bytes[0] ^ 0x40);
+  record->payload = Payload(std::move(bytes));
+  return true;
+}
+
 void SegmentHotLog::EvictBelow(Lsn lsn) {
-  auto it = records_.begin();
-  while (it != records_.end() && it->first <= lsn) {
-    total_bytes_ -= it->second.SerializedSize();
-    it = records_.erase(it);
+  // GC is a prefix pop — O(1) per record on the deque.
+  while (!records_.empty() && records_.front().lsn <= lsn) {
+    total_bytes_ -= records_.front().SerializedSize();
+    records_.pop_front();
   }
   gc_floor_ = std::max(gc_floor_, lsn);
 }

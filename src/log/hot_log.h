@@ -6,11 +6,21 @@
 // segment chain without gaps. Because writes may be lost for any reason,
 // records arrive out of order and with holes; SCL only advances along the
 // unbroken chain, and the gap structure drives peer gossip.
+//
+// Storage is a FLAT monotonic structure, not a node-based map: a single
+// writer allocates LSNs monotonically, so records arrive (mostly) in
+// ascending order. They live in a deque sorted by LSN — appends at the
+// back are O(1) with no per-record node allocation, the rare out-of-order
+// arrival inserts at its sorted position, lookups are binary searches, and
+// GC pops a prefix. The segment chain needs no edge map either: in sorted
+// order, record i+1 extends the chain iff its prev_lsn_segment equals
+// record i's LSN. Chain-walk anchoring below the GC floor uses the floor
+// itself (everything at or below it was chain-complete when evicted).
 
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <optional>
 #include <vector>
 
@@ -46,7 +56,7 @@ class SegmentHotLog {
   /// no gaps. kInvalidLsn if nothing is complete yet.
   Lsn scl() const { return scl_; }
 
-  bool Contains(Lsn lsn) const { return records_.contains(lsn); }
+  bool Contains(Lsn lsn) const;
   const RedoRecord* Find(Lsn lsn) const;
 
   size_t RecordCount() const { return records_.size(); }
@@ -83,14 +93,28 @@ class SegmentHotLog {
   /// Returns true if the record was present.
   bool Remove(Lsn lsn);
 
+  /// Test hook: replaces a stored record's payload with a copy whose first
+  /// byte is flipped. Copy-on-write — payload buffers are shared across
+  /// the fleet, so corrupting THIS segment's copy must not touch peers.
+  bool CorruptPayloadForTest(Lsn lsn);
+
   Lsn gc_floor() const { return gc_floor_; }
 
  private:
-  void AdvanceScl();
+  using Iter = std::deque<RedoRecord>::const_iterator;
 
-  std::map<Lsn, RedoRecord> records_;
-  // segment-chain edges: prev_lsn_segment -> lsn
-  std::map<Lsn, Lsn> chain_next_;
+  /// First stored record with LSN >= lsn (binary search; deque iterators
+  /// are random-access).
+  Iter LowerBound(Lsn lsn) const;
+  RedoRecord* FindMutable(Lsn lsn);
+  void AdvanceScl();
+  /// Recomputes SCL from the chain anchor after a removal mid-chain.
+  void RewindScl();
+  bool Annulled(Lsn lsn) const;
+
+  /// Sorted by LSN; contiguous prefix is the chain, back is the
+  /// out-of-order tail.
+  std::deque<RedoRecord> records_;
   Lsn scl_ = kInvalidLsn;
   Lsn gc_floor_ = kInvalidLsn;
   uint64_t total_bytes_ = 0;

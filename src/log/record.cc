@@ -22,12 +22,6 @@ void PutU32(std::string& out, uint32_t v) {
   out.append(buf, 4);
 }
 
-void PutU64(std::string& out, uint64_t v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out.append(buf, 8);
-}
-
 uint32_t GetU32(const char* p) {
   uint32_t v;
   std::memcpy(&v, p, 4);
@@ -84,25 +78,50 @@ std::string RedoRecord::ToString() const {
   return out;
 }
 
+namespace {
+
+/// Serializes the fixed header into a caller-provided stack buffer.
+void EncodeHeader(const RedoRecord& record, char (&buf)[kHeaderSize]) {
+  char* p = buf;
+  auto put64 = [&p](uint64_t v) {
+    std::memcpy(p, &v, 8);
+    p += 8;
+  };
+  auto put32 = [&p](uint32_t v) {
+    std::memcpy(p, &v, 4);
+    p += 4;
+  };
+  put64(record.lsn);
+  put64(record.prev_lsn_volume);
+  put64(record.prev_lsn_segment);
+  put64(record.prev_lsn_block);
+  put32(record.pg);
+  put64(record.block);
+  put64(record.txn);
+  *p++ = static_cast<char>(record.type);
+  *p++ = static_cast<char>(record.mtr);
+  put32(static_cast<uint32_t>(record.payload.size()));
+}
+
+}  // namespace
+
 uint32_t RecordBodyCrc(const RedoRecord& record) {
-  const std::string encoded = EncodeRecord(record);
-  return Crc32c(encoded.data(), encoded.size() - 4);
+  // Allocation-free: CRC the stack-encoded header, then continue over the
+  // shared payload bytes in place. Scrub calls this for every stored
+  // record, so it must not materialize a full encoding each time.
+  char header[kHeaderSize];
+  EncodeHeader(record, header);
+  const uint32_t header_crc = Crc32c(header, kHeaderSize);
+  return Crc32c(record.payload.data(), record.payload.size(), header_crc);
 }
 
 std::string EncodeRecord(const RedoRecord& record) {
   std::string out;
   out.reserve(record.SerializedSize());
-  PutU64(out, record.lsn);
-  PutU64(out, record.prev_lsn_volume);
-  PutU64(out, record.prev_lsn_segment);
-  PutU64(out, record.prev_lsn_block);
-  PutU32(out, record.pg);
-  PutU64(out, record.block);
-  PutU64(out, record.txn);
-  out.push_back(static_cast<char>(record.type));
-  out.push_back(static_cast<char>(record.mtr));
-  PutU32(out, static_cast<uint32_t>(record.payload.size()));
-  out.append(record.payload);
+  char header[kHeaderSize];
+  EncodeHeader(record, header);
+  out.append(header, kHeaderSize);
+  out.append(record.payload.view());
   PutU32(out, Crc32c(out.data(), out.size()));
   return out;
 }
@@ -132,7 +151,7 @@ Result<RedoRecord> DecodeRecord(std::string_view encoded) {
   if (encoded.size() != kHeaderSize + payload_len + 4) {
     return Status::Corruption("record length mismatch");
   }
-  rec.payload.assign(p + kHeaderSize, payload_len);
+  rec.payload = std::string(p + kHeaderSize, payload_len);
   const uint32_t stored_crc = GetU32(p + kHeaderSize + payload_len);
   const uint32_t computed_crc = Crc32c(p, kHeaderSize + payload_len);
   if (stored_crc != computed_crc) {

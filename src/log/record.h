@@ -11,13 +11,52 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "src/common/status.h"
 #include "src/common/types.h"
 
 namespace aurora::log {
+
+/// Refcounted immutable record payload.
+///
+/// A redo record fans out to many holders on the hot path — six segment
+/// boxcars, the driver's retransmission buffer, the wire message, each
+/// segment's hot log, gossip replies, replication streams, the archive.
+/// All of them share ONE immutable buffer; copying a record bumps a
+/// refcount instead of duplicating bytes. Construction from std::string is
+/// implicit so producers keep writing `record.payload = EncodePageOp(op)`.
+class Payload {
+ public:
+  Payload() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): payloads ARE strings.
+  Payload(std::string bytes)
+      : bytes_(bytes.empty() ? nullptr
+                             : std::make_shared<const std::string>(
+                                   std::move(bytes))) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Payload(const char* bytes) : Payload(std::string(bytes)) {}
+
+  std::string_view view() const {
+    return bytes_ ? std::string_view(*bytes_) : std::string_view();
+  }
+  size_t size() const { return bytes_ ? bytes_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  const char* data() const { return bytes_ ? bytes_->data() : nullptr; }
+  char operator[](size_t i) const { return (*bytes_)[i]; }
+
+  /// Content equality (not pointer identity): decoded copies of the same
+  /// record must compare equal to the original.
+  bool operator==(const Payload& other) const {
+    return bytes_ == other.bytes_ || view() == other.view();
+  }
+
+ private:
+  std::shared_ptr<const std::string> bytes_;
+};
 
 /// What kind of change a record carries.
 enum class RecordType : uint8_t {
@@ -52,7 +91,7 @@ struct RedoRecord {
   TxnId txn = kInvalidTxn;
   RecordType type = RecordType::kData;
   MtrBoundary mtr = MtrBoundary::kSingle;
-  std::string payload;
+  Payload payload;
 
   /// True if this record closes its mini-transaction.
   bool IsMtrComplete() const {

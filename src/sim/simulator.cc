@@ -1,10 +1,18 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace aurora::sim {
 
-Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+namespace {
+constexpr size_t kInitialQueueCapacity = 1024;
+}  // namespace
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {
+  queue_.reserve(kInitialQueueCapacity);
+}
 
 EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
   assert(delay >= 0);
@@ -14,22 +22,31 @@ EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
 EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
   assert(when >= now_);
   const EventId id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  queue_.push_back(Event{when, next_seq_++, id, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), EventGreater{});
+  live_.insert(id);
   return id;
 }
 
 void Simulator::Cancel(EventId id) {
-  if (id != kInvalidEvent) cancelled_.insert(id);
+  // Erasing from the live set is the whole cancellation; the heap entry is
+  // discarded when it surfaces. An already-fired (or never-scheduled) id is
+  // absent, so this is a clean no-op rather than a permanently retained
+  // tombstone.
+  if (id != kInvalidEvent) live_.erase(id);
+}
+
+Simulator::Event Simulator::PopEvent() {
+  std::pop_heap(queue_.begin(), queue_.end(), EventGreater{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
+  return ev;
 }
 
 bool Simulator::Step() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    Event ev = PopEvent();
+    if (live_.erase(ev.id) == 0) continue;  // cancelled
     assert(ev.time >= now_);
     now_ = ev.time;
     ++executed_;
@@ -46,7 +63,7 @@ void Simulator::Run() {
 
 void Simulator::RunUntil(SimTime deadline) {
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
+    const Event& top = queue_.front();
     if (top.time > deadline) break;
     Step();
   }

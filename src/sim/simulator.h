@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -41,7 +40,7 @@ class Simulator {
   /// Schedules at an absolute virtual time (>= Now()).
   EventId ScheduleAt(SimTime when, std::function<void()> fn);
 
-  /// Best-effort cancellation; a no-op if already fired.
+  /// Best-effort cancellation; a no-op if already fired or unknown.
   void Cancel(EventId id);
 
   /// Runs until the event queue is empty.
@@ -56,7 +55,9 @@ class Simulator {
   /// Executes the single next event. Returns false if the queue is empty.
   bool Step();
 
-  size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
+  /// Number of scheduled events that will still fire (cancelled events are
+  /// excluded, whether or not their heap slot has been reclaimed).
+  size_t PendingEvents() const { return live_.size(); }
   uint64_t ExecutedEvents() const { return executed_; }
 
   /// Root generator; actors fork children from it for independent streams.
@@ -76,12 +77,21 @@ class Simulator {
     }
   };
 
+  /// Pops the min event off the heap by move (std::priority_queue only
+  /// exposes a const top(), forcing a deep copy of the closure and any
+  /// captured request payloads).
+  Event PopEvent();
+
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventGreater> queue_;
-  std::unordered_set<EventId> cancelled_;
+  /// Min-heap via std::push_heap/std::pop_heap over a plain vector.
+  std::vector<Event> queue_;
+  /// Ids scheduled and neither fired nor cancelled. Cancel() simply erases
+  /// here; Step() discards heap entries whose id is no longer live, so a
+  /// cancel can never leak bookkeeping past the event's pop.
+  std::unordered_set<EventId> live_;
   Rng rng_;
 };
 

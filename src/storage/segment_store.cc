@@ -106,7 +106,7 @@ size_t SegmentStore::CoalesceStep(size_t max_records) {
       }
       Page next = latest ? *latest : Page{};
       next.id = block_it->first;
-      const Status st = ApplyRedoPayload(&next, record.payload, lsn);
+      const Status st = ApplyRedoPayload(&next, record.payload.view(), lsn);
       if (!st.ok()) {
         AURORA_ERROR << "segment " << info_.id << " coalesce failed: "
                      << st.ToString();
@@ -173,7 +173,7 @@ Result<Page> SegmentStore::ReadPage(BlockId block, Lsn read_lsn) {
         stats_.reads_rejected++;
         return Status::Unavailable("block chain hole during materialization");
       }
-      AURORA_RETURN_IF_ERROR(ApplyRedoPayload(&page, record.payload,
+      AURORA_RETURN_IF_ERROR(ApplyRedoPayload(&page, record.payload.view(),
                                               record.lsn));
       applied_any = true;
     }
@@ -407,11 +407,9 @@ void SegmentStore::ResetToArchive(const std::vector<log::RedoRecord>& records,
 }
 
 bool SegmentStore::CorruptRecordForTest(Lsn lsn) {
-  log::RedoRecord* record =
-      const_cast<log::RedoRecord*>(hot_log_.Find(lsn));
-  if (record == nullptr || record->payload.empty()) return false;
-  record->payload[0] = static_cast<char>(record->payload[0] ^ 0x40);
-  return true;
+  // Payload buffers are shared across the fleet; the hot log does a
+  // copy-on-write flip so only this segment's copy goes bad.
+  return hot_log_.CorruptPayloadForTest(lsn);
 }
 
 size_t SegmentStore::VersionCount(BlockId block) const {

@@ -17,6 +17,7 @@ struct RunFingerprint {
   SimTime end_time = 0;
   uint64_t net_bytes = 0;
   uint64_t fleet_received = 0;
+  uint64_t executed_events = 0;
 
   bool operator==(const RunFingerprint&) const = default;
 };
@@ -51,6 +52,7 @@ RunFingerprint RunScenario(uint64_t seed) {
   fp.commits = cluster.writer()->stats().commits_acked;
   fp.end_time = cluster.sim().Now();
   fp.net_bytes = cluster.network().stats().bytes_delivered;
+  fp.executed_events = cluster.sim().ExecutedEvents();
   for (const auto& node : cluster.storage_nodes()) {
     for (const auto& [id, segment] : node->segments()) {
       fp.fleet_received += segment->stats().records_received;
@@ -65,6 +67,24 @@ TEST(Determinism, IdenticalSeedsIdenticalExecutions) {
   EXPECT_EQ(a, b) << "same seed must replay bit-identically";
   EXPECT_GT(a.commits, 0u);
   EXPECT_GT(a.net_bytes, 0u);
+}
+
+TEST(Determinism, MatchesPreZeroCopyGoldenFingerprint) {
+  // Golden values captured from the tree BEFORE the zero-copy hot-path
+  // rework (shared payloads, flat hot log / tracker / retained buffer,
+  // move-based event loop), same scenario, seed 12345. The rework is a
+  // pure representation change: consistency points, commit counts, event
+  // schedule, and wire traffic must be bit-identical. If an intentional
+  // protocol change shifts these, re-capture the constants and say so in
+  // the commit message.
+  const RunFingerprint fp = RunScenario(12345);
+  EXPECT_EQ(fp.vcl, 1073742055u);
+  EXPECT_EQ(fp.vdl, 1073742055u);
+  EXPECT_EQ(fp.epoch, 2u);
+  EXPECT_EQ(fp.commits, 60u);
+  EXPECT_EQ(fp.end_time, 692849);
+  EXPECT_EQ(fp.net_bytes, 282281u);
+  EXPECT_EQ(fp.executed_events, 3015u);
 }
 
 TEST(Determinism, DifferentSeedsDivergeInTiming) {

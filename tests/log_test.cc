@@ -33,7 +33,7 @@ TEST(RecordCodec, RoundTrip) {
   RedoRecord rec = MakeRecord(42, 41);
   rec.type = RecordType::kCommit;
   rec.mtr = MtrBoundary::kEnd;
-  rec.payload = std::string("\x00\x01\x02 binary \xff", 16);
+  rec.payload = std::string("\x00\x01\x02 binary \xff", 12);
   const std::string encoded = EncodeRecord(rec);
   EXPECT_EQ(encoded.size(), rec.SerializedSize());
   auto decoded = DecodeRecord(encoded);
@@ -180,6 +180,97 @@ TEST(HotLog, RemoveRewindsScl) {
   // Re-delivery (gossip) heals it.
   ASSERT_TRUE(log.Append(MakeRecord(3, 2)).ok());
   EXPECT_EQ(log.scl(), 5u);
+}
+
+TEST(HotLog, RangeQueriesOnOutOfOrderContents) {
+  SegmentHotLog log;
+  // Arrival order scrambled; the flat store must still answer range
+  // queries in ascending LSN order.
+  for (Lsn l : {4u, 1u, 7u, 2u, 6u, 3u, 5u}) {
+    ASSERT_TRUE(log.Append(MakeRecord(l, l - 1)).ok());
+  }
+  auto in_range = log.RecordsInRange(2, 5);
+  ASSERT_EQ(in_range.size(), 4u);
+  for (size_t i = 0; i < in_range.size(); ++i) {
+    EXPECT_EQ(in_range[i].lsn, 2u + i);
+  }
+  auto above = log.RecordsAbove(5, 10);
+  ASSERT_EQ(above.size(), 2u);
+  EXPECT_EQ(above[0].lsn, 6u);
+  EXPECT_EQ(above[1].lsn, 7u);
+  EXPECT_EQ(log.RecordsAbove(7, 10).size(), 0u);
+  EXPECT_EQ(log.RecordsInRange(8, 100).size(), 0u);
+}
+
+TEST(HotLog, TruncateEvictRemoveRoundTrip) {
+  // One log pushed through the full lifecycle: out-of-order fill,
+  // truncation, re-append above the gap, GC, scrub removal, gossip heal.
+  SegmentHotLog log;
+  for (Lsn l : {2u, 1u, 4u, 3u, 6u, 5u, 8u, 7u, 10u, 9u}) {
+    ASSERT_TRUE(log.Append(MakeRecord(l, l - 1)).ok());
+  }
+  EXPECT_EQ(log.scl(), 10u);
+  log.Truncate(TruncationRange{6, 1000});
+  EXPECT_EQ(log.scl(), 5u);
+  EXPECT_EQ(log.RecordCount(), 5u);
+  ASSERT_TRUE(log.Append(MakeRecord(1001, 5)).ok());
+  ASSERT_TRUE(log.Append(MakeRecord(1002, 1001)).ok());
+  EXPECT_EQ(log.scl(), 1002u);
+  log.EvictBelow(3);
+  EXPECT_EQ(log.gc_floor(), 3u);
+  EXPECT_EQ(log.RecordCount(), 4u);  // 4, 5, 1001, 1002
+  EXPECT_EQ(log.scl(), 1002u) << "GC must not regress SCL";
+  // Scrub out a record sitting mid-chain above the GC floor.
+  EXPECT_TRUE(log.Remove(5));
+  EXPECT_EQ(log.scl(), 4u) << "rewind lands on the last intact link";
+  // Gossip re-delivers the scrubbed record; SCL heals across the
+  // truncation gap to the tail.
+  ASSERT_TRUE(log.Append(MakeRecord(5, 4)).ok());
+  EXPECT_EQ(log.scl(), 1002u);
+  // Everything below or inside the annulled range stays out.
+  ASSERT_TRUE(log.Append(MakeRecord(2, 1)).ok());   // below GC floor
+  ASSERT_TRUE(log.Append(MakeRecord(500, 5)).ok());  // annulled
+  EXPECT_FALSE(log.Contains(2));
+  EXPECT_FALSE(log.Contains(500));
+  EXPECT_EQ(log.RecordCount(), 4u);  // 4, 5, 1001, 1002
+}
+
+TEST(HotLog, RemoveBelowEverythingRewindsToFloor) {
+  SegmentHotLog log;
+  for (Lsn l = 1; l <= 6; ++l) ASSERT_TRUE(log.Append(MakeRecord(l, l - 1)).ok());
+  log.EvictBelow(2);
+  // Remove the first record still stored; the rewind anchors at the GC
+  // floor (records at or below it were chain-complete when evicted).
+  EXPECT_TRUE(log.Remove(3));
+  EXPECT_EQ(log.scl(), 2u);
+  ASSERT_TRUE(log.Append(MakeRecord(3, 2)).ok());
+  EXPECT_EQ(log.scl(), 6u);
+}
+
+TEST(HotLog, CorruptPayloadIsCopyOnWrite) {
+  // The payload buffer of a record is shared by every holder (peers,
+  // retransmission buffers). A test-injected corruption must only hit the
+  // copy in the corrupted log.
+  const RedoRecord original = MakeRecord(1, 0, 0, 7, "shared-bytes");
+  SegmentHotLog healthy, corrupted;
+  ASSERT_TRUE(healthy.Append(original).ok());
+  ASSERT_TRUE(corrupted.Append(original).ok());
+  // All three records share one buffer.
+  EXPECT_EQ(healthy.Find(1)->payload.data(), original.payload.data());
+  EXPECT_EQ(corrupted.Find(1)->payload.data(), original.payload.data());
+  ASSERT_TRUE(corrupted.CorruptPayloadForTest(1));
+  EXPECT_NE(corrupted.Find(1)->payload.view(), original.payload.view());
+  EXPECT_EQ(healthy.Find(1)->payload.view(), original.payload.view());
+  EXPECT_EQ(original.payload.view(), "shared-bytes");
+  EXPECT_FALSE(corrupted.CorruptPayloadForTest(99));  // absent LSN
+}
+
+TEST(RecordPayload, CopiesShareOneBuffer) {
+  RedoRecord rec = MakeRecord(9, 8, 0, 7, std::string(1024, 'x'));
+  RedoRecord fanout_copy = rec;  // what SendBatch/gossip used to deep-copy
+  EXPECT_EQ(fanout_copy.payload.data(), rec.payload.data())
+      << "record copies must alias the payload, not duplicate it";
+  EXPECT_EQ(fanout_copy, rec);
 }
 
 TEST(HotLog, TotalBytesTracksContents) {

@@ -45,6 +45,49 @@ TEST(Simulator, CancelPreventsExecution) {
   EXPECT_EQ(sim.ExecutedEvents(), 0u);
 }
 
+TEST(Simulator, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  EventId a = sim.Schedule(10, []() {});
+  sim.Schedule(20, []() {});
+  sim.Schedule(30, []() {});
+  EXPECT_EQ(sim.PendingEvents(), 3u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+  sim.Run();
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_EQ(sim.ExecutedEvents(), 2u);
+}
+
+TEST(Simulator, CancelAfterFireLeavesNoResidue) {
+  Simulator sim;
+  EventId id = sim.Schedule(10, []() {});
+  sim.Run();
+  EXPECT_EQ(sim.ExecutedEvents(), 1u);
+  // Cancelling an already-fired event must be a no-op, not a tombstone
+  // that permanently skews PendingEvents().
+  sim.Cancel(id);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  bool ran = false;
+  sim.Schedule(10, [&]() { ran = true; });
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(Simulator, CancelUnknownOrRepeatedIdIsHarmless) {
+  Simulator sim;
+  sim.Cancel(kInvalidEvent);
+  sim.Cancel(999999);  // never scheduled
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EventId id = sim.Schedule(10, []() {});
+  sim.Cancel(id);
+  sim.Cancel(id);  // double cancel
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  sim.Run();
+  EXPECT_EQ(sim.ExecutedEvents(), 0u);
+}
+
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator sim;
   int count = 0;
