@@ -104,6 +104,11 @@ class BenchJson {
   BenchJson& Set(const std::string& key, int value) {
     return Set(key, static_cast<int64_t>(value));
   }
+  /// Embeds an already-rendered JSON value (object/array) verbatim.
+  BenchJson& SetRaw(const std::string& key, std::string json_value) {
+    entries_.emplace_back(key, std::move(json_value));
+    return *this;
+  }
   BenchJson& SetString(const std::string& key, const std::string& value) {
     std::string quoted = "\"";
     for (char c : value) {

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Full verification sweep: the plain RelWithDebInfo build plus one
+# sanitized build per sanitizer (AURORA_SANITIZE=address, =undefined),
+# each running the entire ctest suite. This is the pre-merge gate; the
+# sanitized configs catch the lifetime and UB mistakes the callback-heavy
+# simulator makes easy.
+#
+# Usage:
+#   scripts/check.sh              # all three configs
+#   scripts/check.sh address      # just the asan config
+#   scripts/check.sh plain        # just the unsanitized config
+#
+# Build trees live under build-check/<config> so they never disturb an
+# existing ./build directory.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+CONFIGS=("${@:-plain address undefined}")
+# Word-split the default string when no args were given.
+if [[ ${#CONFIGS[@]} -eq 1 && ${CONFIGS[0]} == *" "* ]]; then
+  read -r -a CONFIGS <<<"${CONFIGS[0]}"
+fi
+
+run_config() {
+  local config="$1"
+  local dir="build-check/${config}"
+  local -a cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
+  case "${config}" in
+    plain) ;;
+    address|undefined) cmake_args+=("-DAURORA_SANITIZE=${config}") ;;
+    *)
+      echo "unknown config '${config}' (want plain, address, undefined)" >&2
+      exit 2
+      ;;
+  esac
+  echo "=== [${config}] configure + build (${dir}) ==="
+  cmake -B "${dir}" -S . "${cmake_args[@]}" >"${dir}.configure.log" 2>&1 ||
+    { cat "${dir}.configure.log"; exit 1; }
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${config}] ctest ==="
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+mkdir -p build-check
+for config in "${CONFIGS[@]}"; do
+  run_config "${config}"
+done
+echo "=== all configs green: ${CONFIGS[*]} ==="

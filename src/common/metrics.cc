@@ -1,0 +1,110 @@
+#include "src/common/metrics.h"
+
+#include <cstdio>
+
+namespace aurora::metrics {
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+uint64_t Registry::CounterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value;
+}
+
+int64_t Registry::GaugeValue(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value;
+}
+
+const Histogram* Registry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void Registry::Reset() {
+  for (auto& [name, counter] : counters_) counter->value = 0;
+  for (auto& [name, gauge] : gauges_) gauge->value = 0;
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::Counters() const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> Registry::Gauges() const {
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Registry::Histograms()
+    const {
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram.get());
+  }
+  return out;
+}
+
+std::string Registry::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  auto append = [&out, &first](const std::string& name,
+                               const std::string& value) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"" + name + "\": " + value;
+  };
+  for (const auto& [name, counter] : counters_) {
+    append(name, std::to_string(counter->value));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    append(name, std::to_string(gauge->value));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\": %llu, \"mean_us\": %.1f, \"p50_us\": %lld, "
+                  "\"p99_us\": %lld, \"max_us\": %lld}",
+                  static_cast<unsigned long long>(histogram->count()),
+                  histogram->Mean(),
+                  static_cast<long long>(histogram->P50()),
+                  static_cast<long long>(histogram->P99()),
+                  static_cast<long long>(histogram->max()));
+    append(name, buf);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace aurora::metrics

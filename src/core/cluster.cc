@@ -183,6 +183,16 @@ storage::StorageNode* AuroraCluster::NodeForSegment(SegmentId segment) {
   return nullptr;
 }
 
+void AuroraCluster::ForEachSegment(
+    const std::function<void(storage::StorageNode*, storage::SegmentStore*)>&
+        fn) {
+  for (auto& node : storage_nodes_) {
+    for (auto& [id, segment] : node->segments()) {
+      fn(node.get(), segment.get());
+    }
+  }
+}
+
 bool AuroraCluster::RunUntil(const std::function<bool()>& pred,
                              SimDuration timeout) {
   if (timeout == 0) timeout = options_.blocking_timeout;

@@ -130,6 +130,12 @@ class AuroraCluster {
   /// Storage node hosting `segment`, or nullptr.
   storage::StorageNode* NodeForSegment(SegmentId segment);
 
+  /// Visits every live segment store in the fleet (crashed nodes included:
+  /// their segment state is disk-durable). Used by the invariant auditor.
+  void ForEachSegment(
+      const std::function<void(storage::StorageNode*, storage::SegmentStore*)>&
+          fn);
+
   // -- Replicas -----------------------------------------------------------
 
   replica::ReadReplica* AddReplica();

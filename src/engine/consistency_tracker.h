@@ -80,6 +80,11 @@ class ConsistencyTracker {
   /// chain tail from the truncation acknowledgements).
   void SeedPgcl(ProtectionGroupId pg, Lsn pgcl);
 
+  /// Test-only: forces VDL forward to violate VDL <= VCL, so tests can
+  /// prove the invariant auditor actually fires (never called by the
+  /// production paths).
+  void CorruptVdlForTest(Lsn vdl) { vdl_ = vdl; }
+
   /// SCL last observed for a segment (kInvalidLsn if never) — feeds read
   /// routing ("the instance knows which segments have the last durable
   /// version", §3.1).

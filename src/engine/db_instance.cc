@@ -25,6 +25,11 @@ DbInstance::DbInstance(sim::Simulator* sim, sim::Network* network, NodeId id,
       control_plane_(std::move(control_plane)),
       options_(options) {
   network_->RegisterNode(id_, az_, this);
+  auto& registry = metrics::Registry::Global();
+  m_commits_acked_ = registry.GetCounter("engine.commits_acked");
+  m_replication_events_ = registry.GetCounter("engine.replication_events");
+  m_commit_queue_depth_ = registry.GetGauge("engine.commit_queue_depth");
+  m_commit_wait_us_ = registry.GetHistogram("engine.commit_wait_us");
 }
 
 // ---------------------------------------------------------------------------
@@ -749,9 +754,12 @@ void DbInstance::FinishCommit(TxnId txn, std::function<void(Status)> cb,
   // passes the SCN (§2.3).
   const SimTime enqueued = sim_->Now();
   commit_queue_.Enqueue(txn::PendingCommit{
-      txn, scn, enqueued, [this, txn, enqueued, cb = std::move(cb)]() {
+      txn, scn, enqueued, [this, txn, scn, enqueued, cb = std::move(cb)]() {
         txns_.MarkCommitted(txn);
         stats_.commits_acked++;
+        if (scn > max_acked_scn_) max_acked_scn_ = scn;
+        AURORA_COUNT(m_commits_acked_, 1);
+        AURORA_OBSERVE(m_commit_wait_us_, sim_->Now() - enqueued);
         commit_latency_.Record(sim_->Now() - enqueued);
         if (auto it = txn_views_.find(txn); it != txn_views_.end()) {
           txns_.CloseReadView(it->second);
@@ -920,6 +928,7 @@ void DbInstance::OnDurabilityAdvance() {
   for (auto& pending : commit_queue_.DrainUpTo(current_vcl)) {
     pending.ack();
   }
+  AURORA_GAUGE_SET(m_commit_queue_depth_, commit_queue_.Size());
   const Lsn current_vdl = driver_->tracker().vdl();
   if (current_vdl != last_shipped_vdl_ && !replica_sinks_.empty()) {
     ReplicationEvent event;
@@ -932,9 +941,12 @@ void DbInstance::OnDurabilityAdvance() {
 }
 
 void DbInstance::ShipReplicationEvent(const ReplicationEvent& event) {
+  AURORA_COUNT(m_replication_events_, replica_sinks_.size());
+  ReplicationEvent stamped = event;
+  stamped.shipped_at = sim_->Now();
   for (const auto& [replica, deliver] : replica_sinks_) {
-    network_->Send(id_, replica, event.SerializedSize(),
-                   [deliver, event]() { deliver(event); });
+    network_->Send(id_, replica, stamped.SerializedSize(),
+                   [deliver, stamped]() { deliver(stamped); });
   }
 }
 
@@ -958,6 +970,15 @@ void DbInstance::RemoveReplicationSink(NodeId replica) {
 
 void DbInstance::ObserveReplicaReadPoint(NodeId replica, Lsn read_point) {
   replica_read_points_[replica] = read_point;
+  if (AURORA_METRICS_ON() && read_point != kInvalidLsn) {
+    const Lsn current_vdl = vdl();
+    const int64_t lag = current_vdl > read_point
+                            ? static_cast<int64_t>(current_vdl - read_point)
+                            : 0;
+    metrics::Registry::Global()
+        .GetGauge("replica.lag_lsns." + std::to_string(replica))
+        ->Set(lag);
+  }
 }
 
 Lsn DbInstance::ComputePgmrpl() const {

@@ -54,6 +54,10 @@ struct ReplicationEvent {
   Lsn vdl = kInvalidLsn;
   TxnId txn = kInvalidTxn;
   Scn scn = kInvalidLsn;
+  /// Writer-side ship time; used by replicas to measure stream lag.
+  /// Excluded from SerializedSize: it is simulation bookkeeping, not
+  /// payload, and must not perturb modeled bandwidth delays.
+  SimTime shipped_at = 0;
 
   uint64_t SerializedSize() const;
 };
@@ -173,6 +177,12 @@ class DbInstance : public sim::NodeLifecycleListener {
   VolumeEpoch volume_epoch() const {
     return driver_ ? driver_->volume_epoch() : 0;
   }
+
+  /// Highest SCN this instance has ever acknowledged to a client.
+  /// Deliberately survives OnCrash(): the paper's zero-data-loss claim is
+  /// exactly that recovery never loses an acked commit, so the invariant
+  /// auditor checks max_acked_scn() <= VDL across writer incarnations.
+  Scn max_acked_scn() const { return max_acked_scn_; }
 
   StorageDriver* driver() { return driver_.get(); }
   BufferCache& cache() { return *cache_; }
@@ -296,6 +306,13 @@ class DbInstance : public sim::NodeLifecycleListener {
   uint64_t recovery_generation_ = 0;
   DbStats stats_;
   Histogram commit_latency_;
+  Scn max_acked_scn_ = kInvalidLsn;
+
+  // Metrics handles (see DESIGN.md §5).
+  metrics::Counter* m_commits_acked_;
+  metrics::Counter* m_replication_events_;
+  metrics::Gauge* m_commit_queue_depth_;
+  Histogram* m_commit_wait_us_;
 };
 
 }  // namespace aurora::engine

@@ -15,7 +15,21 @@ StorageDriver::StorageDriver(sim::Simulator* sim, sim::Network* network,
       resolver_(std::move(resolver)),
       options_(options),
       router_(options.router),
-      rng_(sim->rng().Fork()) {}
+      rng_(sim->rng().Fork()) {
+  auto& registry = metrics::Registry::Global();
+  m_fanout_records_ = registry.GetCounter("driver.fanout_records");
+  m_write_requests_ = registry.GetCounter("driver.write_requests");
+  m_acks_ = registry.GetCounter("driver.acks");
+  m_stale_epoch_acks_ = registry.GetCounter("driver.stale_epoch_acks");
+  m_retransmitted_ = registry.GetCounter("driver.retransmitted_records");
+  m_reads_issued_ = registry.GetCounter("read.issued");
+  m_read_failures_ = registry.GetCounter("read.failures");
+  m_retained_depth_ = registry.GetGauge("driver.retained_depth");
+  m_write_ack_us_ = registry.GetHistogram("driver.write_ack_us");
+  m_read_us_ = registry.GetHistogram("read.latency_us");
+  m_vcl_advance_gap_us_ = registry.GetHistogram("engine.vcl_advance_gap_us");
+  m_vdl_advance_gap_us_ = registry.GetHistogram("engine.vdl_advance_gap_us");
+}
 
 void StorageDriver::SetGeometry(const quorum::VolumeGeometry& geometry,
                                 VolumeEpoch volume_epoch) {
@@ -74,8 +88,10 @@ void StorageDriver::SubmitRecords(
       it->second.max_sent = std::max(it->second.max_sent, record.lsn);
       it->second.boxcar->Add(record);
       stats_.records_sent++;
+      AURORA_COUNT(m_fanout_records_, 1);
     }
   }
+  AURORA_GAUGE_SET(m_retained_depth_, retained_.size());
 }
 
 void StorageDriver::SendBatch(SegmentChannel* channel,
@@ -90,6 +106,7 @@ void StorageDriver::SendBatch(SegmentChannel* channel,
                                 geometry_.Pg(channel->pg).epoch()};
   request->records = std::move(records);
   stats_.write_requests++;
+  AURORA_COUNT(m_write_requests_, 1);
   const SimTime sent_at = sim_->Now();
   const NodeId target = channel->info.node;
   sim::UnaryCall<storage::WriteAck>(
@@ -114,8 +131,10 @@ void StorageDriver::HandleAck(SegmentChannel* channel,
                               const storage::WriteAck& ack, SimTime sent_at) {
   if (!running_) return;
   stats_.acks_received++;
+  AURORA_COUNT(m_acks_, 1);
   if (ack.status.IsStaleEpoch() || ack.status.IsFenced()) {
     stats_.stale_epoch_acks++;
+    AURORA_COUNT(m_stale_epoch_acks_, 1);
     AURORA_WARN << "instance " << self_ << " fenced by segment "
                 << ack.segment << ": " << ack.status.ToString();
     if (on_fenced_) on_fenced_();
@@ -123,13 +142,32 @@ void StorageDriver::HandleAck(SegmentChannel* channel,
   }
   if (!ack.status.ok()) return;
   write_ack_latency_.Record(sim_->Now() - sent_at);
+  AURORA_OBSERVE(m_write_ack_us_, sim_->Now() - sent_at);
   tracker_.ObserveScl(channel->pg, ack.segment, ack.scl);
+  const Lsn vcl_before = tracker_.vcl();
+  const Lsn vdl_before = tracker_.vdl();
   if (tracker_.Advance()) {
+    if (AURORA_METRICS_ON()) {
+      const SimTime now = sim_->Now();
+      if (tracker_.vcl() > vcl_before) {
+        if (last_vcl_advance_at_ > 0) {
+          m_vcl_advance_gap_us_->Record(now - last_vcl_advance_at_);
+        }
+        last_vcl_advance_at_ = now;
+      }
+      if (tracker_.vdl() > vdl_before) {
+        if (last_vdl_advance_at_ > 0) {
+          m_vdl_advance_gap_us_->Record(now - last_vdl_advance_at_);
+        }
+        last_vdl_advance_at_ = now;
+      }
+    }
     // Durability advanced: drop retained records now known globally
     // durable and wake the commit path.
     while (!retained_.empty() && retained_.front().lsn <= tracker_.vcl()) {
       retained_.pop_front();
     }
+    AURORA_GAUGE_SET(m_retained_depth_, retained_.size());
     if (on_advance_) on_advance_();
   }
 }
@@ -162,6 +200,7 @@ void StorageDriver::RetrySweep() {
     }
     if (resend.empty()) continue;
     stats_.retransmissions += resend.size();
+    AURORA_COUNT(m_retransmitted_, resend.size());
     SendBatch(&channel, std::move(resend));
   }
   sim_->Schedule(options_.retry_interval, [this]() { RetrySweep(); });
@@ -236,6 +275,7 @@ void StorageDriver::ReadBlock(BlockId block, Lsn read_lsn, Lsn pgmrpl,
     if (state->done) return;
     state->done = true;
     stats_.read_failures++;
+    AURORA_COUNT(m_read_failures_, 1);
     state->cb(Status::TimedOut("read deadline exceeded"));
   });
   IssueRead(state, 0);
@@ -247,6 +287,7 @@ void StorageDriver::IssueRead(std::shared_ptr<ReadState> state,
     if (!state->done && state->outstanding == 0) {
       state->done = true;
       stats_.read_failures++;
+      AURORA_COUNT(m_read_failures_, 1);
       state->cb(Status::Unavailable("all read candidates exhausted"));
     }
     return;
@@ -266,6 +307,7 @@ void StorageDriver::IssueRead(std::shared_ptr<ReadState> state,
   request.read_lsn = state->read_lsn;
   request.pgmrpl = state->pgmrpl;
   stats_.reads_issued++;
+  AURORA_COUNT(m_reads_issued_, 1);
   state->outstanding++;
   const SimTime sent_at = sim_->Now();
   const NodeId target = info->node;
@@ -290,6 +332,7 @@ void StorageDriver::IssueRead(std::shared_ptr<ReadState> state,
           if (!state->done) {
             state->done = true;
             read_latency_.Record(elapsed);
+            AURORA_OBSERVE(m_read_us_, elapsed);
             state->cb(std::move(*response.page));
           }
           return;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/engine/consistency_tracker.h"
@@ -158,6 +159,24 @@ class StorageDriver {
   DriverStats stats_;
   Histogram write_ack_latency_;
   Histogram read_latency_;
+
+  // Registry handles (resolved once at construction; see DESIGN.md §5 for
+  // the metric name catalogue). VCL/VDL advance latency is the cadence of
+  // the local bookkeeping: the gap between successive advances.
+  metrics::Counter* m_fanout_records_;
+  metrics::Counter* m_write_requests_;
+  metrics::Counter* m_acks_;
+  metrics::Counter* m_stale_epoch_acks_;
+  metrics::Counter* m_retransmitted_;
+  metrics::Counter* m_reads_issued_;
+  metrics::Counter* m_read_failures_;
+  metrics::Gauge* m_retained_depth_;
+  Histogram* m_write_ack_us_;
+  Histogram* m_read_us_;
+  Histogram* m_vcl_advance_gap_us_;
+  Histogram* m_vdl_advance_gap_us_;
+  SimTime last_vcl_advance_at_ = 0;
+  SimTime last_vdl_advance_at_ = 0;
 };
 
 }  // namespace aurora::engine

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "src/common/metrics.h"
+
 namespace aurora::log {
 
 SegmentHotLog::Iter SegmentHotLog::LowerBound(Lsn lsn) const {
@@ -49,10 +51,14 @@ Status SegmentHotLog::Append(const RedoRecord& record) {
 void SegmentHotLog::AdvanceScl() {
   // In sorted order the chain is implicit: the next stored record extends
   // the chain iff its segment back-pointer equals the current SCL.
+  const Lsn before = scl_;
   Iter it = LowerBound(scl_ + 1);
   while (it != records_.end() && it->prev_lsn_segment == scl_) {
     scl_ = it->lsn;
     ++it;
+  }
+  if (scl_ != before && AURORA_METRICS_ON()) {
+    metrics::Registry::Global().GetCounter("storage.scl_advances")->Add(1);
   }
 }
 

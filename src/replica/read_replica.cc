@@ -113,6 +113,15 @@ void ReadReplica::WithPage(BlockId block,
 
 void ReadReplica::OnReplicationEvent(const engine::ReplicationEvent& event) {
   if (!running_) return;
+  if (event.shipped_at > 0) {
+    const SimDuration lag = sim_->Now() - event.shipped_at;
+    replica_lag_.Record(lag);
+    if (AURORA_METRICS_ON()) {
+      metrics::Registry::Global()
+          .GetHistogram("replica.stream_lag_us")
+          ->Record(lag);
+    }
+  }
   switch (event.type) {
     case engine::ReplicationEvent::Type::kMtr:
       ApplyMtr(event.mtr);

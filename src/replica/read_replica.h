@@ -102,6 +102,10 @@ class ReadReplica : public sim::NodeLifecycleListener {
   engine::BufferCache& cache() { return *cache_; }
   engine::StorageDriver* driver() { return driver_.get(); }
   Histogram& read_latency() { return read_latency_; }
+  /// Ship-to-apply latency of replication stream events (§3.3 "replicas
+  /// consume the redo stream asynchronously"); the sim-time analogue of
+  /// the paper's sub-20ms replica lag.
+  Histogram& replica_lag() { return replica_lag_; }
 
  private:
   void WithPage(BlockId block,

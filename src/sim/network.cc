@@ -4,8 +4,30 @@
 #include <cassert>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace aurora::sim {
+
+namespace {
+struct NetMetrics {
+  metrics::Counter* messages_sent;
+  metrics::Counter* bytes_sent;
+  metrics::Counter* messages_dropped;
+  metrics::Counter* partitions_set;
+  metrics::Gauge* active_partitions;
+};
+NetMetrics& M() {
+  static NetMetrics m = [] {
+    auto& r = metrics::Registry::Global();
+    return NetMetrics{r.GetCounter("net.messages_sent"),
+                      r.GetCounter("net.bytes_sent"),
+                      r.GetCounter("net.messages_dropped"),
+                      r.GetCounter("net.partitions_set"),
+                      r.GetGauge("net.active_partitions")};
+  }();
+  return m;
+}
+}  // namespace
 
 Network::Network(Simulator* sim, NetworkOptions options)
     : sim_(sim), options_(options), rng_(sim->rng().Fork()) {}
@@ -85,6 +107,14 @@ uint64_t Network::PairKey(NodeId a, NodeId b) const {
 
 void Network::Partition(NodeId a, NodeId b, bool blocked) {
   partitions_[PairKey(a, b)] = blocked;
+  if (AURORA_METRICS_ON()) {
+    if (blocked) M().partitions_set->Add(1);
+    int64_t active = 0;
+    for (const auto& [key, is_blocked] : partitions_) {
+      if (is_blocked) active++;
+    }
+    M().active_partitions->Set(active);
+  }
 }
 
 bool Network::IsPartitioned(NodeId a, NodeId b) const {
@@ -126,11 +156,14 @@ void Network::Send(NodeId from, NodeId to, uint64_t bytes,
                    std::function<void()> deliver) {
   stats_.messages_sent++;
   stats_.bytes_sent += bytes;
+  AURORA_COUNT(M().messages_sent, 1);
+  AURORA_COUNT(M().bytes_sent, bytes);
   auto src_it = nodes_.find(from);
   auto dst_it = nodes_.find(to);
   assert(src_it != nodes_.end() && dst_it != nodes_.end());
   if (!src_it->second.up || !dst_it->second.up || IsPartitioned(from, to)) {
     stats_.messages_dropped++;
+    AURORA_COUNT(M().messages_dropped, 1);
     return;
   }
   SimDuration latency = SampleLatency(from, to, bytes);
@@ -149,6 +182,7 @@ void Network::Send(NodeId from, NodeId to, uint64_t bytes,
     if (it == nodes_.end() || !it->second.up ||
         it->second.incarnation != dst_incarnation) {
       stats_.messages_dropped++;
+      AURORA_COUNT(M().messages_dropped, 1);
       return;
     }
     stats_.messages_delivered++;

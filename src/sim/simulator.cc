@@ -51,6 +51,7 @@ bool Simulator::Step() {
     now_ = ev.time;
     ++executed_;
     ev.fn();
+    if (inspector_ && executed_ % inspect_every_ == 0) inspector_();
     return true;
   }
   return false;

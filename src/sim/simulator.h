@@ -63,6 +63,17 @@ class Simulator {
   /// Root generator; actors fork children from it for independent streams.
   Rng& rng() { return rng_; }
 
+  /// Installs a post-event inspector: `fn` runs after every `every_n`-th
+  /// executed event (n >= 1). The invariant auditor hangs off this hook so
+  /// it can observe the cluster at real event boundaries — between any two
+  /// events the system must be in a protocol-legal state. The inspector
+  /// must not schedule events or mutate actor state.
+  void SetInspector(uint64_t every_n, std::function<void()> fn) {
+    inspect_every_ = every_n == 0 ? 1 : every_n;
+    inspector_ = std::move(fn);
+  }
+  void ClearInspector() { inspector_ = nullptr; }
+
  private:
   struct Event {
     SimTime time;
@@ -93,6 +104,8 @@ class Simulator {
   /// cancel can never leak bookkeeping past the event's pop.
   std::unordered_set<EventId> live_;
   Rng rng_;
+  uint64_t inspect_every_ = 1;
+  std::function<void()> inspector_;
 };
 
 }  // namespace aurora::sim

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace aurora::storage {
 
@@ -216,6 +217,9 @@ void StorageNode::RunGossipOnce() {
 }
 
 void StorageNode::GossipSegment(SegmentStore* segment) {
+  if (AURORA_METRICS_ON()) {
+    metrics::Registry::Global().GetCounter("storage.gossip_rounds")->Add(1);
+  }
   // Pick a random peer from the current membership.
   const auto members = segment->config().AllMembers();
   std::vector<quorum::SegmentInfo> peers;
@@ -275,6 +279,9 @@ void StorageNode::RunGcOnce() {
 }
 
 void StorageNode::RunScrubOnce() {
+  if (AURORA_METRICS_ON()) {
+    metrics::Registry::Global().GetCounter("storage.scrub_runs")->Add(1);
+  }
   for (auto& [id, segment] : segments_) {
     segment->Scrub();
   }

@@ -168,6 +168,47 @@ TEST(StorageDriver, HedgedReadCapsSlowSegmentLatency) {
       << "hedge must beat the 20ms slow segment";
 }
 
+TEST(StorageDriver, HedgeFiresExactlyOnceAndMetricsAgree) {
+  auto& registry = metrics::Registry::Global();
+  registry.Reset();
+  metrics::Registry::SetEnabled(true);
+  Fixture f;
+  f.driver->SubmitRecords({f.Record(1, 7)});
+  f.sim.RunFor(50 * kMillisecond);
+  // Segment 0 is believed fastest; every other estimate is far above the
+  // max hedge delay so only ONE hedge can beat the 5s read deadline.
+  for (int i = 0; i < 10; ++i) {
+    f.driver->router().ObserveLatency(0, 100);
+    for (SegmentId s = 1; s < 6; ++s) {
+      f.driver->router().ObserveLatency(s, 5000);
+    }
+  }
+  // Slow segment 0's node past hedge_multiplier * expected (3 * 100us):
+  // 100us * 400 = 40ms, far beyond the 20ms max_hedge_delay cap.
+  f.network->SetNodeSlowdown(100, 400.0);
+  const uint64_t hedges_before = f.driver->router().hedged_reads();
+  bool done = false;
+  f.driver->ReadBlock(7, 1, kInvalidLsn, [&](Result<storage::Page> page) {
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    done = true;
+  });
+  // Run past the slow reply too, so any over-eager second hedge would
+  // have fired by now.
+  f.sim.RunFor(300 * kMillisecond);
+  metrics::Registry::SetEnabled(false);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(f.driver->router().hedged_reads() - hedges_before, 1u)
+      << "exactly one hedge for one slow primary";
+  // The fast (hedged) reply won: total latency is bounded by hedge delay
+  // plus the healthy segment's round trip, nowhere near the 40ms primary.
+  EXPECT_EQ(registry.CounterValue("read.hedges"),
+            f.driver->router().hedged_reads() - hedges_before)
+      << "hedge-rate metric must match the router's own count";
+  EXPECT_EQ(registry.CounterValue("read.issued"),
+            f.driver->stats().reads_issued);
+  registry.Reset();
+}
+
 TEST(StorageDriver, ReadFailsCleanlyWhenAllSegmentsDown) {
   Fixture f;
   f.driver->SubmitRecords({f.Record(1, 7)});

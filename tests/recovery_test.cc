@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/cluster.h"
+#include "src/core/invariant_auditor.h"
 
 namespace aurora {
 namespace {
@@ -164,6 +165,77 @@ TEST(Recovery, WorksFromBareReadQuorum) {
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(cluster.GetBlocking("k" + std::to_string(i)).ok()) << i;
   }
+}
+
+// §2.4 end to end, under the invariant auditor: crash the writer with an
+// MTR only partially delivered (a ragged edge below the write quorum),
+// then assert that recovery (a) snips the edge with a truncation range on
+// every segment, (b) increments the volume epoch, and (c) leaves every
+// surviving segment rejecting I/O stamped with the old epoch.
+TEST(Recovery, MidMtrCrashTruncatesRaggedEdgeAndFencesOldEpoch) {
+  core::AuroraCluster cluster(Options(87));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("base" + std::to_string(i), "v").ok());
+  }
+  const VolumeEpoch old_epoch = cluster.writer()->volume_epoch();
+
+  core::InvariantAuditor auditor(&cluster);
+  auditor.Attach(1);
+
+  // Slow four of six members so the next MTR's records land on at most
+  // two segments — durable nowhere near a write quorum.
+  const auto members = cluster.geometry().Pg(0).AllMembers();
+  for (size_t i = 2; i < members.size(); ++i) {
+    cluster.network().SetNodeSlowdown(members[i].node, 1000.0);
+  }
+  auto* writer = cluster.writer();
+  const TxnId txn = writer->Begin();
+  writer->Put(txn, "ragged", "partial", [](Status) {});
+  cluster.RunFor(2 * kMillisecond);  // fast copies delivered, rest in flight
+  cluster.CrashWriter();
+  for (size_t i = 2; i < members.size(); ++i) {
+    cluster.network().SetNodeSlowdown(members[i].node, 1.0);
+  }
+  cluster.RunFor(5 * kMillisecond);
+  ASSERT_TRUE(cluster.RecoverWriterBlocking().ok());
+  const Lsn recovered_vdl = cluster.writer()->vdl();
+  // Recovery returns at a write quorum; let the slower members (whose
+  // links may still be draining 1000x-delayed deliveries) receive the
+  // epoch + truncation install too before asserting on all six.
+  cluster.RunFor(2 * kSecond);
+
+  // (b) the volume epoch advanced exactly once.
+  EXPECT_EQ(cluster.writer()->volume_epoch(), old_epoch + 1);
+  EXPECT_EQ(cluster.metadata().volume_epoch(), old_epoch + 1);
+
+  for (const auto& member : members) {
+    auto* segment = cluster.NodeForSegment(member.id)->FindSegment(member.id);
+    ASSERT_NE(segment, nullptr);
+    // (a) every segment installed the truncation range and no segment's
+    // chain extends into it: the ragged edge is snipped.
+    ASSERT_FALSE(segment->hot_log().truncations().empty())
+        << "segment " << member.id << " missing truncation range";
+    const auto& range = segment->hot_log().truncations().back();
+    EXPECT_EQ(range.start, recovered_vdl + 1);
+    EXPECT_LE(segment->scl(), recovered_vdl) << "segment " << member.id;
+    // (c) I/O stamped with the pre-crash volume epoch is rejected.
+    const Status stale = segment->CheckEpochs(
+        EpochVector{old_epoch, segment->config().epoch()});
+    EXPECT_TRUE(stale.IsStaleEpoch())
+        << "segment " << member.id << ": " << stale.ToString();
+  }
+
+  // The annulled write is gone and stays gone; the volume keeps working.
+  EXPECT_TRUE(cluster.GetBlocking("ragged").status().IsNotFound());
+  ASSERT_TRUE(cluster.PutBlocking("after", "v").ok());
+  EXPECT_EQ(*cluster.GetBlocking("after"), "v");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(*cluster.GetBlocking("base" + std::to_string(i)), "v");
+  }
+  auditor.CheckNow();
+  EXPECT_TRUE(auditor.ok()) << auditor.Report();
+  auditor.Detach();
 }
 
 TEST(Recovery, EpochStrictlyIncreasesAcrossRecoveries) {
