@@ -44,6 +44,9 @@ run_config() {
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
 }
 
+echo "=== docs_check ==="
+scripts/docs_check.sh
+
 mkdir -p build-check
 for config in "${CONFIGS[@]}"; do
   run_config "${config}"

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Docs/code lockstep gate: fails when the documentation drifts from the
+# tree in either direction.
+#
+#   1. Every metric name registered in src/ (GetCounter/GetGauge/
+#      GetHistogram call sites) must appear in the DESIGN.md §5b
+#      catalogue, and every catalogue row must still exist in src/.
+#      Dynamic per-subject suffixes (`read.segment_us.<segment>`) are
+#      compared by their static prefix.
+#   2. Every bench/bench_*.cc binary must be mentioned in EXPERIMENTS.md
+#      (the bench index + its section), and every `bench_*` name
+#      EXPERIMENTS.md mentions must exist in bench/.
+#
+# Run from anywhere; registered as a ctest so every suite run enforces it.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# ---- 1. metric catalogue ------------------------------------------------
+
+# Registered names: -z lets the match span the line break in multiline
+# Get*( calls; a trailing dot marks a dynamic-suffix family.
+src_metrics="$(
+  grep -rhozPo 'Get(?:Counter|Gauge|Histogram)\(\s*"[^"]*"' src/ |
+    tr '\0' '\n' | grep -o '"[^"]*"' | tr -d '"' |
+    sed 's/\.$//' | sort -u
+)"
+
+# Catalogue rows: first backticked column of the table between the
+# "Metrics registry" and "Invariant auditor" headings; `.<subject>`
+# suffixes reduce to the same static prefix the code registers.
+doc_metrics="$(
+  awk '/^### Metrics registry/,/^### Invariant auditor/' DESIGN.md |
+    grep -oP '^\| `\K[^`]+' | sed 's/\.<[^>]*>$//' | sort -u
+)"
+
+undocumented="$(comm -23 <(echo "${src_metrics}") <(echo "${doc_metrics}"))"
+stale="$(comm -13 <(echo "${src_metrics}") <(echo "${doc_metrics}"))"
+
+if [[ -n "${undocumented}" ]]; then
+  echo "docs_check: metrics registered in src/ but missing from DESIGN.md §5b:" >&2
+  echo "${undocumented}" | sed 's/^/  /' >&2
+  fail=1
+fi
+if [[ -n "${stale}" ]]; then
+  echo "docs_check: metrics in the DESIGN.md §5b catalogue but not registered in src/:" >&2
+  echo "${stale}" | sed 's/^/  /' >&2
+  fail=1
+fi
+
+# ---- 2. bench index -----------------------------------------------------
+
+tree_benches="$(
+  for f in bench/bench_*.cc; do
+    basename "${f}" .cc
+  done | sort -u
+)"
+
+doc_benches="$(
+  grep -oP 'bench_[a-z0-9_]+' EXPERIMENTS.md | sort -u
+)"
+
+missing_doc="$(comm -23 <(echo "${tree_benches}") <(echo "${doc_benches}"))"
+ghost_doc="$(comm -13 <(echo "${tree_benches}") <(echo "${doc_benches}"))"
+
+if [[ -n "${missing_doc}" ]]; then
+  echo "docs_check: bench binaries with no EXPERIMENTS.md entry:" >&2
+  echo "${missing_doc}" | sed 's/^/  /' >&2
+  fail=1
+fi
+if [[ -n "${ghost_doc}" ]]; then
+  echo "docs_check: EXPERIMENTS.md mentions bench binaries not in bench/:" >&2
+  echo "${ghost_doc}" | sed 's/^/  /' >&2
+  fail=1
+fi
+
+if [[ "${fail}" -ne 0 ]]; then
+  echo "docs_check: FAILED — update DESIGN.md §5b / EXPERIMENTS.md (or the code) so they agree" >&2
+  exit 1
+fi
+
+n_metrics="$(echo "${src_metrics}" | wc -l)"
+n_benches="$(echo "${tree_benches}" | wc -l)"
+echo "docs_check: OK (${n_metrics} metrics, ${n_benches} bench binaries in lockstep)"

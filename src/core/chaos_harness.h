@@ -1,0 +1,142 @@
+// Schedule-driven chaos harness: generate, execute, capture, replay, and
+// shrink randomized failure schedules against a full cluster.
+//
+// The chaos suite's randomized runs used to be welded into the test
+// binary; this harness turns a run into data so the same schedule can be
+// (a) executed under the invariant auditor, (b) captured as a trace
+// (src/sim/trace.h), (c) re-executed bit-identically from that trace, and
+// (d) delta-debugged down to a minimal reproducer (src/sim/shrink.h) when
+// it trips an invariant. `tests/chaos_audit_test.cc` drives it for the
+// 50-seed sweep; `tools/aurora_shrink` drives it from captured trace
+// files.
+//
+// Determinism contract: every stochastic choice is drawn at GENERATION
+// time and stored in the op (ChaosOp::pick_*); execution maps picks onto
+// runtime state (e.g. pick modulo the current node count). Executing the
+// same schedule therefore always produces the same simulation, and
+// dropping an op never re-randomizes the ops after it — the property the
+// shrinker's subset replays rely on.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/core/invariant_auditor.h"
+#include "src/sim/trace.h"
+
+namespace aurora::core {
+
+/// One chaos operation. Kinds mirror the fault vocabulary of the original
+/// chaos test; the two poison ops exist to give the shrinker tests a known
+/// minimal violation (they corrupt VDL via the test-only tracker hook, and
+/// only when both are present — a deliberate 2-op bug).
+enum class ChaosOpKind {
+  kPut,                 ///< autocommit write; pick_a chooses the key
+  kCrashOrRestartNode,  ///< pick_a: restart-vs-crash coin, pick_b: node
+  kTogglePartition,     ///< pick_a: storage node to (un)partition from writer
+  kCorruptRecord,       ///< pick_a: segment store, pick_b: record
+  kWriterCrashRecover,  ///< crash the writer, heal, recover
+  kReplaceSegment,      ///< pick_a: PG, pick_b: member slot
+  kAzBlip,              ///< pick_a: AZ, pick_b: blip duration (ms)
+  kPoisonVdlArm,        ///< test-only: arms the VDL poison
+  kPoisonVdlFire,       ///< test-only: if armed, forces VDL above VCL
+};
+
+struct ChaosOp {
+  ChaosOpKind kind = ChaosOpKind::kPut;
+  uint64_t pick_a = 0;
+  uint64_t pick_b = 0;
+  /// Virtual time the harness runs after the op (pre-drawn, so dropping an
+  /// op also drops its advance — and the shrinker can tighten these).
+  SimDuration advance = 0;
+
+  sim::FaultOp ToFaultOp() const;
+  static Result<ChaosOp> FromFaultOp(const sim::FaultOp& op);
+
+  bool operator==(const ChaosOp&) const = default;
+};
+
+/// A complete, self-contained chaos run: the cluster seed plus the op list.
+struct ChaosSchedule {
+  uint64_t seed = 0;
+  std::vector<ChaosOp> ops;
+};
+
+/// Draws a `num_ops`-op schedule with the chaos suite's historical op mix
+/// (50% writes, the rest faults). Deterministic in `seed`.
+ChaosSchedule GenerateChaosSchedule(uint64_t seed, int num_ops);
+
+struct ChaosRunOptions {
+  /// Capture the run (ops, executed events, summary) into this trace.
+  sim::Trace* record = nullptr;
+  /// Verify the run's event schedule against a previously captured trace.
+  const sim::Trace* replay = nullptr;
+  /// Stop executing ops at the first audit violation (the remaining
+  /// schedule can only obscure the root cause; heal/drain are skipped too).
+  bool stop_at_first_violation = true;
+  /// Run the end-of-run durability contract (every acked key reads back at
+  /// or after its last acknowledged write). Skipped after violations.
+  bool check_durability = true;
+};
+
+struct ChaosRunResult {
+  /// Harness-level failure (cluster would not start / recover). Not a
+  /// protocol violation — the run is inconclusive, not red.
+  Status status = Status::OK();
+  /// Durability-contract breaches (empty means the contract held).
+  std::vector<std::string> errors;
+  /// Audit violations, in detection order, with snapshots.
+  std::vector<AuditViolation> violations;
+
+  /// Determinism fingerprint of the executed schedule plus the run's final
+  /// consistency points — what trace replay must reproduce bit-identically.
+  uint64_t fingerprint = 0;
+  Lsn vcl = kInvalidLsn;
+  Lsn vdl = kInvalidLsn;
+  uint64_t executed_events = 0;
+  SimTime end_time = 0;
+
+  /// Replay-check outcome (only meaningful when options.replay was set).
+  bool replay_diverged = false;
+  std::string replay_divergence;
+
+  bool ok() const {
+    return status.ok() && errors.empty() && violations.empty() &&
+           !replay_diverged;
+  }
+};
+
+/// Executes `schedule` on a fresh cluster with the invariant auditor
+/// attached at every event. Deterministic in the schedule.
+ChaosRunResult RunChaosSchedule(const ChaosSchedule& schedule,
+                                const ChaosRunOptions& options = {});
+
+/// Reconstructs the schedule embedded in a captured trace.
+Result<ChaosSchedule> ScheduleFromTrace(const sim::Trace& trace);
+
+/// Builds the trace header/op records for `schedule` (the run fills in
+/// events and summary).
+void ScheduleToTrace(const ChaosSchedule& schedule, sim::Trace* trace);
+
+struct ChaosShrinkResult {
+  ChaosSchedule minimized;
+  std::string invariant;      ///< the violation the reproducer preserves
+  size_t original_ops = 0;
+  size_t replays = 0;         ///< schedule re-executions the shrink cost
+  std::string timeline;       ///< human-readable minimized schedule
+};
+
+/// Delta-debugs `schedule` (which must reproduce a violation of
+/// `invariant`) to a 1-minimal op subset, then tightens the inter-op time
+/// advances. Fails if the full schedule does not reproduce the violation.
+Result<ChaosShrinkResult> ShrinkChaosViolation(const ChaosSchedule& schedule,
+                                               const std::string& invariant);
+
+/// Renders a schedule as one human-readable line per op.
+std::string RenderTimeline(const ChaosSchedule& schedule);
+
+}  // namespace aurora::core

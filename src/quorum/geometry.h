@@ -1,6 +1,27 @@
 // Volume geometry: the ordered list of protection groups that concatenate
 // into a storage volume (§2.1), plus the geometry epoch that tracks volume
 // growth and quorum-model changes (§4.1).
+//
+// Three independent epochs fence three kinds of staleness (DESIGN.md §5
+// invariant 6; all three travel in the EpochVector on every I/O):
+//
+//   volume epoch      bumped by crash recovery (§2.4) — fences a dead
+//                     writer's in-flight requests ("change the locks");
+//   membership epoch  per-PG, bumped by each membership transition
+//                     (membership.h) — fences I/O addressed under a
+//                     superseded member list;
+//   geometry epoch    bumped here when a PG is appended (volume growth)
+//                     or a PG's quorum model changes (4/6 ↔ 3/4 for
+//                     extended AZ loss, §4.1) — fences block→PG mapping:
+//                     a writer with a stale geometry could route a block
+//                     to the wrong group or apply the wrong quorum rule.
+//
+// Growth is consensus-free for the same reason membership changes are:
+// the new geometry is installed at a write quorum of every affected PG
+// before the writer uses it, and quorum-overlap rule 2 (quorum_set.h)
+// guarantees a stale-geometry writer can no longer complete quorums. Per-
+// PG allocation cursors (DESIGN.md §4b) keep readers independent of the
+// cursors — block→PG mapping stays range-based via PgForBlock.
 
 #pragma once
 

@@ -8,6 +8,39 @@
 // set is the OR. Every transition increments the membership epoch and is
 // itself installed via a quorum write, so changes have the same failure
 // tolerance as ordinary I/O and never block reads or writes.
+//
+// Transition states (Figure 5, epochs from the paper's example):
+//
+//   stable(e=1)      one alternative per slot; quorums per QuorumModel.
+//     │ BeginReplace(F, G)
+//   pending(e=2)     suspect slot holds {F, G}; write = 4/6{ABCDEF} ∧
+//     │              4/6{ABCDEG}, read = 3/6{ABCDEF} ∨ 3/6{ABCDEG}.
+//     │              Writing to ABCD alone satisfies BOTH conjuncts, so a
+//     │              healthy majority keeps full I/O availability. A
+//     │              second failure mid-change (say E) nests another
+//     │              Begin: 4 candidate memberships, still non-blocking.
+//     ├─ CommitReplace(F) → stable(e=3) on ABCDEG (G finished hydrating)
+//     └─ RevertReplace(F) → stable(e=3) on ABCDEF (F came back; the
+//                           replacement is discarded)
+//
+// Both exits are always one further epoch away — that is the
+// "reversible" in §4.1, and DESIGN.md §5 invariant 7 (membership
+// reversibility): from any intermediate state, roll-forward and roll-back
+// both preserve the overlap rules and all data acknowledged under any
+// epoch. `TransitionIsSafe` proves each hop; the hydration gate on commit
+// is operational, not combinatorial (see EXPERIMENTS.md "Mid-change read
+// quorums" note).
+//
+// Epoch fencing (§2.4 + §4.1; DESIGN.md §5 invariant 6): every I/O
+// carries the issuer's epoch vector (volume epoch, membership epoch,
+// geometry epoch — EpochVector in common/types.h). A storage node
+// rejects any request whose membership epoch is stale for the target
+// segment, and the driver discards acks from stale-epoch segments
+// (`driver.stale_epoch_acks` in DESIGN.md §5b). Because the new config is
+// itself installed at a write quorum before use, and any future write
+// quorum overlaps that install (rule 2), a writer still on epoch e can
+// never assemble a quorum once e+1 exists — membership changes fence
+// exactly like crash-recovery volume epochs, with no lease to wait out.
 
 #pragma once
 

@@ -7,6 +7,24 @@
 // reversible." This module provides that algebra plus the exhaustive
 // overlap prover used by tests and by the membership state machine's
 // debug-mode self-checks.
+//
+// The formulas matter because membership changes are expressed entirely
+// through them (no consensus round): a group mid-change has a write set
+// that is the AND of the old and new candidate memberships (e.g.
+// 4/6{ABCDEF} ∧ 4/6{ABCDEG}) and a read set that is their OR. The two §2.1
+// rules every configuration — stable or mid-change — must satisfy:
+//
+//   rule 1:  each read set intersects each write set (Vr + Vw > V), so a
+//            reader always meets at least one node that saw the last write;
+//   rule 2:  each write set intersects each prior write set (2·Vw > V), so
+//            two writers across an epoch boundary share a witness and a
+//            stale writer's acks can never form a quorum unseen.
+//
+// `AlwaysOverlaps` proves rule 1, `Implies` proves rule 2 across a
+// transition, and `TransitionIsSafe` (membership.h) packages both. These
+// are DESIGN.md §5 invariants 2 and 7, checked exhaustively in
+// tests/quorum_test.cc and property_test.cc for every transition shape the
+// state machine can produce (replace, revert, 4/6↔3/4, full/tail).
 
 #pragma once
 

@@ -21,29 +21,44 @@ void FailureInjector::Stop() {
   ++generation_;
 }
 
+SimDuration FailureInjector::Draw(const char* kind, uint64_t subject,
+                                  SimDuration mean) {
+  if (replay_ != nullptr) {
+    if (replay_cursor_ < replay_->decisions.size() &&
+        replay_->decisions[replay_cursor_].kind == kind) {
+      return replay_->decisions[replay_cursor_++].value_us;
+    }
+    ++replay_mismatches_;  // underrun or drift; fall back to the RNG
+  }
+  const auto value = static_cast<SimDuration>(
+      rng_.NextExponential(static_cast<double>(mean)));
+  if (record_ != nullptr) {
+    record_->decisions.push_back(InjectorDecision{kind, subject, value});
+  }
+  return value;
+}
+
 void FailureInjector::ScheduleNodeFailure(NodeId node) {
-  const auto delay = static_cast<SimDuration>(
-      rng_.NextExponential(static_cast<double>(model_.node_mttf)));
+  const SimDuration delay = Draw("node_fail_delay", node, model_.node_mttf);
   const uint64_t gen = generation_;
   sim_->Schedule(delay, [this, node, gen]() {
     if (!running_ || gen != generation_) return;
     if (network_->IsUp(node)) {
       network_->Crash(node);
       ++node_failures_;
-      const auto repair = static_cast<SimDuration>(
-          rng_.NextExponential(static_cast<double>(model_.node_mttr)));
+      const SimDuration repair =
+          Draw("node_repair_delay", node, model_.node_mttr);
       sim_->Schedule(repair, [this, node, gen]() {
         if (!running_ || gen != generation_) return;
         network_->Restart(node);
-      });
+      }, "inj.node_repair");
     }
     ScheduleNodeFailure(node);
-  });
+  }, "inj.node_fail");
 }
 
 void FailureInjector::ScheduleAzFailure(AzId az) {
-  const auto delay = static_cast<SimDuration>(
-      rng_.NextExponential(static_cast<double>(model_.az_mttf)));
+  const SimDuration delay = Draw("az_fail_delay", az, model_.az_mttf);
   const uint64_t gen = generation_;
   sim_->Schedule(delay, [this, az, gen]() {
     if (!running_ || gen != generation_) return;
@@ -52,25 +67,28 @@ void FailureInjector::ScheduleAzFailure(AzId az) {
     sim_->Schedule(model_.az_mttr, [this, az, gen]() {
       if (gen != generation_) return;
       network_->RestoreAz(az);
-    });
+    }, "inj.az_restore");
     ScheduleAzFailure(az);
-  });
+  }, "inj.az_fail");
 }
 
 void FailureInjector::CrashNodeAt(SimTime when, NodeId node) {
-  sim_->ScheduleAt(when, [this, node]() { network_->Crash(node); });
+  sim_->ScheduleAt(when, [this, node]() { network_->Crash(node); },
+                   "inj.script_crash");
 }
 
 void FailureInjector::RestartNodeAt(SimTime when, NodeId node) {
-  sim_->ScheduleAt(when, [this, node]() { network_->Restart(node); });
+  sim_->ScheduleAt(when, [this, node]() { network_->Restart(node); },
+                   "inj.script_restart");
 }
 
 void FailureInjector::FailAzAt(SimTime when, AzId az, SimDuration outage) {
   sim_->ScheduleAt(when, [this, az, outage]() {
     network_->FailAz(az);
     ++az_failures_;
-    sim_->Schedule(outage, [this, az]() { network_->RestoreAz(az); });
-  });
+    sim_->Schedule(outage, [this, az]() { network_->RestoreAz(az); },
+                   "inj.script_az_restore");
+  }, "inj.script_az_fail");
 }
 
 void FailureInjector::SlowNodeAt(SimTime when, NodeId node, double factor,
@@ -78,8 +96,9 @@ void FailureInjector::SlowNodeAt(SimTime when, NodeId node, double factor,
   sim_->ScheduleAt(when, [this, node, factor, duration]() {
     network_->SetNodeSlowdown(node, factor);
     sim_->Schedule(duration,
-                   [this, node]() { network_->SetNodeSlowdown(node, 1.0); });
-  });
+                   [this, node]() { network_->SetNodeSlowdown(node, 1.0); },
+                   "inj.slow_end");
+  }, "inj.slow_begin");
 }
 
 }  // namespace aurora::sim

@@ -14,6 +14,7 @@
 #include "src/common/random.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
+#include "src/sim/trace.h"
 
 namespace aurora::sim {
 
@@ -50,9 +51,41 @@ class FailureInjector {
   uint64_t node_failures() const { return node_failures_; }
   uint64_t az_failures() const { return az_failures_; }
 
+  // -- Decision capture & replay (src/sim/trace.h) -------------------------
+  //
+  // Every stochastic draw of the background process (failure delay, repair
+  // delay, AZ outage arrival) is a Decision. Recording appends them to a
+  // trace; a replaying injector consumes the recorded sequence instead of
+  // rolling its RNG, so a captured failure schedule re-executes exactly.
+  // Scripted faults (CrashNodeAt etc.) are already deterministic and are
+  // not recorded.
+
+  /// Appends every subsequent decision to `trace` (not owned; nullptr
+  /// stops recording).
+  void RecordDecisionsTo(Trace* trace) { record_ = trace; }
+
+  /// Consumes `trace`'s recorded decisions (in order) instead of the RNG.
+  /// Once the recording is exhausted the injector falls back to its RNG —
+  /// the replayed window is exact, anything past the capture is best
+  /// effort — and counts the underrun in replay_mismatches().
+  void ReplayDecisionsFrom(const Trace* trace) {
+    replay_ = trace;
+    replay_cursor_ = 0;
+  }
+
+  /// Draws served from the recording so far.
+  uint64_t replayed_decisions() const { return replay_cursor_; }
+  /// Draws where the recording ran out or the decision kind disagreed
+  /// (schedule drift between capture and replay).
+  uint64_t replay_mismatches() const { return replay_mismatches_; }
+
  private:
   void ScheduleNodeFailure(NodeId node);
   void ScheduleAzFailure(AzId az);
+
+  /// One stochastic draw: exponential with `mean`, recorded to / replayed
+  /// from the attached trace under (`kind`, `subject`).
+  SimDuration Draw(const char* kind, uint64_t subject, SimDuration mean);
 
   Simulator* sim_;
   Network* network_;
@@ -62,6 +95,11 @@ class FailureInjector {
   uint64_t generation_ = 0;  // invalidates scheduled background events
   uint64_t node_failures_ = 0;
   uint64_t az_failures_ = 0;
+
+  Trace* record_ = nullptr;
+  const Trace* replay_ = nullptr;
+  size_t replay_cursor_ = 0;
+  uint64_t replay_mismatches_ = 0;
 };
 
 }  // namespace aurora::sim

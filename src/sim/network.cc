@@ -188,7 +188,7 @@ void Network::Send(NodeId from, NodeId to, uint64_t bytes,
     stats_.messages_delivered++;
     stats_.bytes_delivered += bytes;
     deliver();
-  });
+  }, "net.deliver");
 }
 
 }  // namespace aurora::sim

@@ -1,0 +1,113 @@
+#include "src/sim/shrink.h"
+
+#include <algorithm>
+
+namespace aurora::sim {
+
+namespace {
+
+/// Splits `items` into `n` contiguous chunks (sizes differ by at most 1).
+std::vector<std::vector<size_t>> SplitChunks(const std::vector<size_t>& items,
+                                             size_t n) {
+  std::vector<std::vector<size_t>> chunks;
+  const size_t base = items.size() / n;
+  size_t extra = items.size() % n;
+  size_t at = 0;
+  for (size_t i = 0; i < n && at < items.size(); ++i) {
+    size_t len = base + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    chunks.emplace_back(items.begin() + at, items.begin() + at + len);
+    at += len;
+  }
+  return chunks;
+}
+
+std::vector<size_t> Complement(const std::vector<size_t>& items,
+                               const std::vector<size_t>& chunk) {
+  std::vector<size_t> out;
+  out.reserve(items.size() - chunk.size());
+  std::set_difference(items.begin(), items.end(), chunk.begin(), chunk.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<size_t> DdMin(
+    size_t n, const std::function<bool(const std::vector<size_t>&)>& reproduces,
+    ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  auto test = [&](const std::vector<size_t>& subset) {
+    ++st.attempts;
+    const bool hit = reproduces(subset);
+    if (hit) ++st.reproduced;
+    return hit;
+  };
+
+  std::vector<size_t> current(n);
+  for (size_t i = 0; i < n; ++i) current[i] = i;
+
+  size_t granularity = 2;
+  while (current.size() >= 2) {
+    const auto chunks = SplitChunks(current, granularity);
+
+    // A single chunk that reproduces is the big win: restart at its size.
+    bool reduced = false;
+    for (const auto& chunk : chunks) {
+      if (chunk.size() < current.size() && test(chunk)) {
+        current = chunk;
+        granularity = 2;
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) continue;
+
+    // Otherwise try dropping one chunk at a time. With only two chunks the
+    // complements ARE the chunks, already tested above.
+    if (chunks.size() > 2) {
+      for (const auto& chunk : chunks) {
+        auto rest = Complement(current, chunk);
+        if (!rest.empty() && rest.size() < current.size() && test(rest)) {
+          current = std::move(rest);
+          granularity = std::max<size_t>(granularity - 1, 2);
+          reduced = true;
+          break;
+        }
+      }
+      if (reduced) continue;
+    }
+
+    if (granularity < current.size()) {
+      granularity = std::min(current.size(), granularity * 2);
+      continue;
+    }
+    break;  // 1-minimal: no single op can be removed
+  }
+  return current;
+}
+
+std::vector<int64_t> TightenValues(
+    std::vector<int64_t> values,
+    const std::function<bool(const std::vector<int64_t>&)>& reproduces,
+    ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (int64_t candidate : {int64_t{0}, values[i] / 2}) {
+      if (candidate >= values[i]) continue;  // no slack left
+      std::vector<int64_t> attempt = values;
+      attempt[i] = candidate;
+      ++st.attempts;
+      if (reproduces(attempt)) {
+        ++st.reproduced;
+        values = std::move(attempt);
+        break;
+      }
+    }
+  }
+  return values;
+}
+
+}  // namespace aurora::sim

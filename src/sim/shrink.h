@@ -1,0 +1,49 @@
+// Schedule shrinking: delta debugging over fault-op lists.
+//
+// Given a failure schedule whose deterministic replay trips an invariant,
+// most of its operations are usually irrelevant — the violation needs two
+// or three interacting faults, not thirty. DdMin implements Zeller's ddmin
+// algorithm over opaque indices: drop half the ops, then quarters, then
+// individual ops, re-running the (deterministic) schedule each time and
+// keeping any subset that still reproduces. TightenValues then shrinks the
+// per-op numeric slack (the virtual-time advance between ops) the same
+// way. The chaos harness (src/core/chaos_harness.h) wires both to real
+// cluster replays; `tools/aurora_shrink` exposes them on captured trace
+// files. Replays are deterministic, so "still reproduces" is a pure
+// function of the kept subset — no flaky-test heuristics needed.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace aurora::sim {
+
+/// Counters a shrink run reports back (each attempt is one full replay —
+/// the cost driver worth printing next to the result).
+struct ShrinkStats {
+  size_t attempts = 0;      ///< predicate evaluations (replays)
+  size_t reproduced = 0;    ///< attempts that still tripped the failure
+};
+
+/// Minimizes a subset of [0, n) under `reproduces`, which must return true
+/// for the full index set (callers should verify that before shrinking)
+/// and be deterministic. Returns a 1-minimal subset in ascending order:
+/// removing any single remaining index no longer reproduces. Worst case
+/// O(n^2) replays; typically O(n log n).
+std::vector<size_t> DdMin(
+    size_t n, const std::function<bool(const std::vector<size_t>&)>& reproduces,
+    ShrinkStats* stats = nullptr);
+
+/// Greedy per-element value minimization: for each position, tries the
+/// candidates 0 then value/2 (first success wins, keeping the schedule
+/// deterministic and the pass O(n) replays). Used to tighten the virtual
+/// time window of an already op-minimal schedule. `reproduces` receives
+/// the full candidate vector.
+std::vector<int64_t> TightenValues(
+    std::vector<int64_t> values,
+    const std::function<bool(const std::vector<int64_t>&)>& reproduces,
+    ShrinkStats* stats = nullptr);
+
+}  // namespace aurora::sim

@@ -14,15 +14,17 @@ Simulator::Simulator(uint64_t seed) : rng_(seed) {
   queue_.reserve(kInitialQueueCapacity);
 }
 
-EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
+EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn,
+                            const char* label) {
   assert(delay >= 0);
-  return ScheduleAt(now_ + delay, std::move(fn));
+  return ScheduleAt(now_ + delay, std::move(fn), label);
 }
 
-EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn,
+                              const char* label) {
   assert(when >= now_);
   const EventId id = next_id_++;
-  queue_.push_back(Event{when, next_seq_++, id, std::move(fn)});
+  queue_.push_back(Event{when, next_seq_++, id, label, std::move(fn)});
   std::push_heap(queue_.begin(), queue_.end(), EventGreater{});
   live_.insert(id);
   return id;
@@ -43,6 +45,25 @@ Simulator::Event Simulator::PopEvent() {
   return ev;
 }
 
+void Simulator::ObserveExecuted(SimTime at, const char* label) {
+  const uint64_t digest = Trace::EventDigest(at, label);
+  fingerprint_ = Trace::MixFingerprint(fingerprint_, digest);
+  if (trace_out_ != nullptr) {
+    trace_out_->events.push_back(TraceEventRecord{at, label, digest});
+  }
+  if (replay_ != nullptr && replay_divergence_.empty() &&
+      replay_cursor_ < replay_->events.size()) {
+    const TraceEventRecord& want = replay_->events[replay_cursor_];
+    if (want.at != at || want.label != label) {
+      replay_divergence_ =
+          "replay diverged at event " + std::to_string(replay_cursor_) +
+          ": recorded (t=" + std::to_string(want.at) + ", \"" + want.label +
+          "\") vs executed (t=" + std::to_string(at) + ", \"" + label + "\")";
+    }
+    ++replay_cursor_;
+  }
+}
+
 bool Simulator::Step() {
   while (!queue_.empty()) {
     Event ev = PopEvent();
@@ -50,6 +71,7 @@ bool Simulator::Step() {
     assert(ev.time >= now_);
     now_ = ev.time;
     ++executed_;
+    ObserveExecuted(ev.time, ev.label);
     ev.fn();
     if (inspector_ && executed_ % inspect_every_ == 0) inspector_();
     return true;

@@ -9,11 +9,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "src/common/random.h"
 #include "src/common/types.h"
+#include "src/sim/trace.h"
 
 namespace aurora::sim {
 
@@ -34,11 +36,15 @@ class Simulator {
 
   SimTime Now() const { return now_; }
 
-  /// Schedules `fn` to run at Now() + delay (delay >= 0).
-  EventId Schedule(SimDuration delay, std::function<void()> fn);
+  /// Schedules `fn` to run at Now() + delay (delay >= 0). `label` names the
+  /// schedule site in captured traces (must be a string literal or outlive
+  /// the event); unlabeled events trace as "".
+  EventId Schedule(SimDuration delay, std::function<void()> fn,
+                   const char* label = "");
 
   /// Schedules at an absolute virtual time (>= Now()).
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  EventId ScheduleAt(SimTime when, std::function<void()> fn,
+                     const char* label = "");
 
   /// Best-effort cancellation; a no-op if already fired or unknown.
   void Cancel(EventId id);
@@ -60,6 +66,45 @@ class Simulator {
   size_t PendingEvents() const { return live_.size(); }
   uint64_t ExecutedEvents() const { return executed_; }
 
+  /// Running FNV-1a digest over every executed event (time + label), in
+  /// execution order. Two runs with equal fingerprints executed the same
+  /// event schedule; see Trace::MixFingerprint. Always maintained (one
+  /// short hash per event), so any pair of runs can be compared after the
+  /// fact without having armed anything up front.
+  uint64_t ScheduleFingerprint() const { return fingerprint_; }
+
+  // -- Trace capture & replay verification (src/sim/trace.h) --------------
+  //
+  // StartTrace appends every subsequently executed event to `out`;
+  // BeginReplayCheck verifies each executed event against a previously
+  // captured trace instead. A trace never drives execution — closures are
+  // not serializable — the caller re-runs the same seeded scenario and the
+  // simulator proves the schedules identical (or reports the first
+  // divergence). Recording and replay-checking may be active together
+  // (e.g. re-capturing while verifying).
+
+  /// Starts appending executed events to `out` (not owned; must outlive
+  /// recording). Passing nullptr stops recording.
+  void StartTrace(Trace* out) { trace_out_ = out; }
+  void StopTrace() { trace_out_ = nullptr; }
+
+  /// Starts verifying executed events against `trace` (not owned). Each
+  /// executed event is compared to the next recorded one; the first
+  /// mismatch (or running past the recorded stream) is captured once.
+  void BeginReplayCheck(const Trace* trace) {
+    replay_ = trace;
+    replay_cursor_ = 0;
+    replay_divergence_.clear();
+  }
+  void EndReplayCheck() { replay_ = nullptr; }
+
+  /// True once a replay check saw a mismatch. Events beyond the recorded
+  /// stream's end are NOT a divergence (the capturing run may have stopped
+  /// mid-scenario); a shorter replay shows up as fingerprint inequality.
+  bool ReplayDiverged() const { return !replay_divergence_.empty(); }
+  /// Human-readable first divergence ("" while none).
+  const std::string& ReplayDivergence() const { return replay_divergence_; }
+
   /// Root generator; actors fork children from it for independent streams.
   Rng& rng() { return rng_; }
 
@@ -79,6 +124,7 @@ class Simulator {
     SimTime time;
     uint64_t seq;  // FIFO tie-break for equal timestamps
     EventId id;
+    const char* label;  // trace label; string literal, never owned
     std::function<void()> fn;
   };
   struct EventGreater {
@@ -106,6 +152,15 @@ class Simulator {
   Rng rng_;
   uint64_t inspect_every_ = 1;
   std::function<void()> inspector_;
+
+  uint64_t fingerprint_ = 0;
+  Trace* trace_out_ = nullptr;
+  const Trace* replay_ = nullptr;
+  size_t replay_cursor_ = 0;
+  std::string replay_divergence_;
+
+  /// Trace/verify one executed event (called from Step before `fn` runs).
+  void ObserveExecuted(SimTime at, const char* label);
 };
 
 }  // namespace aurora::sim

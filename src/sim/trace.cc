@@ -1,0 +1,289 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+#include <string>
+
+namespace aurora::sim {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMixByte(uint64_t h, uint8_t b) { return (h ^ b) * kFnvPrime; }
+
+uint64_t FnvMixU64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = FnvMixByte(h, static_cast<uint8_t>(v >> (8 * i)));
+  }
+  return h;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+/// Locates the raw value token following `"key":` in a single JSON line.
+/// Returns the [begin, end) range of the token (string tokens include the
+/// quotes). Flat single-line records only — all this file ever emits.
+bool FindValueToken(const std::string& line, const char* key, size_t* begin,
+                    size_t* end) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  size_t i = at + needle.size();
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i >= line.size()) return false;
+  *begin = i;
+  if (line[i] == '"') {
+    ++i;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') ++i;
+      ++i;
+    }
+    if (i >= line.size()) return false;
+    *end = i + 1;
+    return true;
+  }
+  if (line[i] == '[') {
+    const size_t close = line.find(']', i);
+    if (close == std::string::npos) return false;
+    *end = close + 1;
+    return true;
+  }
+  while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+  *end = i;
+  return *end > *begin;
+}
+
+bool GetString(const std::string& line, const char* key, std::string* out) {
+  size_t begin = 0, end = 0;
+  if (!FindValueToken(line, key, &begin, &end)) return false;
+  if (line[begin] != '"' || end - begin < 2) return false;
+  out->clear();
+  for (size_t i = begin + 1; i + 1 < end; ++i) {
+    if (line[i] == '\\' && i + 2 < end) ++i;
+    out->push_back(line[i]);
+  }
+  return true;
+}
+
+bool GetUint(const std::string& line, const char* key, uint64_t* out) {
+  size_t begin = 0, end = 0;
+  if (!FindValueToken(line, key, &begin, &end)) return false;
+  *out = std::stoull(line.substr(begin, end - begin));
+  return true;
+}
+
+bool GetInt(const std::string& line, const char* key, int64_t* out) {
+  size_t begin = 0, end = 0;
+  if (!FindValueToken(line, key, &begin, &end)) return false;
+  *out = std::stoll(line.substr(begin, end - begin));
+  return true;
+}
+
+bool GetIntArray(const std::string& line, const char* key,
+                 std::vector<int64_t>* out) {
+  size_t begin = 0, end = 0;
+  if (!FindValueToken(line, key, &begin, &end)) return false;
+  if (line[begin] != '[') return false;
+  out->clear();
+  size_t i = begin + 1;
+  while (i < end - 1) {
+    size_t consumed = 0;
+    out->push_back(std::stoll(line.substr(i, end - 1 - i), &consumed));
+    i += consumed;
+    while (i < end - 1 && (line[i] == ',' || line[i] == ' ')) ++i;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t Trace::EventDigest(SimTime at, const char* label) {
+  uint64_t h = FnvMixU64(kFnvOffset, static_cast<uint64_t>(at));
+  for (const char* p = label; p != nullptr && *p != '\0'; ++p) {
+    h = FnvMixByte(h, static_cast<uint8_t>(*p));
+  }
+  return h;
+}
+
+uint64_t Trace::MixFingerprint(uint64_t fingerprint, uint64_t digest) {
+  return FnvMixU64(fingerprint == 0 ? kFnvOffset : fingerprint, digest);
+}
+
+void Trace::Clear() {
+  seed = 0;
+  scenario.clear();
+  ops.clear();
+  decisions.clear();
+  events.clear();
+  summary = Summary{};
+}
+
+std::string Trace::Serialize() const {
+  std::string out;
+  // Rough pre-size: ~72 bytes per event line dominates.
+  out.reserve(256 + ops.size() * 96 + decisions.size() * 96 +
+              events.size() * 80);
+  out += "{\"kind\":\"header\",\"version\":" +
+         std::to_string(kTraceFormatVersion) +
+         ",\"seed\":" + std::to_string(seed) + ",\"scenario\":";
+  AppendEscaped(&out, scenario);
+  out += ",\"ops\":" + std::to_string(ops.size()) +
+         ",\"decisions\":" + std::to_string(decisions.size()) +
+         ",\"events\":" + std::to_string(events.size()) + "}\n";
+  for (const FaultOp& op : ops) {
+    out += "{\"kind\":\"op\",\"op\":";
+    AppendEscaped(&out, op.kind);
+    out += ",\"args\":[";
+    for (size_t i = 0; i < op.args.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(op.args[i]);
+    }
+    out += "],\"advance_us\":" + std::to_string(op.advance_us) + "}\n";
+  }
+  for (const InjectorDecision& d : decisions) {
+    out += "{\"kind\":\"decision\",\"what\":";
+    AppendEscaped(&out, d.kind);
+    out += ",\"subject\":" + std::to_string(d.subject) +
+           ",\"value_us\":" + std::to_string(d.value_us) + "}\n";
+  }
+  uint64_t index = 0;
+  for (const TraceEventRecord& ev : events) {
+    out += "{\"kind\":\"event\",\"i\":" + std::to_string(index++) +
+           ",\"at_us\":" + std::to_string(ev.at) + ",\"label\":";
+    AppendEscaped(&out, ev.label);
+    out += ",\"digest\":" + std::to_string(ev.digest) + "}\n";
+  }
+  if (summary.present) {
+    out += "{\"kind\":\"summary\",\"fingerprint\":" +
+           std::to_string(summary.fingerprint) +
+           ",\"vcl\":" + std::to_string(summary.vcl) +
+           ",\"vdl\":" + std::to_string(summary.vdl) +
+           ",\"events\":" + std::to_string(summary.executed_events) +
+           ",\"end_us\":" + std::to_string(summary.end_time) + "}\n";
+  }
+  return out;
+}
+
+Result<Trace> Trace::Parse(const std::string& text) {
+  Trace trace;
+  bool saw_header = false;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    std::string kind;
+    if (!GetString(line, "kind", &kind)) {
+      return Status::Corruption("trace line " + std::to_string(line_no) +
+                                ": missing \"kind\"");
+    }
+    if (kind == "header") {
+      uint64_t version = 0;
+      if (!GetUint(line, "version", &version) ||
+          version != kTraceFormatVersion) {
+        return Status::NotSupported(
+            "trace version " + std::to_string(version) + " (this build reads " +
+            std::to_string(kTraceFormatVersion) + ")");
+      }
+      if (!GetUint(line, "seed", &trace.seed) ||
+          !GetString(line, "scenario", &trace.scenario)) {
+        return Status::Corruption("trace header: missing seed/scenario");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) {
+      return Status::Corruption("trace line " + std::to_string(line_no) +
+                                ": record before header");
+    }
+    if (kind == "op") {
+      FaultOp op;
+      int64_t advance = 0;
+      if (!GetString(line, "op", &op.kind) ||
+          !GetIntArray(line, "args", &op.args) ||
+          !GetInt(line, "advance_us", &advance)) {
+        return Status::Corruption("trace line " + std::to_string(line_no) +
+                                  ": malformed op record");
+      }
+      op.advance_us = advance;
+      trace.ops.push_back(std::move(op));
+    } else if (kind == "decision") {
+      InjectorDecision d;
+      if (!GetString(line, "what", &d.kind) ||
+          !GetUint(line, "subject", &d.subject) ||
+          !GetInt(line, "value_us", &d.value_us)) {
+        return Status::Corruption("trace line " + std::to_string(line_no) +
+                                  ": malformed decision record");
+      }
+      trace.decisions.push_back(std::move(d));
+    } else if (kind == "event") {
+      TraceEventRecord ev;
+      int64_t at = 0;
+      if (!GetInt(line, "at_us", &at) ||
+          !GetString(line, "label", &ev.label) ||
+          !GetUint(line, "digest", &ev.digest)) {
+        return Status::Corruption("trace line " + std::to_string(line_no) +
+                                  ": malformed event record");
+      }
+      ev.at = at;
+      if (ev.digest != EventDigest(ev.at, ev.label.c_str())) {
+        return Status::Corruption("trace line " + std::to_string(line_no) +
+                                  ": event digest mismatch (edited trace?)");
+      }
+      trace.events.push_back(std::move(ev));
+    } else if (kind == "summary") {
+      int64_t end_us = 0;
+      if (!GetUint(line, "fingerprint", &trace.summary.fingerprint) ||
+          !GetUint(line, "vcl", &trace.summary.vcl) ||
+          !GetUint(line, "vdl", &trace.summary.vdl) ||
+          !GetUint(line, "events", &trace.summary.executed_events) ||
+          !GetInt(line, "end_us", &end_us)) {
+        return Status::Corruption("trace line " + std::to_string(line_no) +
+                                  ": malformed summary record");
+      }
+      trace.summary.end_time = end_us;
+      trace.summary.present = true;
+    } else {
+      return Status::NotSupported("trace line " + std::to_string(line_no) +
+                                  ": unknown record kind \"" + kind + "\"");
+    }
+  }
+  if (!saw_header) return Status::Corruption("trace has no header line");
+  return trace;
+}
+
+Status Trace::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  const std::string body = Serialize();
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Result<Trace> Trace::ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string body;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  return Parse(body);
+}
+
+}  // namespace aurora::sim

@@ -1,0 +1,117 @@
+// Deterministic execution traces: capture, serialization, and replay
+// verification.
+//
+// The simulator is deterministic — a seed fully determines an execution —
+// but a seed alone is a poor debugging artifact: replaying a 50-seed chaos
+// sweep to chase one invariant violation means wading through thousands of
+// irrelevant events. A Trace turns one execution into data. It records
+//
+//   * every executed simulator event (ordinal, virtual timestamp, label,
+//     payload digest),
+//   * every stochastic decision the FailureInjector made (so a replay can
+//     consume the recorded decisions instead of re-rolling its RNG),
+//   * the fault-op schedule that drove the run (for the chaos harness),
+//   * a summary fingerprint (schedule hash, consistency points) that a
+//     replay must reproduce bit-identically.
+//
+// The on-disk format is versioned JSON-lines (one record per line, first
+// line is the header); see DESIGN.md §6 for the full schema. Replay
+// semantics: a trace does not *drive* re-execution — closures are not
+// serializable — it *verifies* one. The capturing harness re-runs the same
+// seeded scenario, the simulator checks each executed event against the
+// recorded stream, and the first divergence is reported with both sides.
+// `tools/aurora_shrink` builds on this to delta-debug failing schedules
+// down to minimal reproducers (src/sim/shrink.h).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace aurora::sim {
+
+/// Bump when the record schema changes; Trace::Parse rejects mismatches
+/// rather than misinterpreting old captures.
+inline constexpr uint32_t kTraceFormatVersion = 1;
+
+/// One executed simulator event, in execution order.
+struct TraceEventRecord {
+  SimTime at = 0;       ///< virtual time the event fired
+  std::string label;    ///< schedule-site label ("" for unlabeled sites)
+  uint64_t digest = 0;  ///< FNV-1a over (at, label); diffable per line
+
+  bool operator==(const TraceEventRecord&) const = default;
+};
+
+/// One stochastic choice made by the FailureInjector, in draw order. A
+/// replaying injector consumes these instead of its RNG (same values, RNG
+/// untouched), so the background failure process re-executes exactly.
+struct InjectorDecision {
+  std::string kind;     ///< "node_fail_delay" | "node_repair_delay" | "az_fail_delay"
+  uint64_t subject = 0; ///< node or AZ the draw applies to
+  int64_t value_us = 0; ///< the drawn duration
+
+  bool operator==(const InjectorDecision&) const = default;
+};
+
+/// One fault-schedule operation, kind as an opaque slug plus integer
+/// arguments. The trace layer stores these without interpreting them; the
+/// chaos harness (src/core/chaos_harness.h) owns the vocabulary.
+struct FaultOp {
+  std::string kind;
+  std::vector<int64_t> args;
+  SimDuration advance_us = 0;  ///< virtual time advanced after the op
+
+  bool operator==(const FaultOp&) const = default;
+};
+
+/// A captured execution. Plain data; the Simulator, FailureInjector, and
+/// chaos harness fill it in during a recording run and read it back during
+/// a replay run.
+class Trace {
+ public:
+  /// Header.
+  uint64_t seed = 0;
+  std::string scenario;  ///< free-form, e.g. "chaos", "injector"
+
+  std::vector<FaultOp> ops;
+  std::vector<InjectorDecision> decisions;
+  std::vector<TraceEventRecord> events;
+
+  /// End-of-run digest the replay must match. `present` distinguishes a
+  /// capture that finished from one that was cut short.
+  struct Summary {
+    bool present = false;
+    uint64_t fingerprint = 0;  ///< Simulator::ScheduleFingerprint() at end
+    Lsn vcl = kInvalidLsn;
+    Lsn vdl = kInvalidLsn;
+    uint64_t executed_events = 0;
+    SimTime end_time = 0;
+  };
+  Summary summary;
+
+  /// Digest of one event; also the unit the running fingerprint mixes in.
+  static uint64_t EventDigest(SimTime at, const char* label);
+  /// Accumulates one event digest into a running schedule fingerprint.
+  static uint64_t MixFingerprint(uint64_t fingerprint, uint64_t digest);
+
+  void Clear();
+
+  /// Renders the whole trace as versioned JSON-lines (header first, then
+  /// ops, decisions, events, summary).
+  std::string Serialize() const;
+
+  /// Parses Serialize() output. Fails on a version mismatch, a malformed
+  /// line, or a record kind this build does not know.
+  static Result<Trace> Parse(const std::string& text);
+
+  /// File convenience wrappers around Serialize/Parse.
+  Status WriteFile(const std::string& path) const;
+  static Result<Trace> ReadFile(const std::string& path);
+};
+
+}  // namespace aurora::sim

@@ -137,6 +137,11 @@ struct GossipRequest {
 struct GossipResponse {
   Status status;
   std::vector<log::RedoRecord> records;
+  /// The responder's SCL. An empty `records` with `peer_scl` above the
+  /// requester's SCL means the peer is ahead but its hot log no longer
+  /// holds the requester's chain continuation (coalesced and GC'd) — the
+  /// requester must escalate to the archive tier to catch up.
+  Lsn peer_scl = kInvalidLsn;
 
   uint64_t SerializedSize() const {
     uint64_t bytes = kMessageOverheadBytes;

@@ -144,6 +144,7 @@ void StorageNode::HandleGossip(const GossipRequest& request,
   GossipResponse response;
   response.status = Status::OK();
   response.records = segment->ChainAfter(request.scl, options_.gossip_batch);
+  response.peer_scl = segment->scl();
   reply(std::move(response));
 }
 
@@ -244,9 +245,37 @@ void StorageNode::GossipSegment(SegmentStore* segment) {
       [this, local_id](GossipResponse response) {
         if (!response.status.ok()) return;
         SegmentStore* local = FindSegment(local_id);
-        if (local != nullptr && !response.records.empty()) {
+        if (local == nullptr) return;
+        if (!response.records.empty()) {
+          gossip_behind_rounds_.erase(local_id);
           (void)local->AbsorbGossip(response.records);
+          return;
         }
+        if (response.peer_scl == kInvalidLsn ||
+            local->scl() >= response.peer_scl) {
+          gossip_behind_rounds_.erase(local_id);
+          return;
+        }
+        // The peer is ahead but returned nothing linkable: its hot log was
+        // coalesced and GC'd below our SCL, so no peer can serve the chain
+        // continuation. This happens to a hydrated segment that missed
+        // writes (partition/crash) whose peers have since trimmed — e.g. a
+        // minority-completed tail adopted by crash recovery. Two
+        // consecutive behind-and-empty rounds escalate to the archive
+        // tier, the same fallback hydration uses.
+        if (++gossip_behind_rounds_[local_id] < 2 ||
+            object_store_ == nullptr) {
+          return;
+        }
+        gossip_behind_rounds_.erase(local_id);
+        object_store_->Get(
+            local->pg(), local->scl() + 1, std::numeric_limits<Lsn>::max(),
+            [this, local_id](std::vector<log::RedoRecord> records) {
+              SegmentStore* s = FindSegment(local_id);
+              if (s != nullptr && !records.empty()) {
+                (void)s->AbsorbGossip(records);
+              }
+            });
       });
 }
 

@@ -126,6 +126,11 @@ class StorageNode : public sim::NodeLifecycleListener {
   NodeResolver resolver_;
   std::map<SegmentId, std::unique_ptr<SegmentStore>> segments_;
   std::map<SegmentId, uint64_t> hydration_tokens_;
+  /// Consecutive gossip rounds in which a peer was ahead of the local
+  /// segment but had nothing linkable to send (its hot log was coalesced
+  /// and GC'd below our SCL). Two such rounds escalate the catch-up to the
+  /// archive tier; any productive or caught-up round resets the count.
+  std::map<SegmentId, int> gossip_behind_rounds_;
   bool background_started_ = false;
 };
 

@@ -1,29 +1,32 @@
 // Chaos testing under the invariant auditor.
 //
-// Each seed builds a fresh cluster, attaches the auditor at EVERY simulator
-// event, and runs a randomized failure schedule — storage-node crashes,
-// writer-storage partitions, scrub corruption, AZ failure, writer crash +
-// recovery, and membership replacements — interleaved with transactional
-// writes. At the end the schedule heals, the cluster drains, and the test
-// asserts (a) zero invariant violations across the whole run and (b) the
-// durability contract: no key ever reads back OLDER state than its last
-// acknowledged commit (§2.3/§2.4 — recovery never loses an acked commit).
+// Each seed generates a deterministic failure schedule (storage-node
+// crashes, writer-storage partitions, scrub corruption, AZ failure, writer
+// crash + recovery, and membership replacements, interleaved with
+// transactional writes) and executes it through the chaos harness
+// (src/core/chaos_harness.h) with the auditor attached at EVERY simulator
+// event and the run captured as a trace. At the end the schedule heals,
+// the cluster drains, and the harness checks (a) zero invariant violations
+// across the whole run and (b) the durability contract: no key ever reads
+// back OLDER state than its last acknowledged commit (§2.3/§2.4 — recovery
+// never loses an acked commit).
 //
-// On failure the seed is printed via SCOPED_TRACE and the auditor report
-// embeds a cluster snapshot; re-running the same seed reproduces the exact
-// execution (the simulation is deterministic).
+// When a run DOES trip an invariant, the test does not just fail: it
+// writes the captured trace next to the binary, delta-debugs the schedule
+// down to a minimal reproducer (src/sim/shrink.h), and prints the
+// minimized human-readable timeline — the artifact to debug, instead of a
+// 30-op haystack. `tools/aurora_shrink <trace>` re-runs the same
+// minimization offline.
 
 #include <gtest/gtest.h>
 
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
-#include <vector>
 
-#include "src/common/random.h"
+#include "src/core/chaos_harness.h"
 #include "src/core/cluster.h"
 #include "src/core/invariant_auditor.h"
+#include "src/sim/trace.h"
 
 namespace aurora {
 namespace {
@@ -38,223 +41,75 @@ core::AuroraOptions ChaosOptions(uint64_t seed) {
   return options;
 }
 
-// Extracts the global write sequence from a value "v<seq>".
-uint64_t SeqOf(const std::string& value) {
-  return std::stoull(value.substr(1));
-}
-
-class ChaosRun {
- public:
-  explicit ChaosRun(uint64_t seed)
-      : seed_(seed), rng_(seed * 7919 + 13), cluster_(ChaosOptions(seed)) {}
-
-  void Run(int ops) {
-    ASSERT_TRUE(cluster_.StartBlocking().ok());
-    auditor_ = std::make_unique<core::InvariantAuditor>(&cluster_);
-    auditor_->Attach(/*every_n_events=*/1);
-
-    for (int i = 0; i < ops; ++i) {
-      const uint64_t dice = rng_.NextBounded(100);
-      if (dice < 50) {
-        DoPut();
-      } else if (dice < 62) {
-        DoCrashOrRestartStorageNode();
-      } else if (dice < 72) {
-        DoTogglePartition();
-      } else if (dice < 80) {
-        DoCorruptRecord();
-      } else if (dice < 88) {
-        DoWriterCrashRecover();
-      } else if (dice < 94) {
-        DoReplaceSegment();
-      } else {
-        DoAzBlip();
-      }
-      cluster_.RunFor(rng_.NextBounded(20) * kMillisecond);
-    }
-
-    HealEverything();
-    if (writer() != nullptr && !writer()->IsOpen()) {
-      ASSERT_TRUE(cluster_.RecoverWriterBlocking().ok());
-    }
-    cluster_.RunFor(2 * kSecond);  // drain gossip, scrub, retransmissions
-
-    // Durability contract: every key reads back at or after its last
-    // acknowledged write, and with a value actually written to it.
-    for (const auto& [key, acked_seq] : last_acked_) {
-      auto value = cluster_.GetBlocking(key);
-      ASSERT_TRUE(value.ok()) << "acked key " << key << " unreadable: "
-                              << value.status().ToString();
-      const uint64_t seq = SeqOf(*value);
-      EXPECT_TRUE(written_[key].contains(seq))
-          << key << " holds " << *value << ", never written to it";
-      EXPECT_GE(seq, acked_seq)
-          << key << " regressed below its last acked write";
-    }
-
-    auditor_->CheckNow();
-    EXPECT_TRUE(auditor_->ok()) << auditor_->Report();
-    auditor_->Detach();
-  }
-
- private:
-  engine::DbInstance* writer() { return cluster_.writer(); }
-
-  void DoPut() {
-    if (writer() == nullptr || !writer()->IsOpen()) return;
-    const std::string key = "k" + std::to_string(rng_.NextBounded(48));
-    const uint64_t seq = ++next_seq_;
-    const std::string value = "v" + std::to_string(seq);
-    written_[key].insert(seq);
-
-    const TxnId txn = writer()->Begin();
-    auto put_state = std::make_shared<int>(0);  // 0 pending, 1 ok, -1 fail
-    writer()->Put(txn, key, value, [put_state](Status st) {
-      *put_state = st.ok() ? 1 : -1;
-    });
-    cluster_.RunUntil([&]() { return *put_state != 0; }, 500 * kMillisecond);
-    if (*put_state != 1) {
-      // Timed out (quorum down) or aborted: fire-and-forget rollback so
-      // the locks drain; the txn was never acknowledged.
-      if (writer() != nullptr && writer()->IsOpen()) {
-        writer()->Rollback(txn, [](Status) {});
-      }
-      return;
-    }
-    auto commit_state = std::make_shared<int>(0);
-    // The commit callback may fire long after this op returns (e.g. once
-    // a partition heals); record the ack whenever it lands.
-    writer()->Commit(txn, [this, key, seq, commit_state](Status st) {
-      *commit_state = st.ok() ? 1 : -1;
-      if (st.ok() && seq > last_acked_[key]) last_acked_[key] = seq;
-    });
-    cluster_.RunUntil([&]() { return *commit_state != 0; },
-                      500 * kMillisecond);
-  }
-
-  void DoCrashOrRestartStorageNode() {
-    const auto ids = cluster_.StorageNodeIds();
-    if (!crashed_.empty() && rng_.Bernoulli(0.5)) {
-      const NodeId id = *crashed_.begin();
-      cluster_.network().Restart(id);
-      crashed_.erase(id);
-      return;
-    }
-    if (crashed_.size() >= 2) return;  // keep quorums winnable
-    const NodeId id = ids[rng_.NextBounded(ids.size())];
-    if (crashed_.contains(id)) return;
-    cluster_.network().Crash(id);
-    crashed_.insert(id);
-  }
-
-  void DoTogglePartition() {
-    if (writer() == nullptr) return;
-    const auto ids = cluster_.StorageNodeIds();
-    const NodeId node = ids[rng_.NextBounded(ids.size())];
-    const auto pair = std::make_pair(writer()->id(), node);
-    const bool blocked = !partitions_.contains(pair);
-    cluster_.network().Partition(pair.first, pair.second, blocked);
-    if (blocked) {
-      partitions_.insert(pair);
-    } else {
-      partitions_.erase(pair);
-    }
-  }
-
-  void DoCorruptRecord() {
-    // Corrupt one stored record on one segment; the periodic scrub will
-    // drop it and gossip will re-fill it from peers (§2.1 activity 8).
-    std::vector<storage::SegmentStore*> stores;
-    cluster_.ForEachSegment(
-        [&stores](storage::StorageNode*, storage::SegmentStore* segment) {
-          stores.push_back(segment);
-        });
-    if (stores.empty()) return;
-    storage::SegmentStore* victim = stores[rng_.NextBounded(stores.size())];
-    const auto records = victim->hot_log().ChainAfter(kInvalidLsn, 16);
-    if (records.empty()) return;
-    victim->CorruptRecordForTest(
-        records[rng_.NextBounded(records.size())].lsn);
-  }
-
-  void DoWriterCrashRecover() {
-    if (writer() == nullptr || !writer()->IsOpen()) return;
-    cluster_.CrashWriter();
-    cluster_.RunFor(10 * kMillisecond);
-    // Recovery needs read quorums everywhere: heal the fleet first.
-    HealEverything();
-    ASSERT_TRUE(cluster_.RecoverWriterBlocking().ok());
-  }
-
-  void DoReplaceSegment() {
-    // Membership changes only from a calm fleet; racing them against
-    // partitions is exercised by membership_test with tighter control.
-    if (!crashed_.empty() || !partitions_.empty()) return;
-    if (writer() == nullptr || !writer()->IsOpen()) return;
-    const auto& pgs = cluster_.geometry().pgs();
-    const auto& pg = pgs[rng_.NextBounded(pgs.size())];
-    if (pg.HasPendingChange()) return;
-    const auto members = pg.AllMembers();
-    const SegmentId victim = members[rng_.NextBounded(members.size())].id;
-    // May legitimately fail (e.g. hydration still catching up); invariants
-    // must hold either way.
-    (void)cluster_.ReplaceSegmentBlocking(victim);
-  }
-
-  void DoAzBlip() {
-    const auto azs = cluster_.AzIds();
-    const AzId az = azs[rng_.NextBounded(azs.size())];
-    cluster_.network().FailAz(az);
-    cluster_.RunFor((1 + rng_.NextBounded(50)) * kMillisecond);
-    cluster_.network().RestoreAz(az);
-    // RestoreAz restarts every node in the AZ, including ones we crashed
-    // individually.
-    for (auto it = crashed_.begin(); it != crashed_.end();) {
-      if (cluster_.network().AzOf(*it) == az) {
-        it = crashed_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    // The writer lives in an AZ too; if the blip took it down, bring it
-    // back through crash recovery (its ephemeral state is gone).
-    if (writer() != nullptr && !writer()->IsOpen()) {
-      HealEverything();
-      ASSERT_TRUE(cluster_.RecoverWriterBlocking().ok());
-    }
-  }
-
-  void HealEverything() {
-    for (const auto& [a, b] : partitions_) {
-      cluster_.network().Partition(a, b, false);
-    }
-    partitions_.clear();
-    for (NodeId id : crashed_) cluster_.network().Restart(id);
-    crashed_.clear();
-  }
-
-  uint64_t seed_;
-  Rng rng_;
-  core::AuroraCluster cluster_;
-  std::unique_ptr<core::InvariantAuditor> auditor_;
-
-  uint64_t next_seq_ = 0;
-  std::map<std::string, std::set<uint64_t>> written_;
-  std::map<std::string, uint64_t> last_acked_;
-  std::set<NodeId> crashed_;
-  std::set<std::pair<NodeId, NodeId>> partitions_;
-};
-
 TEST(ChaosAudit, RandomizedFailureSchedules) {
   constexpr uint64_t kSeeds = 50;
   constexpr int kOpsPerSeed = 30;
   for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
     SCOPED_TRACE("chaos seed " + std::to_string(seed) +
                  " (re-run with this seed to reproduce)");
-    ChaosRun run(seed);
-    run.Run(kOpsPerSeed);
-    if (::testing::Test::HasFatalFailure()) return;
+    const core::ChaosSchedule schedule =
+        core::GenerateChaosSchedule(seed, kOpsPerSeed);
+
+    sim::Trace trace;
+    core::ChaosRunOptions options;
+    options.record = &trace;
+    const core::ChaosRunResult result =
+        core::RunChaosSchedule(schedule, options);
+
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    for (const std::string& error : result.errors) {
+      ADD_FAILURE() << "durability contract: " << error;
+    }
+    if (result.violations.empty()) continue;
+
+    // Violation: auto-capture the trace, shrink the schedule, and print
+    // the minimized timeline as the failure artifact.
+    const std::string trace_path =
+        "chaos_seed_" + std::to_string(seed) + ".trace.jsonl";
+    const Status write_status = trace.WriteFile(trace_path);
+    const std::string invariant = result.violations.front().invariant;
+    std::string report = "invariant \"" + invariant + "\" violated: " +
+                         result.violations.front().detail;
+    if (write_status.ok()) {
+      report += "\ntrace captured to " + trace_path +
+                " (replay/minimize with tools/aurora_shrink)";
+    }
+    auto shrunk = core::ShrinkChaosViolation(schedule, invariant);
+    if (shrunk.ok()) {
+      report += "\nminimized " + std::to_string(shrunk->original_ops) +
+                " ops -> " + std::to_string(shrunk->minimized.ops.size()) +
+                " in " + std::to_string(shrunk->replays) + " replays:\n" +
+                shrunk->timeline;
+    } else {
+      report += "\n(shrink failed: " + shrunk.status().ToString() + ")";
+    }
+    ADD_FAILURE() << report;
+    return;
   }
+}
+
+// The captured trace of a chaos run replays bit-identically: same event
+// schedule fingerprint, same consistency points. This is the same check
+// the determinism test makes for the plain workload, extended to the full
+// fault vocabulary via the trace subsystem.
+TEST(ChaosAudit, CapturedRunReplaysBitIdentically) {
+  const core::ChaosSchedule schedule = core::GenerateChaosSchedule(17, 30);
+  sim::Trace trace;
+  core::ChaosRunOptions record;
+  record.record = &trace;
+  const core::ChaosRunResult original = core::RunChaosSchedule(schedule, record);
+  ASSERT_TRUE(original.status.ok()) << original.status.ToString();
+  ASSERT_TRUE(trace.summary.present);
+
+  core::ChaosRunOptions replay;
+  replay.replay = &trace;
+  const core::ChaosRunResult replayed = core::RunChaosSchedule(schedule, replay);
+  EXPECT_FALSE(replayed.replay_diverged) << replayed.replay_divergence;
+  EXPECT_EQ(replayed.fingerprint, trace.summary.fingerprint);
+  EXPECT_EQ(replayed.vcl, trace.summary.vcl);
+  EXPECT_EQ(replayed.vdl, trace.summary.vdl);
+  EXPECT_EQ(replayed.executed_events, trace.summary.executed_events);
+  EXPECT_EQ(replayed.end_time, trace.summary.end_time);
 }
 
 // A deliberately broken invariant must be caught, with a seed-bearing
@@ -300,7 +155,7 @@ TEST(ChaosAudit, AuditorDoesNotPerturbExecution) {
     }
     cluster.RunFor(200 * kMillisecond);
     return std::make_pair(cluster.sim().Now(),
-                          cluster.sim().ExecutedEvents());
+                          cluster.sim().ScheduleFingerprint());
   };
   EXPECT_EQ(fingerprint(false), fingerprint(true));
 }

@@ -1,0 +1,133 @@
+// Schedule shrinking: ddmin unit behavior and end-to-end convergence.
+//
+// The convergence test plants a known 2-op minimal violation (the poison
+// arm/fire pair, which forces VDL above VCL only when both execute) inside
+// a 30-op random chaos schedule and requires the shrinker to find a
+// reproducer of at most 4 ops that trips the same invariant — well under
+// the ≤25%-of-original bound the tooling promises (DESIGN.md §6).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/chaos_harness.h"
+#include "src/sim/shrink.h"
+
+namespace aurora {
+namespace {
+
+bool Contains(const std::vector<size_t>& v, size_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(DdMin, FindsTwoElementMinimalSubset) {
+  // Failure needs exactly {3, 17} out of 30.
+  sim::ShrinkStats stats;
+  const auto result = sim::DdMin(
+      30,
+      [](const std::vector<size_t>& subset) {
+        return Contains(subset, 3) && Contains(subset, 17);
+      },
+      &stats);
+  EXPECT_EQ(result, (std::vector<size_t>{3, 17}));
+  EXPECT_GT(stats.attempts, 0u);
+  EXPECT_GT(stats.reproduced, 0u);
+}
+
+TEST(DdMin, FindsSingleElement) {
+  const auto result = sim::DdMin(64, [](const std::vector<size_t>& subset) {
+    return Contains(subset, 41);
+  });
+  EXPECT_EQ(result, (std::vector<size_t>{41}));
+}
+
+TEST(DdMin, KeepsEverythingWhenAllOpsMatter) {
+  // Reproduces only with the full set: nothing can be dropped.
+  const auto result = sim::DdMin(8, [](const std::vector<size_t>& subset) {
+    return subset.size() == 8;
+  });
+  ASSERT_EQ(result.size(), 8u);
+}
+
+TEST(DdMin, ResultIsOneMinimal) {
+  // Failure: at least 3 even indices present. The result must be 1-minimal
+  // (dropping any single element stops reproducing), i.e. exactly 3 evens.
+  auto reproduces = [](const std::vector<size_t>& subset) {
+    size_t evens = 0;
+    for (size_t i : subset) evens += (i % 2 == 0) ? 1 : 0;
+    return evens >= 3;
+  };
+  const auto result = sim::DdMin(20, reproduces);
+  EXPECT_EQ(result.size(), 3u);
+  for (size_t kept : result) EXPECT_EQ(kept % 2, 0u);
+}
+
+TEST(TightenValues, ShrinksSlackGreedily) {
+  // Reproduces while v[1] >= 10; v[0] is pure slack.
+  const auto result = sim::TightenValues(
+      {10, 20},
+      [](const std::vector<int64_t>& v) { return v[1] >= 10; });
+  EXPECT_EQ(result, (std::vector<int64_t>{0, 10}));
+}
+
+TEST(TightenValues, LeavesTightValuesAlone) {
+  const auto result = sim::TightenValues(
+      {4, 6}, [](const std::vector<int64_t>& v) { return v[0] >= 4 && v[1] >= 6; });
+  EXPECT_EQ(result, (std::vector<int64_t>{4, 6}));
+}
+
+// End-to-end: a 2-op bug hidden in a 30-op schedule converges to a tiny
+// reproducer preserving the same invariant.
+TEST(ShrinkChaos, ConvergesOnPlantedMinimalViolation) {
+  core::ChaosSchedule schedule = core::GenerateChaosSchedule(5, 30);
+  ASSERT_EQ(schedule.ops.size(), 30u);
+  // Plant the pair: arm early, fire late, with the 26 other random ops
+  // (and both halves of the split) as noise around and between them.
+  schedule.ops[6].kind = core::ChaosOpKind::kPoisonVdlArm;
+  schedule.ops[22].kind = core::ChaosOpKind::kPoisonVdlFire;
+
+  // The planted pair actually trips the auditor.
+  core::ChaosRunOptions options;
+  options.check_durability = false;
+  const core::ChaosRunResult full = core::RunChaosSchedule(schedule, options);
+  ASSERT_FALSE(full.violations.empty());
+  const std::string invariant = full.violations.front().invariant;
+  EXPECT_EQ(invariant, "vdl-le-vcl");
+
+  auto shrunk = core::ShrinkChaosViolation(schedule, invariant);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+  EXPECT_EQ(shrunk->original_ops, 30u);
+  EXPECT_LE(shrunk->minimized.ops.size(), 4u);
+  EXPECT_GT(shrunk->replays, 1u);
+  EXPECT_FALSE(shrunk->timeline.empty());
+
+  // The minimized schedule still trips the SAME invariant, and contains
+  // the planted pair in order.
+  const core::ChaosRunResult minimal =
+      core::RunChaosSchedule(shrunk->minimized, options);
+  ASSERT_FALSE(minimal.violations.empty());
+  EXPECT_EQ(minimal.violations.front().invariant, invariant);
+  size_t arm_at = SIZE_MAX, fire_at = SIZE_MAX;
+  for (size_t i = 0; i < shrunk->minimized.ops.size(); ++i) {
+    if (shrunk->minimized.ops[i].kind == core::ChaosOpKind::kPoisonVdlArm) {
+      arm_at = i;
+    }
+    if (shrunk->minimized.ops[i].kind == core::ChaosOpKind::kPoisonVdlFire) {
+      fire_at = i;
+    }
+  }
+  ASSERT_NE(arm_at, SIZE_MAX);
+  ASSERT_NE(fire_at, SIZE_MAX);
+  EXPECT_LT(arm_at, fire_at);
+}
+
+// Shrinking a healthy schedule is an error, not a zero-op "reproducer".
+TEST(ShrinkChaos, RefusesNonReproducingSchedule) {
+  const core::ChaosSchedule schedule = core::GenerateChaosSchedule(3, 10);
+  auto shrunk = core::ShrinkChaosViolation(schedule, "vdl-le-vcl");
+  EXPECT_FALSE(shrunk.ok());
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,172 @@
+// Trace capture / replay round-trip.
+//
+// The tentpole guarantee of the trace subsystem (DESIGN.md §6): a captured
+// chaos run, serialized to the JSON-lines format, parsed back, and
+// re-executed, reproduces the original execution bit-identically — same
+// event schedule fingerprint, same VCL/VDL, same event count and end time.
+// Also covered: injector decision replay (recorded stochastic draws are
+// consumed instead of the RNG), tamper detection (per-event digests), and
+// divergence detection (replaying a different schedule is flagged with
+// both sides of the first mismatch).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/chaos_harness.h"
+#include "src/sim/failure_injector.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace aurora {
+namespace {
+
+TEST(TraceReplay, ChaosRunRoundTripsBitIdentically) {
+  const core::ChaosSchedule schedule = core::GenerateChaosSchedule(7, 30);
+
+  // Capture.
+  sim::Trace captured;
+  core::ChaosRunOptions record_options;
+  record_options.record = &captured;
+  const core::ChaosRunResult original =
+      core::RunChaosSchedule(schedule, record_options);
+  ASSERT_TRUE(original.status.ok()) << original.status.ToString();
+  ASSERT_TRUE(captured.summary.present);
+  EXPECT_EQ(captured.summary.fingerprint, original.fingerprint);
+  EXPECT_GT(captured.events.size(), 0u);
+  EXPECT_EQ(captured.ops.size(), schedule.ops.size());
+
+  // Serialize -> parse: structurally identical.
+  const std::string text = captured.Serialize();
+  auto parsed = sim::Trace::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->seed, captured.seed);
+  EXPECT_EQ(parsed->scenario, "chaos");
+  EXPECT_EQ(parsed->ops, captured.ops);
+  EXPECT_EQ(parsed->decisions, captured.decisions);
+  EXPECT_EQ(parsed->events, captured.events);
+  EXPECT_EQ(parsed->summary.fingerprint, captured.summary.fingerprint);
+  EXPECT_EQ(parsed->summary.vcl, captured.summary.vcl);
+  EXPECT_EQ(parsed->summary.vdl, captured.summary.vdl);
+
+  // Rebuild the schedule from the parsed trace and replay under the
+  // event-by-event check: bit-identical.
+  auto rebuilt = core::ScheduleFromTrace(*parsed);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  ASSERT_EQ(rebuilt->ops.size(), schedule.ops.size());
+  EXPECT_EQ(rebuilt->ops, schedule.ops);
+
+  core::ChaosRunOptions replay_options;
+  replay_options.replay = &*parsed;
+  const core::ChaosRunResult replayed =
+      core::RunChaosSchedule(*rebuilt, replay_options);
+  EXPECT_FALSE(replayed.replay_diverged) << replayed.replay_divergence;
+  EXPECT_EQ(replayed.fingerprint, original.fingerprint);
+  EXPECT_EQ(replayed.vcl, original.vcl);
+  EXPECT_EQ(replayed.vdl, original.vdl);
+  EXPECT_EQ(replayed.executed_events, original.executed_events);
+  EXPECT_EQ(replayed.end_time, original.end_time);
+}
+
+TEST(TraceReplay, TamperedEventIsRejectedAtParse) {
+  sim::Trace captured;
+  core::ChaosRunOptions record_options;
+  record_options.record = &captured;
+  (void)core::RunChaosSchedule(core::GenerateChaosSchedule(11, 10),
+                               record_options);
+  ASSERT_GT(captured.events.size(), 2u);
+
+  // Flip one event's timestamp in the serialized form; the per-line digest
+  // no longer matches and Parse must refuse the trace.
+  std::string text = captured.Serialize();
+  const std::string needle =
+      "\"at_us\":" + std::to_string(captured.events[1].at);
+  const size_t pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(),
+               "\"at_us\":" + std::to_string(captured.events[1].at + 1));
+  auto parsed = sim::Trace::Parse(text);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(TraceReplay, DivergentScheduleIsDetected) {
+  sim::Trace captured;
+  core::ChaosRunOptions record_options;
+  record_options.record = &captured;
+  (void)core::RunChaosSchedule(core::GenerateChaosSchedule(7, 20),
+                               record_options);
+
+  // Replaying a *different* schedule against the capture must flag the
+  // first mismatching event (and the fingerprints must differ).
+  core::ChaosRunOptions replay_options;
+  replay_options.replay = &captured;
+  const core::ChaosRunResult other = core::RunChaosSchedule(
+      core::GenerateChaosSchedule(8, 20), replay_options);
+  EXPECT_TRUE(other.replay_diverged);
+  EXPECT_FALSE(other.replay_divergence.empty());
+  EXPECT_NE(other.fingerprint, captured.summary.fingerprint);
+}
+
+TEST(TraceReplay, InjectorReplaysRecordedDecisions) {
+  // Standalone injector process: record every stochastic draw, then replay
+  // it into a fresh simulator and require the identical event schedule.
+  auto run = [](sim::Trace* record, const sim::Trace* replay) {
+    sim::Simulator sim(99);
+    sim::NetworkOptions net_options;
+    sim::Network network(&sim, net_options);
+    for (NodeId id = 1; id <= 6; ++id) network.RegisterNode(id, (id - 1) % 3);
+    sim::FailureModel model;
+    model.node_mttf = 2 * kSecond;
+    model.node_mttr = 200 * kMillisecond;
+    model.az_mttf = 5 * kSecond;
+    sim::FailureInjector injector(&sim, &network, model);
+    if (record != nullptr) injector.RecordDecisionsTo(record);
+    if (replay != nullptr) injector.ReplayDecisionsFrom(replay);
+    injector.Start({1, 2, 3, 4, 5, 6}, {0, 1, 2});
+    sim.RunFor(30 * kSecond);
+    injector.Stop();
+    struct Outcome {
+      uint64_t fingerprint;
+      uint64_t node_failures;
+      uint64_t az_failures;
+      uint64_t mismatches;
+    };
+    return Outcome{sim.ScheduleFingerprint(), injector.node_failures(),
+                   injector.az_failures(), injector.replay_mismatches()};
+  };
+
+  sim::Trace trace;
+  const auto recorded = run(&trace, nullptr);
+  ASSERT_GT(trace.decisions.size(), 0u);
+  ASSERT_GT(recorded.node_failures, 0u);
+
+  // Round-trip the decisions through the serialized form too.
+  auto parsed = sim::Trace::Parse(trace.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->decisions, trace.decisions);
+
+  const auto replayed = run(nullptr, &*parsed);
+  EXPECT_EQ(replayed.fingerprint, recorded.fingerprint);
+  EXPECT_EQ(replayed.node_failures, recorded.node_failures);
+  EXPECT_EQ(replayed.az_failures, recorded.az_failures);
+  EXPECT_EQ(replayed.mismatches, 0u);
+}
+
+TEST(TraceReplay, ParseRejectsVersionAndGarbage) {
+  EXPECT_FALSE(sim::Trace::Parse("").ok());
+  EXPECT_FALSE(sim::Trace::Parse("not json\n").ok());
+  EXPECT_FALSE(sim::Trace::Parse(
+                   "{\"kind\":\"header\",\"version\":999,\"seed\":1,"
+                   "\"scenario\":\"x\",\"ops\":0,\"decisions\":0,"
+                   "\"events\":0}\n")
+                   .ok());
+  // An event line before the header is malformed.
+  EXPECT_FALSE(sim::Trace::Parse(
+                   "{\"kind\":\"event\",\"i\":0,\"at_us\":1,"
+                   "\"label\":\"x\",\"digest\":0}\n")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,167 @@
+// aurora_shrink: minimize a captured chaos trace to the smallest failure
+// schedule that still trips the same invariant.
+//
+// Usage:
+//   aurora_shrink <trace.jsonl> [--invariant NAME] [--out FILE]
+//   aurora_shrink --seed N [--ops M] [--out FILE]
+//
+// The first form loads a trace captured by the chaos harness (see
+// DESIGN.md §6), re-executes its schedule under the invariant auditor, and
+// — if it reproduces a violation — delta-debugs the op list down to a
+// 1-minimal reproducer, tightens the virtual-time window, and writes the
+// minimized trace (with its own captured event stream and summary) next to
+// the input. The second form generates the schedule from a seed instead,
+// for reproducing a failed `chaos_audit_test` seed without a trace file.
+//
+// Exit codes: 0 = shrunk and written, 1 = usage / I/O error,
+// 2 = the schedule does not reproduce any violation (nothing to shrink).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/chaos_harness.h"
+#include "src/sim/trace.h"
+
+namespace {
+
+using aurora::core::ChaosRunOptions;
+using aurora::core::ChaosRunResult;
+using aurora::core::ChaosSchedule;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.jsonl> [--invariant NAME] [--out FILE]\n"
+               "       %s --seed N [--ops M] [--out FILE]\n",
+               argv0, argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string out_path;
+  std::string invariant;
+  uint64_t seed = 0;
+  bool have_seed = false;
+  int num_ops = 30;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--invariant" && i + 1 < argc) {
+      invariant = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+      have_seed = true;
+    } else if (arg == "--ops" && i + 1 < argc) {
+      num_ops = std::atoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] != '-' && trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (trace_path.empty() == !have_seed) return Usage(argv[0]);  // exactly one
+
+  // -- Load or generate the schedule ---------------------------------------
+  ChaosSchedule schedule;
+  if (have_seed) {
+    schedule = aurora::core::GenerateChaosSchedule(seed, num_ops);
+    std::printf("generated %zu-op schedule from seed %llu\n",
+                schedule.ops.size(), static_cast<unsigned long long>(seed));
+  } else {
+    auto trace = aurora::sim::Trace::ReadFile(trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", trace_path.c_str(),
+                   trace.status().ToString().c_str());
+      return 1;
+    }
+    auto loaded = aurora::core::ScheduleFromTrace(*trace);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s is not a chaos trace: %s\n", trace_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    schedule = *loaded;
+    std::printf("loaded %zu-op schedule (seed %llu) from %s\n",
+                schedule.ops.size(),
+                static_cast<unsigned long long>(schedule.seed),
+                trace_path.c_str());
+    // If the capture recorded its event stream, verify this binary still
+    // replays it bit-identically before trusting subset replays.
+    if (!trace->events.empty()) {
+      ChaosRunOptions replay_options;
+      replay_options.replay = &*trace;
+      replay_options.check_durability = false;
+      replay_options.stop_at_first_violation = false;
+      const ChaosRunResult check =
+          aurora::core::RunChaosSchedule(schedule, replay_options);
+      if (check.replay_diverged) {
+        std::fprintf(stderr, "warning: replay diverged from capture: %s\n",
+                     check.replay_divergence.c_str());
+      } else if (trace->summary.present &&
+                 check.fingerprint != trace->summary.fingerprint) {
+        std::fprintf(stderr,
+                     "warning: schedule fingerprint %llx != captured %llx\n",
+                     static_cast<unsigned long long>(check.fingerprint),
+                     static_cast<unsigned long long>(
+                         trace->summary.fingerprint));
+      } else {
+        std::printf("replay check: bit-identical to capture (fingerprint "
+                    "%llx)\n",
+                    static_cast<unsigned long long>(check.fingerprint));
+      }
+    }
+  }
+
+  // -- Find the violation to preserve --------------------------------------
+  if (invariant.empty()) {
+    ChaosRunOptions probe;
+    probe.check_durability = false;
+    const ChaosRunResult probe_result =
+        aurora::core::RunChaosSchedule(schedule, probe);
+    if (probe_result.violations.empty()) {
+      std::printf("schedule reproduces no invariant violation; nothing to "
+                  "shrink\n");
+      return 2;
+    }
+    invariant = probe_result.violations.front().invariant;
+  }
+  std::printf("shrinking for invariant \"%s\"...\n", invariant.c_str());
+
+  // -- Shrink ---------------------------------------------------------------
+  auto shrunk = aurora::core::ShrinkChaosViolation(schedule, invariant);
+  if (!shrunk.ok()) {
+    std::fprintf(stderr, "shrink failed: %s\n",
+                 shrunk.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("minimized %zu ops -> %zu ops in %zu replays\n",
+              shrunk->original_ops, shrunk->minimized.ops.size(),
+              shrunk->replays);
+  std::printf("%s", shrunk->timeline.c_str());
+
+  // -- Write the minimized reproducer trace ---------------------------------
+  if (out_path.empty()) {
+    out_path = (trace_path.empty() ? "seed_" + std::to_string(seed)
+                                   : trace_path) +
+               ".min.jsonl";
+  }
+  aurora::sim::Trace minimized;
+  ChaosRunOptions record_options;
+  record_options.record = &minimized;
+  record_options.check_durability = false;
+  (void)aurora::core::RunChaosSchedule(shrunk->minimized, record_options);
+  const aurora::Status write_status = minimized.WriteFile(out_path);
+  if (!write_status.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                 write_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("minimized trace written to %s\n", out_path.c_str());
+  return 0;
+}
