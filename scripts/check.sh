@@ -9,6 +9,11 @@
 #   scripts/check.sh              # all three configs
 #   scripts/check.sh address      # just the asan config
 #   scripts/check.sh plain        # just the unsanitized config
+#   scripts/check.sh --campaign   # sustained-chaos campaign sweep under asan
+#
+# --campaign builds the address config and runs the self-healing campaign
+# suite (fixed seeds; see tests/chaos_campaign_test.cc) instead of the full
+# ctest matrix. Combine with configs to widen it: `--campaign undefined`.
 #
 # Build trees live under build-check/<config> so they never disturb an
 # existing ./build directory.
@@ -18,7 +23,23 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-CONFIGS=("${@:-plain address undefined}")
+
+CAMPAIGN=0
+ARGS=()
+for arg in "$@"; do
+  case "${arg}" in
+    --campaign) CAMPAIGN=1 ;;
+    *) ARGS+=("${arg}") ;;
+  esac
+done
+
+if [[ ${CAMPAIGN} -eq 1 ]]; then
+  # Sustained chaos wants the sanitizer that catches lifetime bugs in the
+  # repair/hydration callback chains; asan is the default campaign config.
+  CONFIGS=("${ARGS[@]:-address}")
+else
+  CONFIGS=("${ARGS[@]:-plain address undefined}")
+fi
 # Word-split the default string when no args were given.
 if [[ ${#CONFIGS[@]} -eq 1 && ${CONFIGS[0]} == *" "* ]]; then
   read -r -a CONFIGS <<<"${CONFIGS[0]}"
@@ -40,8 +61,14 @@ run_config() {
   cmake -B "${dir}" -S . "${cmake_args[@]}" >"${dir}.configure.log" 2>&1 ||
     { cat "${dir}.configure.log"; exit 1; }
   cmake --build "${dir}" -j "${JOBS}"
-  echo "=== [${config}] ctest ==="
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  if [[ ${CAMPAIGN} -eq 1 ]]; then
+    echo "=== [${config}] campaign sweep (sustained chaos, repair loop on) ==="
+    (cd "${dir}" && ctest --output-on-failure -R 'chaos_campaign_test')
+    echo "campaign report: ${dir}/tests/campaign_report.json"
+  else
+    echo "=== [${config}] ctest ==="
+    (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  fi
 }
 
 echo "=== docs_check ==="
@@ -51,4 +78,8 @@ mkdir -p build-check
 for config in "${CONFIGS[@]}"; do
   run_config "${config}"
 done
-echo "=== all configs green: ${CONFIGS[*]} ==="
+if [[ ${CAMPAIGN} -eq 1 ]]; then
+  echo "=== campaign green: ${CONFIGS[*]} ==="
+else
+  echo "=== all configs green: ${CONFIGS[*]} ==="
+fi

@@ -7,6 +7,8 @@
 
 #include "src/common/random.h"
 #include "src/core/cluster.h"
+#include "src/core/health_monitor.h"
+#include "src/core/repair_planner.h"
 #include "src/sim/shrink.h"
 
 namespace aurora::core {
@@ -28,6 +30,7 @@ constexpr KindName kKindNames[] = {
     {ChaosOpKind::kAzBlip, "az_blip"},
     {ChaosOpKind::kPoisonVdlArm, "poison_vdl_arm"},
     {ChaosOpKind::kPoisonVdlFire, "poison_vdl_fire"},
+    {ChaosOpKind::kFlapNode, "flap_node"},
 };
 
 const char* KindToName(ChaosOpKind kind) {
@@ -80,6 +83,23 @@ class ChaosExecutor {
     auditor_ = std::make_unique<InvariantAuditor>(&cluster_);
     auditor_->Attach(/*every_n_events=*/1);
 
+    if (options_.campaign) {
+      // The flap dwell draws go through the injector's decision stream;
+      // wire it into the trace so a captured campaign replays (and
+      // shrinks) with the exact same flap rhythm.
+      if (options_.record != nullptr) {
+        cluster_.failures().RecordDecisionsTo(options_.record);
+      }
+      if (options_.replay != nullptr) {
+        cluster_.failures().ReplayDecisionsFrom(options_.replay);
+      }
+      monitor_ = std::make_unique<HealthMonitor>(&cluster_);
+      planner_ = std::make_unique<RepairPlanner>(&cluster_, monitor_.get());
+      monitor_->Start();
+      planner_->Start();
+      auditor_->ObserveControlPlane(monitor_.get(), planner_.get());
+    }
+
     for (const ChaosOp& op : schedule_.ops) {
       Execute(op);
       if (!result_.status.ok()) break;
@@ -89,20 +109,65 @@ class ChaosExecutor {
     }
 
     const bool violated = !auditor_->ok();
+    std::vector<AuditViolation> campaign_violations;
     if (result_.status.ok() && !(violated && options_.stop_at_first_violation)) {
       HealEverything();
       if (writer() != nullptr && !writer()->IsOpen()) {
         st = cluster_.RecoverWriterBlocking();
         if (!st.ok()) result_.status = st;
       }
+      if (result_.status.ok() && options_.campaign) {
+        // A sustained campaign's pass condition: with the faults healed,
+        // the control plane must bring the volume back to six healthy,
+        // hydrated segments per PG on its own.
+        const bool converged = cluster_.RunUntil(
+            [this]() { return CampaignConverged(); }, 60 * kSecond);
+        if (!converged) {
+          AuditViolation v;
+          v.invariant = "campaign-convergence";
+          v.detail = DescribeNonConvergence();
+          v.at = cluster_.sim().Now();
+          v.event_index = cluster_.sim().ExecutedEvents();
+          v.snapshot = auditor_->SnapshotJson();
+          campaign_violations.push_back(std::move(v));
+        }
+      }
       if (result_.status.ok()) {
         cluster_.RunFor(2 * kSecond);  // drain gossip, scrub, retransmissions
         if (options_.check_durability && auditor_->ok()) CheckDurability();
         auditor_->CheckNow();
+        // Degraded-mode contract: every commit parked while write quorum
+        // was lost must have been acknowledged or aborted by now.
+        if (options_.campaign && writer() != nullptr &&
+            writer()->CommitQueueDepth() > 0) {
+          AuditViolation v;
+          v.invariant = "campaign-parked-commits";
+          v.detail = std::to_string(writer()->CommitQueueDepth()) +
+                     " commit(s) still parked after the post-campaign drain" +
+                     " (min pending scn " +
+                     std::to_string(writer()->MinPendingCommitScn()) +
+                     ", vcl " + std::to_string(writer()->vcl()) + ", vdl " +
+                     std::to_string(writer()->vdl()) + ")";
+          v.at = cluster_.sim().Now();
+          v.event_index = cluster_.sim().ExecutedEvents();
+          v.snapshot = auditor_->SnapshotJson();
+          campaign_violations.push_back(std::move(v));
+        }
       }
     }
 
+    if (planner_ != nullptr) {
+      result_.repairs_committed = planner_->stats().committed;
+      result_.repairs_reverted = planner_->stats().reverted;
+      result_.repair_mttr = planner_->mttr();
+      planner_->Stop();
+    }
+    if (monitor_ != nullptr) monitor_->Stop();
+
     result_.violations = auditor_->violations();
+    for (auto& v : campaign_violations) {
+      result_.violations.push_back(std::move(v));
+    }
     auditor_->Detach();
     return Finish();
   }
@@ -168,6 +233,9 @@ class ChaosExecutor {
           writer()->driver()->tracker().CorruptVdlForTest(writer()->vcl() +
                                                           1000);
         }
+        break;
+      case ChaosOpKind::kFlapNode:
+        DoFlapNode(op);
         break;
     }
   }
@@ -297,6 +365,72 @@ class ChaosExecutor {
     }
   }
 
+  void DoFlapNode(const ChaosOp& op) {
+    const auto ids = cluster_.StorageNodeIds();
+    const NodeId node = ids[op.pick_a % ids.size()];
+    // A flap ends with the node UP; flapping a node we track as crashed
+    // would silently resurrect it and skew the crashed_ cap.
+    if (crashed_.contains(node)) return;
+    const SimDuration period =
+        static_cast<SimDuration>(4 + op.pick_b % 32) * kMillisecond;
+    const int count = 2 + static_cast<int>((op.pick_b >> 8) % 2);
+    cluster_.failures().Flap(node, period, count);
+  }
+
+  /// Campaign pass condition: writer open, no active repairs or suspects,
+  /// every PG settled on six healthy, hydrated members on live nodes.
+  bool CampaignConverged() {
+    if (writer() == nullptr || !writer()->IsOpen()) return false;
+    if (planner_ != nullptr && planner_->ActiveCount() != 0) return false;
+    if (monitor_ != nullptr && !monitor_->Suspects().empty()) return false;
+    for (const auto& pg : cluster_.geometry().pgs()) {
+      if (pg.HasPendingChange()) return false;
+      const auto members = pg.AllMembers();
+      if (members.size() != 6) return false;
+      for (const auto& member : members) {
+        if (!cluster_.network().IsUp(member.node)) return false;
+        storage::StorageNode* node = cluster_.NodeForSegment(member.id);
+        storage::SegmentStore* store =
+            node != nullptr ? node->FindSegment(member.id) : nullptr;
+        if (store == nullptr || !store->hydrated()) return false;
+      }
+    }
+    return true;
+  }
+
+  std::string DescribeNonConvergence() {
+    std::string out = "campaign did not re-converge: ";
+    if (writer() == nullptr || !writer()->IsOpen()) out += "[writer closed] ";
+    if (planner_ != nullptr && planner_->ActiveCount() != 0) {
+      out += "[" + std::to_string(planner_->ActiveCount()) +
+             " repair job(s) still active] ";
+    }
+    if (monitor_ != nullptr && !monitor_->Suspects().empty()) {
+      out += "[" + std::to_string(monitor_->Suspects().size()) +
+             " segment(s) still suspected] ";
+    }
+    for (const auto& pg : cluster_.geometry().pgs()) {
+      if (pg.HasPendingChange()) {
+        out += "[pg " + std::to_string(pg.pg()) + " mid-change] ";
+      }
+      for (const auto& member : pg.AllMembers()) {
+        if (!cluster_.network().IsUp(member.node)) {
+          out += "[segment " + std::to_string(member.id) + " node down] ";
+          continue;
+        }
+        storage::StorageNode* node = cluster_.NodeForSegment(member.id);
+        storage::SegmentStore* store =
+            node != nullptr ? node->FindSegment(member.id) : nullptr;
+        if (store == nullptr) {
+          out += "[segment " + std::to_string(member.id) + " missing] ";
+        } else if (!store->hydrated()) {
+          out += "[segment " + std::to_string(member.id) + " hydrating] ";
+        }
+      }
+    }
+    return out;
+  }
+
   void HealEverything() {
     for (const auto& [a, b] : partitions_) {
       cluster_.network().Partition(a, b, false);
@@ -333,6 +467,8 @@ class ChaosExecutor {
   const ChaosRunOptions& options_;
   AuroraCluster cluster_;
   std::unique_ptr<InvariantAuditor> auditor_;
+  std::unique_ptr<HealthMonitor> monitor_;
+  std::unique_ptr<RepairPlanner> planner_;
   ChaosRunResult result_;
 
   uint64_t next_seq_ = 0;
@@ -421,6 +557,47 @@ ChaosSchedule GenerateChaosSchedule(uint64_t seed, int num_ops) {
   return schedule;
 }
 
+ChaosSchedule GenerateCampaignSchedule(uint64_t seed, int num_ops) {
+  ChaosSchedule schedule;
+  schedule.seed = seed;
+  Rng rng(seed * 104729 + 31);
+  for (int i = 0; i < num_ops; ++i) {
+    ChaosOp op;
+    const uint64_t dice = rng.NextBounded(100);
+    if (dice < 45) {
+      op.kind = ChaosOpKind::kPut;
+      op.pick_a = rng.NextBounded(48);
+    } else if (dice < 60) {
+      op.kind = ChaosOpKind::kCrashOrRestartNode;
+      op.pick_a = rng.NextBounded(2);
+      op.pick_b = rng.NextBounded(1 << 16);
+    } else if (dice < 70) {
+      op.kind = ChaosOpKind::kTogglePartition;
+      op.pick_a = rng.NextBounded(1 << 16);
+    } else if (dice < 78) {
+      op.kind = ChaosOpKind::kFlapNode;
+      op.pick_a = rng.NextBounded(1 << 16);
+      op.pick_b = rng.NextBounded(1 << 16);
+    } else if (dice < 86) {
+      op.kind = ChaosOpKind::kCorruptRecord;
+      op.pick_a = rng.NextBounded(1 << 16);
+      op.pick_b = rng.NextBounded(1 << 16);
+    } else if (dice < 92) {
+      op.kind = ChaosOpKind::kWriterCrashRecover;
+    } else {
+      op.kind = ChaosOpKind::kAzBlip;
+      op.pick_a = rng.NextBounded(1 << 16);
+      op.pick_b = 1 + rng.NextBounded(50);  // blip duration, ms
+    }
+    // Longer inter-op windows than the plain mix: the control plane needs
+    // room to suspect, begin, hydrate, and commit between punches.
+    op.advance =
+        static_cast<SimDuration>(5 + rng.NextBounded(35)) * kMillisecond;
+    schedule.ops.push_back(op);
+  }
+  return schedule;
+}
+
 ChaosRunResult RunChaosSchedule(const ChaosSchedule& schedule,
                                 const ChaosRunOptions& options) {
   return ChaosExecutor(schedule, options).Run();
@@ -446,9 +623,11 @@ Result<ChaosSchedule> ScheduleFromTrace(const sim::Trace& trace) {
 }
 
 Result<ChaosShrinkResult> ShrinkChaosViolation(const ChaosSchedule& schedule,
-                                               const std::string& invariant) {
+                                               const std::string& invariant,
+                                               bool campaign) {
   ChaosRunOptions replay_options;
   replay_options.check_durability = false;
+  replay_options.campaign = campaign;
 
   auto run_subset = [&](const ChaosSchedule& subset) {
     return HasViolation(RunChaosSchedule(subset, replay_options), invariant);

@@ -436,6 +436,81 @@ Status AuroraCluster::InstallPgConfigBlocking(
   return Status::OK();
 }
 
+void AuroraCluster::InstallPgConfigAsync(const quorum::PgConfig& old_config,
+                                         const quorum::PgConfig& new_config,
+                                         std::function<void(Status)> done,
+                                         SimDuration timeout) {
+  assert(quorum::TransitionIsSafe(old_config, new_config));
+  // Event-driven twin of InstallPgConfigBlocking for the repair planner:
+  // same quorum rule (the OLD config's write set must ack the epoch+1
+  // config), but completion is a callback, so it can run underneath any
+  // workload without pumping the event loop.
+  struct InstallState {
+    quorum::SegmentSet acks;
+    quorum::QuorumSet write_set;
+    bool finished = false;
+  };
+  auto state = std::make_shared<InstallState>();
+  state->write_set = old_config.WriteSet();
+  const MembershipEpoch target_epoch = new_config.epoch();
+  for (const auto& member : new_config.AllMembers()) {
+    storage::MembershipUpdateRequest request;
+    request.segment = member.id;
+    request.expected_epoch = old_config.epoch();
+    request.config = new_config;
+    request.volume_epoch = metadata_->volume_epoch();
+    auto node_it = node_index_.find(member.node);
+    if (node_it == node_index_.end()) continue;
+    storage::StorageNode* target = node_it->second;
+    network_.Send(
+        metadata_->id(), member.node, request.SerializedSize(),
+        [this, target, request, state, target_epoch, new_config, done]() {
+          target->HandleMembershipUpdate(
+              request, [this, state, seg = request.segment, target_epoch,
+                        new_config,
+                        done](storage::MembershipUpdateResponse response) {
+                if (state->finished) return;
+                // A StaleEpoch reply whose current epoch already covers
+                // the target means the node holds this (or a newer)
+                // config — membership installs are monotone, so that is
+                // an ack for quorum purposes. This is what makes install
+                // retries idempotent instead of wedging half-installed.
+                const bool accepted =
+                    response.status.ok() ||
+                    (response.status.IsStaleEpoch() &&
+                     response.current_epoch >= target_epoch);
+                if (!accepted) return;
+                state->acks.insert(seg);
+                if (!state->write_set.SatisfiedBy(state->acks)) return;
+                state->finished = true;
+                Status update =
+                    metadata_->mutable_geometry().UpdatePg(new_config);
+                if (!update.ok()) {
+                  done(std::move(update));
+                  return;
+                }
+                if (writer_ && writer_->driver() != nullptr) {
+                  writer_->driver()->UpdatePgConfig(new_config);
+                }
+                for (auto& rep : replicas_) {
+                  rep->UpdateGeometry(metadata_->geometry(),
+                                      metadata_->volume_epoch());
+                }
+                done(Status::OK());
+              });
+        });
+  }
+  sim_.Schedule(
+      timeout,
+      [state, done]() {
+        if (state->finished) return;
+        state->finished = true;
+        done(Status::QuorumUnavailable(
+            "membership epoch increment did not reach write quorum"));
+      },
+      "cluster.install_timeout");
+}
+
 Result<MembershipChangeReport> AuroraCluster::BeginReplaceBlocking(
     SegmentId old_segment) {
   MembershipChangeReport report;

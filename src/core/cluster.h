@@ -130,6 +130,29 @@ class AuroraCluster {
   /// Storage node hosting `segment`, or nullptr.
   storage::StorageNode* NodeForSegment(SegmentId segment);
 
+  // -- Control-plane building blocks (repair planner) ---------------------
+
+  /// Installs `new_config` at a write quorum of `old_config`'s members
+  /// without pumping the event loop; `done` fires with OK once the quorum
+  /// acks (metadata geometry, the writer's driver, and replicas are
+  /// updated first) or with QuorumUnavailable after `timeout`. A node
+  /// that already holds an epoch >= new_config.epoch() counts as an ack:
+  /// membership installs are monotone at the nodes (segment_store.cc), so
+  /// retrying a timed-out install is always safe and eventually convergent.
+  void InstallPgConfigAsync(const quorum::PgConfig& old_config,
+                            const quorum::PgConfig& new_config,
+                            std::function<void(Status)> done,
+                            SimDuration timeout = 2 * kSecond);
+
+  /// Reserves a volume-unique segment id for a replacement segment.
+  SegmentId AllocateSegmentId() { return next_segment_id_++; }
+
+  /// Least-loaded up node in `az` not already hosting a member of
+  /// `config` (falls back to a down node only if the AZ has no live
+  /// candidate).
+  storage::StorageNode* PickNodeForNewSegment(AzId az,
+                                              const quorum::PgConfig& config);
+
   /// Visits every live segment store in the fleet (crashed nodes included:
   /// their segment state is disk-durable). Used by the invariant auditor.
   void ForEachSegment(
@@ -229,8 +252,6 @@ class AuroraCluster {
   void WireReplica(replica::ReadReplica* rep);
   Status InstallPgConfigBlocking(const quorum::PgConfig& old_config,
                                  const quorum::PgConfig& new_config);
-  storage::StorageNode* PickNodeForNewSegment(AzId az,
-                                              const quorum::PgConfig& config);
 
   AuroraOptions options_;
   sim::Simulator sim_;

@@ -1,0 +1,268 @@
+#include "src/core/health_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/core/cluster.h"
+#include "src/engine/db_instance.h"
+#include "src/sim/network.h"
+#include "src/sim/rpc.h"
+#include "src/sim/simulator.h"
+#include "src/storage/messages.h"
+#include "src/storage/storage_node.h"
+
+namespace aurora::core {
+
+HealthMonitor::HealthMonitor(AuroraCluster* cluster,
+                             HealthMonitorOptions options)
+    : cluster_(cluster), options_(options) {
+  auto& reg = metrics::Registry::Global();
+  m_probes_ = reg.GetCounter("aurora.health.probes");
+  m_probe_timeouts_ = reg.GetCounter("aurora.health.probe_timeouts");
+  m_suspected_ = reg.GetCounter("aurora.health.suspected");
+  m_suspects_ = reg.GetGauge("aurora.health.suspects");
+  m_probe_rtt_us_ = reg.GetHistogram("aurora.health.probe_rtt_us");
+}
+
+void HealthMonitor::Start() {
+  if (running_) return;
+  running_ = true;
+  ++generation_;
+  Sweep();
+}
+
+void HealthMonitor::Stop() {
+  if (!running_) return;
+  running_ = false;
+  ++generation_;
+}
+
+bool HealthMonitor::IsSuspect(SegmentId id) const {
+  auto it = health_.find(id);
+  return it != health_.end() && it->second.suspected;
+}
+
+std::vector<SegmentId> HealthMonitor::Suspects() const {
+  std::vector<SegmentId> out;
+  for (const auto& [id, h] : health_) {
+    if (h.suspected) out.push_back(id);
+  }
+  return out;
+}
+
+SimTime HealthMonitor::suspected_since(SegmentId id) const {
+  auto it = health_.find(id);
+  return it == health_.end() ? 0 : it->second.suspected_since;
+}
+
+SimTime HealthMonitor::last_suspected_at(SegmentId id) const {
+  auto it = health_.find(id);
+  return it == health_.end() ? 0 : it->second.last_suspected_at;
+}
+
+SimTime HealthMonitor::last_ok_at(SegmentId id) const {
+  auto it = health_.find(id);
+  return it == health_.end() ? 0 : it->second.last_ok_at;
+}
+
+SimDuration HealthMonitor::ProbeTimeoutFor(SegmentId id) const {
+  auto it = health_.find(id);
+  if (it == health_.end()) return options_.max_timeout;
+  const SegmentHealth& h = it->second;
+  const double raw = h.ewma_rtt_us + options_.jitter_mult * h.ewma_jitter_us;
+  return std::clamp(static_cast<SimDuration>(std::llround(raw)),
+                    options_.min_timeout, options_.max_timeout);
+}
+
+void HealthMonitor::ObserveAck(SegmentId id, bool ok) {
+  if (!ok) return;
+  auto it = health_.find(id);
+  if (it == health_.end()) return;
+  MarkHealthy(it->second);
+}
+
+void HealthMonitor::Sweep() {
+  if (!running_) return;
+  const uint64_t gen = generation_;
+  // The writer's storage driver is the richest liveness source: every
+  // acked boxcar proves its segment alive. The observer is re-installed
+  // each sweep because failover builds a fresh driver.
+  if (auto* writer = cluster_->writer()) {
+    writer->SetAckObserver([this, gen](SegmentId seg, bool ok) {
+      if (!running_ || gen != generation_) return;
+      ObserveAck(seg, ok);
+    });
+  }
+  std::set<SegmentId> current;
+  size_t idx = 0;
+  for (const auto& pg : cluster_->geometry().pgs()) {
+    for (const auto& member : pg.AllMembers()) {
+      current.insert(member.id);
+      auto [it, fresh] = health_.try_emplace(member.id);
+      if (fresh) {
+        it->second.ewma_rtt_us = static_cast<double>(options_.initial_rtt);
+        // Stagger first probes deterministically so six segments do not
+        // heartbeat in one burst.
+        ScheduleProbe(member.id, (idx % 6) * (options_.probe_interval / 6));
+      }
+      ++idx;
+    }
+  }
+  for (auto it = health_.begin(); it != health_.end();) {
+    if (current.contains(it->first)) {
+      ++it;
+    } else {
+      it = health_.erase(it);
+    }
+  }
+  UpdateSuspectGauge();
+  cluster_->sim().Schedule(
+      options_.probe_interval,
+      [this, gen]() {
+        if (!running_ || gen != generation_) return;
+        Sweep();
+      },
+      "health.sweep");
+}
+
+void HealthMonitor::ScheduleProbe(SegmentId id, SimDuration delay) {
+  const uint64_t gen = generation_;
+  cluster_->sim().Schedule(
+      delay,
+      [this, gen, id]() {
+        if (!running_ || gen != generation_) return;
+        SendProbe(id);
+      },
+      "health.probe");
+}
+
+void HealthMonitor::SendProbe(SegmentId id) {
+  auto it = health_.find(id);
+  if (it == health_.end()) return;  // departed; the sweep erased it
+  const quorum::SegmentInfo* info = nullptr;
+  for (const auto& pg : cluster_->geometry().pgs()) {
+    if ((info = pg.FindSegment(id)) != nullptr) break;
+  }
+  if (info == nullptr) return;
+  SegmentHealth& h = it->second;
+  const uint64_t token = ++h.probe_token;
+  h.probe_in_flight = true;
+  ++probes_sent_;
+  AURORA_COUNT(m_probes_, 1);
+  const SimTime sent_at = cluster_->sim().Now();
+  const uint64_t gen = generation_;
+  cluster_->sim().Schedule(
+      ProbeTimeoutFor(id),
+      [this, gen, id, token]() {
+        if (!running_ || gen != generation_) return;
+        OnProbeTimeout(id, token);
+      },
+      "health.probe_timeout");
+  const NodeId target = info->node;
+  storage::SegmentStateRequest request{id};
+  sim::UnaryCall<storage::SegmentStateResponse>(
+      &cluster_->network(), cluster_->metadata().id(), target,
+      request.SerializedSize(),
+      [cluster = cluster_, target,
+       request](sim::ReplyFn<storage::SegmentStateResponse> reply) {
+        storage::StorageNode* node = cluster->node(target);
+        if (node == nullptr) {
+          storage::SegmentStateResponse response;
+          response.status = Status::Unavailable("unresolved node");
+          reply(std::move(response));
+          return;
+        }
+        node->HandleSegmentState(request, std::move(reply));
+      },
+      [](const storage::SegmentStateResponse& response) {
+        return response.SerializedSize();
+      },
+      [this, gen, id, token, sent_at](storage::SegmentStateResponse response) {
+        if (!running_ || gen != generation_) return;
+        auto hit = health_.find(id);
+        if (hit == health_.end()) return;
+        SegmentHealth& sh = hit->second;
+        const bool current =
+            token == sh.probe_token && sh.probe_in_flight;
+        if (!response.status.ok()) {
+          // An explicit error reply (e.g. the segment was dropped) counts
+          // as a failed probe, but only for the probe still in flight.
+          if (current) {
+            sh.probe_in_flight = false;
+            OnProbeFailure(sh);
+            ScheduleProbe(id, BackoffInterval(sh));
+          }
+          return;
+        }
+        if (current) {
+          sh.probe_in_flight = false;
+          const double rtt =
+              static_cast<double>(cluster_->sim().Now() - sent_at);
+          const double alpha = options_.ewma_alpha;
+          sh.ewma_jitter_us = (1.0 - alpha) * sh.ewma_jitter_us +
+                              alpha * std::abs(rtt - sh.ewma_rtt_us);
+          sh.ewma_rtt_us = (1.0 - alpha) * sh.ewma_rtt_us + alpha * rtt;
+          AURORA_OBSERVE(m_probe_rtt_us_,
+                         static_cast<SimDuration>(std::llround(rtt)));
+          MarkHealthy(sh);
+          ScheduleProbe(id, options_.probe_interval);
+        } else {
+          // Late success after its timeout already fired: the node is
+          // slow, not dead — clear suspicion, but the timeout path owns
+          // the next probe.
+          MarkHealthy(sh);
+        }
+      });
+}
+
+void HealthMonitor::OnProbeTimeout(SegmentId id, uint64_t token) {
+  auto it = health_.find(id);
+  if (it == health_.end()) return;
+  SegmentHealth& h = it->second;
+  if (token != h.probe_token || !h.probe_in_flight) return;
+  h.probe_in_flight = false;
+  ++probe_timeouts_;
+  AURORA_COUNT(m_probe_timeouts_, 1);
+  OnProbeFailure(h);
+  ScheduleProbe(id, BackoffInterval(h));
+}
+
+void HealthMonitor::OnProbeFailure(SegmentHealth& h) {
+  ++h.consecutive_failures;
+  h.backoff_shift = std::min(h.backoff_shift + 1, options_.max_backoff_shift);
+  if (!h.suspected && h.consecutive_failures >= options_.suspect_after) {
+    h.suspected = true;
+    h.suspected_since = cluster_->sim().Now();
+    h.last_suspected_at = h.suspected_since;
+    ++suspicions_declared_;
+    AURORA_COUNT(m_suspected_, 1);
+    UpdateSuspectGauge();
+  }
+}
+
+void HealthMonitor::MarkHealthy(SegmentHealth& h) {
+  h.consecutive_failures = 0;
+  h.backoff_shift = 0;
+  h.last_ok_at = cluster_->sim().Now();
+  if (h.suspected) {
+    h.suspected = false;
+    h.suspected_since = 0;
+    UpdateSuspectGauge();
+  }
+}
+
+SimDuration HealthMonitor::BackoffInterval(const SegmentHealth& h) const {
+  return options_.probe_interval << h.backoff_shift;
+}
+
+void HealthMonitor::UpdateSuspectGauge() {
+  int64_t suspects = 0;
+  for (const auto& [id, h] : health_) {
+    if (h.suspected) ++suspects;
+  }
+  AURORA_GAUGE_SET(m_suspects_, suspects);
+}
+
+}  // namespace aurora::core

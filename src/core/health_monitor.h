@@ -1,0 +1,134 @@
+// Per-segment failure suspicion for the self-healing control plane.
+//
+// The paper's availability argument (§4.1) needs membership changes to be
+// cheap enough to run *eagerly* on every suspected failure — "we do not
+// need to wait to determine whether a failure is transient". This monitor
+// produces those suspicions: it probes every segment of every protection
+// group with SegmentState heartbeats from the metadata node, adapts each
+// segment's probe timeout to its observed round-trip time (EWMA of RTT
+// plus a jitter multiple), backs probes off exponentially while a segment
+// is dark, and clears suspicion the moment contrary evidence arrives —
+// either a late probe reply or an in-band write acknowledgement observed
+// by the writer's storage driver.
+//
+// Everything runs on simulator time via scheduled events; the monitor
+// never blocks and never drives the event loop itself, so it is safe to
+// run underneath any workload (the *Blocking helpers pump the same loop).
+// Suspicion is advisory: the repair planner (repair_planner.h) consumes
+// Suspects() and decides; the quorum math stays the sole safety argument.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/metrics.h"
+#include "src/common/types.h"
+
+namespace aurora::core {
+
+class AuroraCluster;
+
+struct HealthMonitorOptions {
+  /// Steady-state probe period per segment.
+  SimDuration probe_interval = 50 * kMillisecond;
+  /// Clamp for the adaptive probe timeout.
+  SimDuration min_timeout = 5 * kMillisecond;
+  SimDuration max_timeout = 500 * kMillisecond;
+  /// RTT estimate seeded before the first sample.
+  SimDuration initial_rtt = 2 * kMillisecond;
+  /// timeout = ewma_rtt + jitter_mult * ewma_jitter, clamped.
+  double jitter_mult = 4.0;
+  /// EWMA smoothing factor for RTT and jitter.
+  double ewma_alpha = 0.25;
+  /// Consecutive probe failures before a segment is suspected. Two beats
+  /// one: a single timeout is routinely a tail-latency artifact, and the
+  /// flap hysteresis the campaign exercises starts here.
+  int suspect_after = 2;
+  /// Probe period doubles per consecutive failure, capped at
+  /// probe_interval << max_backoff_shift.
+  int max_backoff_shift = 3;
+};
+
+class HealthMonitor {
+ public:
+  struct SegmentHealth {
+    double ewma_rtt_us = 0.0;
+    double ewma_jitter_us = 0.0;
+    int consecutive_failures = 0;
+    int backoff_shift = 0;
+    bool suspected = false;
+    /// When the current suspicion was declared (0 while healthy).
+    SimTime suspected_since = 0;
+    /// When suspicion was MOST RECENTLY declared; sticky across recovery
+    /// so the auditor can prove a repair decision had evidence behind it.
+    SimTime last_suspected_at = 0;
+    SimTime last_ok_at = 0;
+    bool probe_in_flight = false;
+    uint64_t probe_token = 0;
+  };
+
+  explicit HealthMonitor(AuroraCluster* cluster,
+                         HealthMonitorOptions options = {});
+
+  /// Begins probing (idempotent). Nothing probes until Start().
+  void Start();
+  /// Stops issuing probes; health_ is kept for inspection.
+  void Stop();
+  bool running() const { return running_; }
+
+  bool IsSuspect(SegmentId id) const;
+  std::vector<SegmentId> Suspects() const;
+
+  /// 0 if the segment is unknown / was never in that state.
+  SimTime suspected_since(SegmentId id) const;
+  SimTime last_suspected_at(SegmentId id) const;
+  SimTime last_ok_at(SegmentId id) const;
+
+  /// Current adaptive timeout for one probe of `id`.
+  SimDuration ProbeTimeoutFor(SegmentId id) const;
+
+  /// In-band evidence from the data path: a successful write ack proves
+  /// the segment alive and clears suspicion immediately (ok=false is
+  /// ignored — absence of acks is what the probes measure).
+  void ObserveAck(SegmentId id, bool ok);
+
+  const std::map<SegmentId, SegmentHealth>& health() const { return health_; }
+  const HealthMonitorOptions& options() const { return options_; }
+
+  uint64_t probes_sent() const { return probes_sent_; }
+  uint64_t probe_timeouts() const { return probe_timeouts_; }
+  uint64_t suspicions_declared() const { return suspicions_declared_; }
+
+ private:
+  void Sweep();
+  void ScheduleProbe(SegmentId id, SimDuration delay);
+  void SendProbe(SegmentId id);
+  void OnProbeTimeout(SegmentId id, uint64_t token);
+  void OnProbeFailure(SegmentHealth& h);
+  void MarkHealthy(SegmentHealth& h);
+  SimDuration BackoffInterval(const SegmentHealth& h) const;
+  void UpdateSuspectGauge();
+
+  AuroraCluster* cluster_;
+  HealthMonitorOptions options_;
+  bool running_ = false;
+  /// Invalidates callbacks scheduled before the latest Start()/Stop().
+  uint64_t generation_ = 0;
+
+  std::map<SegmentId, SegmentHealth> health_;
+
+  uint64_t probes_sent_ = 0;
+  uint64_t probe_timeouts_ = 0;
+  uint64_t suspicions_declared_ = 0;
+
+  metrics::Counter* m_probes_;
+  metrics::Counter* m_probe_timeouts_;
+  metrics::Counter* m_suspected_;
+  metrics::Gauge* m_suspects_;
+  Histogram* m_probe_rtt_us_;
+};
+
+}  // namespace aurora::core

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "src/common/logging.h"
+#include "src/core/health_monitor.h"
+#include "src/core/repair_planner.h"
 
 namespace aurora::core {
 
@@ -26,6 +28,13 @@ void InvariantAuditor::Detach() {
 
 void InvariantAuditor::CheckNow() { RunChecks(); }
 
+void InvariantAuditor::ObserveControlPlane(const HealthMonitor* monitor,
+                                           const RepairPlanner* planner) {
+  monitor_ = monitor;
+  planner_ = planner;
+  repair_unsuspect_since_.clear();
+}
+
 void InvariantAuditor::ResetDurabilityFloor() {
   durability_floor_ = kInvalidLsn;
 }
@@ -39,6 +48,9 @@ void InvariantAuditor::RunChecks() {
   CheckAckedScnDurable();
   CheckSingleEpochQuorum();
   CheckPgmrplBelowViews();
+  CheckMembershipEpochMonotonic();
+  CheckRepairQuietDecision();
+  CheckHydratingReadExclusion();
 }
 
 void InvariantAuditor::AddViolation(const std::string& invariant,
@@ -246,6 +258,99 @@ void InvariantAuditor::CheckPgmrplBelowViews() {
                          " PGMRPL " + std::to_string(pgmrpl) + " above " +
                          what + " " + std::to_string(lsn));
       }
+    }
+  });
+}
+
+// -- 7: membership epochs only move forward ---------------------------------
+
+void InvariantAuditor::CheckMembershipEpochMonotonic() {
+  const VolumeEpoch vepoch = cluster_->metadata().volume_epoch();
+  if (vepoch < volume_epoch_seen_) {
+    AddViolation("membership-epoch-monotonic",
+                 "metadata volume epoch regressed " +
+                     std::to_string(volume_epoch_seen_) + " -> " +
+                     std::to_string(vepoch));
+  }
+  volume_epoch_seen_ = std::max(volume_epoch_seen_, vepoch);
+  for (const auto& pg : cluster_->geometry().pgs()) {
+    const MembershipEpoch epoch = pg.epoch();
+    auto [it, first] = membership_epoch_seen_.try_emplace(pg.pg(), epoch);
+    if (!first && epoch < it->second) {
+      AddViolation("membership-epoch-monotonic",
+                   "pg " + std::to_string(pg.pg()) +
+                       " membership epoch regressed " +
+                       std::to_string(it->second) + " -> " +
+                       std::to_string(epoch));
+    }
+    it->second = std::max(it->second, epoch);
+  }
+}
+
+// -- 8: repair jobs require suspicion evidence ------------------------------
+
+void InvariantAuditor::CheckRepairQuietDecision() {
+  if (monitor_ == nullptr || planner_ == nullptr) return;
+  const SimTime now = cluster_->sim().Now();
+  std::set<SegmentId> active;
+  for (const auto& [old_id, job] : planner_->jobs()) {
+    active.insert(old_id);
+    if (monitor_->last_suspected_at(old_id) == 0) {
+      AddViolation("repair-quiet-decision",
+                   "repair job against segment " + std::to_string(old_id) +
+                       " which the health monitor never suspected");
+      continue;
+    }
+    // Once the planner has committed to an outcome (commit after full
+    // hydration, or revert) the decision point has passed; only
+    // still-revertible states are held to the freshness requirement.
+    if (job.state == RepairPlanner::JobState::kCommitInstall ||
+        job.state == RepairPlanner::JobState::kRevertInstall) {
+      repair_unsuspect_since_.erase(old_id);
+      continue;
+    }
+    // While an install RPC round is outstanding the planner cannot act
+    // on new liveness evidence; the dwell clock starts once it is free.
+    if (job.install_in_flight) {
+      repair_unsuspect_since_.erase(old_id);
+      continue;
+    }
+    if (monitor_->IsSuspect(old_id)) {
+      repair_unsuspect_since_.erase(old_id);
+      continue;
+    }
+    auto [it, first] = repair_unsuspect_since_.try_emplace(old_id, now);
+    if (now - it->second >= kRepairRevertGrace) {
+      AddViolation(
+          "repair-quiet-decision",
+          "repair job against segment " + std::to_string(old_id) +
+              " still pending " + std::to_string(now - it->second) +
+              "us after the suspect produced fresh liveness evidence, "
+              "without reverting");
+      it->second = now;  // re-arm instead of firing every event boundary
+    }
+  }
+  std::erase_if(repair_unsuspect_since_,
+                [&active](const auto& kv) { return !active.contains(kv.first); });
+}
+
+// -- 9: mid-hydration segments never look read-complete ---------------------
+
+void InvariantAuditor::CheckHydratingReadExclusion() {
+  engine::DbInstance* writer = cluster_->writer();
+  if (writer == nullptr || !writer->IsOpen() || writer->driver() == nullptr) {
+    return;
+  }
+  engine::StorageDriver* driver = writer->driver();
+  cluster_->ForEachSegment([this, driver](storage::StorageNode* node,
+                                          storage::SegmentStore* segment) {
+    if (segment->hydrated()) return;
+    if (driver->SegmentKnownHydrated(segment->id())) {
+      AddViolation("hydrating-read-exclusion",
+                   "segment " + std::to_string(segment->id()) + " on node " +
+                       std::to_string(node->id()) +
+                       " is mid-hydration but the open writer considers it "
+                       "read-complete");
     }
   });
 }

@@ -44,6 +44,24 @@
 //                        open snapshot, or any replica's minimum read point
 //                        (§3.4: versions are reclaimed only below the
 //                        fleet-wide minimum read point).
+//  7. membership-epoch-monotonic  Per-PG membership epochs (and the volume
+//                        epoch) as published by the metadata service never
+//                        regress (§4: every Figure-5 transition — begin,
+//                        commit, AND revert — increments the epoch; rolling
+//                        back never reuses an old one).
+//  8. repair-quiet-decision  The repair planner never holds an active job
+//                        against a segment the health monitor has never
+//                        suspected (§4.1: repair is driven by suspicion
+//                        evidence, not by whim), and a job whose suspect
+//                        has produced fresh liveness evidence must revert
+//                        promptly rather than plough on to commit.
+//                        Requires ObserveControlPlane().
+//  9. hydrating-read-exclusion  A segment the writer has observed to be
+//                        mid-hydration never counts toward read-quorum
+//                        eligibility, and an un-hydrated segment store
+//                        must never be considered read-complete by the
+//                        open writer (§4.1: a hydrating replacement's
+//                        prefix is incomplete by construction).
 //
 // The auditor is strictly read-only: it never schedules events and never
 // mutates actor state, so an attached auditor cannot change an execution
@@ -62,6 +80,9 @@
 #include "src/core/cluster.h"
 
 namespace aurora::core {
+
+class HealthMonitor;
+class RepairPlanner;
 
 /// One invariant violation, captured at an event boundary.
 struct AuditViolation {
@@ -91,6 +112,14 @@ class InvariantAuditor {
   const std::vector<AuditViolation>& violations() const { return violations_; }
   uint64_t checks_run() const { return checks_run_; }
 
+  /// Points the auditor at a self-healing control plane so the
+  /// repair-quiet-decision check can correlate planner jobs with monitor
+  /// suspicion evidence. Both pointers are observed read-only and must
+  /// outlive the auditor (or be cleared with nullptrs first). The
+  /// membership-epoch and hydration checks run regardless.
+  void ObserveControlPlane(const HealthMonitor* monitor,
+                           const RepairPlanner* planner);
+
   /// Forgets the acked-commit durability floor. Required after an
   /// intentional rewind of history — point-in-time restore discards
   /// acknowledged commits above the restore point by design (§2.1
@@ -114,9 +143,15 @@ class InvariantAuditor {
   void CheckAckedScnDurable();
   void CheckSingleEpochQuorum();
   void CheckPgmrplBelowViews();
+  void CheckMembershipEpochMonotonic();
+  void CheckRepairQuietDecision();
+  void CheckHydratingReadExclusion();
 
   AuroraCluster* cluster_;
   bool attached_ = false;
+
+  const HealthMonitor* monitor_ = nullptr;
+  const RepairPlanner* planner_ = nullptr;
 
   /// Last observed SCL per segment, with the re-baseline key that makes a
   /// regression legal: (volume epoch, truncation count, scrub drops).
@@ -135,6 +170,18 @@ class InvariantAuditor {
   /// kPgclRepairGrace — ten gossip rounds — or it is a violation.
   static constexpr SimDuration kPgclRepairGrace = 1 * kSecond;
   std::map<ProtectionGroupId, SimTime> pgcl_uncovered_since_;
+
+  /// Highest membership epoch seen per PG and highest volume epoch seen,
+  /// from the metadata service's geometry. Epochs only move forward.
+  std::map<ProtectionGroupId, MembershipEpoch> membership_epoch_seen_;
+  VolumeEpoch volume_epoch_seen_ = 0;
+
+  /// First sim time at which an active repair job's suspect was observed
+  /// healthy again. Figure-5 transitions are reversible, so the planner is
+  /// allowed a short window to notice and revert; holding the job open
+  /// past the grace is a violation.
+  static constexpr SimDuration kRepairRevertGrace = 500 * kMillisecond;
+  std::map<SegmentId, SimTime> repair_unsuspect_since_;
 
   std::vector<AuditViolation> violations_;
   uint64_t checks_run_ = 0;

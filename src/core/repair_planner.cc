@@ -1,0 +1,387 @@
+#include "src/core/repair_planner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/core/cluster.h"
+#include "src/core/health_monitor.h"
+#include "src/sim/network.h"
+#include "src/sim/rpc.h"
+#include "src/sim/simulator.h"
+#include "src/storage/messages.h"
+#include "src/storage/segment_store.h"
+#include "src/storage/storage_node.h"
+
+namespace aurora::core {
+
+namespace {
+/// SCL probes from this many hydrated members establish the hydration
+/// target (a read quorum under V=6/Vr=3; §2.1).
+constexpr size_t kSclProbeQuorum = 3;
+}  // namespace
+
+RepairPlanner::RepairPlanner(AuroraCluster* cluster, HealthMonitor* monitor,
+                             RepairPlannerOptions options)
+    : cluster_(cluster), monitor_(monitor), options_(options) {
+  auto& reg = metrics::Registry::Global();
+  m_begun_ = reg.GetCounter("aurora.repair.begun");
+  m_committed_ = reg.GetCounter("aurora.repair.committed");
+  m_reverted_ = reg.GetCounter("aurora.repair.reverted");
+  m_failed_ = reg.GetCounter("aurora.repair.failed");
+  m_active_ = reg.GetGauge("aurora.repair.active");
+  m_mttr_us_ = reg.GetHistogram("aurora.repair.mttr_us");
+}
+
+void RepairPlanner::Start() {
+  if (running_) return;
+  running_ = true;
+  ++generation_;
+  Tick();
+}
+
+void RepairPlanner::Stop() {
+  if (!running_) return;
+  running_ = false;
+  ++generation_;
+}
+
+const quorum::PgConfig* RepairPlanner::FindConfig(SegmentId segment) const {
+  for (const auto& pg : cluster_->geometry().pgs()) {
+    if (pg.ContainsSegment(segment)) return &pg;
+  }
+  return nullptr;
+}
+
+size_t RepairPlanner::JobsInAz(AzId az) const {
+  size_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.az == az) ++n;
+  }
+  return n;
+}
+
+bool RepairPlanner::PgHasJob(ProtectionGroupId pg) const {
+  for (const auto& [id, job] : jobs_) {
+    if (job.pg == pg) return true;
+  }
+  return false;
+}
+
+void RepairPlanner::Tick() {
+  if (!running_) return;
+  AdvanceJobs();
+  StartNewJobs();
+  AURORA_GAUGE_SET(m_active_, jobs_.size());
+  const uint64_t gen = generation_;
+  cluster_->sim().Schedule(
+      options_.tick_interval,
+      [this, gen]() {
+        if (gen != generation_) return;
+        Tick();
+      },
+      "repair.tick");
+}
+
+void RepairPlanner::StartNewJobs() {
+  const SimTime now = cluster_->sim().Now();
+  for (SegmentId suspect : monitor_->Suspects()) {
+    if (jobs_.size() >= options_.max_concurrent_total) break;
+    if (jobs_.contains(suspect)) continue;
+    const quorum::PgConfig* config = FindConfig(suspect);
+    if (config == nullptr) continue;  // already replaced / departed
+    // One job per PG: the slot machinery supports nested changes, but
+    // bounded eager repair keeps blast radius small, and a reverted or
+    // committed job frees the group within a couple of ticks anyway.
+    if (config->HasPendingChange() || PgHasJob(config->pg())) continue;
+    const quorum::SegmentInfo* info = config->FindSegment(suspect);
+    if (info == nullptr) continue;
+    if (JobsInAz(info->az) >= options_.max_concurrent_per_az) continue;
+    RepairJob job;
+    job.old_segment = suspect;
+    job.pg = config->pg();
+    job.az = info->az;
+    job.state = JobState::kProbing;
+    job.decided_at = now;
+    job.suspected_since = monitor_->suspected_since(suspect);
+    job.probe_deadline = now + options_.probe_window;
+    job.deadline = now + options_.job_deadline;
+    jobs_.emplace(suspect, std::move(job));
+    ++stats_.jobs_started;
+    ProbeScls(suspect);
+  }
+}
+
+void RepairPlanner::ProbeScls(SegmentId old_segment) {
+  const quorum::PgConfig* config = FindConfig(old_segment);
+  if (config == nullptr) return;
+  const uint64_t gen = generation_;
+  for (const auto& member : config->AllMembers()) {
+    storage::SegmentStateRequest request{member.id};
+    const NodeId target = member.node;
+    sim::UnaryCall<storage::SegmentStateResponse>(
+        &cluster_->network(), cluster_->metadata().id(), target,
+        request.SerializedSize(),
+        [cluster = cluster_, target,
+         request](sim::ReplyFn<storage::SegmentStateResponse> reply) {
+          storage::StorageNode* node = cluster->node(target);
+          if (node == nullptr) {
+            storage::SegmentStateResponse response;
+            response.status = Status::Unavailable("unresolved node");
+            reply(std::move(response));
+            return;
+          }
+          node->HandleSegmentState(request, std::move(reply));
+        },
+        [](const storage::SegmentStateResponse& response) {
+          return response.SerializedSize();
+        },
+        [this, gen, old_segment](storage::SegmentStateResponse response) {
+          if (gen != generation_) return;
+          auto it = jobs_.find(old_segment);
+          if (it == jobs_.end() ||
+              it->second.state != JobState::kProbing) {
+            return;
+          }
+          if (!response.status.ok() || !response.hydrated) return;
+          it->second.target_scl =
+              std::max(it->second.target_scl, response.scl);
+          ++it->second.probes_ok;
+        });
+  }
+}
+
+void RepairPlanner::AdvanceJobs() {
+  const SimTime now = cluster_->sim().Now();
+  std::vector<SegmentId> ids;
+  ids.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) ids.push_back(id);
+  for (SegmentId id : ids) {
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;
+    RepairJob& job = it->second;
+    switch (job.state) {
+      case JobState::kProbing: {
+        if (!monitor_->IsSuspect(id)) {
+          // The suspect acked again before membership was touched.
+          ++stats_.aborted_before_begin;
+          jobs_.erase(it);
+          break;
+        }
+        if (job.probes_ok >= kSclProbeQuorum) {
+          BeginChange(job);
+          break;
+        }
+        if (now >= job.deadline) {
+          // Never reached a read quorum of hydrated SCLs — the group is
+          // unreachable; give up and let suspicion re-trigger later.
+          ++stats_.failed;
+          AURORA_COUNT(m_failed_, 1);
+          jobs_.erase(it);
+          break;
+        }
+        if (now >= job.probe_deadline) {
+          job.probe_deadline = now + options_.probe_window;
+          ProbeScls(id);
+        }
+        break;
+      }
+      case JobState::kBeginInstall: {
+        if (job.install_in_flight) break;
+        if (!monitor_->IsSuspect(id)) {
+          // Figure-5 roll-back from the first step: the suspect acked
+          // again while the begin install was still propagating. The
+          // revert config is strictly newer than anything the begin
+          // leaked, so installing it reconverges every node either way.
+          auto revert = job.pending_config->RevertReplace(id);
+          if (revert.ok()) {
+            job.state = JobState::kRevertInstall;
+            job.exit_config = std::move(*revert);
+            StartInstall(job);
+            break;
+          }
+        }
+        if (now >= job.deadline) {
+          // The epoch+1 install never reached quorum (some nodes may
+          // still hold it). Roll back: the revert config is strictly
+          // newer than anything the begin attempt leaked, so installing
+          // it reconverges every node and the metadata service.
+          auto revert = job.pending_config->RevertReplace(id);
+          if (!revert.ok()) break;
+          job.state = JobState::kRevertInstall;
+          job.exit_config = std::move(*revert);
+          StartInstall(job);
+          break;
+        }
+        StartInstall(job);
+        break;
+      }
+      case JobState::kHydrating: {
+        if (job.install_in_flight) break;
+        if (!monitor_->IsSuspect(id) || now >= job.deadline) {
+          // Figure-5 roll-back: the suspect acked again (or placement is
+          // going nowhere and a fresh job should pick a new host).
+          auto revert = job.pending_config->RevertReplace(id);
+          if (!revert.ok()) break;
+          job.state = JobState::kRevertInstall;
+          job.exit_config = std::move(*revert);
+          StartInstall(job);
+          break;
+        }
+        storage::StorageNode* host = cluster_->node(job.host_node);
+        storage::SegmentStore* store =
+            host != nullptr ? host->FindSegment(job.new_segment) : nullptr;
+        if (store == nullptr) break;
+        if (store->hydrated()) {
+          // Figure-5 roll-forward.
+          auto commit = job.pending_config->CommitReplace(id);
+          if (!commit.ok()) break;
+          job.state = JobState::kCommitInstall;
+          job.exit_config = std::move(*commit);
+          StartInstall(job);
+          break;
+        }
+        if (now - job.last_pull_at >= options_.hydration_retry &&
+            cluster_->network().IsUp(job.host_node)) {
+          job.last_pull_at = now;
+          host->StartHydrationPull(job.new_segment);
+        }
+        break;
+      }
+      case JobState::kCommitInstall:
+      case JobState::kRevertInstall: {
+        if (job.install_in_flight) break;
+        // Exit installs retry until they land: once a transition has
+        // leaked to any node, only driving the config forward keeps the
+        // fleet and the metadata service convergent.
+        StartInstall(job);
+        break;
+      }
+    }
+  }
+}
+
+void RepairPlanner::BeginChange(RepairJob& job) {
+  const quorum::PgConfig* config = FindConfig(job.old_segment);
+  if (config == nullptr || config->HasPendingChange() ||
+      config->FindSegment(job.old_segment) == nullptr) {
+    ++stats_.aborted_before_begin;
+    jobs_.erase(job.old_segment);
+    return;
+  }
+  const quorum::SegmentInfo* old_info = config->FindSegment(job.old_segment);
+  storage::StorageNode* host =
+      cluster_->PickNodeForNewSegment(old_info->az, *config);
+  if (host == nullptr || !cluster_->network().IsUp(host->id())) {
+    // No live host in the AZ right now; keep probing and retry.
+    job.probe_deadline = cluster_->sim().Now() + options_.probe_window;
+    return;
+  }
+  quorum::SegmentInfo new_info;
+  new_info.id = cluster_->AllocateSegmentId();
+  new_info.node = host->id();
+  new_info.az = old_info->az;
+  new_info.is_full = old_info->is_full;
+  auto next = config->BeginReplace(job.old_segment, new_info);
+  if (!next.ok()) {
+    ++stats_.failed;
+    AURORA_COUNT(m_failed_, 1);
+    jobs_.erase(job.old_segment);
+    return;
+  }
+  host->AddSegment(new_info, config->pg(), *next,
+                   cluster_->metadata().volume_epoch(),
+                   /*hydrated=*/false);
+  host->FindSegment(new_info.id)->BeginHydration(job.target_scl);
+  job.new_segment = new_info.id;
+  job.host_node = host->id();
+  job.pending_config = std::move(*next);
+  job.state = JobState::kBeginInstall;
+  AURORA_DEBUG << "repair: begin replace seg=" << job.old_segment
+               << " with seg=" << job.new_segment << " on node "
+               << job.host_node << " (pg " << job.pg << ")";
+  StartInstall(job);
+}
+
+void RepairPlanner::StartInstall(RepairJob& job) {
+  const quorum::PgConfig* base = nullptr;
+  const quorum::PgConfig* target = nullptr;
+  if (job.state == JobState::kBeginInstall) {
+    base = FindConfig(job.old_segment);
+    target = &*job.pending_config;
+    // If metadata already shows the pending config (install landed but the
+    // quorum callback lost a race with a timeout), skip straight ahead.
+    if (base != nullptr && base->epoch() >= target->epoch()) {
+      job.state = JobState::kHydrating;
+      return;
+    }
+    if (base == nullptr) return;
+  } else {
+    base = &*job.pending_config;
+    target = &*job.exit_config;
+  }
+  job.install_in_flight = true;
+  ++job.install_attempts;
+  const uint64_t gen = generation_;
+  const SegmentId old_id = job.old_segment;
+  cluster_->InstallPgConfigAsync(
+      *base, *target,
+      [this, gen, old_id](Status st) {
+        if (gen != generation_) return;
+        auto it = jobs_.find(old_id);
+        if (it == jobs_.end()) return;
+        RepairJob& job = it->second;
+        job.install_in_flight = false;
+        if (!st.ok()) return;  // next tick retries the same install
+        switch (job.state) {
+          case JobState::kBeginInstall: {
+            job.state = JobState::kHydrating;
+            ++stats_.begun;
+            AURORA_COUNT(m_begun_, 1);
+            if (auto* host = cluster_->node(job.host_node)) {
+              job.last_pull_at = cluster_->sim().Now();
+              host->StartHydrationPull(job.new_segment);
+            }
+            break;
+          }
+          case JobState::kCommitInstall:
+            FinishCommit(job);
+            break;
+          case JobState::kRevertInstall:
+            FinishRevert(job);
+            break;
+          default:
+            break;
+        }
+      },
+      options_.install_timeout);
+}
+
+void RepairPlanner::FinishCommit(RepairJob& job) {
+  if (auto* host = cluster_->NodeForSegment(job.old_segment)) {
+    host->DropSegment(job.old_segment);
+  }
+  const SimTime now = cluster_->sim().Now();
+  const SimTime base =
+      job.suspected_since > 0 ? job.suspected_since : job.decided_at;
+  mttr_.Record(now - base);
+  AURORA_OBSERVE(m_mttr_us_, now - base);
+  ++stats_.committed;
+  AURORA_COUNT(m_committed_, 1);
+  AURORA_DEBUG << "repair: committed seg=" << job.old_segment << " -> seg="
+               << job.new_segment << " mttr_us=" << (now - base);
+  jobs_.erase(job.old_segment);
+}
+
+void RepairPlanner::FinishRevert(RepairJob& job) {
+  if (auto* host = cluster_->node(job.host_node)) {
+    host->DropSegment(job.new_segment);
+  }
+  ++stats_.reverted;
+  AURORA_COUNT(m_reverted_, 1);
+  AURORA_DEBUG << "repair: reverted seg=" << job.old_segment
+               << " (replacement seg=" << job.new_segment << " dropped)";
+  jobs_.erase(job.old_segment);
+}
+
+}  // namespace aurora::core

@@ -1,0 +1,165 @@
+// Autonomous Figure-5 repair: turns HealthMonitor suspicions into
+// membership transitions, end to end, without consensus and without any
+// blocking helper.
+//
+// Per suspected segment the planner runs one job through this state
+// machine (every edge is an ordinary quorum operation; the job itself is
+// only planner-local state and can be re-derived from suspicion at any
+// time):
+//
+//   kProbing        async SCL probes of the group's members establish the
+//     │             hydration target (max SCL over a read quorum of
+//     │             hydrated replies). Aborted if suspicion clears first.
+//   kBeginInstall   BeginReplace(old, fresh) computed; the replacement
+//     │             segment is created un-hydrated on a live host in the
+//     │             same AZ; the epoch+1 dual config installs at a write
+//     │             quorum of the OLD config (retried until it lands —
+//     │             membership installs are monotone and idempotent at
+//     │             the nodes, so re-sending is always safe).
+//   kHydrating      the replacement pulls from peers/archive. Exits:
+//     │               hydrated            → kCommitInstall (Figure-5
+//     │                                     roll-forward, epoch+2)
+//     │               suspicion cleared   → kRevertInstall (the suspect
+//     │                                     acked again; roll-back,
+//     │                                     epoch+2, replacement dropped)
+//     │               job deadline        → kRevertInstall (placement
+//     │                                     went nowhere; a fresh job
+//     │                                     will pick a new host)
+//   kCommitInstall / kRevertInstall
+//                   the exit config installs at a write quorum of the
+//                   dual config, then the loser segment is dropped and
+//                   the job erased.
+//
+// Concurrency is bounded per AZ and globally, and at most one job runs
+// per protection group (the Figure-5 slot machinery supports nesting, but
+// eager bounded repair keeps blast radius small — the paper's point is
+// that each change is cheap, not that many must run at once). MTTR
+// (suspicion → commit) is recorded to `aurora.repair.mttr_us`.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/metrics.h"
+#include "src/common/types.h"
+#include "src/quorum/membership.h"
+
+namespace aurora::core {
+
+class AuroraCluster;
+class HealthMonitor;
+
+struct RepairPlannerOptions {
+  /// Cadence of the decision loop.
+  SimDuration tick_interval = 20 * kMillisecond;
+  /// Concurrent repair bounds (jobs, not epochs).
+  size_t max_concurrent_per_az = 1;
+  size_t max_concurrent_total = 2;
+  /// How long kProbing waits for a read quorum of SCL replies before
+  /// re-probing (the PG may be temporarily unreachable).
+  SimDuration probe_window = 500 * kMillisecond;
+  /// Re-kick the hydration pull if the replacement made no visible
+  /// progress for this long.
+  SimDuration hydration_retry = 500 * kMillisecond;
+  /// Per-attempt timeout for one config install quorum.
+  SimDuration install_timeout = 2 * kSecond;
+  /// A job stuck in the dual-quorum state longer than this rolls back so
+  /// a fresh job can pick a different host.
+  SimDuration job_deadline = 20 * kSecond;
+};
+
+class RepairPlanner {
+ public:
+  enum class JobState {
+    kProbing,
+    kBeginInstall,
+    kHydrating,
+    kCommitInstall,
+    kRevertInstall,
+  };
+
+  struct RepairJob {
+    SegmentId old_segment = kInvalidSegment;
+    SegmentId new_segment = kInvalidSegment;
+    ProtectionGroupId pg = 0;
+    AzId az = 0;
+    JobState state = JobState::kProbing;
+    /// When the planner decided to act (job creation).
+    SimTime decided_at = 0;
+    /// Monitor evidence captured at decision time; MTTR base.
+    SimTime suspected_since = 0;
+    SimTime probe_deadline = 0;
+    SimTime deadline = 0;
+    Lsn target_scl = kInvalidLsn;
+    size_t probes_ok = 0;
+    NodeId host_node = kInvalidNode;
+    bool install_in_flight = false;
+    uint64_t install_attempts = 0;
+    SimTime last_pull_at = 0;
+    /// The dual (mid-change) config while one is pending, and the chosen
+    /// exit config during kCommitInstall/kRevertInstall.
+    std::optional<quorum::PgConfig> pending_config;
+    std::optional<quorum::PgConfig> exit_config;
+  };
+
+  struct PlannerStats {
+    uint64_t jobs_started = 0;
+    uint64_t begun = 0;
+    uint64_t committed = 0;
+    uint64_t reverted = 0;
+    uint64_t failed = 0;
+    uint64_t aborted_before_begin = 0;
+  };
+
+  RepairPlanner(AuroraCluster* cluster, HealthMonitor* monitor,
+                RepairPlannerOptions options = {});
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  /// Active jobs keyed by the suspected (old) segment; completed jobs are
+  /// erased, so this is the planner's live working set.
+  const std::map<SegmentId, RepairJob>& jobs() const { return jobs_; }
+  size_t ActiveCount() const { return jobs_.size(); }
+  const PlannerStats& stats() const { return stats_; }
+  /// Suspicion→commit latency, recorded regardless of the metrics switch
+  /// so campaign reports work without enabling the global registry.
+  const Histogram& mttr() const { return mttr_; }
+
+ private:
+  void Tick();
+  void StartNewJobs();
+  void AdvanceJobs();
+  void ProbeScls(SegmentId old_segment);
+  void BeginChange(RepairJob& job);
+  void StartInstall(RepairJob& job);
+  void FinishCommit(RepairJob& job);
+  void FinishRevert(RepairJob& job);
+  const quorum::PgConfig* FindConfig(SegmentId segment) const;
+  size_t JobsInAz(AzId az) const;
+  bool PgHasJob(ProtectionGroupId pg) const;
+
+  AuroraCluster* cluster_;
+  HealthMonitor* monitor_;
+  RepairPlannerOptions options_;
+  bool running_ = false;
+  uint64_t generation_ = 0;
+
+  std::map<SegmentId, RepairJob> jobs_;
+  PlannerStats stats_;
+  Histogram mttr_;
+
+  metrics::Counter* m_begun_;
+  metrics::Counter* m_committed_;
+  metrics::Counter* m_reverted_;
+  metrics::Counter* m_failed_;
+  metrics::Gauge* m_active_;
+  Histogram* m_mttr_us_;
+};
+
+}  // namespace aurora::core

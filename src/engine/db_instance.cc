@@ -30,6 +30,7 @@ DbInstance::DbInstance(sim::Simulator* sim, sim::Network* network, NodeId id,
   m_replication_events_ = registry.GetCounter("engine.replication_events");
   m_commit_queue_depth_ = registry.GetGauge("engine.commit_queue_depth");
   m_commit_wait_us_ = registry.GetHistogram("engine.commit_wait_us");
+  m_degraded_rejected_ = registry.GetCounter("aurora.degraded.rejected_writes");
 }
 
 // ---------------------------------------------------------------------------
@@ -45,9 +46,18 @@ void DbInstance::InitComponents(const quorum::VolumeGeometry& geometry,
   driver_->SetGeometry(geometry, epoch);
   driver_->SetAdvanceCallback([this]() { OnDurabilityAdvance(); });
   driver_->SetFencedCallback([this]() {
+    // Fencing ends this incarnation like a crash as far as local
+    // ephemeral state goes (§2.4): parked commits, txn state, and locks
+    // die with it, and recovery decides each commit's fate by whether
+    // its SCN survived truncation. Keeping the queue would wedge it —
+    // the recovered tracker restarts with VCL at (or past) those SCNs,
+    // so no durability advance ever rescans them.
+    OnCrash();
     fenced_ = true;
-    open_ = false;
   });
+  // Recovery rebuilds the driver; re-apply the externally installed ack
+  // observer (health monitoring) so it survives crash/failover.
+  if (ack_observer_) driver_->SetAckObserver(ack_observer_);
   btree_ = std::make_unique<BTree>(
       options_.btree,
       [this](BlockId block, std::function<void(Result<storage::Page*>)> f) {
@@ -302,6 +312,16 @@ void DbInstance::PutInternal(TxnId txn, std::string key, std::string value,
   if (!open_) {
     cb(fenced_ ? Status::Fenced("instance fenced")
                : Status::Unavailable("instance not open"));
+    return;
+  }
+  // Degraded-mode backpressure: while a PG has lost its write quorum and
+  // the driver's parked-record budget is exhausted, refuse NEW writes up
+  // front (bounded memory). In-flight records, commits, and reads are
+  // untouched — commits park in the SCN queue and drain on recovery,
+  // reads stay available at Vr=3.
+  if (driver_ != nullptr && !driver_->AcceptingWrites()) {
+    AURORA_COUNT(m_degraded_rejected_, 1);
+    cb(Status::Unavailable("write quorum degraded: parked-write budget full"));
     return;
   }
   txn::Transaction* t = txns_.Find(txn);

@@ -184,6 +184,14 @@ class DbInstance : public sim::NodeLifecycleListener {
   /// auditor checks max_acked_scn() <= VDL across writer incarnations.
   Scn max_acked_scn() const { return max_acked_scn_; }
 
+  /// Liveness observer forwarded to the storage driver (and re-applied
+  /// whenever recovery rebuilds the driver): fires (segment, ok=true) for
+  /// every successful write ack. Installed by the health monitor.
+  void SetAckObserver(std::function<void(SegmentId, bool)> cb) {
+    ack_observer_ = std::move(cb);
+    if (driver_) driver_->SetAckObserver(ack_observer_);
+  }
+
   StorageDriver* driver() { return driver_.get(); }
   BufferCache& cache() { return *cache_; }
   txn::TxnManager& txns() { return txns_; }
@@ -192,6 +200,7 @@ class DbInstance : public sim::NodeLifecycleListener {
   const DbStats& stats() const { return stats_; }
   Histogram& commit_latency() { return commit_latency_; }
   size_t CommitQueueDepth() const { return commit_queue_.Size(); }
+  Scn MinPendingCommitScn() const { return commit_queue_.MinPendingScn(); }
 
   /// Direct MTR append — used by scripted benches (Figure 3) and the
   /// bootstrap path. Records are built, applied to cache, and submitted.
@@ -308,11 +317,15 @@ class DbInstance : public sim::NodeLifecycleListener {
   Histogram commit_latency_;
   Scn max_acked_scn_ = kInvalidLsn;
 
+  // Survives recovery so the rebuilt driver keeps reporting liveness.
+  std::function<void(SegmentId, bool)> ack_observer_;
+
   // Metrics handles (see DESIGN.md §5).
   metrics::Counter* m_commits_acked_;
   metrics::Counter* m_replication_events_;
   metrics::Gauge* m_commit_queue_depth_;
   Histogram* m_commit_wait_us_;
+  metrics::Counter* m_degraded_rejected_;
 };
 
 }  // namespace aurora::engine

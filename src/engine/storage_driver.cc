@@ -25,6 +25,10 @@ StorageDriver::StorageDriver(sim::Simulator* sim, sim::Network* network,
   m_reads_issued_ = registry.GetCounter("read.issued");
   m_read_failures_ = registry.GetCounter("read.failures");
   m_retained_depth_ = registry.GetGauge("driver.retained_depth");
+  m_degraded_entered_ = registry.GetCounter("aurora.degraded.entered");
+  m_degraded_pgs_ = registry.GetGauge("aurora.degraded.active_pgs");
+  m_parked_records_ = registry.GetGauge("aurora.degraded.parked_records");
+  m_degraded_stall_us_ = registry.GetHistogram("aurora.degraded.stall_us");
   m_write_ack_us_ = registry.GetHistogram("driver.write_ack_us");
   m_read_us_ = registry.GetHistogram("read.latency_us");
   m_vcl_advance_gap_us_ = registry.GetHistogram("engine.vcl_advance_gap_us");
@@ -141,6 +145,13 @@ void StorageDriver::HandleAck(SegmentChannel* channel,
     return;
   }
   if (!ack.status.ok()) return;
+  // A successful ack carries the segment's hydration flag — the only
+  // authoritative signal the driver has about mid-hydration replacements
+  // (see ReadBlock's eligibility filter) — and doubles as in-band
+  // liveness evidence for the health monitor.
+  channel->hydration = ack.hydrated ? ChannelHydration::kHydrated
+                                    : ChannelHydration::kHydrating;
+  if (ack_observer_) ack_observer_(ack.segment, true);
   write_ack_latency_.Record(sim_->Now() - sent_at);
   AURORA_OBSERVE(m_write_ack_us_, sim_->Now() - sent_at);
   tracker_.ObserveScl(channel->pg, ack.segment, ack.scl);
@@ -168,6 +179,10 @@ void StorageDriver::HandleAck(SegmentChannel* channel,
       retained_.pop_front();
     }
     AURORA_GAUGE_SET(m_retained_depth_, retained_.size());
+    // Quorum progress is the degraded-mode exit signal; re-evaluating
+    // here (not just in the periodic sweep) makes recovery immediate
+    // once the first post-outage ack lands.
+    UpdateDegraded();
     if (on_advance_) on_advance_();
   }
 }
@@ -203,7 +218,72 @@ void StorageDriver::RetrySweep() {
     AURORA_COUNT(m_retransmitted_, resend.size());
     SendBatch(&channel, std::move(resend));
   }
+  UpdateDegraded();
   sim_->Schedule(options_.retry_interval, [this]() { RetrySweep(); });
+}
+
+// ---------------------------------------------------------------------------
+// Degraded mode (write-quorum loss; DESIGN.md §7)
+// ---------------------------------------------------------------------------
+
+void StorageDriver::UpdateDegraded() {
+  const SimTime now = sim_->Now();
+  for (const auto& [pg_id, tracking] : tracker_.pgs()) {
+    const Lsn oldest = tracking.outstanding.empty()
+                           ? kInvalidLsn
+                           : tracking.outstanding.front();
+    QuorumWatch& watch = quorum_watch_[pg_id];
+    if (oldest == kInvalidLsn) {
+      // Nothing outstanding: the quorum is keeping up (or idle).
+      watch = QuorumWatch{};
+      ClearDegraded(pg_id, now);
+      continue;
+    }
+    if (watch.oldest != oldest || watch.since == 0) {
+      // The oldest outstanding record changed since the last sweep —
+      // PGCL is advancing, so the write quorum is alive.
+      watch.oldest = oldest;
+      watch.since = now;
+      ClearDegraded(pg_id, now);
+      continue;
+    }
+    if (now - watch.since >= options_.degraded_after &&
+        !degraded_since_.contains(pg_id)) {
+      degraded_since_.emplace(pg_id, now);
+      stats_.degraded_entries++;
+      AURORA_COUNT(m_degraded_entered_, 1);
+      AURORA_WARN << "instance " << self_ << ": pg " << pg_id
+                  << " degraded (oldest outstanding lsn " << oldest
+                  << " stalled " << (now - watch.since) << "us)";
+    }
+  }
+  AURORA_GAUGE_SET(m_degraded_pgs_, degraded_since_.size());
+  AURORA_GAUGE_SET(m_parked_records_,
+                   degraded_since_.empty() ? 0 : retained_.size());
+}
+
+void StorageDriver::ClearDegraded(ProtectionGroupId pg, SimTime now) {
+  auto it = degraded_since_.find(pg);
+  if (it == degraded_since_.end()) return;
+  AURORA_OBSERVE(m_degraded_stall_us_, now - it->second);
+  AURORA_INFO << "instance " << self_ << ": pg " << pg
+              << " recovered write quorum after " << (now - it->second)
+              << "us";
+  degraded_since_.erase(it);
+}
+
+bool StorageDriver::AcceptingWrites() const {
+  // Commits and already-submitted records keep draining through the
+  // normal quorum machinery; only NEW writes are refused, and only once
+  // the parked backlog would otherwise grow without bound.
+  if (degraded_since_.empty()) return true;
+  return retained_.size() < options_.max_parked_records;
+}
+
+bool StorageDriver::SegmentKnownHydrated(SegmentId segment) const {
+  auto it = channels_.find(segment);
+  return it != channels_.end() &&
+         it->second.hydration == ChannelHydration::kHydrated;
 }
 
 // ---------------------------------------------------------------------------
@@ -254,6 +334,15 @@ void StorageDriver::ReadBlock(BlockId block, Lsn read_lsn, Lsn pgmrpl,
   std::vector<SegmentId> fallback;
   for (const auto& member : config.AllMembers()) {
     if (!member.is_full) continue;
+    // A segment the ack stream reported mid-hydration has holes below its
+    // hydration target: it must not count toward read-quorum completeness
+    // at all — not even as a fallback (the node also rejects such reads
+    // server-side; this filter just avoids burning a hedge on it).
+    auto ch = channels_.find(member.id);
+    if (ch != channels_.end() &&
+        ch->second.hydration == ChannelHydration::kHydrating) {
+      continue;
+    }
     fallback.push_back(member.id);
     if (tracker_.SclOf(*pg, member.id) >= read_lsn) {
       eligible.push_back(member.id);

@@ -47,6 +47,14 @@ struct DriverOptions {
   /// fully dark protection group would hang forever.
   SimDuration read_deadline = 5 * kSecond;
   ReadRouterOptions router;
+  /// A protection group whose oldest outstanding record has not advanced
+  /// for this long has (transiently) lost its write quorum: the PG is
+  /// marked degraded until the quorum resumes progress.
+  SimDuration degraded_after = 250 * kMillisecond;
+  /// While any PG is degraded, new writes park in `retained_` awaiting
+  /// quorum. Past this bound the instance backpressures (rejects new
+  /// writes) instead of growing memory without limit.
+  size_t max_parked_records = 8192;
 };
 
 struct DriverStats {
@@ -57,6 +65,7 @@ struct DriverStats {
   uint64_t retransmissions = 0;
   uint64_t reads_issued = 0;
   uint64_t read_failures = 0;
+  uint64_t degraded_entries = 0;
 };
 
 /// Asynchronous quorum-write / routed-read client for one database
@@ -86,6 +95,11 @@ class StorageDriver {
   /// Called when storage rejects this instance's epoch: a newer
   /// incarnation exists and this one is boxed out (§2.4).
   void SetFencedCallback(FencedCallback cb) { on_fenced_ = std::move(cb); }
+  /// Called for every successful write acknowledgement — in-band liveness
+  /// evidence consumed by the health monitor.
+  void SetAckObserver(std::function<void(SegmentId, bool)> cb) {
+    ack_observer_ = std::move(cb);
+  }
 
   /// Submits a chained batch of records (one MTR or commit record). The
   /// records must carry already-allocated LSNs and PG assignments.
@@ -100,6 +114,22 @@ class StorageDriver {
   void Start();
   /// Stops issuing (fenced or crashed). In-flight callbacks are dropped.
   void Stop();
+
+  /// True once this driver has seen a write ack proving the segment
+  /// finished hydrating. kUnknown (no ack yet) reads as false; the read
+  /// path only *excludes* segments known to be mid-hydration, so the
+  /// conservative default never changes routing for healthy segments.
+  bool SegmentKnownHydrated(SegmentId segment) const;
+
+  // -- Degraded mode (write-quorum loss; DESIGN.md §7) --------------------
+  /// False while a PG is degraded AND the parked-record budget is
+  /// exhausted: the instance must backpressure new writes.
+  bool AcceptingWrites() const;
+  bool IsDegraded(ProtectionGroupId pg) const {
+    return degraded_since_.contains(pg);
+  }
+  size_t DegradedPgCount() const { return degraded_since_.size(); }
+  size_t ParkedRecords() const { return retained_.size(); }
 
   ConsistencyTracker& tracker() { return tracker_; }
   const DriverStats& stats() const { return stats_; }
@@ -119,11 +149,22 @@ class StorageDriver {
       std::function<void(storage::VolumeEpochUpdateResponse)> cb);
 
  private:
+  /// What the last write ack said about the segment's hydration. Unknown
+  /// until the first ack (fresh channel or fresh driver after recovery).
+  enum class ChannelHydration { kUnknown, kHydrated, kHydrating };
+
   struct SegmentChannel {
     quorum::SegmentInfo info;
     ProtectionGroupId pg = 0;
     std::unique_ptr<log::BoxcarBatcher> boxcar;
     Lsn max_sent = kInvalidLsn;
+    ChannelHydration hydration = ChannelHydration::kUnknown;
+  };
+
+  /// Per-PG progress watch feeding degraded-mode detection.
+  struct QuorumWatch {
+    Lsn oldest = kInvalidLsn;
+    SimTime since = 0;
   };
 
   void EnsureChannels(const quorum::PgConfig& config);
@@ -132,6 +173,8 @@ class StorageDriver {
   void HandleAck(SegmentChannel* channel, const storage::WriteAck& ack,
                  SimTime sent_at);
   void RetrySweep();
+  void UpdateDegraded();
+  void ClearDegraded(ProtectionGroupId pg, SimTime now);
   void IssueRead(std::shared_ptr<struct ReadState> state, size_t rank_index);
 
   sim::Simulator* sim_;
@@ -156,6 +199,10 @@ class StorageDriver {
 
   AdvanceCallback on_advance_;
   FencedCallback on_fenced_;
+  std::function<void(SegmentId, bool)> ack_observer_;
+  /// PGs currently degraded (write quorum stalled) → when they entered.
+  std::map<ProtectionGroupId, SimTime> degraded_since_;
+  std::map<ProtectionGroupId, QuorumWatch> quorum_watch_;
   DriverStats stats_;
   Histogram write_ack_latency_;
   Histogram read_latency_;
@@ -171,6 +218,10 @@ class StorageDriver {
   metrics::Counter* m_reads_issued_;
   metrics::Counter* m_read_failures_;
   metrics::Gauge* m_retained_depth_;
+  metrics::Counter* m_degraded_entered_;
+  metrics::Gauge* m_degraded_pgs_;
+  metrics::Gauge* m_parked_records_;
+  Histogram* m_degraded_stall_us_;
   Histogram* m_write_ack_us_;
   Histogram* m_read_us_;
   Histogram* m_vcl_advance_gap_us_;

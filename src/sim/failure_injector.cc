@@ -91,6 +91,29 @@ void FailureInjector::FailAzAt(SimTime when, AzId az, SimDuration outage) {
   }, "inj.script_az_fail");
 }
 
+void FailureInjector::Flap(NodeId node, SimDuration period, int count) {
+  if (count <= 0) return;
+  // Each dwell is one Draw() in the injector's single decision stream:
+  // a recorded run replays the exact same flap rhythm, and a shrunk
+  // subset falls back to the forked RNG (counted in replay_mismatches)
+  // without perturbing draws that still match.
+  const SimDuration down_delay = Draw("flap_down_delay", node, period);
+  const uint64_t gen = generation_;
+  sim_->Schedule(down_delay, [this, node, period, count, gen]() {
+    if (gen != generation_) return;
+    if (network_->IsUp(node)) {
+      network_->Crash(node);
+      ++node_failures_;
+    }
+    const SimDuration up_delay = Draw("flap_up_delay", node, period);
+    sim_->Schedule(up_delay, [this, node, period, count, gen]() {
+      if (gen != generation_) return;
+      network_->Restart(node);
+      Flap(node, period, count - 1);
+    }, "inj.flap_up");
+  }, "inj.flap_down");
+}
+
 void FailureInjector::SlowNodeAt(SimTime when, NodeId node, double factor,
                                  SimDuration duration) {
   sim_->ScheduleAt(when, [this, node, factor, duration]() {

@@ -48,6 +48,14 @@ class FailureInjector {
   void SlowNodeAt(SimTime when, NodeId node, double factor,
                   SimDuration duration);
 
+  /// Flapping node: `count` crash→restart cycles with exponentially drawn
+  /// down/up dwell times of mean `period`, ending with the node UP. The
+  /// nastiest case for eager repair — the suspect keeps coming back, so
+  /// transitions must keep reverting (Figure 5's roll-back edge). Dwell
+  /// draws go through Draw(), so they are recorded to / replayed from an
+  /// attached trace like the background process and shrink with it.
+  void Flap(NodeId node, SimDuration period, int count);
+
   uint64_t node_failures() const { return node_failures_; }
   uint64_t az_failures() const { return az_failures_; }
 

@@ -39,6 +39,11 @@ struct WriteAck {
   SegmentId segment = kInvalidSegment;
   Status status;
   Lsn scl = kInvalidLsn;
+  /// Whether the segment had finished hydrating when it acked. A
+  /// mid-hydration replacement accepts and acks writes (they advance its
+  /// SCL), but the driver must keep it out of read routing until this
+  /// flips true (hydration is monotone per segment id).
+  bool hydrated = true;
 
   uint64_t SerializedSize() const { return kMessageOverheadBytes; }
 };

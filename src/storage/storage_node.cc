@@ -52,7 +52,8 @@ void StorageNode::HandleWrite(const WriteRequest& request,
     return;
   }
   if (Status st = segment->CheckEpochs(request.epochs); !st.ok()) {
-    reply(WriteAck{request.segment, std::move(st), segment->scl()});
+    reply(WriteAck{request.segment, std::move(st), segment->scl(),
+                   segment->hydrated()});
     return;
   }
   // Durable append to the update queue, then acknowledge with the SCL
@@ -64,7 +65,8 @@ void StorageNode::HandleWrite(const WriteRequest& request,
                             segment]() {
     if (!IsUp()) return;  // crashed mid-I/O: write lost, never acked
     Status st = segment->Append(request.records);
-    reply(WriteAck{request.segment, std::move(st), segment->scl()});
+    reply(WriteAck{request.segment, std::move(st), segment->scl(),
+                   segment->hydrated()});
   });
 }
 
@@ -77,6 +79,15 @@ void StorageNode::HandleReadPage(const ReadPageRequest& request,
   }
   if (Status st = segment->CheckEpochs(request.epochs); !st.ok()) {
     reply(ReadPageResponse{std::move(st), {}});
+    return;
+  }
+  if (!segment->hydrated()) {
+    // A mid-hydration segment has holes below its hydration target;
+    // serving a page from it could silently miss committed versions, so
+    // it must never count toward read-quorum completeness (§4.2). The
+    // driver also filters such segments out of routing, but this check is
+    // the authoritative one.
+    reply(ReadPageResponse{Status::Unavailable("segment hydrating"), {}});
     return;
   }
   if (request.pgmrpl != kInvalidLsn) {

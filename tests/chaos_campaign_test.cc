@@ -1,0 +1,173 @@
+// Sustained chaos campaigns: the self-healing control plane under
+// continuous fire.
+//
+// A campaign run executes a long randomized fault schedule — crashes,
+// restarts, partitions, FLAPPING nodes, scrub corruption, writer crashes,
+// AZ blips — with the health monitor and repair planner running the whole
+// time and the invariant auditor attached at every simulator event. The
+// pass condition is strict (chaos_harness campaign mode): the volume must
+// re-converge to six healthy, hydrated segments per PG on its own, with
+// zero auditor violations and zero parked commits left undrained. Any
+// breach auto-captures the trace and delta-debugs the schedule to a
+// minimal reproducer, exactly like the plain chaos sweep.
+//
+// The sweep also aggregates the campaign JSON artifact: per-seed repair
+// outcomes plus the suspicion→repair-commit MTTR histogram.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/core/chaos_harness.h"
+#include "src/sim/trace.h"
+
+namespace aurora {
+namespace {
+
+// Runs one campaign seed; on breach, captures + shrinks and reports via
+// ADD_FAILURE. Returns the run result either way.
+core::ChaosRunResult RunCampaignSeed(uint64_t seed, int num_ops) {
+  SCOPED_TRACE("campaign seed " + std::to_string(seed));
+  const core::ChaosSchedule schedule =
+      core::GenerateCampaignSchedule(seed, num_ops);
+
+  sim::Trace trace;
+  core::ChaosRunOptions options;
+  options.campaign = true;
+  options.record = &trace;
+  core::ChaosRunResult result = core::RunChaosSchedule(schedule, options);
+
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  for (const std::string& error : result.errors) {
+    ADD_FAILURE() << "durability contract: " << error;
+  }
+  if (result.violations.empty()) return result;
+
+  const std::string trace_path =
+      "campaign_seed_" + std::to_string(seed) + ".trace.jsonl";
+  const Status write_status = trace.WriteFile(trace_path);
+  const std::string invariant = result.violations.front().invariant;
+  std::string report = "invariant \"" + invariant + "\" violated: " +
+                       result.violations.front().detail;
+  if (write_status.ok()) {
+    report += "\ntrace captured to " + trace_path;
+  }
+  auto shrunk =
+      core::ShrinkChaosViolation(schedule, invariant, /*campaign=*/true);
+  if (shrunk.ok()) {
+    report += "\nminimized " + std::to_string(shrunk->original_ops) +
+              " ops -> " + std::to_string(shrunk->minimized.ops.size()) +
+              " in " + std::to_string(shrunk->replays) + " replays:\n" +
+              shrunk->timeline;
+  } else {
+    report += "\n(shrink failed: " + shrunk.status().ToString() + ")";
+  }
+  ADD_FAILURE() << report;
+  return result;
+}
+
+// Quick smoke for tier-1: a handful of short campaigns so every CI run
+// exercises suspicion, repair, revert, and degraded-mode parking.
+TEST(ChaosCampaign, Smoke) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const core::ChaosRunResult result = RunCampaignSeed(seed, 12);
+    if (!result.violations.empty()) return;  // artifact already reported
+  }
+}
+
+// The acceptance sweep: >= 25 seeds of sustained faults (including
+// flapping nodes) with the repair loop on. Every run must end
+// re-converged with nothing parked and nothing violated. Emits the
+// campaign JSON with per-seed repair counts and the MTTR histogram.
+TEST(ChaosCampaign, SustainedSweepReconvergesEverySeed) {
+  constexpr uint64_t kSeeds = 25;
+  constexpr int kOpsPerSeed = 40;
+
+  Histogram mttr;
+  uint64_t total_committed = 0;
+  uint64_t total_reverted = 0;
+  std::string per_seed_json;
+  bool failed = false;
+
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const core::ChaosRunResult result = RunCampaignSeed(seed, kOpsPerSeed);
+    mttr.Merge(result.repair_mttr);
+    total_committed += result.repairs_committed;
+    total_reverted += result.repairs_reverted;
+    if (!per_seed_json.empty()) per_seed_json += ",";
+    per_seed_json += "\n    {\"seed\": " + std::to_string(seed) +
+                     ", \"repairs_committed\": " +
+                     std::to_string(result.repairs_committed) +
+                     ", \"repairs_reverted\": " +
+                     std::to_string(result.repairs_reverted) +
+                     ", \"violations\": " +
+                     std::to_string(result.violations.size()) + "}";
+    if (!result.violations.empty() || !result.errors.empty() ||
+        !result.status.ok()) {
+      failed = true;
+      break;  // the failing seed already produced its shrunk artifact
+    }
+  }
+
+  // The campaign must actually exercise the repair loop, not just survive
+  // a calm run: across 25 seeds of crashes and flaps, repairs happen.
+  EXPECT_GT(total_committed + total_reverted, 0u)
+      << "no repair was ever attempted — the control plane slept through "
+         "the campaign";
+
+  std::string json = "{\n  \"seeds\": " + std::to_string(kSeeds) +
+                     ",\n  \"ops_per_seed\": " + std::to_string(kOpsPerSeed) +
+                     ",\n  \"passed\": " + (failed ? "false" : "true") +
+                     ",\n  \"repairs_committed\": " +
+                     std::to_string(total_committed) +
+                     ",\n  \"repairs_reverted\": " +
+                     std::to_string(total_reverted) +
+                     ",\n  \"mttr_us\": {\"count\": " +
+                     std::to_string(mttr.count()) +
+                     ", \"mean\": " + std::to_string(mttr.Mean()) +
+                     ", \"p50\": " + std::to_string(mttr.P50()) +
+                     ", \"p90\": " + std::to_string(mttr.P90()) +
+                     ", \"p99\": " + std::to_string(mttr.P99()) +
+                     ", \"max\": " + std::to_string(mttr.max()) + "}" +
+                     ",\n  \"runs\": [" + per_seed_json + "\n  ]\n}\n";
+  FILE* f = std::fopen("campaign_report.json", "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  if (mttr.count() > 0) {
+    std::printf("campaign MTTR (suspicion -> repair commit): %s\n",
+                mttr.Summary().c_str());
+  }
+}
+
+// A captured campaign run (including the injector's flap dwell draws)
+// replays bit-identically — the property shrinking depends on.
+TEST(ChaosCampaign, CapturedCampaignReplaysBitIdentically) {
+  const core::ChaosSchedule schedule = core::GenerateCampaignSchedule(11, 20);
+  sim::Trace trace;
+  core::ChaosRunOptions record;
+  record.campaign = true;
+  record.record = &trace;
+  const core::ChaosRunResult original =
+      core::RunChaosSchedule(schedule, record);
+  ASSERT_TRUE(original.status.ok()) << original.status.ToString();
+  ASSERT_TRUE(trace.summary.present);
+
+  core::ChaosRunOptions replay;
+  replay.campaign = true;
+  replay.replay = &trace;
+  const core::ChaosRunResult replayed =
+      core::RunChaosSchedule(schedule, replay);
+  EXPECT_FALSE(replayed.replay_diverged) << replayed.replay_divergence;
+  EXPECT_EQ(replayed.fingerprint, trace.summary.fingerprint);
+  EXPECT_EQ(replayed.vcl, trace.summary.vcl);
+  EXPECT_EQ(replayed.vdl, trace.summary.vdl);
+  EXPECT_EQ(replayed.executed_events, trace.summary.executed_events);
+  EXPECT_EQ(replayed.end_time, trace.summary.end_time);
+}
+
+}  // namespace
+}  // namespace aurora
