@@ -17,7 +17,8 @@ namespace aurora::core {
 
 HealthMonitor::HealthMonitor(AuroraCluster* cluster,
                              HealthMonitorOptions options)
-    : cluster_(cluster), options_(options) {
+    : cluster_(cluster), options_(options),
+      live_(std::make_shared<HealthMonitor*>(this)) {
   auto& reg = metrics::Registry::Global();
   m_probes_ = reg.GetCounter("aurora.health.probes");
   m_probe_timeouts_ = reg.GetCounter("aurora.health.probe_timeouts");
@@ -33,10 +34,22 @@ void HealthMonitor::Start() {
   Sweep();
 }
 
+HealthMonitor::~HealthMonitor() = default;
+// ^ live_ dies here, so every deferred callback — the ack observer a
+//   DbInstance persists (and re-applies to every rebuilt driver) as well
+//   as simulator-queued sweep/probe/timeout events — fails its weak lock
+//   and goes inert instead of touching a destroyed monitor.
+
 void HealthMonitor::Stop() {
   if (!running_) return;
   running_ = false;
   ++generation_;
+  // Detach from the current writer so a stopped monitor stops consuming
+  // ack evidence immediately (a failover after Stop() would otherwise
+  // re-install the stale lambda on the rebuilt driver).
+  if (auto* writer = cluster_->writer()) {
+    writer->SetAckObserver(nullptr);
+  }
 }
 
 bool HealthMonitor::IsSuspect(SegmentId id) const {
@@ -90,9 +103,17 @@ void HealthMonitor::Sweep() {
   // acked boxcar proves its segment alive. The observer is re-installed
   // each sweep because failover builds a fresh driver.
   if (auto* writer = cluster_->writer()) {
-    writer->SetAckObserver([this, gen](SegmentId seg, bool ok) {
-      if (!running_ || gen != generation_) return;
-      ObserveAck(seg, ok);
+    // The observer must not capture a raw `this`: DbInstance persists it
+    // and re-applies it to every rebuilt driver, so it can fire after
+    // this monitor is stopped or destroyed. The weak handle makes any
+    // such late call a no-op instead of a use-after-free.
+    std::weak_ptr<HealthMonitor*> weak = live_;
+    writer->SetAckObserver([weak, gen](SegmentId seg, bool ok) {
+      auto live = weak.lock();
+      if (!live) return;
+      HealthMonitor* self = *live;
+      if (!self->running_ || gen != self->generation_) return;
+      self->ObserveAck(seg, ok);
     });
   }
   std::set<SegmentId> current;
@@ -118,22 +139,30 @@ void HealthMonitor::Sweep() {
     }
   }
   UpdateSuspectGauge();
+  std::weak_ptr<HealthMonitor*> weak = live_;
   cluster_->sim().Schedule(
       options_.probe_interval,
-      [this, gen]() {
-        if (!running_ || gen != generation_) return;
-        Sweep();
+      [weak, gen]() {
+        auto live = weak.lock();
+        if (!live) return;
+        HealthMonitor* self = *live;
+        if (!self->running_ || gen != self->generation_) return;
+        self->Sweep();
       },
       "health.sweep");
 }
 
 void HealthMonitor::ScheduleProbe(SegmentId id, SimDuration delay) {
   const uint64_t gen = generation_;
+  std::weak_ptr<HealthMonitor*> weak = live_;
   cluster_->sim().Schedule(
       delay,
-      [this, gen, id]() {
-        if (!running_ || gen != generation_) return;
-        SendProbe(id);
+      [weak, gen, id]() {
+        auto live = weak.lock();
+        if (!live) return;
+        HealthMonitor* self = *live;
+        if (!self->running_ || gen != self->generation_) return;
+        self->SendProbe(id);
       },
       "health.probe");
 }
@@ -153,11 +182,18 @@ void HealthMonitor::SendProbe(SegmentId id) {
   AURORA_COUNT(m_probes_, 1);
   const SimTime sent_at = cluster_->sim().Now();
   const uint64_t gen = generation_;
+  // Every deferred callback below goes through the weak handle, never a
+  // raw `this`: probe replies and timeouts can fire from the simulator
+  // queue after the monitor is stopped or destroyed.
+  std::weak_ptr<HealthMonitor*> weak = live_;
   cluster_->sim().Schedule(
       ProbeTimeoutFor(id),
-      [this, gen, id, token]() {
-        if (!running_ || gen != generation_) return;
-        OnProbeTimeout(id, token);
+      [weak, gen, id, token]() {
+        auto live = weak.lock();
+        if (!live) return;
+        HealthMonitor* self = *live;
+        if (!self->running_ || gen != self->generation_) return;
+        self->OnProbeTimeout(id, token);
       },
       "health.probe_timeout");
   const NodeId target = info->node;
@@ -179,42 +215,50 @@ void HealthMonitor::SendProbe(SegmentId id) {
       [](const storage::SegmentStateResponse& response) {
         return response.SerializedSize();
       },
-      [this, gen, id, token, sent_at](storage::SegmentStateResponse response) {
-        if (!running_ || gen != generation_) return;
-        auto hit = health_.find(id);
-        if (hit == health_.end()) return;
-        SegmentHealth& sh = hit->second;
-        const bool current =
-            token == sh.probe_token && sh.probe_in_flight;
-        if (!response.status.ok()) {
-          // An explicit error reply (e.g. the segment was dropped) counts
-          // as a failed probe, but only for the probe still in flight.
-          if (current) {
-            sh.probe_in_flight = false;
-            OnProbeFailure(sh);
-            ScheduleProbe(id, BackoffInterval(sh));
-          }
-          return;
-        }
-        if (current) {
-          sh.probe_in_flight = false;
-          const double rtt =
-              static_cast<double>(cluster_->sim().Now() - sent_at);
-          const double alpha = options_.ewma_alpha;
-          sh.ewma_jitter_us = (1.0 - alpha) * sh.ewma_jitter_us +
-                              alpha * std::abs(rtt - sh.ewma_rtt_us);
-          sh.ewma_rtt_us = (1.0 - alpha) * sh.ewma_rtt_us + alpha * rtt;
-          AURORA_OBSERVE(m_probe_rtt_us_,
-                         static_cast<SimDuration>(std::llround(rtt)));
-          MarkHealthy(sh);
-          ScheduleProbe(id, options_.probe_interval);
-        } else {
-          // Late success after its timeout already fired: the node is
-          // slow, not dead — clear suspicion, but the timeout path owns
-          // the next probe.
-          MarkHealthy(sh);
-        }
+      [weak, gen, id, token,
+       sent_at](storage::SegmentStateResponse response) {
+        auto live = weak.lock();
+        if (!live) return;
+        HealthMonitor* self = *live;
+        if (!self->running_ || gen != self->generation_) return;
+        self->OnProbeReply(id, token, sent_at, response);
       });
+}
+
+void HealthMonitor::OnProbeReply(
+    SegmentId id, uint64_t token, SimTime sent_at,
+    const storage::SegmentStateResponse& response) {
+  auto hit = health_.find(id);
+  if (hit == health_.end()) return;
+  SegmentHealth& sh = hit->second;
+  const bool current = token == sh.probe_token && sh.probe_in_flight;
+  if (!response.status.ok()) {
+    // An explicit error reply (e.g. the segment was dropped) counts
+    // as a failed probe, but only for the probe still in flight.
+    if (current) {
+      sh.probe_in_flight = false;
+      OnProbeFailure(sh);
+      ScheduleProbe(id, BackoffInterval(sh));
+    }
+    return;
+  }
+  if (current) {
+    sh.probe_in_flight = false;
+    const double rtt = static_cast<double>(cluster_->sim().Now() - sent_at);
+    const double alpha = options_.ewma_alpha;
+    sh.ewma_jitter_us = (1.0 - alpha) * sh.ewma_jitter_us +
+                        alpha * std::abs(rtt - sh.ewma_rtt_us);
+    sh.ewma_rtt_us = (1.0 - alpha) * sh.ewma_rtt_us + alpha * rtt;
+    AURORA_OBSERVE(m_probe_rtt_us_,
+                   static_cast<SimDuration>(std::llround(rtt)));
+    MarkHealthy(sh);
+    ScheduleProbe(id, options_.probe_interval);
+  } else {
+    // Late success after its timeout already fired: the node is
+    // slow, not dead — clear suspicion, but the timeout path owns
+    // the next probe.
+    MarkHealthy(sh);
+  }
 }
 
 void HealthMonitor::OnProbeTimeout(SegmentId id, uint64_t token) {

@@ -21,11 +21,16 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/common/histogram.h"
 #include "src/common/metrics.h"
 #include "src/common/types.h"
+
+namespace aurora::storage {
+struct SegmentStateResponse;
+}  // namespace aurora::storage
 
 namespace aurora::core {
 
@@ -72,10 +77,12 @@ class HealthMonitor {
 
   explicit HealthMonitor(AuroraCluster* cluster,
                          HealthMonitorOptions options = {});
+  ~HealthMonitor();
 
   /// Begins probing (idempotent). Nothing probes until Start().
   void Start();
-  /// Stops issuing probes; health_ is kept for inspection.
+  /// Stops issuing probes; health_ is kept for inspection. Also detaches
+  /// the ack observer from the current writer.
   void Stop();
   bool running() const { return running_; }
 
@@ -106,6 +113,8 @@ class HealthMonitor {
   void Sweep();
   void ScheduleProbe(SegmentId id, SimDuration delay);
   void SendProbe(SegmentId id);
+  void OnProbeReply(SegmentId id, uint64_t token, SimTime sent_at,
+                    const storage::SegmentStateResponse& response);
   void OnProbeTimeout(SegmentId id, uint64_t token);
   void OnProbeFailure(SegmentHealth& h);
   void MarkHealthy(SegmentHealth& h);
@@ -117,6 +126,11 @@ class HealthMonitor {
   bool running_ = false;
   /// Invalidates callbacks scheduled before the latest Start()/Stop().
   uint64_t generation_ = 0;
+  /// Liveness anchor for the ack observer: DbInstance persists the
+  /// observer lambda and re-applies it to every rebuilt driver, so it
+  /// can outlive this monitor. The lambda holds a weak_ptr to this
+  /// handle (reset on destruction), never a raw `this`.
+  std::shared_ptr<HealthMonitor*> live_;
 
   std::map<SegmentId, SegmentHealth> health_;
 

@@ -118,6 +118,7 @@ void RepairPlanner::ProbeScls(SegmentId old_segment) {
   const uint64_t gen = generation_;
   for (const auto& member : config->AllMembers()) {
     storage::SegmentStateRequest request{member.id};
+    const SegmentId responder = member.id;
     const NodeId target = member.node;
     sim::UnaryCall<storage::SegmentStateResponse>(
         &cluster_->network(), cluster_->metadata().id(), target,
@@ -136,7 +137,8 @@ void RepairPlanner::ProbeScls(SegmentId old_segment) {
         [](const storage::SegmentStateResponse& response) {
           return response.SerializedSize();
         },
-        [this, gen, old_segment](storage::SegmentStateResponse response) {
+        [this, gen, old_segment,
+         responder](storage::SegmentStateResponse response) {
           if (gen != generation_) return;
           auto it = jobs_.find(old_segment);
           if (it == jobs_.end() ||
@@ -144,9 +146,13 @@ void RepairPlanner::ProbeScls(SegmentId old_segment) {
             return;
           }
           if (!response.status.ok() || !response.hydrated) return;
+          // Deduplicate by responder: the quorum gate counts DISTINCT
+          // hydrated members, so a repeat reply across re-probe rounds
+          // (or a stale duplicate from an earlier round) only refreshes
+          // the max, never the count.
           it->second.target_scl =
               std::max(it->second.target_scl, response.scl);
-          ++it->second.probes_ok;
+          it->second.probe_responders.insert(responder);
         });
   }
 }
@@ -168,7 +174,7 @@ void RepairPlanner::AdvanceJobs() {
           jobs_.erase(it);
           break;
         }
-        if (job.probes_ok >= kSclProbeQuorum) {
+        if (job.probe_responders.size() >= kSclProbeQuorum) {
           BeginChange(job);
           break;
         }

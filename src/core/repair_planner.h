@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -95,7 +96,11 @@ class RepairPlanner {
     SimTime probe_deadline = 0;
     SimTime deadline = 0;
     Lsn target_scl = kInvalidLsn;
-    size_t probes_ok = 0;
+    /// Distinct hydrated members that answered an SCL probe. A member
+    /// replying in several probe rounds (or a stale duplicate reply)
+    /// must not inflate the count: the hydration target is only a safe
+    /// read quorum when kSclProbeQuorum DIFFERENT members contribute.
+    std::set<SegmentId> probe_responders;
     NodeId host_node = kInvalidNode;
     bool install_in_flight = false;
     uint64_t install_attempts = 0;

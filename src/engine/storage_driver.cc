@@ -82,6 +82,7 @@ void StorageDriver::SubmitRecords(
     // driver from scratch, so the deque never sees a regression.
     if (retained_.empty() || record.lsn > retained_.back().lsn) {
       retained_.push_back(record);
+      ++retained_by_pg_[record.pg];
     }
     // Fan out to every member (including both alternatives of a slot
     // mid-membership-change; quorum evaluation handles the algebra).
@@ -176,6 +177,10 @@ void StorageDriver::HandleAck(SegmentChannel* channel,
     // Durability advanced: drop retained records now known globally
     // durable and wake the commit path.
     while (!retained_.empty() && retained_.front().lsn <= tracker_.vcl()) {
+      auto pg_it = retained_by_pg_.find(retained_.front().pg);
+      if (pg_it != retained_by_pg_.end() && --pg_it->second == 0) {
+        retained_by_pg_.erase(pg_it);
+      }
       retained_.pop_front();
     }
     AURORA_GAUGE_SET(m_retained_depth_, retained_.size());
@@ -258,8 +263,16 @@ void StorageDriver::UpdateDegraded() {
     }
   }
   AURORA_GAUGE_SET(m_degraded_pgs_, degraded_since_.size());
-  AURORA_GAUGE_SET(m_parked_records_,
-                   degraded_since_.empty() ? 0 : retained_.size());
+  AURORA_GAUGE_SET(m_parked_records_, ParkedRecords());
+}
+
+size_t StorageDriver::ParkedRecords() const {
+  size_t parked = 0;
+  for (const auto& [pg, since] : degraded_since_) {
+    auto it = retained_by_pg_.find(pg);
+    if (it != retained_by_pg_.end()) parked += it->second;
+  }
+  return parked;
 }
 
 void StorageDriver::ClearDegraded(ProtectionGroupId pg, SimTime now) {
@@ -275,9 +288,19 @@ void StorageDriver::ClearDegraded(ProtectionGroupId pg, SimTime now) {
 bool StorageDriver::AcceptingWrites() const {
   // Commits and already-submitted records keep draining through the
   // normal quorum machinery; only NEW writes are refused, and only once
-  // the parked backlog would otherwise grow without bound.
-  if (degraded_since_.empty()) return true;
-  return retained_.size() < options_.max_parked_records;
+  // some degraded PG's parked backlog would otherwise grow without
+  // bound. The budget is per degraded PG — in-flight records of healthy
+  // PGs never count — but the refusal is instance-wide, because a new
+  // write's target PG is unknown at admission time (it resolves through
+  // the B-tree only later).
+  for (const auto& [pg, since] : degraded_since_) {
+    auto it = retained_by_pg_.find(pg);
+    if (it != retained_by_pg_.end() &&
+        it->second >= options_.max_parked_records) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool StorageDriver::SegmentKnownHydrated(SegmentId segment) const {

@@ -51,9 +51,11 @@ struct DriverOptions {
   /// for this long has (transiently) lost its write quorum: the PG is
   /// marked degraded until the quorum resumes progress.
   SimDuration degraded_after = 250 * kMillisecond;
-  /// While any PG is degraded, new writes park in `retained_` awaiting
-  /// quorum. Past this bound the instance backpressures (rejects new
-  /// writes) instead of growing memory without limit.
+  /// While a PG is degraded, its writes park in `retained_` awaiting
+  /// quorum. The bound applies per degraded PG: once any degraded PG
+  /// holds this many parked records the instance backpressures (rejects
+  /// new writes) instead of growing memory without limit. Healthy-PG
+  /// traffic never counts against the budget.
   size_t max_parked_records = 8192;
 };
 
@@ -122,14 +124,20 @@ class StorageDriver {
   bool SegmentKnownHydrated(SegmentId segment) const;
 
   // -- Degraded mode (write-quorum loss; DESIGN.md §7) --------------------
-  /// False while a PG is degraded AND the parked-record budget is
-  /// exhausted: the instance must backpressure new writes.
+  /// False while some degraded PG's parked-record budget is exhausted:
+  /// the instance must backpressure new writes. The refusal is
+  /// necessarily instance-wide (admission happens before the target PG
+  /// is known), but the budget counts only records parked on degraded
+  /// PGs, so healthy-PG throughput cannot trip it.
   bool AcceptingWrites() const;
   bool IsDegraded(ProtectionGroupId pg) const {
     return degraded_since_.contains(pg);
   }
   size_t DegradedPgCount() const { return degraded_since_.size(); }
-  size_t ParkedRecords() const { return retained_.size(); }
+  /// Records retained for PGs currently degraded — the memory actually
+  /// parked awaiting write-quorum recovery (in-flight records of healthy
+  /// PGs are excluded).
+  size_t ParkedRecords() const;
 
   ConsistencyTracker& tracker() { return tracker_; }
   const DriverStats& stats() const { return stats_; }
@@ -196,6 +204,10 @@ class StorageDriver {
   /// instance, so the deque stays sorted — O(1) append on submit, O(1)
   /// front-pruning as VCL advances, binary search for retransmission.
   std::deque<log::RedoRecord> retained_;
+  /// Per-PG slice of `retained_` (kept in lockstep with the deque) so
+  /// degraded-mode backpressure can budget each degraded PG's parked
+  /// records without charging healthy-PG traffic.
+  std::map<ProtectionGroupId, size_t> retained_by_pg_;
 
   AdvanceCallback on_advance_;
   FencedCallback on_fenced_;

@@ -101,14 +101,20 @@ void FailureInjector::Flap(NodeId node, SimDuration period, int count) {
   const uint64_t gen = generation_;
   sim_->Schedule(down_delay, [this, node, period, count, gen]() {
     if (gen != generation_) return;
-    if (network_->IsUp(node)) {
+    // Only restart what this cycle crashed: if another fault (scripted
+    // crash, AZ outage, a concurrent schedule op) already has the node
+    // down, resurrecting it here would cut that fault's outage short and
+    // desynchronize the harness's crash bookkeeping.
+    const bool crashed_here = network_->IsUp(node);
+    if (crashed_here) {
       network_->Crash(node);
       ++node_failures_;
     }
     const SimDuration up_delay = Draw("flap_up_delay", node, period);
-    sim_->Schedule(up_delay, [this, node, period, count, gen]() {
+    sim_->Schedule(up_delay, [this, node, period, count, gen,
+                              crashed_here]() {
       if (gen != generation_) return;
-      network_->Restart(node);
+      if (crashed_here) network_->Restart(node);
       Flap(node, period, count - 1);
     }, "inj.flap_up");
   }, "inj.flap_down");

@@ -239,6 +239,72 @@ TEST(SelfHealing, PlannerRevertsWhenSuspectReturnsAndRevertFences) {
   monitor.Stop();
 }
 
+TEST(SelfHealing, AckObserverOutlivesDestroyedMonitor) {
+  // Regression: the DbInstance persists the monitor's ack observer and
+  // re-applies it to every rebuilt driver, so the lambda can fire after
+  // the monitor is gone. Destroying the monitor WITHOUT Stop() and then
+  // driving acked writes must be a no-op, not a use-after-free (asan
+  // config catches the dangling capture).
+  core::AuroraCluster cluster(SmallVolume(9007));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  {
+    core::HealthMonitor monitor(&cluster);
+    monitor.Start();
+    cluster.RunFor(200 * kMillisecond);  // a sweep installs the observer
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("a" + std::to_string(i), "v").ok());
+  }
+}
+
+TEST(SelfHealing, SclProbeQuorumRequiresDistinctResponders) {
+  // Regression: re-probe rounds must not let the SAME hydrated member
+  // satisfy the SCL probe quorum by replying repeatedly. With only two
+  // distinct members reachable, the planner has no read quorum to compute
+  // a safe hydration target from, and must stay in kProbing — beginning
+  // the change would install a replacement whose hydration target can sit
+  // below the durable point.
+  core::AuroraCluster cluster(SmallVolume(9006));
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.PutBlocking("q" + std::to_string(i), "v").ok());
+  }
+
+  core::HealthMonitor monitor(&cluster);
+  core::RepairPlanner planner(&cluster, &monitor);
+  monitor.Start();
+  planner.Start();
+
+  // Leave only two member-hosting nodes up: every probe round yields the
+  // same two hydrated responders.
+  const auto members = cluster.geometry().pgs().front().AllMembers();
+  ASSERT_EQ(members.size(), 6u);
+  for (int i = 0; i < 4; ++i) cluster.network().Crash(members[i].node);
+
+  // Long enough for many re-probe windows (probe_window=500ms): the buggy
+  // accumulator crossed the quorum gate on the second round.
+  cluster.RunFor(3 * kSecond);
+  ASSERT_GE(planner.stats().jobs_started, 1u) << "planner never reacted";
+  EXPECT_EQ(planner.stats().begun, 0u)
+      << "change begun without a read quorum of distinct SCL responders";
+  for (const auto& [id, job] : planner.jobs()) {
+    EXPECT_EQ(job.state, core::RepairPlanner::JobState::kProbing)
+        << "job for seg=" << id << " left kProbing";
+    EXPECT_LT(job.probe_responders.size(), 3u);
+  }
+
+  // Restore all but one crashed member: three-plus distinct responders
+  // are reachable again and the write quorum is back, so the gate opens
+  // and the remaining suspect gets repaired.
+  for (int i = 1; i < 4; ++i) cluster.network().Restart(members[i].node);
+  ASSERT_TRUE(cluster.RunUntil(
+      [&]() { return planner.stats().begun >= 1; }, 30 * kSecond))
+      << "planner never began once a probe quorum was reachable";
+
+  planner.Stop();
+  monitor.Stop();
+}
+
 TEST(SelfHealing, DegradedModeParksCommitsBoundedAndDrainsInScnOrder) {
   core::AuroraOptions options;
   options.seed = 9004;
