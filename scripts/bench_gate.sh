@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Perf regression gate: re-runs the two wall-clock benches in --quick mode
+# and compares their headline rates against the committed per-machine
+# reference numbers in bench/baselines/BENCH_*.json.
+#
+# The gate is a FLOOR, not a band: a fresh run must reach
+# AURORA_BENCH_TOLERANCE (default 0.30) of the baseline rate. That is
+# deliberately loose — absolute rates vary several-fold across hosts —
+# while still catching a lost integer factor (e.g. regressing the slab
+# event engine or the COW page store back to deep copies).
+#
+# Knobs for noisy machines (documented in EXPERIMENTS.md, C9 section):
+#   AURORA_BENCH_TOLERANCE=0.1  scripts/bench_gate.sh   # looser floor
+#   AURORA_BENCH_GATE=off       scripts/bench_gate.sh   # skip entirely
+#
+# Usage: scripts/bench_gate.sh [build-dir]   (default: ./build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${AURORA_BENCH_GATE:-on}" == "off" ]]; then
+  echo "bench_gate: skipped (AURORA_BENCH_GATE=off)"
+  exit 0
+fi
+
+TOLERANCE="${AURORA_BENCH_TOLERANCE:-0.30}"
+BUILD_DIR="${1:-build}"
+BASELINE_DIR="bench/baselines"
+
+if [[ ! -x "${BUILD_DIR}/bench/bench_c7_write_throughput" ||
+      ! -x "${BUILD_DIR}/bench/bench_c9_event_engine" ]]; then
+  echo "bench_gate: building benches in ${BUILD_DIR}"
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    >/dev/null
+  cmake --build "${BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)" \
+    --target bench_c7_write_throughput bench_c9_event_engine >/dev/null
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+echo "bench_gate: running bench_c7_write_throughput --quick"
+AURORA_BENCH_JSON_DIR="${TMP}" \
+  "${BUILD_DIR}/bench/bench_c7_write_throughput" --quick >/dev/null
+echo "bench_gate: running bench_c9_event_engine --quick"
+AURORA_BENCH_JSON_DIR="${TMP}" \
+  "${BUILD_DIR}/bench/bench_c9_event_engine" --quick >/dev/null
+
+# Extracts a numeric field from a flat BENCH_*.json.
+json_value() {
+  local file="$1" key="$2"
+  sed -n "s/^  \"${key}\": \([0-9.eE+-]*\),\{0,1\}$/\1/p" "${file}" | head -1
+}
+
+FAILED=0
+check_metric() {
+  local label="$1" fresh_file="$2" base_file="$3" key="$4"
+  local fresh base
+  fresh="$(json_value "${fresh_file}" "${key}")"
+  base="$(json_value "${base_file}" "${key}")"
+  if [[ -z "${fresh}" || -z "${base}" ]]; then
+    echo "bench_gate: FAIL ${label}.${key}: missing value" \
+         "(fresh='${fresh}' baseline='${base}')"
+    FAILED=1
+    return
+  fi
+  if awk -v f="${fresh}" -v b="${base}" -v t="${TOLERANCE}" \
+       'BEGIN { exit !(f + 0 >= (b + 0) * (t + 0)) }'; then
+    echo "bench_gate: ok   ${label}.${key}: ${fresh} >= ${TOLERANCE} * ${base}"
+  else
+    echo "bench_gate: FAIL ${label}.${key}: ${fresh} < ${TOLERANCE} * ${base}" \
+         "(floor $(awk -v b="${base}" -v t="${TOLERANCE}" 'BEGIN{printf "%.0f", b*t}'))"
+    FAILED=1
+  fi
+}
+
+for spec in \
+  "c7:BENCH_c7_write_throughput.json:records_per_sec" \
+  "c7:BENCH_c7_write_throughput.json:events_per_sec" \
+  "c9:BENCH_c9_event_engine.json:events_per_sec" \
+  "c9:BENCH_c9_event_engine.json:cancel_mix_ops_per_sec"; do
+  IFS=: read -r label file key <<<"${spec}"
+  if [[ ! -f "${BASELINE_DIR}/${file}" ]]; then
+    echo "bench_gate: FAIL missing baseline ${BASELINE_DIR}/${file}"
+    FAILED=1
+    continue
+  fi
+  check_metric "${label}" "${TMP}/${file}" "${BASELINE_DIR}/${file}" "${key}"
+done
+
+if [[ ${FAILED} -ne 0 ]]; then
+  echo "bench_gate: FAILED — perf floor breached (or baselines missing)."
+  echo "  On a slow/noisy host: AURORA_BENCH_TOLERANCE=0.1 or AURORA_BENCH_GATE=off."
+  echo "  After a deliberate perf change: refresh bench/baselines/ via"
+  echo "  AURORA_BENCH_JSON_DIR=bench/baselines <bench> --quick and commit."
+  exit 1
+fi
+echo "bench_gate: green (tolerance ${TOLERANCE})"

@@ -81,5 +81,14 @@ done
 if [[ ${CAMPAIGN} -eq 1 ]]; then
   echo "=== campaign green: ${CONFIGS[*]} ==="
 else
+  # Perf floor vs committed bench/baselines (skippable: AURORA_BENCH_GATE=off,
+  # tunable: AURORA_BENCH_TOLERANCE; see scripts/bench_gate.sh). Runs on the
+  # plain build only — sanitized binaries measure the sanitizer, not the code.
+  for config in "${CONFIGS[@]}"; do
+    if [[ ${config} == plain ]]; then
+      echo "=== bench_gate (plain) ==="
+      scripts/bench_gate.sh build-check/plain
+    fi
+  done
   echo "=== all configs green: ${CONFIGS[*]} ==="
 fi

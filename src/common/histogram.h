@@ -41,6 +41,13 @@ class Histogram {
   /// One-line summary: "n=... mean=... p50=... p99=... max=..." (all us).
   std::string Summary() const;
 
+  /// Exposes the bucket index mapping so tests can pin the boundaries.
+  /// Record() is O(1): index = msb via countl_zero + 4 linear sub-bucket
+  /// bits — no linear scan over bucket edges.
+  static int BucketIndexForTest(SimDuration value) {
+    return BucketFor(value);
+  }
+
  private:
   static constexpr int kSubBucketBits = 4;
   static constexpr int kSubBuckets = 1 << kSubBucketBits;

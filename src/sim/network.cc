@@ -152,8 +152,7 @@ SimDuration Network::SampleLatency(NodeId from, NodeId to, uint64_t bytes) {
   return static_cast<SimDuration>(std::max(1.0, lat));
 }
 
-void Network::Send(NodeId from, NodeId to, uint64_t bytes,
-                   std::function<void()> deliver) {
+Network::SendPlan Network::PlanSend(NodeId from, NodeId to, uint64_t bytes) {
   stats_.messages_sent++;
   stats_.bytes_sent += bytes;
   AURORA_COUNT(M().messages_sent, 1);
@@ -164,31 +163,30 @@ void Network::Send(NodeId from, NodeId to, uint64_t bytes,
   if (!src_it->second.up || !dst_it->second.up || IsPartitioned(from, to)) {
     stats_.messages_dropped++;
     AURORA_COUNT(M().messages_dropped, 1);
-    return;
+    return SendPlan{};
   }
   SimDuration latency = SampleLatency(from, to, bytes);
   if (options_.fifo_links) {
     const uint64_t link = (static_cast<uint64_t>(from) << 32) | to;
     SimTime& last = link_clock_[link];
-    const SimTime deliver_at =
-        std::max(sim_->Now() + latency, last + 1);
+    const SimTime deliver_at = std::max(sim_->Now() + latency, last + 1);
     latency = deliver_at - sim_->Now();
     last = deliver_at;
   }
-  const uint64_t dst_incarnation = dst_it->second.incarnation;
-  sim_->Schedule(latency, [this, to, bytes, dst_incarnation,
-                           deliver = std::move(deliver)]() {
-    auto it = nodes_.find(to);
-    if (it == nodes_.end() || !it->second.up ||
-        it->second.incarnation != dst_incarnation) {
-      stats_.messages_dropped++;
-      AURORA_COUNT(M().messages_dropped, 1);
-      return;
-    }
-    stats_.messages_delivered++;
-    stats_.bytes_delivered += bytes;
-    deliver();
-  }, "net.deliver");
+  return SendPlan{true, latency, dst_it->second.incarnation};
+}
+
+bool Network::Arrives(NodeId to, uint64_t dst_incarnation, uint64_t bytes) {
+  auto it = nodes_.find(to);
+  if (it == nodes_.end() || !it->second.up ||
+      it->second.incarnation != dst_incarnation) {
+    stats_.messages_dropped++;
+    AURORA_COUNT(M().messages_dropped, 1);
+    return false;
+  }
+  stats_.messages_delivered++;
+  stats_.bytes_delivered += bytes;
+  return true;
 }
 
 }  // namespace aurora::sim

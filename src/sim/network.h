@@ -98,9 +98,21 @@ class Network {
   /// latency if both endpoints are alive at delivery time and the pair is
   /// not partitioned. Messages in flight when the destination crashes are
   /// dropped (at-most-once delivery, §2.3: "any given write may be lost
-  /// for any reason").
-  void Send(NodeId from, NodeId to, uint64_t bytes,
-            std::function<void()> deliver);
+  /// for any reason"). Templated on the delivery callable so the closure
+  /// moves straight into the event slab — no std::function heap hop on the
+  /// per-message hot path.
+  template <typename F>
+  void Send(NodeId from, NodeId to, uint64_t bytes, F&& deliver) {
+    const SendPlan plan = PlanSend(from, to, bytes);
+    if (!plan.deliverable) return;
+    sim_->Schedule(
+        plan.latency,
+        [this, to, bytes, incarnation = plan.dst_incarnation,
+         deliver = std::forward<F>(deliver)]() mutable {
+          if (Arrives(to, incarnation, bytes)) deliver();
+        },
+        "net.deliver");
+  }
 
   /// Samples the one-way latency the next Send(from, to) would see.
   SimDuration SampleLatency(NodeId from, NodeId to, uint64_t bytes);
@@ -120,6 +132,16 @@ class Network {
     double slowdown = 1.0;
     NodeLifecycleListener* listener = nullptr;
   };
+
+  /// Send-time accounting + routing decision (non-template half of Send).
+  struct SendPlan {
+    bool deliverable = false;
+    SimDuration latency = 0;
+    uint64_t dst_incarnation = 0;
+  };
+  SendPlan PlanSend(NodeId from, NodeId to, uint64_t bytes);
+  /// Delivery-time liveness check + accounting; true if `deliver` runs.
+  bool Arrives(NodeId to, uint64_t dst_incarnation, uint64_t bytes);
 
   uint64_t PairKey(NodeId a, NodeId b) const;
 

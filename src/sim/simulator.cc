@@ -8,46 +8,91 @@ namespace aurora::sim {
 
 namespace {
 constexpr size_t kInitialQueueCapacity = 1024;
+/// Below this heap size tombstone compaction is not worth the rebuild.
+constexpr size_t kCompactMinEntries = 64;
 }  // namespace
 
 Simulator::Simulator(uint64_t seed) : rng_(seed) {
-  queue_.reserve(kInitialQueueCapacity);
+  heap_.reserve(kInitialQueueCapacity);
+  slots_.reserve(kInitialQueueCapacity);
 }
 
-EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn,
+Simulator::~Simulator() = default;
+
+EventId Simulator::Schedule(SimDuration delay, SimCallback fn,
                             const char* label) {
   assert(delay >= 0);
   return ScheduleAt(now_ + delay, std::move(fn), label);
 }
 
-EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn,
+uint32_t Simulator::AllocSlot() {
+  if (free_head_ != 0) {
+    const uint32_t index = free_head_ - 1;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::ReleaseSlot(uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn = SimCallback();  // destroy the closure (and its captures) now
+  slot.generation++;        // invalidates outstanding ids and heap entries
+  slot.next_free = free_head_;
+  free_head_ = index + 1;
+}
+
+EventId Simulator::ScheduleAt(SimTime when, SimCallback fn,
                               const char* label) {
   assert(when >= now_);
-  const EventId id = next_id_++;
-  queue_.push_back(Event{when, next_seq_++, id, label, std::move(fn)});
-  std::push_heap(queue_.begin(), queue_.end(), EventGreater{});
-  live_.insert(id);
-  return id;
+  const uint32_t index = AllocSlot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.label = label;
+  // The fire time is already known, so the full trace digest is computed
+  // once here; execution just mixes the stored value into the fingerprint.
+  slot.digest = Trace::EventDigest(when, label);
+  heap_.push_back(HeapEntry{when, next_seq_++, index, slot.generation});
+  std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
+  ++live_count_;
+  return (static_cast<EventId>(slot.generation) << 32) |
+         static_cast<EventId>(index + 1);
 }
 
 void Simulator::Cancel(EventId id) {
-  // Erasing from the live set is the whole cancellation; the heap entry is
-  // discarded when it surfaces. An already-fired (or never-scheduled) id is
-  // absent, so this is a clean no-op rather than a permanently retained
-  // tombstone.
-  if (id != kInvalidEvent) live_.erase(id);
+  if (id == kInvalidEvent) return;
+  const uint32_t index = static_cast<uint32_t>(id & 0xffffffffu) - 1;
+  const uint32_t generation = static_cast<uint32_t>(id >> 32);
+  // A stale id (already fired, already cancelled, or from a recycled slot)
+  // fails the generation check and is a clean no-op.
+  if (index >= slots_.size() || slots_[index].generation != generation) {
+    return;
+  }
+  ReleaseSlot(index);
+  --live_count_;
+  ++dead_in_heap_;
+  if (dead_in_heap_ > heap_.size() / 2 && heap_.size() >= kCompactMinEntries) {
+    CompactHeap();
+  }
 }
 
-Simulator::Event Simulator::PopEvent() {
-  std::pop_heap(queue_.begin(), queue_.end(), EventGreater{});
-  Event ev = std::move(queue_.back());
-  queue_.pop_back();
-  return ev;
+void Simulator::CompactHeap() {
+  std::erase_if(heap_, [this](const HeapEntry& e) { return !SlotLive(e); });
+  std::make_heap(heap_.begin(), heap_.end(), HeapGreater{});
+  dead_in_heap_ = 0;
 }
 
-void Simulator::ObserveExecuted(SimTime at, const char* label) {
-  const uint64_t digest = Trace::EventDigest(at, label);
-  fingerprint_ = Trace::MixFingerprint(fingerprint_, digest);
+void Simulator::PruneDeadTop() {
+  while (!heap_.empty() && !SlotLive(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+    heap_.pop_back();
+    --dead_in_heap_;
+  }
+}
+
+void Simulator::ObserveExecuted(SimTime at, const char* label,
+                                uint64_t digest) {
   if (trace_out_ != nullptr) {
     trace_out_->events.push_back(TraceEventRecord{at, label, digest});
   }
@@ -65,14 +110,28 @@ void Simulator::ObserveExecuted(SimTime at, const char* label) {
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    Event ev = PopEvent();
-    if (live_.erase(ev.id) == 0) continue;  // cancelled
-    assert(ev.time >= now_);
-    now_ = ev.time;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+    const HeapEntry entry = heap_.back();
+    heap_.pop_back();
+    if (!SlotLive(entry)) {  // cancelled; tombstone reclaimed here
+      --dead_in_heap_;
+      continue;
+    }
+    Slot& slot = slots_[entry.slot];
+    assert(entry.time >= now_);
+    now_ = entry.time;
     ++executed_;
-    ObserveExecuted(ev.time, ev.label);
-    ev.fn();
+    fingerprint_ = Trace::MixFingerprint(fingerprint_, slot.digest);
+    if (trace_out_ != nullptr || replay_ != nullptr) {
+      ObserveExecuted(entry.time, slot.label, slot.digest);
+    }
+    // Move the callback out and recycle the slot BEFORE invoking: the
+    // callback may schedule new events (possibly reusing this very slot).
+    SimCallback fn = std::move(slot.fn);
+    ReleaseSlot(entry.slot);
+    --live_count_;
+    fn();
     if (inspector_ && executed_ % inspect_every_ == 0) inspector_();
     return true;
   }
@@ -85,9 +144,12 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(SimTime deadline) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.front();
-    if (top.time > deadline) break;
+  for (;;) {
+    // Reclaim tombstones at the top so the deadline check sees the event
+    // that would actually fire next (a cancelled entry inside the window
+    // must not smuggle a live event from beyond the deadline into Step).
+    PruneDeadTop();
+    if (heap_.empty() || heap_.front().time > deadline) break;
     Step();
   }
   if (now_ < deadline) now_ = deadline;

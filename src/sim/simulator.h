@@ -4,22 +4,31 @@
 // protocol components run as callbacks on a single virtual clock; identical
 // seeds produce identical executions, which makes the failure-injection
 // tests and the latency-shape benchmarks reproducible.
+//
+// Engine internals (DESIGN.md §8): events live in a slab of recycled slots
+// (callback + trace digest), the ready queue is a binary heap over compact
+// 24-byte (time, seq, slot, generation) keys, and EventId encodes the slot
+// index plus a generation tag so Cancel() and liveness checks are O(1)
+// array operations — no per-event hash-set bookkeeping, and heap sifts
+// never move closures.
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/random.h"
 #include "src/common/types.h"
+#include "src/sim/callback.h"
 #include "src/sim/trace.h"
 
 namespace aurora::sim {
 
-/// Identifies a scheduled event; usable with Cancel().
+/// Identifies a scheduled event; usable with Cancel(). Encodes
+/// (generation << 32) | (slot index + 1); the generation tag makes a stale
+/// id (already fired or cancelled) a harmless no-op.
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
@@ -34,19 +43,22 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  ~Simulator();
+
   SimTime Now() const { return now_; }
 
   /// Schedules `fn` to run at Now() + delay (delay >= 0). `label` names the
   /// schedule site in captured traces (must be a string literal or outlive
   /// the event); unlabeled events trace as "".
-  EventId Schedule(SimDuration delay, std::function<void()> fn,
-                   const char* label = "");
+  EventId Schedule(SimDuration delay, SimCallback fn, const char* label = "");
 
   /// Schedules at an absolute virtual time (>= Now()).
-  EventId ScheduleAt(SimTime when, std::function<void()> fn,
-                     const char* label = "");
+  EventId ScheduleAt(SimTime when, SimCallback fn, const char* label = "");
 
-  /// Best-effort cancellation; a no-op if already fired or unknown.
+  /// Best-effort cancellation; a no-op if already fired or unknown. The
+  /// callback (and everything it captured) is destroyed immediately — a
+  /// cancelled far-future event does not pin its captures until the heap
+  /// entry surfaces.
   void Cancel(EventId id);
 
   /// Runs until the event queue is empty.
@@ -62,8 +74,8 @@ class Simulator {
   bool Step();
 
   /// Number of scheduled events that will still fire (cancelled events are
-  /// excluded, whether or not their heap slot has been reclaimed).
-  size_t PendingEvents() const { return live_.size(); }
+  /// excluded, whether or not their heap entry has been reclaimed).
+  size_t PendingEvents() const { return live_count_; }
   uint64_t ExecutedEvents() const { return executed_; }
 
   /// Running FNV-1a digest over every executed event (time + label), in
@@ -119,36 +131,66 @@ class Simulator {
   }
   void ClearInspector() { inspector_ = nullptr; }
 
+  // -- Introspection for engine tests (not part of the public contract) ---
+  /// Heap entries currently held, live and tombstoned alike.
+  size_t HeapEntriesForTest() const { return heap_.size(); }
+  /// Tombstoned (cancelled but not yet reclaimed) heap entries.
+  size_t DeadHeapEntriesForTest() const { return dead_in_heap_; }
+
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;  // FIFO tie-break for equal timestamps
-    EventId id;
-    const char* label;  // trace label; string literal, never owned
-    std::function<void()> fn;
+  /// Slab slot: callback plus the trace identity of the scheduled event.
+  /// The digest is precomputed at schedule time (the fire time is known
+  /// then), so the per-execution trace cost is one integer mix instead of
+  /// an FNV pass over the label string.
+  struct Slot {
+    SimCallback fn;
+    uint64_t digest = 0;
+    const char* label = "";   // string literal, never owned
+    uint32_t generation = 0;  // bumped on every release; tags EventId
+    uint32_t next_free = 0;   // freelist link (index + 1; 0 = end)
   };
-  struct EventGreater {
-    bool operator()(const Event& a, const Event& b) const {
+
+  /// Compact heap key: 24 bytes, no closure movement during sifts.
+  struct HeapEntry {
+    SimTime time;
+    uint64_t seq;    // FIFO tie-break for equal timestamps
+    uint32_t slot;
+    uint32_t generation;
+  };
+  struct HeapGreater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  /// Pops the min event off the heap by move (std::priority_queue only
-  /// exposes a const top(), forcing a deep copy of the closure and any
-  /// captured request payloads).
-  Event PopEvent();
+  uint32_t AllocSlot();
+  /// Destroys the slot's callback, bumps the generation (invalidating any
+  /// outstanding EventId / heap entry), and returns it to the freelist.
+  void ReleaseSlot(uint32_t index);
+  bool SlotLive(const HeapEntry& e) const {
+    return slots_[e.slot].generation == e.generation;
+  }
+  /// Rebuilds the heap without tombstones once they dominate it.
+  void CompactHeap();
+  /// Pops tombstones off the heap top so front() is the next live event.
+  void PruneDeadTop();
+
+  /// Trace/verify one executed event (called from Step before `fn` runs;
+  /// the fingerprint mix itself stays inline in Step).
+  void ObserveExecuted(SimTime at, const char* label, uint64_t digest);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   uint64_t executed_ = 0;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = 0;  // index + 1; 0 = empty freelist
+  size_t live_count_ = 0;
   /// Min-heap via std::push_heap/std::pop_heap over a plain vector.
-  std::vector<Event> queue_;
-  /// Ids scheduled and neither fired nor cancelled. Cancel() simply erases
-  /// here; Step() discards heap entries whose id is no longer live, so a
-  /// cancel can never leak bookkeeping past the event's pop.
-  std::unordered_set<EventId> live_;
+  std::vector<HeapEntry> heap_;
+  /// Cancelled entries still parked in the heap. Compaction triggers when
+  /// they outnumber the live half.
+  size_t dead_in_heap_ = 0;
   Rng rng_;
   uint64_t inspect_every_ = 1;
   std::function<void()> inspector_;
@@ -158,9 +200,6 @@ class Simulator {
   const Trace* replay_ = nullptr;
   size_t replay_cursor_ = 0;
   std::string replay_divergence_;
-
-  /// Trace/verify one executed event (called from Step before `fn` runs).
-  void ObserveExecuted(SimTime at, const char* label);
 };
 
 }  // namespace aurora::sim

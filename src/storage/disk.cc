@@ -7,16 +7,16 @@ namespace aurora::storage {
 SimDisk::SimDisk(sim::Simulator* sim, DiskOptions options)
     : sim_(sim), options_(options), rng_(sim->rng().Fork()) {}
 
-void SimDisk::SubmitWrite(uint64_t bytes, std::function<void()> done) {
+void SimDisk::SubmitWrite(uint64_t bytes, sim::SimCallback done) {
   Submit(true, bytes, std::move(done));
 }
 
-void SimDisk::SubmitRead(uint64_t bytes, std::function<void()> done) {
+void SimDisk::SubmitRead(uint64_t bytes, sim::SimCallback done) {
   Submit(false, bytes, std::move(done));
 }
 
 void SimDisk::Submit(bool is_write, uint64_t bytes,
-                     std::function<void()> done) {
+                     sim::SimCallback done) {
   const auto& dist =
       is_write ? options_.write_latency : options_.read_latency;
   double service = static_cast<double>(dist.Sample(rng_));
@@ -37,7 +37,7 @@ void SimDisk::StartNext() {
   Op op = std::move(queue_.front());
   queue_.pop_front();
   sim_->Schedule(op.service_time, [this, enqueued_at = op.enqueued_at,
-                                   done = std::move(op.done)]() {
+                                   done = std::move(op.done)]() mutable {
     op_latency_.Record(sim_->Now() - enqueued_at);
     ops_completed_++;
     done();

@@ -33,8 +33,8 @@ class SimDisk {
  public:
   SimDisk(sim::Simulator* sim, DiskOptions options = {});
 
-  void SubmitWrite(uint64_t bytes, std::function<void()> done);
-  void SubmitRead(uint64_t bytes, std::function<void()> done);
+  void SubmitWrite(uint64_t bytes, sim::SimCallback done);
+  void SubmitRead(uint64_t bytes, sim::SimCallback done);
 
   size_t QueueDepth() const { return queue_.size() + (busy_ ? 1 : 0); }
   const Histogram& op_latency() const { return op_latency_; }
@@ -44,10 +44,10 @@ class SimDisk {
   struct Op {
     SimDuration service_time;
     SimTime enqueued_at;
-    std::function<void()> done;
+    sim::SimCallback done;
   };
 
-  void Submit(bool is_write, uint64_t bytes, std::function<void()> done);
+  void Submit(bool is_write, uint64_t bytes, sim::SimCallback done);
   void StartNext();
 
   sim::Simulator* sim_;

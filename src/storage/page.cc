@@ -121,20 +121,18 @@ Status ApplyPageOp(Page* page, const PageOp& op, Lsn lsn) {
       page->prev = kInvalidBlock;
       break;
     case PageOpType::kInsert:
-      page->entries[op.key] = op.value;
+      page->entries.Upsert(op.key, op.value);
       break;
     case PageOpType::kErase:
-      page->entries.erase(op.key);
+      page->entries.Erase(op.key);
       break;
     case PageOpType::kSetLinks:
       page->next = op.next;
       page->prev = op.prev;
       break;
-    case PageOpType::kTruncateFrom: {
-      auto it = page->entries.lower_bound(op.key);
-      page->entries.erase(it, page->entries.end());
+    case PageOpType::kTruncateFrom:
+      page->entries.TruncateFrom(op.key);
       break;
-    }
   }
   page->page_lsn = lsn;
   return Status::OK();

@@ -62,7 +62,7 @@ void StorageNode::HandleWrite(const WriteRequest& request,
   uint64_t bytes = 0;
   for (const auto& r : request.records) bytes += r.SerializedSize();
   disk_.SubmitWrite(bytes, [this, request, reply = std::move(reply),
-                            segment]() {
+                            segment]() mutable {
     if (!IsUp()) return;  // crashed mid-I/O: write lost, never acked
     Status st = segment->Append(request.records);
     reply(WriteAck{request.segment, std::move(st), segment->scl(),
@@ -94,7 +94,7 @@ void StorageNode::HandleReadPage(const ReadPageRequest& request,
     segment->ObservePgmrpl(request.pgmrpl);
   }
   disk_.SubmitRead(4096, [this, request, reply = std::move(reply),
-                          segment]() {
+                          segment]() mutable {
     if (!IsUp()) return;
     auto page = segment->ReadPage(request.block, request.read_lsn);
     if (!page.ok()) {
@@ -193,7 +193,7 @@ void StorageNode::HandleHydration(const HydrationRequest& request,
     return;
   }
   disk_.SubmitRead(64 * 1024, [reply = std::move(reply), segment, request,
-                               this]() {
+                               this]() mutable {
     if (!IsUp()) return;
     reply(segment->BuildHydration(request));
   });

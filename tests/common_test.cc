@@ -202,6 +202,33 @@ TEST(Histogram, ResetClears) {
   EXPECT_EQ(h.max(), 0);
 }
 
+TEST(Histogram, BucketBoundariesArePinned) {
+  // The bucket layout (64 log2 majors x 16 linear sub-buckets) is part of
+  // the percentile-accuracy contract. Pin exact edges so any change to the
+  // O(1) index computation that shifts a boundary fails loudly rather than
+  // silently skewing every reported latency.
+  for (SimDuration v = 0; v < 16; ++v) {
+    EXPECT_EQ(Histogram::BucketIndexForTest(v), static_cast<int>(v));
+  }
+  EXPECT_EQ(Histogram::BucketIndexForTest(-7), 0);  // clamped
+  EXPECT_EQ(Histogram::BucketIndexForTest(16), 16);
+  EXPECT_EQ(Histogram::BucketIndexForTest(31), 31);
+  EXPECT_EQ(Histogram::BucketIndexForTest(32), 32);   // major 2 starts
+  EXPECT_EQ(Histogram::BucketIndexForTest(33), 32);   // 2-wide sub-buckets
+  EXPECT_EQ(Histogram::BucketIndexForTest(34), 33);
+  EXPECT_EQ(Histogram::BucketIndexForTest(63), 47);
+  EXPECT_EQ(Histogram::BucketIndexForTest(64), 48);
+  EXPECT_EQ(Histogram::BucketIndexForTest(1LL << 40), (40 - 4 + 1) * 16);
+  // Monotone non-decreasing, never skipping more than one bucket.
+  int prev = 0;
+  for (SimDuration v = 1; v < 4096; ++v) {
+    const int b = Histogram::BucketIndexForTest(v);
+    EXPECT_GE(b, prev) << "v=" << v;
+    EXPECT_LE(b, prev + 1) << "v=" << v;
+    prev = b;
+  }
+}
+
 // ---------------------------------------------------------------------- //
 // CRC32C
 

@@ -18,6 +18,7 @@ struct RunFingerprint {
   uint64_t net_bytes = 0;
   uint64_t fleet_received = 0;
   uint64_t executed_events = 0;
+  uint64_t schedule_fingerprint = 0;
 
   bool operator==(const RunFingerprint&) const = default;
 };
@@ -53,6 +54,7 @@ RunFingerprint RunScenario(uint64_t seed) {
   fp.end_time = cluster.sim().Now();
   fp.net_bytes = cluster.network().stats().bytes_delivered;
   fp.executed_events = cluster.sim().ExecutedEvents();
+  fp.schedule_fingerprint = cluster.sim().ScheduleFingerprint();
   for (const auto& node : cluster.storage_nodes()) {
     for (const auto& [id, segment] : node->segments()) {
       fp.fleet_received += segment->stats().records_received;
@@ -85,6 +87,10 @@ TEST(Determinism, MatchesPreZeroCopyGoldenFingerprint) {
   EXPECT_EQ(fp.end_time, 692849);
   EXPECT_EQ(fp.net_bytes, 282281u);
   EXPECT_EQ(fp.executed_events, 3015u);
+  // Schedule fingerprint over every executed (time, label) pair, captured
+  // from the tree BEFORE the slab event-engine rewrite (PR 5). The engine
+  // overhaul must not reorder, add, or drop a single event.
+  EXPECT_EQ(fp.schedule_fingerprint, 7622140960106289882ULL);
 }
 
 TEST(Determinism, DifferentSeedsDivergeInTiming) {

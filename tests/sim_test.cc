@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/sim/failure_injector.h"
@@ -109,6 +113,160 @@ TEST(Simulator, NestedSchedulingFromEvents) {
   });
   sim.Run();
   EXPECT_EQ(inner_time, 15);
+}
+
+TEST(Simulator, CancelReleasesClosureStateImmediately) {
+  // Cancelling must destroy the captured closure at Cancel() time, not
+  // when the tombstoned heap entry eventually pops: a retained shared_ptr
+  // would otherwise pin arbitrary object graphs (pages, sockets) for the
+  // remaining simulated lifetime of the dead event.
+  Simulator sim;
+  auto payload = std::make_shared<int>(42);
+  std::weak_ptr<int> observer = payload;
+  EventId id = sim.Schedule(1000000, [payload]() { (void)*payload; });
+  payload.reset();
+  EXPECT_FALSE(observer.expired()) << "closure should hold the last ref";
+  sim.Cancel(id);
+  EXPECT_TRUE(observer.expired())
+      << "cancel must release the captured state promptly";
+  sim.Run();
+  EXPECT_EQ(sim.ExecutedEvents(), 0u);
+}
+
+TEST(Simulator, StaleIdAfterSlotReuseIsHarmless) {
+  Simulator sim;
+  EventId old_id = sim.Schedule(10, []() {});
+  sim.Cancel(old_id);
+  // The freed slot is recycled for the next event; the stale id carries
+  // the old generation and must not be able to cancel the new tenant.
+  bool ran = false;
+  sim.Schedule(20, [&]() { ran = true; });
+  sim.Cancel(old_id);
+  sim.Cancel(old_id);
+  sim.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.ExecutedEvents(), 1u);
+}
+
+TEST(Simulator, TombstoneCompactionReclaimsHeapEntries) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  const size_t n = 256;
+  for (size_t i = 0; i < n; ++i) {
+    ids.push_back(sim.Schedule(static_cast<SimDuration>(10 + i), []() {}));
+  }
+  EXPECT_EQ(sim.HeapEntriesForTest(), n);
+  // Cancel most events: once tombstones exceed half the heap, compaction
+  // must rebuild it instead of letting dead entries accumulate.
+  for (size_t i = 0; i < n - 8; ++i) sim.Cancel(ids[i]);
+  EXPECT_EQ(sim.PendingEvents(), 8u);
+  EXPECT_LT(sim.HeapEntriesForTest(), n / 2)
+      << "compaction should have shed the tombstones";
+  EXPECT_LE(sim.DeadHeapEntriesForTest(), sim.HeapEntriesForTest());
+  sim.Run();
+  EXPECT_EQ(sim.ExecutedEvents(), 8u);
+  EXPECT_EQ(sim.HeapEntriesForTest(), 0u);
+  EXPECT_EQ(sim.DeadHeapEntriesForTest(), 0u);
+}
+
+TEST(Simulator, CancelHeavyInterleavedOrdering) {
+  // Interleave schedules and cancels (the retry-timer pattern: most
+  // timers are armed and disarmed without firing) and verify survivors
+  // run in exact (time, seq) order.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> cancellable;
+  for (int round = 0; round < 50; ++round) {
+    // Two keepers and two victims per round, at colliding timestamps.
+    const SimDuration when = 10 + (round % 7);
+    sim.Schedule(when, [&order, round]() { order.push_back(round * 2); });
+    cancellable.push_back(sim.Schedule(when, [&order]() {
+      order.push_back(-1);  // must never run
+    }));
+    sim.Schedule(when + 3, [&order, round]() {
+      order.push_back(round * 2 + 1);
+    });
+    cancellable.push_back(sim.Schedule(when + 3, [&order]() {
+      order.push_back(-1);
+    }));
+    if (round % 2 == 0) {
+      // Cancel this round's victims immediately...
+      sim.Cancel(cancellable[cancellable.size() - 2]);
+      sim.Cancel(cancellable.back());
+      cancellable.resize(cancellable.size() - 2);
+    }
+  }
+  // ...and the accumulated odd-round victims before running.
+  for (EventId id : cancellable) sim.Cancel(id);
+  sim.Run();
+  ASSERT_EQ(order.size(), 100u);
+  // Survivors must be sorted by (time, seq): reconstruct expected order.
+  std::vector<std::pair<SimTime, int>> expected;
+  for (int round = 0; round < 50; ++round) {
+    expected.push_back({10 + (round % 7), round * 2});
+    expected.push_back({10 + (round % 7) + 3, round * 2 + 1});
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(order[i], expected[i].second) << "position " << i;
+  }
+}
+
+TEST(Simulator, RunUntilDeadlineBoundary) {
+  Simulator sim;
+  bool at_deadline = false;
+  bool after_deadline = false;
+  sim.Schedule(50, [&]() { at_deadline = true; });
+  sim.Schedule(51, [&]() { after_deadline = true; });
+  sim.RunUntil(50);
+  // An event exactly AT the deadline runs; one past it stays pending.
+  EXPECT_TRUE(at_deadline);
+  EXPECT_FALSE(after_deadline);
+  EXPECT_EQ(sim.Now(), 50);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_TRUE(after_deadline);
+}
+
+TEST(Simulator, RunUntilIgnoresCancelledTopBeyondDeadline) {
+  // A cancelled event at the top of the heap with time <= deadline must
+  // not trick RunUntil into executing the next LIVE event beyond the
+  // deadline: dead entries are pruned before the deadline check.
+  Simulator sim;
+  EventId dead = sim.Schedule(40, []() {});
+  bool beyond_ran = false;
+  sim.Schedule(60, [&]() { beyond_ran = true; });
+  sim.Cancel(dead);
+  sim.RunUntil(50);
+  EXPECT_FALSE(beyond_ran);
+  EXPECT_EQ(sim.Now(), 50);
+  EXPECT_EQ(sim.ExecutedEvents(), 0u);
+  sim.RunUntil(60);
+  EXPECT_TRUE(beyond_ran);
+}
+
+TEST(Simulator, LargeClosureSpillsToPoolAndRuns) {
+  // Captures beyond the inline small-buffer budget take the closure-pool
+  // path; behaviour (ordering, cancel, destruction) must be identical.
+  Simulator sim;
+  std::array<uint64_t, 40> big{};  // 320 bytes, well past the inline cap
+  for (size_t i = 0; i < big.size(); ++i) big[i] = i;
+  uint64_t sum = 0;
+  sim.Schedule(10, [big, &sum]() {
+    for (uint64_t v : big) sum += v;
+  });
+  auto payload = std::make_shared<int>(7);
+  std::weak_ptr<int> observer = payload;
+  EventId spill = sim.Schedule(20, [big, payload]() { (void)*payload; });
+  payload.reset();
+  sim.Cancel(spill);
+  EXPECT_TRUE(observer.expired())
+      << "pooled closure must also release state at cancel";
+  sim.Run();
+  EXPECT_EQ(sum, (big.size() - 1) * big.size() / 2);
 }
 
 TEST(Network, DeliversWithLatency) {

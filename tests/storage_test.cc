@@ -106,6 +106,36 @@ TEST(PageOps, ApplySequence) {
   EXPECT_TRUE(page.entries.empty());
 }
 
+TEST(PageOps, CopiedVersionsShareUntouchedEntries) {
+  // Coalescing materializes one page version per applied record; the COW
+  // entry store must make that copy O(entries) pointer work, with every
+  // unmodified entry physically shared between adjacent versions.
+  Page v1;
+  ASSERT_TRUE(ApplyPageOp(&v1, FormatOp(), 1).ok());
+  ASSERT_TRUE(ApplyPageOp(&v1, InsertOp("a", "1"), 2).ok());
+  ASSERT_TRUE(ApplyPageOp(&v1, InsertOp("b", "2"), 3).ok());
+  ASSERT_TRUE(ApplyPageOp(&v1, InsertOp("c", "3"), 4).ok());
+
+  Page v2 = v1;
+  ASSERT_TRUE(ApplyPageOp(&v2, InsertOp("b", "new"), 5).ok());
+
+  // Same Entry objects for untouched keys (address equality), a fresh one
+  // for the overwritten key, and the old version is unperturbed.
+  EXPECT_EQ(&*v1.entries.find("a"), &*v2.entries.find("a"));
+  EXPECT_EQ(&*v1.entries.find("c"), &*v2.entries.find("c"));
+  EXPECT_NE(&*v1.entries.find("b"), &*v2.entries.find("b"));
+  EXPECT_EQ(v1.entries.at("b"), "2");
+  EXPECT_EQ(v2.entries.at("b"), "new");
+
+  // Content equality still behaves like a value type.
+  Page v3 = v2;
+  EXPECT_TRUE(v3 == v2);
+  EXPECT_FALSE(v1 == v2);
+  ASSERT_TRUE(ApplyPageOp(&v3, InsertOp("d", "4"), 6).ok());
+  EXPECT_FALSE(v3 == v2);
+  EXPECT_EQ(v2.entries.size(), 3u);
+}
+
 // ---------------------------------------------------------------------- //
 // SegmentStore: write path + SCL
 

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 
 #include "src/core/chaos_harness.h"
@@ -67,6 +68,46 @@ TEST(TraceReplay, ChaosRunRoundTripsBitIdentically) {
   EXPECT_EQ(replayed.vdl, original.vdl);
   EXPECT_EQ(replayed.executed_events, original.executed_events);
   EXPECT_EQ(replayed.end_time, original.end_time);
+}
+
+TEST(TraceReplay, PreRefactorGoldenTraceReplays) {
+  // A trace captured BEFORE the slab event-engine rewrite (PR 5) and
+  // committed as a fixture. The engine overhaul is a pure representation
+  // change: re-running the same seeded scenario on the new engine must
+  // verify bit-identically against the old capture — same event stream,
+  // same per-event digests, same summary fingerprint. If the fixture is
+  // missing (fresh scenario change), the test self-primes: it captures the
+  // run, writes the file, and fails so the regenerated fixture gets
+  // reviewed and committed deliberately.
+  const std::string path =
+      std::string(AURORA_TEST_DATA_DIR) + "/golden_trace_seed12345.jsonl";
+  const core::ChaosSchedule schedule = core::GenerateChaosSchedule(12345, 20);
+
+  auto stored = sim::Trace::ReadFile(path);
+  if (!stored.ok()) {
+    sim::Trace captured;
+    core::ChaosRunOptions record_options;
+    record_options.record = &captured;
+    const core::ChaosRunResult original =
+        core::RunChaosSchedule(schedule, record_options);
+    ASSERT_TRUE(original.status.ok()) << original.status.ToString();
+    ASSERT_TRUE(captured.WriteFile(path).ok());
+    FAIL() << "golden trace fixture was missing; captured a fresh one at "
+           << path << " — review and commit it";
+  }
+
+  ASSERT_TRUE(stored->summary.present);
+  core::ChaosRunOptions replay_options;
+  replay_options.replay = &*stored;
+  const core::ChaosRunResult replayed =
+      core::RunChaosSchedule(schedule, replay_options);
+  ASSERT_TRUE(replayed.status.ok()) << replayed.status.ToString();
+  EXPECT_FALSE(replayed.replay_diverged) << replayed.replay_divergence;
+  EXPECT_EQ(replayed.fingerprint, stored->summary.fingerprint);
+  EXPECT_EQ(replayed.vcl, stored->summary.vcl);
+  EXPECT_EQ(replayed.vdl, stored->summary.vdl);
+  EXPECT_EQ(replayed.executed_events, stored->summary.executed_events);
+  EXPECT_EQ(replayed.end_time, stored->summary.end_time);
 }
 
 TEST(TraceReplay, TamperedEventIsRejectedAtParse) {
