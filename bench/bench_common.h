@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -122,6 +123,12 @@ class BenchJson {
 
   std::string Render() const {
     std::string out = "{\n  \"bench\": \"" + name_ + "\"";
+    // Host thread count rides in every emitted file: scaling numbers
+    // (--threads sweeps) are meaningless without knowing how many cores
+    // the run actually had, and gate baselines are host-specific.
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    out += ",\n  \"host_threads\": " + std::to_string(hw);
     for (const auto& [key, value] : entries_) {
       out += ",\n  \"" + key + "\": " + value;
     }

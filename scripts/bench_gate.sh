@@ -52,15 +52,43 @@ json_value() {
   sed -n "s/^  \"${key}\": \([0-9.eE+-]*\),\{0,1\}$/\1/p" "${file}" | head -1
 }
 
+# A usable baseline is a real file that parses as one of our BENCH JSON
+# dumps (has the "bench" name field). Anything else — empty file, merge
+# damage, truncated write — must fail LOUDLY, not read as zero and
+# vacuously pass the floor.
+validate_baseline() {
+  local file="$1"
+  if [[ ! -s "${file}" ]]; then
+    echo "bench_gate: FAIL baseline ${file} is missing or empty"
+    return 1
+  fi
+  if ! grep -q '"bench"[[:space:]]*:' "${file}"; then
+    echo "bench_gate: FAIL baseline ${file} is malformed (no \"bench\" field)"
+    return 1
+  fi
+  return 0
+}
+
+is_number() {
+  [[ -n "$1" ]] && awk -v v="$1" 'BEGIN { exit !(v + 0 == v) }'
+}
+
 FAILED=0
 check_metric() {
   local label="$1" fresh_file="$2" base_file="$3" key="$4"
   local fresh base
   fresh="$(json_value "${fresh_file}" "${key}")"
   base="$(json_value "${base_file}" "${key}")"
-  if [[ -z "${fresh}" || -z "${base}" ]]; then
-    echo "bench_gate: FAIL ${label}.${key}: missing value" \
-         "(fresh='${fresh}' baseline='${base}')"
+  if ! is_number "${base}"; then
+    echo "bench_gate: FAIL ${label}.${key}: baseline value missing or" \
+         "non-numeric in ${base_file} (got '${base}') — refresh and commit" \
+         "the baseline"
+    FAILED=1
+    return
+  fi
+  if ! is_number "${fresh}"; then
+    echo "bench_gate: FAIL ${label}.${key}: fresh run did not emit a" \
+         "numeric value (got '${fresh}')"
     FAILED=1
     return
   fi
@@ -78,10 +106,10 @@ for spec in \
   "c7:BENCH_c7_write_throughput.json:records_per_sec" \
   "c7:BENCH_c7_write_throughput.json:events_per_sec" \
   "c9:BENCH_c9_event_engine.json:events_per_sec" \
-  "c9:BENCH_c9_event_engine.json:cancel_mix_ops_per_sec"; do
+  "c9:BENCH_c9_event_engine.json:cancel_mix_ops_per_sec" \
+  "c9:BENCH_c9_event_engine.json:parallel_events_per_sec"; do
   IFS=: read -r label file key <<<"${spec}"
-  if [[ ! -f "${BASELINE_DIR}/${file}" ]]; then
-    echo "bench_gate: FAIL missing baseline ${BASELINE_DIR}/${file}"
+  if ! validate_baseline "${BASELINE_DIR}/${file}"; then
     FAILED=1
     continue
   fi

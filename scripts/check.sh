@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Full verification sweep: the plain RelWithDebInfo build plus one
-# sanitized build per sanitizer (AURORA_SANITIZE=address, =undefined),
-# each running the entire ctest suite. This is the pre-merge gate; the
+# sanitized build per sanitizer (AURORA_SANITIZE=address, =undefined,
+# =thread), each running the ctest suite. This is the pre-merge gate; the
 # sanitized configs catch the lifetime and UB mistakes the callback-heavy
-# simulator makes easy.
+# simulator makes easy, and the tsan config races the sharded parallel
+# engine's worker pool (DESIGN.md §9) over the concurrency-heavy tests.
 #
 # Usage:
-#   scripts/check.sh              # all three configs
+#   scripts/check.sh              # all four configs
 #   scripts/check.sh address      # just the asan config
+#   scripts/check.sh thread       # just the tsan config
 #   scripts/check.sh plain        # just the unsanitized config
 #   scripts/check.sh --campaign   # sustained-chaos campaign sweep under asan
 #
@@ -38,7 +40,7 @@ if [[ ${CAMPAIGN} -eq 1 ]]; then
   # repair/hydration callback chains; asan is the default campaign config.
   CONFIGS=("${ARGS[@]:-address}")
 else
-  CONFIGS=("${ARGS[@]:-plain address undefined}")
+  CONFIGS=("${ARGS[@]:-plain address undefined thread}")
 fi
 # Word-split the default string when no args were given.
 if [[ ${#CONFIGS[@]} -eq 1 && ${CONFIGS[0]} == *" "* ]]; then
@@ -51,9 +53,10 @@ run_config() {
   local -a cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
   case "${config}" in
     plain) ;;
-    address|undefined) cmake_args+=("-DAURORA_SANITIZE=${config}") ;;
+    address|undefined|thread) cmake_args+=("-DAURORA_SANITIZE=${config}") ;;
     *)
-      echo "unknown config '${config}' (want plain, address, undefined)" >&2
+      echo "unknown config '${config}' (want plain, address, undefined," \
+           "thread)" >&2
       exit 2
       ;;
   esac
@@ -65,6 +68,13 @@ run_config() {
     echo "=== [${config}] campaign sweep (sustained chaos, repair loop on) ==="
     (cd "${dir}" && ctest --output-on-failure -R 'chaos_campaign_test')
     echo "campaign report: ${dir}/tests/campaign_report.json"
+  elif [[ ${config} == thread ]]; then
+    # TSan is 5-15x; run the tests that actually exercise cross-thread
+    # engine state (worker pool, mailboxes, atomics in metrics) rather
+    # than the whole protocol matrix the other configs already cover.
+    echo "=== [${config}] ctest (parallel-engine subset) ==="
+    (cd "${dir}" && ctest --output-on-failure \
+       -R 'parallel_engine_test|parallel_determinism_test|common_test|chaos_campaign_smoke')
   else
     echo "=== [${config}] ctest ==="
     (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")

@@ -3,10 +3,54 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <limits>
 
 namespace aurora {
 
-Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+void AtomicMin(std::atomic<SimDuration>& cell, SimDuration v) {
+  SimDuration cur = cell.load(kRelaxed);
+  while (v < cur && !cell.compare_exchange_weak(cur, v, kRelaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<SimDuration>& cell, SimDuration v) {
+  SimDuration cur = cell.load(kRelaxed);
+  while (v > cur && !cell.compare_exchange_weak(cur, v, kRelaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>& cell, double v) {
+  double cur = cell.load(kRelaxed);
+  while (!cell.compare_exchange_weak(cur, cur + v, kRelaxed)) {
+  }
+}
+}  // namespace
+
+Histogram::Histogram()
+    : buckets_(kBucketCount),
+      min_(std::numeric_limits<SimDuration>::max()) {}
+
+Histogram::Histogram(const Histogram& other) : buckets_(kBucketCount) {
+  CopyFrom(other);
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this != &other) CopyFrom(other);
+  return *this;
+}
+
+void Histogram::CopyFrom(const Histogram& other) {
+  for (int i = 0; i < kBucketCount; ++i) {
+    buckets_[i].store(other.buckets_[i].load(kRelaxed), kRelaxed);
+  }
+  count_.store(other.count_.load(kRelaxed), kRelaxed);
+  sum_.store(other.sum_.load(kRelaxed), kRelaxed);
+  min_.store(other.min_.load(kRelaxed), kRelaxed);
+  max_.store(other.max_.load(kRelaxed), kRelaxed);
+}
 
 int Histogram::BucketFor(SimDuration value) {
   if (value < 0) value = 0;
@@ -21,57 +65,63 @@ int Histogram::BucketFor(SimDuration value) {
 void Histogram::Record(SimDuration value_us) {
   if (value_us < 0) value_us = 0;
   const int b = BucketFor(value_us);
-  buckets_[b]++;
-  if (count_ == 0 || value_us < min_) min_ = value_us;
-  if (value_us > max_) max_ = value_us;
-  sum_ += static_cast<double>(value_us);
-  count_++;
+  buckets_[b].fetch_add(1, kRelaxed);
+  AtomicMin(min_, value_us);
+  AtomicMax(max_, value_us);
+  AtomicAdd(sum_, static_cast<double>(value_us));
+  count_.fetch_add(1, kRelaxed);
 }
 
 void Histogram::Merge(const Histogram& other) {
-  for (int i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
-  if (other.count_ > 0) {
-    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
-    max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kBucketCount; ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(kRelaxed), kRelaxed);
   }
-  sum_ += other.sum_;
-  count_ += other.count_;
+  if (other.count() > 0) {
+    AtomicMin(min_, other.min_.load(kRelaxed));
+    AtomicMax(max_, other.max_.load(kRelaxed));
+  }
+  AtomicAdd(sum_, other.sum_.load(kRelaxed));
+  count_.fetch_add(other.count_.load(kRelaxed), kRelaxed);
 }
 
 void Histogram::Reset() {
-  std::fill(buckets_.begin(), buckets_.end(), 0);
-  count_ = 0;
-  sum_ = 0.0;
-  min_ = 0;
-  max_ = 0;
+  for (int i = 0; i < kBucketCount; ++i) buckets_[i].store(0, kRelaxed);
+  count_.store(0, kRelaxed);
+  sum_.store(0.0, kRelaxed);
+  min_.store(std::numeric_limits<SimDuration>::max(), kRelaxed);
+  max_.store(0, kRelaxed);
 }
 
 double Histogram::Mean() const {
-  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  const uint64_t n = count();
+  return n ? sum_.load(kRelaxed) / static_cast<double>(n) : 0.0;
 }
 
 SimDuration Histogram::Percentile(double q) const {
-  if (count_ == 0) return 0;
+  const uint64_t n = count();
+  if (n == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   const uint64_t target =
-      std::max<uint64_t>(1, static_cast<uint64_t>(q * count_ + 0.5));
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * n + 0.5));
+  const SimDuration observed_max = max();
   uint64_t seen = 0;
   for (int i = 0; i < kBucketCount; ++i) {
-    seen += buckets_[i];
+    seen += buckets_[i].load(kRelaxed);
     if (seen >= target) {
       // Reconstruct the upper edge of bucket i.
       const int major = i / kSubBuckets;
       const int sub = i % kSubBuckets;
-      if (major == 0) return std::min<SimDuration>(sub, max_);
+      if (major == 0) return std::min<SimDuration>(sub, observed_max);
       const int msb = major + kSubBucketBits - 1;
       const int shift = msb - kSubBucketBits;
       const uint64_t base = 1ULL << msb;
       const uint64_t value =
           base + (static_cast<uint64_t>(sub) << shift) + (1ULL << shift) - 1;
-      return std::min<SimDuration>(static_cast<SimDuration>(value), max_);
+      return std::min<SimDuration>(static_cast<SimDuration>(value),
+                                   observed_max);
     }
   }
-  return max_;
+  return observed_max;
 }
 
 std::string Histogram::Summary() const {
@@ -79,7 +129,7 @@ std::string Histogram::Summary() const {
   std::snprintf(buf, sizeof(buf),
                 "n=%llu mean=%.1fus p50=%lldus p90=%lldus p99=%lldus "
                 "p999=%lldus max=%lldus",
-                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(count()), Mean(),
                 static_cast<long long>(P50()), static_cast<long long>(P90()),
                 static_cast<long long>(P99()), static_cast<long long>(P999()),
                 static_cast<long long>(max()));

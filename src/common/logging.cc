@@ -1,11 +1,15 @@
 #include "src/common/logging.h"
 
+#include <atomic>
 #include <cstring>
 
 namespace aurora {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Relaxed atomic: worker threads of the parallel simulator consult the
+// level concurrently; the emit path below stays unsynchronized (stderr is
+// line-buffered enough for diagnostics, and hot runs log at kWarn+).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,8 +30,10 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace internal {
 

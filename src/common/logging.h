@@ -1,8 +1,9 @@
 // Minimal leveled diagnostic logging.
 //
-// The simulator is single-threaded, so no synchronization is needed. Logging
-// defaults to kWarn so tests and benches stay quiet; examples raise the
-// level to narrate protocol activity.
+// The level check is a relaxed atomic load (parallel simulator workers
+// consult it concurrently); message emission itself is unsynchronized.
+// Logging defaults to kWarn so tests and benches stay quiet; examples
+// raise the level to narrate protocol activity.
 
 #pragma once
 

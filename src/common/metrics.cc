@@ -10,64 +10,74 @@ Registry& Registry::Global() {
 }
 
 Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 uint64_t Registry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second->value;
+  return it == counters_.end() ? 0 : it->second->Value();
 }
 
 int64_t Registry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
-  return it == gauges_.end() ? 0 : it->second->value;
+  return it == gauges_.end() ? 0 : it->second->Value();
 }
 
 const Histogram* Registry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->value = 0;
   for (auto& [name, gauge] : gauges_) gauge->value = 0;
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 std::vector<std::pair<std::string, uint64_t>> Registry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
-    out.emplace_back(name, counter->value);
+    out.emplace_back(name, counter->Value());
   }
   return out;
 }
 
 std::vector<std::pair<std::string, int64_t>> Registry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, int64_t>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
-    out.emplace_back(name, gauge->value);
+    out.emplace_back(name, gauge->Value());
   }
   return out;
 }
 
 std::vector<std::pair<std::string, const Histogram*>> Registry::Histograms()
     const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, const Histogram*>> out;
   out.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
@@ -77,6 +87,7 @@ std::vector<std::pair<std::string, const Histogram*>> Registry::Histograms()
 }
 
 std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{";
   bool first = true;
   auto append = [&out, &first](const std::string& name,
@@ -86,10 +97,10 @@ std::string Registry::ToJson() const {
     out += "\n  \"" + name + "\": " + value;
   };
   for (const auto& [name, counter] : counters_) {
-    append(name, std::to_string(counter->value));
+    append(name, std::to_string(counter->Value()));
   }
   for (const auto& [name, gauge] : gauges_) {
-    append(name, std::to_string(gauge->value));
+    append(name, std::to_string(gauge->Value()));
   }
   for (const auto& [name, histogram] : histograms_) {
     char buf[160];

@@ -19,16 +19,21 @@
 //    selected series into their BENCH_<name>.json via the snapshot
 //    accessors (see bench/bench_common.h).
 //
-// The registry is a process-global singleton: the simulation is
-// single-threaded, and names are namespaced ("driver.", "storage.", ...)
-// so all actors of a cluster aggregate naturally. Tests that assert on
-// absolute values call Reset() in their setup.
+// The registry is a process-global singleton; names are namespaced
+// ("driver.", "storage.", ...) so all actors of a cluster aggregate
+// naturally. Tests that assert on absolute values call Reset() in their
+// setup. Recording is thread-safe — counters/gauges are relaxed atomics
+// and histogram cells likewise — so actors running on parallel simulator
+// shards share handles without synchronization; registration and
+// snapshot reads take the registry mutex (cold paths only).
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,17 +45,24 @@ namespace aurora::metrics {
 
 /// Monotonic event count (resets only via Registry::Reset).
 struct Counter {
-  uint64_t value = 0;
-  void Add(uint64_t delta = 1) { value += delta; }
+  std::atomic<uint64_t> value{0};
+  void Add(uint64_t delta = 1) {
+    value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value.load(std::memory_order_relaxed); }
 };
 
 /// Point-in-time level (queue depth, lag); last write wins.
 struct Gauge {
-  int64_t value = 0;
-  void Set(int64_t v) { value = v; }
+  std::atomic<int64_t> value{0};
+  void Set(int64_t v) { value.store(v, std::memory_order_relaxed); }
   void Max(int64_t v) {
-    if (v > value) value = v;
+    int64_t cur = value.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
   }
+  int64_t Value() const { return value.load(std::memory_order_relaxed); }
 };
 
 class Registry {
@@ -58,9 +70,12 @@ class Registry {
   static Registry& Global();
 
   /// Process-global recording switch. Registration and lookups work either
-  /// way; only the AURORA_* recording macros consult this.
-  static bool enabled() { return enabled_; }
-  static void SetEnabled(bool on) { enabled_ = on; }
+  /// way; only the AURORA_* recording macros consult this. A relaxed
+  /// atomic: the enabled-check stays a single predictable load+branch.
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  static void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
 
   /// Resolve (registering on first use) a metric handle. Handles are
   /// stable for the life of the process — components cache them.
@@ -88,9 +103,12 @@ class Registry {
   std::string ToJson() const;
 
  private:
-  static inline bool enabled_ = false;
+  static inline std::atomic<bool> enabled_{false};
 
-  // unique_ptr storage keeps handle addresses stable across rehashing.
+  // unique_ptr storage keeps handle addresses stable across rehashing;
+  // mu_ guards the maps (registration/snapshots), never the hot
+  // handle-deref path.
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

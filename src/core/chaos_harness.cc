@@ -40,13 +40,14 @@ const char* KindToName(ChaosOpKind kind) {
   return "unknown";
 }
 
-AuroraOptions ChaosOptions(uint64_t seed) {
+AuroraOptions ChaosOptions(uint64_t seed, uint32_t event_shards) {
   AuroraOptions options;
   options.seed = seed;
   options.num_pgs = 2;
   options.blocks_per_pg = 1 << 16;
   // Three nodes per AZ so segment replacement always has a free host.
   options.storage_nodes_per_az = 3;
+  options.event_shards = event_shards;
   return options;
 }
 
@@ -64,7 +65,7 @@ class ChaosExecutor {
   ChaosExecutor(const ChaosSchedule& schedule, const ChaosRunOptions& options)
       : schedule_(schedule),
         options_(options),
-        cluster_(ChaosOptions(schedule.seed)) {}
+        cluster_(ChaosOptions(schedule.seed, options.event_shards)) {}
 
   ChaosRunResult Run() {
     if (options_.record != nullptr) {

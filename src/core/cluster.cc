@@ -47,18 +47,31 @@ constexpr NodeId kFirstStorageNode = 100;
 
 AuroraCluster::AuroraCluster(AuroraOptions options)
     : options_(options), sim_(options.seed), network_(&sim_, options.network) {
+  if (options_.event_shards > 0) {
+    // Shard the event engine before any actor schedules or forks RNGs.
+    // The lookahead is the network's latency floor: no cross-node (hence
+    // cross-shard) message beats it, so conservative windows are sound.
+    sim_.ConfigureShards(options_.event_shards);
+    sim_.SetLookahead(network_.MinCrossNodeLatency());
+    network_.PrepareShardLanes();
+  }
   object_store_ =
       std::make_unique<storage::ObjectStore>(&sim_, options_.object_store);
+  object_store_->SetHomeShard(0);
   failure_injector_ = std::make_unique<sim::FailureInjector>(&sim_, &network_);
   metadata_ =
       std::make_unique<MetadataService>(&sim_, &network_, kMetadataNode, 0);
-  // Storage fleet.
+  network_.SetNodeShard(kMetadataNode, ShardForAz(0));
+  // Storage fleet. Shards partition by AZ: intra-AZ chatter (gossip,
+  // segment peers) stays shard-local; cross-AZ traffic is the cross-shard
+  // traffic, which is exactly what the latency floor bounds.
   NodeId id = kFirstStorageNode;
   for (size_t az = 0; az < options_.num_azs; ++az) {
     for (size_t i = 0; i < options_.storage_nodes_per_az; ++i) {
       auto node = std::make_unique<storage::StorageNode>(
           &sim_, &network_, id, static_cast<AzId>(az), object_store_.get(),
           options_.storage_node);
+      network_.SetNodeShard(id, ShardForAz(static_cast<AzId>(az)));
       node_index_[id] = node.get();
       storage_nodes_.push_back(std::move(node));
       ++id;
@@ -142,9 +155,14 @@ Status AuroraCluster::StartBlocking() {
   metadata_->SetGeometry(
       quorum::VolumeGeometry(options_.blocks_per_pg, pgs));
   for (const auto& pg : pgs) CreateSegmentStores(pg);
-  for (auto& node : storage_nodes_) node->StartBackground();
+  for (auto& node : storage_nodes_) {
+    // Each node's background timers must start on the node's own shard.
+    sim::Simulator::ShardScope scope(&sim_, network_.ShardOf(node->id()));
+    node->StartBackground();
+  }
 
   writer_ = MakeWriter(next_node_id_++, 0);
+  network_.SetNodeShard(writer_->id(), ShardForAz(0));
   bool done = false;
   Status result = Status::OK();
   writer_->Bootstrap([&](Status st) {
@@ -214,10 +232,17 @@ replica::ReadReplica* AuroraCluster::AddReplica() {
   auto rep = std::make_unique<replica::ReadReplica>(
       &sim_, &network_, id, az, MakeResolver(), writer_->id(),
       metadata_->geometry(), metadata_->volume_epoch(), options_.replica);
+  network_.SetNodeShard(id, ShardForAz(az));
   replica::ReadReplica* raw = rep.get();
   replicas_.push_back(std::move(rep));
   WireReplica(raw);
-  raw->Start();
+  {
+    // Replica timers start on the replica's shard; its links to the writer
+    // (replication sink, read-point reports) are all network-mediated, so
+    // they cross shards as messages, never as direct calls.
+    sim::Simulator::ShardScope scope(&sim_, ShardForAz(az));
+    raw->Start();
+  }
   return raw;
 }
 

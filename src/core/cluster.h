@@ -51,6 +51,14 @@ struct AuroraOptions {
   replica::ReplicaOptions replica;
   /// Default timeout for the *Blocking helpers.
   SimDuration blocking_timeout = 60 * kSecond;
+  /// Event-engine shards (DESIGN.md §9). 0 = classic unsharded engine.
+  /// 1 = sharded engine, single shard — bit-identical to unsharded, the
+  /// determinism oracle for parallel mode. n >= 2 partitions actors by
+  /// AZ (shard = az % n, writer + metadata on shard 0) and enables
+  /// sim().RunSharded(deadline, threads); lookahead derives from
+  /// network.min_latency_us, so raise that floor (e.g. ~40us) to give
+  /// the windows useful width.
+  uint32_t event_shards = 0;
 };
 
 /// The metadata service (§2.4, §4.1): the authority for volume epochs,
@@ -114,6 +122,13 @@ class AuroraCluster {
 
   sim::Simulator& sim() { return sim_; }
   sim::Network& network() { return network_; }
+
+  /// Event-engine shard hosting AZ `az`'s actors (shard 0 when unsharded).
+  sim::ShardKey ShardForAz(AzId az) const {
+    return sim_.Sharded()
+               ? static_cast<sim::ShardKey>(az % sim_.ShardCount())
+               : 0;
+  }
   sim::FailureInjector& failures() { return *failure_injector_; }
   storage::ObjectStore& object_store() { return *object_store_; }
   MetadataService& metadata() { return *metadata_; }

@@ -5,9 +5,13 @@
 // captures. The simulator schedules hundreds of thousands of closures per
 // benchmark run, so both costs are paid on every event. MoveFunc stores the
 // common capture sizes inline in the event slab slot; closures too large for
-// the inline buffer fall back to a per-thread size-class pool (the simulator
-// is single-threaded, so a freelist beats the general-purpose allocator and
-// keeps hot closure blocks cache-resident).
+// the inline buffer fall back to a per-thread size-class pool (a freelist
+// beats the general-purpose allocator and keeps hot closure blocks
+// cache-resident). The pools are thread_local, which stays correct under
+// the parallel sharded engine: blocks are plain operator-new memory, so a
+// closure mailed across shards (allocated on one worker, destroyed on
+// another) simply migrates its block to the destroyer's freelist — no
+// shared freelist, no locks, no ownership requirement.
 //
 // MoveFunc is move-only by design: the engine moves each callback exactly
 // once (slab slot -> stack) before invoking it, and move-only storage lets

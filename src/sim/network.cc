@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
@@ -27,10 +29,38 @@ NetMetrics& M() {
   }();
   return m;
 }
+
+/// Topology/liveness mutations are barrier-only: they touch state every
+/// lane reads without synchronization, so a call from inside a parallel
+/// window would be a data race AND a determinism hole. Enforced in all
+/// build types.
+void CheckBarrierOnly(const Simulator* sim, const char* what) {
+  if (sim->WorkersActive()) {
+    std::fprintf(stderr, "network: %s during a parallel window\n", what);
+    std::abort();
+  }
+}
 }  // namespace
 
 Network::Network(Simulator* sim, NetworkOptions options)
-    : sim_(sim), options_(options), rng_(sim->rng().Fork()) {}
+    : sim_(sim), options_(options) {
+  // Lane 0 takes the fork the pre-sharding network took, so unsharded and
+  // single-shard runs draw the identical latency stream.
+  lanes_.push_back(std::make_unique<Lane>(sim->rng().Fork()));
+}
+
+void Network::PrepareShardLanes() {
+  CheckBarrierOnly(sim_, "PrepareShardLanes");
+  while (lanes_.size() < sim_->ShardCount()) {
+    lanes_.push_back(std::make_unique<Lane>(lanes_[0]->rng.Fork()));
+  }
+}
+
+Network::Lane& Network::CurrentLane() {
+  const ShardKey shard = sim_->ExecutingShard();
+  if (shard == kShardNone || shard >= lanes_.size()) return *lanes_[0];
+  return *lanes_[shard];
+}
 
 void Network::RegisterNode(NodeId node, AzId az,
                            NodeLifecycleListener* listener) {
@@ -55,22 +85,43 @@ AzId Network::AzOf(NodeId node) const {
   return it->second.az;
 }
 
+void Network::SetNodeShard(NodeId node, ShardKey shard) {
+  CheckBarrierOnly(sim_, "SetNodeShard");
+  auto it = nodes_.find(node);
+  assert(it != nodes_.end());
+  assert(shard < sim_->ShardCount());
+  it->second.shard = shard;
+}
+
+ShardKey Network::ShardOf(NodeId node) const {
+  auto it = nodes_.find(node);
+  assert(it != nodes_.end());
+  return it->second.shard;
+}
+
 bool Network::IsUp(NodeId node) const {
   auto it = nodes_.find(node);
   return it != nodes_.end() && it->second.up;
 }
 
 void Network::Crash(NodeId node) {
+  CheckBarrierOnly(sim_, "Crash");
   auto it = nodes_.find(node);
   assert(it != nodes_.end());
   if (!it->second.up) return;
   it->second.up = false;
   it->second.incarnation++;
   AURORA_DEBUG << "node " << node << " crashed";
-  if (it->second.listener != nullptr) it->second.listener->OnCrash();
+  if (it->second.listener != nullptr) {
+    // Listener re-arms (timers the actor schedules while handling the
+    // transition) must land on the actor's shard, not the global queue.
+    Simulator::ShardScope scope(sim_, it->second.shard);
+    it->second.listener->OnCrash();
+  }
 }
 
 void Network::Restart(NodeId node) {
+  CheckBarrierOnly(sim_, "Restart");
   auto it = nodes_.find(node);
   assert(it != nodes_.end());
   if (it->second.up) return;
@@ -78,7 +129,10 @@ void Network::Restart(NodeId node) {
   if (IsAzFailed(it->second.az)) return;
   it->second.up = true;
   AURORA_DEBUG << "node " << node << " restarted";
-  if (it->second.listener != nullptr) it->second.listener->OnRestart();
+  if (it->second.listener != nullptr) {
+    Simulator::ShardScope scope(sim_, it->second.shard);
+    it->second.listener->OnRestart();
+  }
 }
 
 void Network::FailAz(AzId az) {
@@ -106,6 +160,7 @@ uint64_t Network::PairKey(NodeId a, NodeId b) const {
 }
 
 void Network::Partition(NodeId a, NodeId b, bool blocked) {
+  CheckBarrierOnly(sim_, "Partition");
   partitions_[PairKey(a, b)] = blocked;
   if (AURORA_METRICS_ON()) {
     if (blocked) M().partitions_set->Add(1);
@@ -123,6 +178,7 @@ bool Network::IsPartitioned(NodeId a, NodeId b) const {
 }
 
 void Network::SetNodeSlowdown(NodeId node, double factor) {
+  CheckBarrierOnly(sim_, "SetNodeSlowdown");
   auto it = nodes_.find(node);
   assert(it != nodes_.end());
   it->second.slowdown = factor;
@@ -134,59 +190,89 @@ double Network::NodeSlowdown(NodeId node) const {
   return it->second.slowdown;
 }
 
-SimDuration Network::SampleLatency(NodeId from, NodeId to, uint64_t bytes) {
+SimDuration Network::SampleLatencyInLane(Lane& lane, NodeId from, NodeId to,
+                                         uint64_t bytes) {
   const auto& src = nodes_.at(from);
   const auto& dst = nodes_.at(to);
   SimDuration base;
   if (from == to) {
-    base = 1;  // loopback
+    return 1;  // loopback: same shard by construction, floor-exempt
   } else if (src.az == dst.az) {
-    base = options_.intra_az.Sample(rng_);
+    base = options_.intra_az.Sample(lane.rng);
   } else {
-    base = options_.cross_az.Sample(rng_);
+    base = options_.cross_az.Sample(lane.rng);
   }
   double lat = static_cast<double>(base) * src.slowdown * dst.slowdown;
   if (options_.bytes_per_us > 0.0) {
     lat += static_cast<double>(bytes) / options_.bytes_per_us;
   }
-  return static_cast<SimDuration>(std::max(1.0, lat));
+  // The floor binds AFTER slowdowns: no distribution tail or sub-unity
+  // slowdown can undercut the lookahead contract.
+  const double floor = static_cast<double>(std::max<SimDuration>(
+      1, options_.min_latency_us));
+  return static_cast<SimDuration>(std::max(floor, lat));
+}
+
+SimDuration Network::SampleLatency(NodeId from, NodeId to, uint64_t bytes) {
+  return SampleLatencyInLane(CurrentLane(), from, to, bytes);
 }
 
 Network::SendPlan Network::PlanSend(NodeId from, NodeId to, uint64_t bytes) {
-  stats_.messages_sent++;
-  stats_.bytes_sent += bytes;
+  Lane& lane = CurrentLane();
+  lane.stats.messages_sent++;
+  lane.stats.bytes_sent += bytes;
   AURORA_COUNT(M().messages_sent, 1);
   AURORA_COUNT(M().bytes_sent, bytes);
   auto src_it = nodes_.find(from);
   auto dst_it = nodes_.find(to);
   assert(src_it != nodes_.end() && dst_it != nodes_.end());
   if (!src_it->second.up || !dst_it->second.up || IsPartitioned(from, to)) {
-    stats_.messages_dropped++;
+    lane.stats.messages_dropped++;
     AURORA_COUNT(M().messages_dropped, 1);
     return SendPlan{};
   }
-  SimDuration latency = SampleLatency(from, to, bytes);
+  SimDuration latency = SampleLatencyInLane(lane, from, to, bytes);
   if (options_.fifo_links) {
+    // FIFO clocks live in the sending context's lane; the adjustment only
+    // ever pushes delivery later, so it cannot break the latency floor.
     const uint64_t link = (static_cast<uint64_t>(from) << 32) | to;
-    SimTime& last = link_clock_[link];
+    SimTime& last = lane.link_clock[link];
     const SimTime deliver_at = std::max(sim_->Now() + latency, last + 1);
     latency = deliver_at - sim_->Now();
     last = deliver_at;
   }
-  return SendPlan{true, latency, dst_it->second.incarnation};
+  return SendPlan{true, latency, dst_it->second.incarnation,
+                  dst_it->second.shard};
 }
 
 bool Network::Arrives(NodeId to, uint64_t dst_incarnation, uint64_t bytes) {
+  Lane& lane = CurrentLane();
   auto it = nodes_.find(to);
   if (it == nodes_.end() || !it->second.up ||
       it->second.incarnation != dst_incarnation) {
-    stats_.messages_dropped++;
+    lane.stats.messages_dropped++;
     AURORA_COUNT(M().messages_dropped, 1);
     return false;
   }
-  stats_.messages_delivered++;
-  stats_.bytes_delivered += bytes;
+  lane.stats.messages_delivered++;
+  lane.stats.bytes_delivered += bytes;
   return true;
+}
+
+const NetworkStats& Network::stats() const {
+  agg_stats_ = NetworkStats{};
+  for (const auto& lane : lanes_) {
+    agg_stats_.messages_sent += lane->stats.messages_sent;
+    agg_stats_.messages_delivered += lane->stats.messages_delivered;
+    agg_stats_.messages_dropped += lane->stats.messages_dropped;
+    agg_stats_.bytes_sent += lane->stats.bytes_sent;
+    agg_stats_.bytes_delivered += lane->stats.bytes_delivered;
+  }
+  return agg_stats_;
+}
+
+void Network::ResetStats() {
+  for (auto& lane : lanes_) lane->stats = NetworkStats{};
 }
 
 }  // namespace aurora::sim

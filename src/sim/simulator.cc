@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <utility>
 
 namespace aurora::sim {
@@ -10,84 +13,292 @@ namespace {
 constexpr size_t kInitialQueueCapacity = 1024;
 /// Below this heap size tombstone compaction is not worth the rebuild.
 constexpr size_t kCompactMinEntries = 64;
+/// EventId reserves 24 bits for (slot index + 1).
+constexpr uint32_t kMaxSlotIndex = (1u << 24) - 2;
+/// Stamp context of the global queue: sorts after every worker context at
+/// equal timestamps, so a global event runs once the whole window time is
+/// otherwise quiesced.
+constexpr uint64_t kGlobalStampBase = 0xffffull << 48;
+
+/// Engine safety invariants are enforced even in release builds: a
+/// violated window/lookahead contract silently corrupts determinism,
+/// which is far worse than an abort.
+void Check(bool ok, const char* msg) {
+  if (!ok) {
+    std::fprintf(stderr, "simulator invariant violated: %s\n", msg);
+    std::abort();
+  }
+}
+
+SimTime SatAdd(SimTime a, SimDuration b) {
+  const SimTime max = std::numeric_limits<SimTime>::max();
+  return a > max - b ? max : a + b;
+}
 }  // namespace
 
+/// Persistent worker pool for RunSharded. Rounds are broadcast via
+/// cv_start; workers claim shards with an atomic cursor and the last
+/// finished shard releases the coordinator via cv_done. Everything the
+/// workers read (bound, active_shards, shard state) is published under
+/// `mu` before the round counter advances.
+struct Simulator::Pool {
+  std::mutex mu;
+  std::condition_variable cv_start;
+  std::condition_variable cv_done;
+  std::vector<std::thread> threads;
+  uint64_t round = 0;
+  bool shutdown = false;
+  std::atomic<uint32_t> next_shard{0};
+  uint32_t done_shards = 0;
+  uint32_t active_shards = 0;
+  HeapKey bound{0, 0};
+};
+
 Simulator::Simulator(uint64_t seed) : rng_(seed) {
-  heap_.reserve(kInitialQueueCapacity);
-  slots_.reserve(kInitialQueueCapacity);
+  auto shard = std::make_unique<Shard>();
+  shard->heap.reserve(kInitialQueueCapacity);
+  shard->slots.reserve(kInitialQueueCapacity);
+  shards_.push_back(std::move(shard));
 }
 
-Simulator::~Simulator() = default;
+Simulator::~Simulator() { StopPool(); }
 
-EventId Simulator::Schedule(SimDuration delay, SimCallback fn,
-                            const char* label) {
-  assert(delay >= 0);
-  return ScheduleAt(now_ + delay, std::move(fn), label);
+void Simulator::ConfigureShards(uint32_t count) {
+  Check(count >= 1 && count <= kMaxShards, "shard count out of range");
+  Check(!sharded_, "ConfigureShards called twice");
+  Check(executed_ == 0 && shards_[0]->live == 0 && shards_[0]->heap.empty() &&
+            shards_[0]->now == 0,
+        "ConfigureShards requires a pristine simulator");
+  sharded_ = true;
+  for (uint32_t i = 1; i < count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->id = i;
+    shard->stamp_base = static_cast<uint64_t>(i) << 48;
+    shard->heap.reserve(kInitialQueueCapacity);
+    shard->slots.reserve(kInitialQueueCapacity);
+    shards_.push_back(std::move(shard));
+  }
+  // A single-shard configuration stays bit-identical to the unsharded
+  // engine, including ScheduleGlobal aliasing to Schedule; the separate
+  // global queue only exists when there are shards to synchronize.
+  if (count >= 2) {
+    global_ = std::make_unique<Shard>();
+    global_->id = kGlobalShardTag;
+    global_->stamp_base = kGlobalStampBase;
+  }
 }
 
-uint32_t Simulator::AllocSlot() {
-  if (free_head_ != 0) {
-    const uint32_t index = free_head_ - 1;
-    free_head_ = slots_[index].next_free;
+void Simulator::SetLookahead(SimDuration lookahead) {
+  Check(lookahead >= 1, "lookahead must be >= 1us");
+  lookahead_ = lookahead;
+}
+
+SimTime Simulator::Now() const {
+  const ExecContext& ctx = TlsCtx();
+  if (ctx.sim == this) return ctx.shard->now;
+  if (!sharded_) return shards_[0]->now;
+  return coordinator_now_;
+}
+
+ShardKey Simulator::ExecutingShard() const {
+  const ExecContext& ctx = TlsCtx();
+  if (ctx.sim == this && ctx.shard->id != kGlobalShardTag) {
+    return ctx.shard->id;
+  }
+  return kShardNone;
+}
+
+Simulator::ShardScope::ShardScope(Simulator* sim, ShardKey shard)
+    : sim_(sim), saved_(sim->scoped_shard_) {
+  Check(shard < sim->shards_.size(), "ShardScope: unknown shard");
+  sim->scoped_shard_ = static_cast<int64_t>(shard);
+}
+
+Simulator::ShardScope::~ShardScope() { sim_->scoped_shard_ = saved_; }
+
+Simulator::Shard& Simulator::ScheduleTargetForExternal() {
+  return scoped_shard_ >= 0 ? *shards_[static_cast<size_t>(scoped_shard_)]
+                            : *shards_[0];
+}
+
+uint32_t Simulator::AllocSlot(Shard& sh) {
+  if (sh.free_head != 0) {
+    const uint32_t index = sh.free_head - 1;
+    sh.free_head = sh.slots[index].next_free;
     return index;
   }
-  slots_.emplace_back();
-  return static_cast<uint32_t>(slots_.size() - 1);
+  Check(sh.slots.size() <= kMaxSlotIndex, "shard slab exhausted (2^24 slots)");
+  sh.slots.emplace_back();
+  return static_cast<uint32_t>(sh.slots.size() - 1);
 }
 
-void Simulator::ReleaseSlot(uint32_t index) {
-  Slot& slot = slots_[index];
+void Simulator::ReleaseSlot(Shard& sh, uint32_t index) {
+  Slot& slot = sh.slots[index];
   slot.fn = SimCallback();  // destroy the closure (and its captures) now
   slot.generation++;        // invalidates outstanding ids and heap entries
-  slot.next_free = free_head_;
-  free_head_ = index + 1;
+  slot.next_free = sh.free_head;
+  sh.free_head = index + 1;
 }
 
-EventId Simulator::ScheduleAt(SimTime when, SimCallback fn,
-                              const char* label) {
-  assert(when >= now_);
-  const uint32_t index = AllocSlot();
-  Slot& slot = slots_[index];
+EventId Simulator::InsertEvent(Shard& dst, SimTime when, uint64_t seq,
+                               SimCallback fn, const char* label) {
+  assert(when >= dst.now);
+  const uint32_t index = AllocSlot(dst);
+  Slot& slot = dst.slots[index];
   slot.fn = std::move(fn);
   slot.label = label;
   // The fire time is already known, so the full trace digest is computed
   // once here; execution just mixes the stored value into the fingerprint.
   slot.digest = Trace::EventDigest(when, label);
-  heap_.push_back(HeapEntry{when, next_seq_++, index, slot.generation});
-  std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
-  ++live_count_;
+  dst.heap.push_back(HeapEntry{when, seq, index, slot.generation});
+  std::push_heap(dst.heap.begin(), dst.heap.end(), HeapGreater{});
+  ++dst.live;
   return (static_cast<EventId>(slot.generation) << 32) |
+         (static_cast<EventId>(dst.id) << 24) |
          static_cast<EventId>(index + 1);
+}
+
+EventId Simulator::Schedule(SimDuration delay, SimCallback fn,
+                            const char* label) {
+  assert(delay >= 0);
+  const ExecContext& c = TlsCtx();
+  if (c.sim == this) {
+    Shard& ctx = *c.shard;
+    // Global-event context honors ShardScope so lifecycle re-arms land on
+    // the actor's shard; otherwise events inherit their scheduler's shard.
+    Shard& dst = (ctx.id == kGlobalShardTag && scoped_shard_ >= 0)
+                     ? *shards_[static_cast<size_t>(scoped_shard_)]
+                     : ctx;
+    return InsertEvent(dst, ctx.now + delay, MakeStamp(ctx), std::move(fn),
+                       label);
+  }
+  Check(!WorkersActive(), "external Schedule during a parallel window");
+  Shard& dst = ScheduleTargetForExternal();
+  const SimTime base = sharded_ ? coordinator_now_ : dst.now;
+  return InsertEvent(dst, base + delay, MakeStamp(dst), std::move(fn), label);
+}
+
+EventId Simulator::ScheduleAt(SimTime when, SimCallback fn,
+                              const char* label) {
+  const ExecContext& c = TlsCtx();
+  if (c.sim == this) {
+    Shard& ctx = *c.shard;
+    assert(when >= ctx.now);
+    Shard& dst = (ctx.id == kGlobalShardTag && scoped_shard_ >= 0)
+                     ? *shards_[static_cast<size_t>(scoped_shard_)]
+                     : ctx;
+    return InsertEvent(dst, when, MakeStamp(ctx), std::move(fn), label);
+  }
+  Check(!WorkersActive(), "external ScheduleAt during a parallel window");
+  Shard& dst = ScheduleTargetForExternal();
+  assert(when >= (sharded_ ? coordinator_now_ : dst.now));
+  return InsertEvent(dst, when, MakeStamp(dst), std::move(fn), label);
+}
+
+EventId Simulator::ScheduleOn(ShardKey shard, SimDuration delay,
+                              SimCallback fn, const char* label) {
+  assert(delay >= 0);
+  Check(shard < shards_.size(), "ScheduleOn: unknown shard");
+  Shard& dst = *shards_[shard];
+  const ExecContext& c = TlsCtx();
+  if (c.sim == this) {
+    Shard& src = *c.shard;
+    if (&src == &dst) {  // same-shard fast path == plain Schedule
+      return InsertEvent(dst, src.now + delay, MakeStamp(src), std::move(fn),
+                         label);
+    }
+    const SimTime when = src.now + delay;
+    if (src.id != kGlobalShardTag) {
+      // Cross-shard from a worker shard: the conservative-synchronization
+      // contract. delay >= lookahead guarantees the event lands at or
+      // beyond every window bound the engine can pick, so mail integrated
+      // at the next barrier can never be late.
+      Check(delay >= lookahead_,
+            "cross-shard ScheduleOn below the lookahead bound");
+      const uint64_t seq = MakeStamp(src);
+      if (WorkersActive()) {
+        std::lock_guard<std::mutex> lock(dst.mail_mu);
+        dst.mailbox.push_back(Mail{when, seq, label, std::move(fn)});
+        return kInvalidEvent;  // cross-window events are not cancellable
+      }
+      return InsertEvent(dst, when, seq, std::move(fn), label);
+    }
+    // Global-event context: workers are quiesced at the barrier, so a
+    // direct insert into any shard is race-free.
+    return InsertEvent(dst, when, MakeStamp(src), std::move(fn), label);
+  }
+  Check(!WorkersActive(), "external ScheduleOn during a parallel window");
+  const SimTime base = sharded_ ? coordinator_now_ : dst.now;
+  return InsertEvent(dst, base + delay, MakeStamp(dst), std::move(fn), label);
+}
+
+EventId Simulator::ScheduleGlobal(SimDuration delay, SimCallback fn,
+                                  const char* label) {
+  assert(delay >= 0);
+  if (global_ == nullptr) return Schedule(delay, std::move(fn), label);
+  const ExecContext& c = TlsCtx();
+  Check(c.sim != this || c.shard->id == kGlobalShardTag,
+        "ScheduleGlobal from worker-shard context");
+  const SimTime base = c.sim == this ? c.shard->now : coordinator_now_;
+  return InsertEvent(*global_, base + delay, MakeStamp(*global_),
+                     std::move(fn), label);
+}
+
+EventId Simulator::ScheduleGlobalAt(SimTime when, SimCallback fn,
+                                    const char* label) {
+  if (global_ == nullptr) return ScheduleAt(when, std::move(fn), label);
+  const ExecContext& c = TlsCtx();
+  Check(c.sim != this || c.shard->id == kGlobalShardTag,
+        "ScheduleGlobalAt from worker-shard context");
+  assert(when >= (c.sim == this ? c.shard->now : coordinator_now_));
+  return InsertEvent(*global_, when, MakeStamp(*global_), std::move(fn),
+                     label);
 }
 
 void Simulator::Cancel(EventId id) {
   if (id == kInvalidEvent) return;
-  const uint32_t index = static_cast<uint32_t>(id & 0xffffffffu) - 1;
+  const uint32_t tag = static_cast<uint32_t>((id >> 24) & 0xffu);
+  Shard* sh;
+  if (tag == kGlobalShardTag) {
+    if (global_ == nullptr) return;
+    sh = global_.get();
+  } else {
+    Check(tag < shards_.size(), "Cancel: unknown shard tag");
+    sh = shards_[tag].get();
+  }
+  if (WorkersActive()) {
+    const ExecContext& c = TlsCtx();
+    Check(c.sim == this && c.shard == sh,
+          "cross-shard Cancel during a parallel window");
+  }
+  const uint32_t index = static_cast<uint32_t>(id & 0xffffffu) - 1;
   const uint32_t generation = static_cast<uint32_t>(id >> 32);
   // A stale id (already fired, already cancelled, or from a recycled slot)
   // fails the generation check and is a clean no-op.
-  if (index >= slots_.size() || slots_[index].generation != generation) {
+  if (index >= sh->slots.size() || sh->slots[index].generation != generation) {
     return;
   }
-  ReleaseSlot(index);
-  --live_count_;
-  ++dead_in_heap_;
-  if (dead_in_heap_ > heap_.size() / 2 && heap_.size() >= kCompactMinEntries) {
-    CompactHeap();
+  ReleaseSlot(*sh, index);
+  --sh->live;
+  ++sh->dead_in_heap;
+  if (sh->dead_in_heap > sh->heap.size() / 2 &&
+      sh->heap.size() >= kCompactMinEntries) {
+    CompactHeap(*sh);
   }
 }
 
-void Simulator::CompactHeap() {
-  std::erase_if(heap_, [this](const HeapEntry& e) { return !SlotLive(e); });
-  std::make_heap(heap_.begin(), heap_.end(), HeapGreater{});
-  dead_in_heap_ = 0;
+void Simulator::CompactHeap(Shard& sh) {
+  std::erase_if(sh.heap,
+                [&sh](const HeapEntry& e) { return !SlotLive(sh, e); });
+  std::make_heap(sh.heap.begin(), sh.heap.end(), HeapGreater{});
+  sh.dead_in_heap = 0;
 }
 
-void Simulator::PruneDeadTop() {
-  while (!heap_.empty() && !SlotLive(heap_.front())) {
-    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
-    heap_.pop_back();
-    --dead_in_heap_;
+void Simulator::PruneDeadTop(Shard& sh) {
+  while (!sh.heap.empty() && !SlotLive(sh, sh.heap.front())) {
+    std::pop_heap(sh.heap.begin(), sh.heap.end(), HeapGreater{});
+    sh.heap.pop_back();
+    --sh.dead_in_heap;
   }
 }
 
@@ -109,18 +320,19 @@ void Simulator::ObserveExecuted(SimTime at, const char* label,
   }
 }
 
-bool Simulator::Step() {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
-    const HeapEntry entry = heap_.back();
-    heap_.pop_back();
-    if (!SlotLive(entry)) {  // cancelled; tombstone reclaimed here
-      --dead_in_heap_;
+bool Simulator::StepLegacy() {
+  Shard& sh = *shards_[0];
+  while (!sh.heap.empty()) {
+    std::pop_heap(sh.heap.begin(), sh.heap.end(), HeapGreater{});
+    const HeapEntry entry = sh.heap.back();
+    sh.heap.pop_back();
+    if (!SlotLive(sh, entry)) {  // cancelled; tombstone reclaimed here
+      --sh.dead_in_heap;
       continue;
     }
-    Slot& slot = slots_[entry.slot];
-    assert(entry.time >= now_);
-    now_ = entry.time;
+    Slot& slot = sh.slots[entry.slot];
+    assert(entry.time >= sh.now);
+    sh.now = entry.time;
     ++executed_;
     fingerprint_ = Trace::MixFingerprint(fingerprint_, slot.digest);
     if (trace_out_ != nullptr || replay_ != nullptr) {
@@ -129,8 +341,8 @@ bool Simulator::Step() {
     // Move the callback out and recycle the slot BEFORE invoking: the
     // callback may schedule new events (possibly reusing this very slot).
     SimCallback fn = std::move(slot.fn);
-    ReleaseSlot(entry.slot);
-    --live_count_;
+    ReleaseSlot(sh, entry.slot);
+    --sh.live;
     fn();
     if (inspector_ && executed_ % inspect_every_ == 0) inspector_();
     return true;
@@ -138,21 +350,342 @@ bool Simulator::Step() {
   return false;
 }
 
+Simulator::Shard* Simulator::NextCanonical() {
+  Shard* best = nullptr;
+  for (auto& sp : shards_) {
+    PruneDeadTop(*sp);
+    if (sp->heap.empty()) continue;
+    if (best == nullptr ||
+        HeapKey{sp->heap.front().time, sp->heap.front().seq} <
+            HeapKey{best->heap.front().time, best->heap.front().seq}) {
+      best = sp.get();
+    }
+  }
+  if (global_ != nullptr) {
+    PruneDeadTop(*global_);
+    if (!global_->heap.empty() &&
+        (best == nullptr ||
+         HeapKey{global_->heap.front().time, global_->heap.front().seq} <
+             HeapKey{best->heap.front().time, best->heap.front().seq})) {
+      best = global_.get();
+    }
+  }
+  return best;
+}
+
+void Simulator::ExecTopCanonical(Shard& sh) {
+  std::pop_heap(sh.heap.begin(), sh.heap.end(), HeapGreater{});
+  const HeapEntry entry = sh.heap.back();
+  sh.heap.pop_back();
+  Slot& slot = sh.slots[entry.slot];
+  assert(entry.time >= sh.now);
+  sh.now = entry.time;
+  if (entry.time > coordinator_now_) coordinator_now_ = entry.time;
+  ++executed_;
+  fingerprint_ = Trace::MixFingerprint(fingerprint_, slot.digest);
+  if (trace_out_ != nullptr || replay_ != nullptr) {
+    ObserveExecuted(entry.time, slot.label, slot.digest);
+  }
+  SimCallback fn = std::move(slot.fn);
+  ReleaseSlot(sh, entry.slot);
+  --sh.live;
+  ExecContext& tls = TlsCtx();
+  const ExecContext saved = tls;
+  tls = ExecContext{this, &sh};
+  fn();
+  tls = saved;
+  if (inspector_ && executed_ % inspect_every_ == 0) inspector_();
+}
+
+bool Simulator::StepSharded() {
+  Shard* best = NextCanonical();
+  if (best == nullptr) return false;
+  ExecTopCanonical(*best);
+  return true;
+}
+
+bool Simulator::Step() { return sharded_ ? StepSharded() : StepLegacy(); }
+
 void Simulator::Run() {
   while (Step()) {
   }
 }
 
 void Simulator::RunUntil(SimTime deadline) {
-  for (;;) {
-    // Reclaim tombstones at the top so the deadline check sees the event
-    // that would actually fire next (a cancelled entry inside the window
-    // must not smuggle a live event from beyond the deadline into Step).
-    PruneDeadTop();
-    if (heap_.empty() || heap_.front().time > deadline) break;
-    Step();
+  if (!sharded_) {
+    Shard& sh = *shards_[0];
+    for (;;) {
+      // Reclaim tombstones at the top so the deadline check sees the event
+      // that would actually fire next (a cancelled entry inside the window
+      // must not smuggle a live event from beyond the deadline into Step).
+      PruneDeadTop(sh);
+      if (sh.heap.empty() || sh.heap.front().time > deadline) break;
+      StepLegacy();
+    }
+    if (sh.now < deadline) sh.now = deadline;
+    return;
   }
-  if (now_ < deadline) now_ = deadline;
+  for (;;) {
+    Shard* best = NextCanonical();
+    if (best == nullptr || best->heap.front().time > deadline) break;
+    ExecTopCanonical(*best);
+  }
+  FinalizeNows(deadline);
+}
+
+void Simulator::FinalizeNows(SimTime deadline) {
+  for (auto& sp : shards_) {
+    if (sp->now < deadline) sp->now = deadline;
+  }
+  if (global_ != nullptr && global_->now < deadline) global_->now = deadline;
+  if (coordinator_now_ < deadline) coordinator_now_ = deadline;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel windowed engine
+// ---------------------------------------------------------------------------
+
+void Simulator::RunSharded(SimTime deadline, int threads) {
+  Check(sharded_, "RunSharded requires ConfigureShards");
+  Check(TlsCtx().sim != this, "RunSharded from inside an event");
+  if (threads < 1) threads = 1;
+  const uint32_t workers =
+      std::min(static_cast<uint32_t>(threads), ShardCount());
+  EnsurePool(workers - 1);
+  for (;;) {
+    DrainMailboxes();
+    // Scan for the minimal pending key per queue; this fixes the window.
+    Shard* first = nullptr;
+    HeapKey shard_min{0, 0};
+    for (auto& sp : shards_) {
+      PruneDeadTop(*sp);
+      if (sp->heap.empty()) continue;
+      const HeapKey k{sp->heap.front().time, sp->heap.front().seq};
+      if (first == nullptr || k < shard_min) {
+        first = sp.get();
+        shard_min = k;
+      }
+    }
+    bool have_global = false;
+    HeapKey gk{0, 0};
+    if (global_ != nullptr) {
+      PruneDeadTop(*global_);
+      if (!global_->heap.empty()) {
+        have_global = true;
+        gk = HeapKey{global_->heap.front().time, global_->heap.front().seq};
+      }
+    }
+    if (first == nullptr && !have_global) break;
+    SimTime t0 = first != nullptr ? shard_min.time
+                                  : std::numeric_limits<SimTime>::max();
+    if (have_global && gk.time < t0) t0 = gk.time;
+    if (t0 > deadline) break;
+    // Window bound: a canonical KEY, not just a time — a pending global
+    // event splits the window exactly at its own stamp, so it observes
+    // every shard quiesced up to (and not past) its position in the
+    // canonical order.
+    HeapKey bound{SatAdd(t0, lookahead_), 0};
+    if (have_global && gk < bound) bound = gk;
+    const HeapKey deadline_bound{SatAdd(deadline, 1), 0};
+    if (deadline_bound < bound) bound = deadline_bound;
+    if (first != nullptr && shard_min < bound) {
+      ExecuteWindow(bound, workers);
+      MergeWindowLogs();
+      const SimTime wnow = std::min(bound.time, deadline);
+      for (auto& sp : shards_) {
+        if (sp->now < wnow) sp->now = wnow;
+      }
+      if (global_ != nullptr && global_->now < wnow) global_->now = wnow;
+      if (coordinator_now_ < wnow) coordinator_now_ = wnow;
+      if (inspector_) inspector_();
+      continue;
+    }
+    // No shard work below the bound: the global event is next. Mails it
+    // sends (via worker-shard inserts) and the events those spawn are
+    // picked up by the rescan.
+    Check(have_global && gk.time <= deadline, "window scheduling invariant");
+    ExecTopCanonical(*global_);
+  }
+  FinalizeNows(deadline);
+}
+
+void Simulator::RunShardWindow(Shard& sh, HeapKey bound) {
+  ExecContext& tls = TlsCtx();
+  const ExecContext saved = tls;
+  tls = ExecContext{this, &sh};
+  for (;;) {
+    PruneDeadTop(sh);
+    if (sh.heap.empty()) break;
+    const HeapKey key{sh.heap.front().time, sh.heap.front().seq};
+    if (!(key < bound)) break;
+    std::pop_heap(sh.heap.begin(), sh.heap.end(), HeapGreater{});
+    const HeapEntry entry = sh.heap.back();
+    sh.heap.pop_back();
+    Slot& slot = sh.slots[entry.slot];
+    sh.now = entry.time;
+    // Fingerprint/trace work is deferred to the barrier merge — the log
+    // keeps the canonical stream identical to a serial run while the hot
+    // loop stays shard-local.
+    sh.window_log.push_back(
+        ExecRecord{entry.time, entry.seq, slot.digest, slot.label});
+    SimCallback fn = std::move(slot.fn);
+    ReleaseSlot(sh, entry.slot);
+    --sh.live;
+    fn();
+  }
+  tls = saved;
+}
+
+void Simulator::ExecuteWindow(HeapKey bound, uint32_t workers) {
+  // Even the single-threaded window marks workers active: cross-shard
+  // schedules must go through mailboxes mid-window regardless of worker
+  // count, or same-timestamp events could merge in a round-dependent
+  // order (the mailbox defers them to the barrier, where the drain order
+  // is canonical).
+  if (workers <= 1 || pool_ == nullptr) {
+    workers_active_.store(true, std::memory_order_relaxed);
+    for (auto& sp : shards_) RunShardWindow(*sp, bound);
+    workers_active_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  Pool& p = *pool_;
+  {
+    std::lock_guard<std::mutex> lock(p.mu);
+    p.bound = bound;
+    p.next_shard.store(0, std::memory_order_relaxed);
+    p.done_shards = 0;
+    p.active_shards = static_cast<uint32_t>(shards_.size());
+    workers_active_.store(true, std::memory_order_relaxed);
+    ++p.round;
+  }
+  p.cv_start.notify_all();
+  ProcessWindowShards();  // the coordinator is worker 0
+  {
+    std::unique_lock<std::mutex> lock(p.mu);
+    p.cv_done.wait(lock, [&p] { return p.done_shards == p.active_shards; });
+    workers_active_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void Simulator::ProcessWindowShards() {
+  Pool& p = *pool_;
+  const uint32_t n = p.active_shards;
+  for (;;) {
+    const uint32_t i = p.next_shard.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    RunShardWindow(*shards_[i], p.bound);
+    std::lock_guard<std::mutex> lock(p.mu);
+    if (++p.done_shards == n) p.cv_done.notify_all();
+  }
+}
+
+void Simulator::WorkerMain() {
+  Pool& p = *pool_;
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(p.mu);
+      p.cv_start.wait(lock, [&] { return p.shutdown || p.round != seen; });
+      if (p.shutdown) return;
+      seen = p.round;
+    }
+    ProcessWindowShards();
+  }
+}
+
+void Simulator::EnsurePool(uint32_t worker_threads) {
+  if (worker_threads == 0) return;
+  if (pool_ != nullptr && pool_->threads.size() == worker_threads) return;
+  StopPool();
+  pool_ = std::make_unique<Pool>();
+  pool_->threads.reserve(worker_threads);
+  for (uint32_t i = 0; i < worker_threads; ++i) {
+    pool_->threads.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+void Simulator::StopPool() {
+  if (pool_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(pool_->mu);
+    pool_->shutdown = true;
+  }
+  pool_->cv_start.notify_all();
+  for (auto& t : pool_->threads) t.join();
+  pool_.reset();
+}
+
+void Simulator::DrainMailboxes() {
+  std::vector<Mail> scratch;
+  for (auto& sp : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(sp->mail_mu);
+      if (sp->mailbox.empty()) continue;
+      scratch.swap(sp->mailbox);
+    }
+    // Heap order is by canonical key, so the (nondeterministic) arrival
+    // order of mails from concurrent senders does not matter.
+    for (auto& mail : scratch) {
+      InsertEvent(*sp, mail.time, mail.seq, std::move(mail.fn), mail.label);
+    }
+    scratch.clear();
+  }
+}
+
+void Simulator::MergeWindowLogs() {
+  // K-way merge of per-shard execution logs by head key, preserving each
+  // shard's internal execution order. This equals the canonical serial
+  // order: a shard's log head is exactly the event serial execution would
+  // pick next from that shard (delay-0 children enter the log only after
+  // their parent), so greedy min-over-heads == greedy min-over-pending.
+  const bool observe = trace_out_ != nullptr || replay_ != nullptr;
+  const size_t n = shards_.size();
+  size_t cursor[kMaxShards];
+  size_t remaining = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cursor[i] = 0;
+    remaining += shards_[i]->window_log.size();
+  }
+  while (remaining > 0) {
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (cursor[i] >= shards_[i]->window_log.size()) continue;
+      if (best == n) {
+        best = i;
+        continue;
+      }
+      const ExecRecord& a = shards_[i]->window_log[cursor[i]];
+      const ExecRecord& b = shards_[best]->window_log[cursor[best]];
+      if (HeapKey{a.time, a.seq} < HeapKey{b.time, b.seq}) best = i;
+    }
+    const ExecRecord& r = shards_[best]->window_log[cursor[best]++];
+    ++executed_;
+    fingerprint_ = Trace::MixFingerprint(fingerprint_, r.digest);
+    if (observe) ObserveExecuted(r.time, r.label, r.digest);
+    --remaining;
+  }
+  for (auto& sp : shards_) sp->window_log.clear();
+}
+
+size_t Simulator::PendingEvents() const {
+  size_t pending = 0;
+  for (const auto& sp : shards_) pending += sp->live;
+  if (global_ != nullptr) pending += global_->live;
+  return pending;
+}
+
+size_t Simulator::HeapEntriesForTest() const {
+  size_t total = 0;
+  for (const auto& sp : shards_) total += sp->heap.size();
+  if (global_ != nullptr) total += global_->heap.size();
+  return total;
+}
+
+size_t Simulator::DeadHeapEntriesForTest() const {
+  size_t total = 0;
+  for (const auto& sp : shards_) total += sp->dead_in_heap;
+  if (global_ != nullptr) total += global_->dead_in_heap;
+  return total;
 }
 
 }  // namespace aurora::sim

@@ -33,6 +33,12 @@ class ObjectStore {
  public:
   ObjectStore(sim::Simulator* sim, ObjectStoreOptions options = {});
 
+  /// Pins the archive's state (maps, rng, counters) to one simulator
+  /// shard. Calls from other shards hop there (one lookahead each way,
+  /// dwarfed by the tens-of-ms archive latencies) so parallel windows
+  /// never touch the archive concurrently. Call during cluster setup.
+  void SetHomeShard(sim::ShardKey shard) { home_shard_ = shard; }
+
   /// Archives `records` for `pg`; `done(highest_lsn_archived)` runs after
   /// simulated upload latency. Records become visible at completion.
   void Put(ProtectionGroupId pg, std::vector<log::RedoRecord> records,
@@ -51,8 +57,15 @@ class ObjectStore {
   uint64_t gets() const { return gets_; }
 
  private:
+  void DoPut(ProtectionGroupId pg, std::vector<log::RedoRecord> records,
+             std::function<void(Lsn)> done, sim::ShardKey caller);
+  void DoGet(ProtectionGroupId pg, Lsn lo, Lsn hi,
+             std::function<void(std::vector<log::RedoRecord>)> done,
+             sim::ShardKey caller);
+
   sim::Simulator* sim_;
   ObjectStoreOptions options_;
+  sim::ShardKey home_shard_ = 0;
   Rng rng_;
   std::map<ProtectionGroupId, std::map<Lsn, log::RedoRecord>> archive_;
   uint64_t bytes_stored_ = 0;

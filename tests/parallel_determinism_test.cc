@@ -1,0 +1,268 @@
+// Parallel-vs-serial determinism sweeps (DESIGN.md §9).
+//
+// Three layers of evidence that the windowed parallel engine executes the
+// exact canonical schedule:
+//   1. a 25-seed synthetic actor-mesh sweep comparing serial execution
+//      against 2-, 4-, and 8-worker windowed runs on the same shard count;
+//   2. a full-cluster sweep (writer + storage fleet + failure-injector
+//      chaos, event_shards = 3) comparing serial RunUntil against
+//      RunSharded at 1/2/4/8 workers on fingerprint, VCL, VDL, commit and
+//      event counts;
+//   3. bit-identity of the sharded oracle (event_shards = 1) with the
+//      classic engine on the chaos harness, including replaying the
+//      committed pre-sharding golden trace fixture on the oracle.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/chaos_harness.h"
+#include "src/core/cluster.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace aurora {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Layer 1: synthetic mesh, 25 seeds.
+
+uint64_t Mix(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t h = a * 0x9e3779b97f4a7c15ULL ^ (b + 0xff51afd7ed558ccdULL) * 33 ^
+               (c + 0xc4ceb9fe1a85ec53ULL) * 101;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 29;
+  return h;
+}
+
+struct MeshOutcome {
+  uint64_t fingerprint = 0;
+  uint64_t executed = 0;
+  SimTime end = 0;
+  uint64_t state_hash = 0;
+};
+
+void MeshTick(sim::Simulator* simulator, std::vector<uint64_t>* cells,
+              uint64_t seed, uint32_t shard, uint32_t nshards, uint64_t tick,
+              SimTime deadline) {
+  (*cells)[shard] = (*cells)[shard] * 6364136223846793005ULL + tick + 1;
+  if (simulator->Now() >= deadline - 150) return;
+  if (tick % 4 == 1) {
+    const uint32_t dst = (shard + 1 + tick / 4) % nshards;
+    if (dst != shard) {
+      simulator->ScheduleOn(
+          dst, simulator->Lookahead() + Mix(seed, shard, tick) % 30,
+          [cells, dst] { (*cells)[dst] ^= 0x5bd1e995; }, "sweep.remote");
+    }
+  }
+  simulator->Schedule(
+      1 + Mix(seed, shard, tick * 2) % 29,
+      [simulator, cells, seed, shard, nshards, tick, deadline] {
+        MeshTick(simulator, cells, seed, shard, nshards, tick + 1, deadline);
+      },
+      "sweep.tick");
+}
+
+MeshOutcome RunMesh(uint64_t seed, uint32_t nshards, int threads) {
+  constexpr SimTime kDeadline = 8000;
+  sim::Simulator simulator(seed);
+  simulator.ConfigureShards(nshards);
+  simulator.SetLookahead(20);
+  std::vector<uint64_t> cells(nshards, seed);
+  for (uint32_t s = 0; s < nshards; ++s) {
+    sim::Simulator::ShardScope scope(&simulator, s);
+    simulator.Schedule(
+        1 + s % 3,
+        [&simulator, &cells, seed, s, nshards] {
+          MeshTick(&simulator, &cells, seed, s, nshards, 0, kDeadline);
+        },
+        "sweep.start");
+  }
+  // A global-event chain interleaved with the mesh: barrier traffic is
+  // part of the schedule under test.
+  simulator.ScheduleGlobal(
+      50,
+      [&simulator, &cells] {
+        for (auto& c : cells) c += 1;
+        simulator.ScheduleGlobal(
+            173, [&cells] { cells[0] ^= cells[cells.size() - 1]; },
+            "sweep.global2");
+      },
+      "sweep.global1");
+
+  if (threads == 0) {
+    simulator.RunUntil(kDeadline);
+  } else {
+    simulator.RunSharded(kDeadline, threads);
+  }
+
+  MeshOutcome out;
+  out.fingerprint = simulator.ScheduleFingerprint();
+  out.executed = simulator.ExecutedEvents();
+  out.end = simulator.Now();
+  for (uint64_t c : cells) out.state_hash = out.state_hash * 31 + c;
+  return out;
+}
+
+TEST(ParallelDeterminism, MeshSweep25Seeds) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const uint32_t nshards = 2 + seed % 3;  // 2, 3, 4
+    const MeshOutcome serial = RunMesh(seed, nshards, 0);
+    ASSERT_GT(serial.executed, 200u) << "seed " << seed;
+    for (int threads : {2, 4, 8}) {
+      const MeshOutcome parallel = RunMesh(seed, nshards, threads);
+      EXPECT_EQ(parallel.fingerprint, serial.fingerprint)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(parallel.executed, serial.executed)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(parallel.end, serial.end)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(parallel.state_hash, serial.state_hash)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: full cluster under chaos, serial vs parallel.
+
+struct ClusterOutcome {
+  uint64_t fingerprint = 0;
+  Lsn vcl = 0;
+  Lsn vdl = 0;
+  uint64_t commits = 0;
+  uint64_t executed = 0;
+  SimTime end = 0;
+  uint64_t node_failures = 0;
+
+  bool operator==(const ClusterOutcome&) const = default;
+};
+
+// Builds a 3-shard cluster, runs a blocking warm-up, arms scripted +
+// flapping failure-injector chaos, then drives one long run phase either
+// serially (threads == 0) or through the windowed engine.
+ClusterOutcome RunClusterScenario(uint64_t seed, int threads) {
+  core::AuroraOptions options;
+  options.seed = seed;
+  options.blocks_per_pg = 1 << 16;
+  options.storage_nodes_per_az = 2;
+  options.event_shards = 3;
+  // Widen the latency floor so the lookahead window holds useful work
+  // (default 1us windows would still be correct, just barrier-bound).
+  options.network.min_latency_us = 40;
+  core::AuroraCluster cluster(options);
+  EXPECT_TRUE(cluster.StartBlocking().ok());
+  EXPECT_EQ(cluster.sim().Lookahead(), 40);
+
+  for (int i = 0; i < 10; ++i) {
+    (void)cluster.PutBlocking("warm" + std::to_string(i % 7),
+                              "v" + std::to_string(i));
+  }
+
+  // Chaos armed before the run phase: scripted crash/restart, an AZ blip,
+  // and a flapping node (stochastic dwell draws happen inside global
+  // events, so they are barrier-serialized and deterministic).
+  const std::vector<NodeId> nodes = cluster.StorageNodeIds();
+  sim::FailureInjector& injector = cluster.failures();
+  const SimTime t0 = cluster.sim().Now();
+  const NodeId victim = nodes[seed % nodes.size()];
+  const NodeId flapper = nodes[(seed + 2) % nodes.size()];
+  injector.CrashNodeAt(t0 + 5 * kMillisecond, victim);
+  injector.RestartNodeAt(t0 + 45 * kMillisecond, victim);
+  injector.FailAzAt(t0 + 60 * kMillisecond, 1, 25 * kMillisecond);
+  if (flapper != victim) {
+    injector.Flap(flapper, 8 * kMillisecond, 3);
+  }
+
+  if (threads == 0) {
+    cluster.RunFor(400 * kMillisecond);
+  } else {
+    cluster.sim().RunShardedFor(400 * kMillisecond, threads);
+  }
+
+  ClusterOutcome out;
+  out.fingerprint = cluster.sim().ScheduleFingerprint();
+  out.vcl = cluster.writer()->vcl();
+  out.vdl = cluster.writer()->vdl();
+  out.commits = cluster.writer()->stats().commits_acked;
+  out.executed = cluster.sim().ExecutedEvents();
+  out.end = cluster.sim().Now();
+  out.node_failures = injector.node_failures();
+  return out;
+}
+
+TEST(ParallelDeterminism, ClusterChaosSweepSerialVsParallel) {
+  for (uint64_t seed : {11u, 12u, 13u, 14u, 15u, 16u, 17u, 18u}) {
+    const ClusterOutcome serial = RunClusterScenario(seed, 0);
+    ASSERT_GT(serial.commits, 0u) << "seed " << seed;
+    ASSERT_GT(serial.node_failures, 0u) << "seed " << seed;
+    for (int threads : {1, 2, 4}) {
+      const ClusterOutcome parallel = RunClusterScenario(seed, threads);
+      EXPECT_EQ(parallel, serial)
+          << "seed " << seed << " threads " << threads;
+    }
+    if (seed % 4 == 3) {
+      const ClusterOutcome wide = RunClusterScenario(seed, 8);
+      EXPECT_EQ(wide, serial) << "seed " << seed << " threads 8";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: sharded oracle (event_shards = 1) bit-identity on the chaos
+// harness, including the committed golden fixture.
+
+TEST(ParallelDeterminism, ChaosHarnessOracleBitIdentity) {
+  for (uint64_t seed : {3u, 21u, 77u}) {
+    const core::ChaosSchedule schedule =
+        core::GenerateChaosSchedule(seed, 25);
+    core::ChaosRunOptions classic_options;
+    const core::ChaosRunResult classic =
+        core::RunChaosSchedule(schedule, classic_options);
+    ASSERT_TRUE(classic.status.ok()) << classic.status.ToString();
+
+    core::ChaosRunOptions oracle_options;
+    oracle_options.event_shards = 1;
+    const core::ChaosRunResult oracle =
+        core::RunChaosSchedule(schedule, oracle_options);
+    ASSERT_TRUE(oracle.status.ok()) << oracle.status.ToString();
+
+    EXPECT_EQ(oracle.fingerprint, classic.fingerprint) << "seed " << seed;
+    EXPECT_EQ(oracle.vcl, classic.vcl) << "seed " << seed;
+    EXPECT_EQ(oracle.vdl, classic.vdl) << "seed " << seed;
+    EXPECT_EQ(oracle.executed_events, classic.executed_events)
+        << "seed " << seed;
+    EXPECT_EQ(oracle.end_time, classic.end_time) << "seed " << seed;
+  }
+}
+
+TEST(ParallelDeterminism, GoldenTraceReplaysOnShardedOracle) {
+  // The pre-sharding golden capture must verify event-by-event against a
+  // run on the sharded oracle — the strongest single piece of evidence
+  // that ConfigureShards(1) changed nothing.
+  const std::string path =
+      std::string(AURORA_TEST_DATA_DIR) + "/golden_trace_seed12345.jsonl";
+  auto stored = sim::Trace::ReadFile(path);
+  ASSERT_TRUE(stored.ok())
+      << "missing golden fixture (trace_replay_test self-primes it): "
+      << stored.status().ToString();
+  ASSERT_TRUE(stored->summary.present);
+
+  core::ChaosRunOptions replay_options;
+  replay_options.replay = &*stored;
+  replay_options.event_shards = 1;
+  const core::ChaosRunResult replayed = core::RunChaosSchedule(
+      core::GenerateChaosSchedule(12345, 20), replay_options);
+  ASSERT_TRUE(replayed.status.ok()) << replayed.status.ToString();
+  EXPECT_FALSE(replayed.replay_diverged) << replayed.replay_divergence;
+  EXPECT_EQ(replayed.fingerprint, stored->summary.fingerprint);
+  EXPECT_EQ(replayed.vcl, stored->summary.vcl);
+  EXPECT_EQ(replayed.vdl, stored->summary.vdl);
+  EXPECT_EQ(replayed.executed_events, stored->summary.executed_events);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,315 @@
+// Sharded parallel event engine (DESIGN.md §9) — engine-level contract.
+//
+// The tentpole guarantee: for a fixed sharded simulator, the serial
+// canonical executor (Run/RunUntil/Step) and the windowed parallel
+// executor (RunSharded) produce the SAME execution — same schedule
+// fingerprint, same executed-event count, same actor state — for every
+// worker-thread count. And with a single shard, the sharded engine is
+// bit-identical to the classic unsharded engine.
+//
+// The mesh below is a worst-case synthetic actor graph: per-shard tickers
+// with coprime periods (constant same-time collisions across shards),
+// cross-shard sends at exactly the lookahead bound, and a chain of global
+// events that read cross-shard state at barriers.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace aurora::sim {
+namespace {
+
+// Deterministic parameter hash (no RNG: draws must not depend on execution
+// interleaving, so every delay is a pure function of (seed, shard, tick)).
+uint64_t Mix(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t h = a * 0x9e3779b97f4a7c15ULL ^ (b + 0xbf58476d1ce4e5b9ULL) * 31 ^
+               (c + 0x94d049bb133111ebULL) * 127;
+  h ^= h >> 31;
+  h *= 0x2545f4914f6cdd1dULL;
+  h ^= h >> 29;
+  return h;
+}
+
+constexpr SimDuration kLookahead = 25;
+constexpr SimTime kDeadline = 20000;
+
+struct MeshState {
+  std::vector<uint64_t> local_ticks;
+  std::vector<uint64_t> remote_hits;
+  std::vector<uint64_t> global_snapshots;
+  // Per sending shard: EventId returned by its last cross-shard ScheduleOn
+  // (mailbox sends are uncancellable and return kInvalidEvent; serial
+  // direct inserts return a real id). Indexed by sender so concurrent
+  // workers never touch the same slot.
+  std::vector<EventId> last_cross_id;
+  std::vector<uint8_t> saw_cross_send;
+};
+
+void Tick(Simulator* sim, MeshState* st, uint64_t seed, uint32_t shard,
+          uint32_t nshards, uint64_t tick) {
+  st->local_ticks[shard]++;
+  if (sim->Now() >= kDeadline - 200) return;
+  if (nshards > 1 && tick % 3 == 0) {
+    const uint32_t dst = (shard + 1 + tick / 3) % nshards;
+    if (dst != shard) {
+      st->saw_cross_send[shard] = 1;
+      st->last_cross_id[shard] = sim->ScheduleOn(
+          dst, kLookahead + Mix(seed, shard, tick) % 40,
+          [st, dst] { st->remote_hits[dst]++; }, "mesh.remote");
+    }
+  }
+  sim->Schedule(
+      1 + Mix(seed, shard, tick * 2 + 1) % 37,
+      [sim, st, seed, shard, nshards, tick] {
+        Tick(sim, st, seed, shard, nshards, tick + 1);
+      },
+      "mesh.tick");
+}
+
+void GlobalPulse(Simulator* sim, MeshState* st, uint64_t seed, int remaining) {
+  // Reads cross-shard state: only legal because global events execute at
+  // exact-key barriers with every shard quiesced.
+  uint64_t sum = 0;
+  for (uint64_t v : st->local_ticks) sum = sum * 31 + v;
+  for (uint64_t v : st->remote_hits) sum = sum * 31 + v;
+  st->global_snapshots.push_back(sum);
+  if (remaining > 0) {
+    sim->ScheduleGlobal(
+        211 + Mix(seed, 0xA0, remaining) % 97,
+        [sim, st, seed, remaining] {
+          GlobalPulse(sim, st, seed, remaining - 1);
+        },
+        "mesh.global");
+  }
+}
+
+struct MeshResult {
+  uint64_t fingerprint = 0;
+  uint64_t executed = 0;
+  SimTime end = 0;
+  size_t pending = 0;
+  MeshState state;
+};
+
+// threads == 0: serial canonical RunUntil. threads >= 1: RunSharded.
+// nshards == 0: classic unsharded engine (no ConfigureShards call).
+MeshResult RunMesh(uint64_t seed, uint32_t nshards, int threads) {
+  Simulator sim(seed + 1);
+  const uint32_t effective = nshards == 0 ? 1 : nshards;
+  if (nshards > 0) {
+    sim.ConfigureShards(nshards);
+    sim.SetLookahead(kLookahead);
+  }
+  auto st = std::make_unique<MeshState>();
+  st->local_ticks.assign(effective, 0);
+  st->remote_hits.assign(effective, 0);
+  st->last_cross_id.assign(effective, kInvalidEvent);
+  st->saw_cross_send.assign(effective, 0);
+  for (uint32_t s = 0; s < effective; ++s) {
+    Simulator::ShardScope scope(&sim, nshards > 0 ? s : 0);
+    sim.Schedule(
+        1 + s,
+        [sim_p = &sim, st_p = st.get(), seed, s, effective] {
+          Tick(sim_p, st_p, seed, s, effective, 0);
+        },
+        "mesh.start");
+  }
+  sim.ScheduleGlobal(
+      97, [sim_p = &sim, st_p = st.get(), seed] { GlobalPulse(sim_p, st_p, seed, 50); },
+      "mesh.global");
+
+  if (threads == 0) {
+    sim.RunUntil(kDeadline);
+  } else {
+    sim.RunSharded(kDeadline, threads);
+  }
+
+  MeshResult r;
+  r.fingerprint = sim.ScheduleFingerprint();
+  r.executed = sim.ExecutedEvents();
+  r.end = sim.Now();
+  r.pending = sim.PendingEvents();
+  r.state = *st;
+  return r;
+}
+
+bool AnyCrossSend(const MeshState& st) {
+  for (uint8_t v : st.saw_cross_send) {
+    if (v) return true;
+  }
+  return false;
+}
+
+void ExpectSameExecution(const MeshResult& a, const MeshResult& b,
+                         const char* what) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint) << what;
+  EXPECT_EQ(a.executed, b.executed) << what;
+  EXPECT_EQ(a.end, b.end) << what;
+  EXPECT_EQ(a.state.local_ticks, b.state.local_ticks) << what;
+  EXPECT_EQ(a.state.remote_hits, b.state.remote_hits) << what;
+  EXPECT_EQ(a.state.global_snapshots, b.state.global_snapshots) << what;
+}
+
+TEST(ParallelEngine, SingleShardIsBitIdenticalToUnsharded) {
+  // ConfigureShards(1) is the determinism oracle: same stamps, same
+  // order, same fingerprint as the classic engine — and RunSharded(1)
+  // on it must change nothing either.
+  const MeshResult classic = RunMesh(42, 0, 0);
+  const MeshResult oracle_serial = RunMesh(42, 1, 0);
+  const MeshResult oracle_windowed = RunMesh(42, 1, 1);
+  EXPECT_GT(classic.executed, 1000u);
+  ExpectSameExecution(classic, oracle_serial, "sharded(1) serial vs classic");
+  ExpectSameExecution(classic, oracle_windowed,
+                      "sharded(1) windowed vs classic");
+}
+
+TEST(ParallelEngine, ParallelMatchesSerialForEveryThreadCount) {
+  for (uint32_t nshards : {2u, 3u, 4u}) {
+    const MeshResult serial = RunMesh(7, nshards, 0);
+    ASSERT_GT(serial.executed, 1000u);
+    ASSERT_TRUE(AnyCrossSend(serial.state));
+    ASSERT_GT(serial.state.global_snapshots.size(), 10u);
+    for (int threads : {1, 2, 4, 8}) {
+      const MeshResult parallel = RunMesh(7, nshards, threads);
+      ExpectSameExecution(serial, parallel,
+                          ("shards=" + std::to_string(nshards) +
+                           " threads=" + std::to_string(threads))
+                              .c_str());
+      EXPECT_EQ(parallel.pending, 0u);
+    }
+  }
+}
+
+TEST(ParallelEngine, CrossShardMailboxSendsAreUncancellable) {
+  // Serial canonical execution inserts cross-shard events directly (real
+  // EventId); during windowed execution they travel by mailbox and the
+  // send returns kInvalidEvent. Both produce the same schedule.
+  const MeshResult serial = RunMesh(9, 2, 0);
+  const MeshResult windowed = RunMesh(9, 2, 2);
+  ASSERT_TRUE(AnyCrossSend(serial.state));
+  ASSERT_TRUE(AnyCrossSend(windowed.state));
+  for (uint32_t s = 0; s < 2; ++s) {
+    if (serial.state.saw_cross_send[s]) {
+      EXPECT_NE(serial.state.last_cross_id[s], kInvalidEvent) << s;
+    }
+    if (windowed.state.saw_cross_send[s]) {
+      EXPECT_EQ(windowed.state.last_cross_id[s], kInvalidEvent) << s;
+    }
+  }
+  EXPECT_EQ(serial.fingerprint, windowed.fingerprint);
+}
+
+TEST(ParallelEngine, CancelAcrossShards) {
+  Simulator sim(3);
+  sim.ConfigureShards(3);
+  sim.SetLookahead(10);
+
+  std::vector<int> fired(6, 0);
+  std::vector<EventId> ids;
+  for (uint32_t s = 0; s < 3; ++s) {
+    Simulator::ShardScope scope(&sim, s);
+    for (int k = 0; k < 2; ++k) {
+      const size_t slot = s * 2 + k;
+      ids.push_back(sim.Schedule(
+          100 + 10 * static_cast<SimDuration>(slot),
+          [&fired, slot] { fired[slot]++; }, "cancel.probe"));
+    }
+  }
+  EXPECT_EQ(sim.PendingEvents(), 6u);
+
+  // Cancel one event per shard; tombstones linger until reclaimed.
+  sim.Cancel(ids[1]);
+  sim.Cancel(ids[2]);
+  sim.Cancel(ids[5]);
+  EXPECT_EQ(sim.PendingEvents(), 3u);
+  EXPECT_EQ(sim.DeadHeapEntriesForTest(), 3u);
+
+  // Double-cancel and stale ids are harmless no-ops.
+  sim.Cancel(ids[1]);
+  sim.Cancel(kInvalidEvent);
+  EXPECT_EQ(sim.PendingEvents(), 3u);
+
+  sim.RunSharded(1000, 2);
+  EXPECT_EQ(fired, (std::vector<int>{1, 0, 0, 1, 1, 0}));
+  EXPECT_EQ(sim.ExecutedEvents(), 3u);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_EQ(sim.DeadHeapEntriesForTest(), 0u);
+
+  // An id from a long-fired event is stale by generation: cancelling it
+  // must not disturb anything scheduled afterwards.
+  sim.Cancel(ids[0]);
+  bool late = false;
+  {
+    Simulator::ShardScope scope(&sim, 0);
+    sim.Schedule(5, [&late] { late = true; }, "cancel.late");
+  }
+  sim.Cancel(ids[3]);
+  sim.RunSharded(sim.Now() + 100, 1);
+  EXPECT_TRUE(late);
+}
+
+TEST(ParallelEngine, PendingAndExecutedAggregateAllQueues) {
+  Simulator sim(5);
+  sim.ConfigureShards(2);
+  sim.SetLookahead(5);
+  int hits = 0;
+  for (uint32_t s = 0; s < 2; ++s) {
+    Simulator::ShardScope scope(&sim, s);
+    sim.Schedule(10, [&hits] { hits++; }, "agg.shard");
+  }
+  sim.ScheduleGlobal(20, [&hits] { hits++; }, "agg.global");
+  EXPECT_EQ(sim.PendingEvents(), 3u);
+  sim.RunSharded(100, 2);
+  EXPECT_EQ(hits, 3);
+  EXPECT_EQ(sim.ExecutedEvents(), 3u);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(ParallelEngine, RunShardedLandsClockOnDeadline) {
+  Simulator sim(8);
+  sim.ConfigureShards(2);
+  sim.SetLookahead(5);
+  {
+    Simulator::ShardScope scope(&sim, 1);
+    sim.Schedule(10, [] {}, "clock.one");
+  }
+  sim.RunSharded(500, 2);
+  EXPECT_EQ(sim.Now(), 500);
+  // And a second leg continues from there.
+  sim.RunShardedFor(250, 2);
+  EXPECT_EQ(sim.Now(), 750);
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(ParallelEngineDeath, CrossShardSendBelowLookaheadAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Simulator sim(1);
+        sim.ConfigureShards(2);
+        sim.SetLookahead(50);
+        {
+          Simulator::ShardScope scope(&sim, 0);
+          sim.Schedule(
+              10,
+              [&sim] {
+                // Worker-context cross-shard send under the lookahead
+                // bound violates the conservative-synchronization
+                // contract; the engine must refuse loudly, not corrupt
+                // the canonical order.
+                sim.ScheduleOn(1, 5, [] {}, "bad.send");
+              },
+              "bad.parent");
+        }
+        sim.RunUntil(100);
+      },
+      "lookahead");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
+}  // namespace
+}  // namespace aurora::sim
