@@ -58,7 +58,24 @@ void Network::PrepareShardLanes() {
 
 Network::Lane& Network::CurrentLane() {
   const ShardKey shard = sim_->ExecutingShard();
-  if (shard == kShardNone || shard >= lanes_.size()) return *lanes_[0];
+  if (shard == kShardNone) return *lanes_[0];
+  if (shard >= lanes_.size()) {
+    // An executing worker shard with no lane means PrepareShardLanes was
+    // skipped, or ran before ConfigureShards grew the shard count. During
+    // a parallel window the lane-0 fallback would put several worker
+    // threads on one rng/link_clock/stats — a data race masked as a
+    // working configuration — so it is fatal there in all build types.
+    // Outside windows (serial oracle) lane 0 stays the deterministic
+    // pre-sharding stream.
+    if (sim_->WorkersActive()) {
+      std::fprintf(stderr,
+                   "network: executing shard %u has no lane "
+                   "(PrepareShardLanes not called after ConfigureShards?)\n",
+                   shard);
+      std::abort();
+    }
+    return *lanes_[0];
+  }
   return *lanes_[shard];
 }
 

@@ -552,11 +552,20 @@ void Simulator::ExecuteWindow(HeapKey bound, uint32_t workers) {
   {
     std::lock_guard<std::mutex> lock(p.mu);
     p.bound = bound;
-    p.next_shard.store(0, std::memory_order_relaxed);
     p.done_shards = 0;
     p.active_shards = static_cast<uint32_t>(shards_.size());
     workers_active_.store(true, std::memory_order_relaxed);
     ++p.round;
+    // Release-store LAST in the setup: a worker finishing the previous
+    // round performs one more claim fetch_add before re-waiting on
+    // cv_start, without holding mu. If that claim observes this reset, the
+    // acquire on the fetch_add pairs with this release, making every
+    // round-setup write above — and the coordinator's barrier-phase
+    // mutations of the shard heaps/slabs sequenced before them — visible,
+    // so the stale worker is a legitimate extra participant in the new
+    // round. If it instead observes a stale pre-reset value
+    // (>= active_shards), it exits harmlessly.
+    p.next_shard.store(0, std::memory_order_release);
   }
   p.cv_start.notify_all();
   ProcessWindowShards();  // the coordinator is worker 0
@@ -571,7 +580,8 @@ void Simulator::ProcessWindowShards() {
   Pool& p = *pool_;
   const uint32_t n = p.active_shards;
   for (;;) {
-    const uint32_t i = p.next_shard.fetch_add(1, std::memory_order_relaxed);
+    // Acquire pairs with the release reset in ExecuteWindow; see there.
+    const uint32_t i = p.next_shard.fetch_add(1, std::memory_order_acquire);
     if (i >= n) return;
     RunShardWindow(*shards_[i], p.bound);
     std::lock_guard<std::mutex> lock(p.mu);

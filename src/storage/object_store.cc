@@ -7,11 +7,16 @@ namespace aurora::storage {
 ObjectStore::ObjectStore(sim::Simulator* sim, ObjectStoreOptions options)
     : sim_(sim), options_(options), rng_(sim->rng().Fork()) {}
 
-// Put/Get from a foreign shard hop to the home shard first and deliver the
-// completion back on the caller's shard, so the archive state mutates on
-// exactly one event stream. Same-shard and context-less calls take the
-// direct path, which is bit-identical to the pre-sharding object store
-// (same rng draws, same unlabeled schedule sites).
+// Put/Get from a foreign worker shard hop to the home shard first and
+// deliver the completion back on the caller's shard, so the archive state
+// mutates on exactly one event stream. Same-shard and context-less calls
+// take the direct path, which is bit-identical to the pre-sharding object
+// store (same rng draws, same stamps: ScheduleOn's same-shard / external
+// paths degenerate to plain Schedule). Context-less callers (external
+// drivers, global events) only ever run between windows or at barriers, so
+// their entry-side rng draw / counter bump cannot race; the archive
+// mutation itself is pinned by scheduling it explicitly on home_shard_
+// below, whatever the ambient context or ShardScope.
 
 void ObjectStore::Put(ProtectionGroupId pg,
                       std::vector<log::RedoRecord> records,
@@ -38,8 +43,8 @@ void ObjectStore::DoPut(ProtectionGroupId pg,
   const SimDuration latency = options_.put_latency.Sample(rng_);
   auto shared =
       std::make_shared<std::vector<log::RedoRecord>>(std::move(records));
-  sim_->Schedule(latency, [this, pg, shared, caller,
-                           done = std::move(done)]() mutable {
+  sim_->ScheduleOn(home_shard_, latency, [this, pg, shared, caller,
+                                          done = std::move(done)]() mutable {
     Lsn max_lsn = kInvalidLsn;
     auto& pg_archive = archive_[pg];
     for (auto& record : *shared) {
@@ -78,8 +83,8 @@ void ObjectStore::DoGet(ProtectionGroupId pg, Lsn lo, Lsn hi,
                         sim::ShardKey caller) {
   gets_++;
   const SimDuration latency = options_.get_latency.Sample(rng_);
-  sim_->Schedule(latency, [this, pg, lo, hi, caller,
-                           done = std::move(done)]() mutable {
+  sim_->ScheduleOn(home_shard_, latency, [this, pg, lo, hi, caller,
+                                          done = std::move(done)]() mutable {
     std::vector<log::RedoRecord> out;
     auto it = archive_.find(pg);
     if (it != archive_.end()) {

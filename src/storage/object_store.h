@@ -34,9 +34,12 @@ class ObjectStore {
   ObjectStore(sim::Simulator* sim, ObjectStoreOptions options = {});
 
   /// Pins the archive's state (maps, rng, counters) to one simulator
-  /// shard. Calls from other shards hop there (one lookahead each way,
-  /// dwarfed by the tens-of-ms archive latencies) so parallel windows
-  /// never touch the archive concurrently. Call during cluster setup.
+  /// shard. Calls from other worker shards hop there (one lookahead each
+  /// way, dwarfed by the tens-of-ms archive latencies); context-less
+  /// callers (external drivers, global events) run only between windows or
+  /// at barriers and their archive mutation is scheduled onto the home
+  /// shard regardless of ambient context — so parallel windows never touch
+  /// the archive concurrently. Call during cluster setup.
   void SetHomeShard(sim::ShardKey shard) { home_shard_ = shard; }
 
   /// Archives `records` for `pg`; `done(highest_lsn_archived)` runs after
