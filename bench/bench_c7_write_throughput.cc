@@ -35,6 +35,7 @@
 
 #include "bench/bench_common.h"
 #include "src/common/metrics.h"
+#include "src/common/random.h"
 #include "src/log/hot_log.h"
 #include "src/log/record.h"
 
@@ -43,6 +44,7 @@ namespace {
 
 struct ThroughputResult {
   uint64_t txns = 0;
+  uint64_t reads_done = 0;        // --read-ratio mixed-in point reads
   uint64_t records_sent = 0;      // per-member records through the driver
   uint64_t commits_acked = 0;
   uint64_t events_executed = 0;
@@ -72,8 +74,12 @@ struct ThroughputResult {
 /// Closed-loop sustained write workload: `txns` autocommit transactions
 /// with a realistic row payload, one read replica attached (replication
 /// shares the same record stream). Deterministic: the same seed and txn
-/// count always execute the same simulated events.
-ThroughputResult RunWorkload(int txns, uint64_t seed) {
+/// count always execute the same simulated events. With `read_ratio` > 0
+/// that fraction of operations becomes writer point reads (the mix is
+/// drawn from a dedicated Rng that is never touched at ratio 0, so the
+/// default workload stays bit-identical to earlier baselines).
+ThroughputResult RunWorkload(int txns, uint64_t seed,
+                             double read_ratio = 0.0) {
   core::AuroraOptions options;
   options.seed = seed;
   options.num_pgs = 2;  // VCL must straddle protection groups (Figure 3)
@@ -100,10 +106,23 @@ ThroughputResult RunWorkload(int txns, uint64_t seed) {
   const uint64_t events_before = cluster.sim().ExecutedEvents();
   const SimTime sim_before = cluster.sim().Now();
 
+  Rng mix_rng(seed ^ 0xc7ead);
+  uint64_t writes_done = 0;  // == i when read_ratio is 0
   const auto wall_start = std::chrono::steady_clock::now();
   for (int i = 0; i < txns; ++i) {
-    Status st = cluster.PutBlocking("c7-" + std::to_string(i % 4096), value);
+    if (read_ratio > 0 && writes_done > 0 &&
+        mix_rng.NextDouble() < read_ratio) {
+      // Point-read a key this run already wrote.
+      const uint64_t k = mix_rng.NextBounded(writes_done) % 4096;
+      if (cluster.GetBlocking("c7-" + std::to_string(k)).ok()) {
+        result.reads_done++;
+      }
+      continue;
+    }
+    Status st =
+        cluster.PutBlocking("c7-" + std::to_string(writes_done % 4096), value);
     if (!st.ok()) break;
+    writes_done++;
   }
   const auto wall_end = std::chrono::steady_clock::now();
 
@@ -285,16 +304,20 @@ int main(int argc, char** argv) {
   using aurora::bench::Table;
 
   bool quick = false;
-  int threads_arg = 0;  // 0 = sweep 1/2/4/8
+  int threads_arg = 0;      // 0 = sweep 1/2/4/8
+  double read_ratio = 0.0;  // 0 = pure writes (the gated baseline shape)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads_arg = std::atoi(argv[i] + 10);
     }
+    if (std::strncmp(argv[i], "--read-ratio=", 13) == 0) {
+      read_ratio = std::atof(argv[i] + 13);
+    }
   }
 
   const int txns = quick ? 1500 : 15000;
-  const auto result = aurora::RunWorkload(txns, /*seed=*/4242);
+  const auto result = aurora::RunWorkload(txns, /*seed=*/4242, read_ratio);
   if (result.commits_acked == 0) {
     std::fprintf(stderr, "C7: workload failed to commit anything\n");
     return 1;
@@ -303,6 +326,10 @@ int main(int argc, char** argv) {
   Table table("C7: sustained write-path throughput (wall clock)");
   table.Columns({"metric", "count", "per wall-second"});
   table.Row({"txns issued", std::to_string(result.txns), ""});
+  if (read_ratio > 0) {
+    table.Row({"reads mixed in (--read-ratio=" + Num(read_ratio, 2) + ")",
+               std::to_string(result.reads_done), ""});
+  }
   table.Row({"records sent (per-member)", std::to_string(result.records_sent),
              Num(result.RecordsPerSec(), 0)});
   table.Row({"commits acked", std::to_string(result.commits_acked),
@@ -362,6 +389,8 @@ int main(int argc, char** argv) {
   BenchJson json("c7_write_throughput");
   json.SetString("mode", quick ? "quick" : "full")
       .Set("txns", result.txns)
+      .Set("read_ratio", read_ratio)
+      .Set("reads_done", result.reads_done)
       .Set("records_sent", result.records_sent)
       .Set("commits_acked", result.commits_acked)
       .Set("events_executed", result.events_executed)

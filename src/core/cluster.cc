@@ -226,7 +226,15 @@ bool AuroraCluster::RunUntil(const std::function<bool()>& pred,
 // Replicas & failover
 // ---------------------------------------------------------------------------
 
+NodeId AuroraCluster::RegisterClientNode(AzId az) {
+  const NodeId id = next_node_id_++;
+  network_.RegisterNode(id, az, nullptr);
+  network_.SetNodeShard(id, ShardForAz(az));
+  return id;
+}
+
 replica::ReadReplica* AuroraCluster::AddReplica() {
+  if (replicas_.size() >= kMaxReplicas) return nullptr;
   const NodeId id = next_node_id_++;
   const AzId az = static_cast<AzId>(replicas_.size() % options_.num_azs);
   auto rep = std::make_unique<replica::ReadReplica>(

@@ -35,6 +35,10 @@
 
 namespace aurora::core {
 
+/// Fleet limit on read replicas (the production Aurora shape: one writer
+/// plus up to 15 read replicas on the shared volume).
+inline constexpr size_t kMaxReplicas = 15;
+
 struct AuroraOptions {
   uint64_t seed = 42;
   /// Protection groups in the volume (each owns blocks_per_pg blocks).
@@ -176,7 +180,13 @@ class AuroraCluster {
 
   // -- Replicas -----------------------------------------------------------
 
+  /// Attaches one more read replica to the shared volume; nullptr once
+  /// the fleet is at kMaxReplicas (15, the production Aurora limit).
   replica::ReadReplica* AddReplica();
+
+  /// Registers a client endpoint node in `az` (used by ClientSession);
+  /// client nodes carry no actors, only request/response traffic.
+  NodeId RegisterClientNode(AzId az);
   const std::vector<std::unique_ptr<replica::ReadReplica>>& replicas() const {
     return replicas_;
   }

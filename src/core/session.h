@@ -1,0 +1,122 @@
+// Client sessions with read-your-writes (session consistency).
+//
+// §3.3: replica read views anchor at VDL control points shipped by the
+// writer. A session extends that to a client-visible guarantee: every
+// acknowledged write carries an SCN, the session remembers the highest
+// SCN it was acked ("the session anchor"), and reads routed to replicas
+// first wait until the replica's VDL has reached the anchor. Because the
+// writer only acks a commit once it is durable (SCN <= VCL) and
+// recovery re-establishes VDL at or above every acked SCN (§2.4), the
+// anchor survives writer failovers and replica promotes — the session
+// can never observe a database state older than its own last write.
+//
+// The session is itself a simulated network node: requests to the
+// writer and to replicas cross the network, so sessions compose with
+// AZ placement, partitions, and the sharded parallel engine (their
+// traffic is messages, never cross-shard calls).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace aurora::engine {
+class DbInstance;
+}  // namespace aurora::engine
+
+namespace aurora::replica {
+class ReadReplica;
+}  // namespace aurora::replica
+
+namespace aurora::core {
+
+class AuroraCluster;
+
+struct SessionOptions {
+  /// Round-robin starting offset into the replica fleet (spreads
+  /// sessions across replicas deterministically).
+  size_t replica_offset = 0;
+  /// Writer-fallback poll cadence: a fallback read must still honor the
+  /// anchor, so it polls the writer's VDL at this interval (the poll
+  /// runs on the writer's shard, reached via one network hop).
+  SimDuration writer_poll = 1 * kMillisecond;
+  /// Give up on an operation after this long (replica wait + writer
+  /// fallback + a watchdog for messages lost to crashes/partitions).
+  SimDuration op_timeout = 10 * kSecond;
+};
+
+struct SessionStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t scans = 0;
+  /// Reads served by a replica (possibly after an anchor wait).
+  uint64_t replica_reads = 0;
+  /// Reads that fell back to the writer (no ready replica, anchor-wait
+  /// timeout, or replica error).
+  uint64_t writer_fallbacks = 0;
+};
+
+/// One client session bound to a cluster. Not thread-safe; lives on the
+/// simulator shard of its registered node (the cluster places it on the
+/// writer's shard so its callbacks never cross shards).
+class ClientSession {
+ public:
+  /// Registers a client endpoint node in `az` on the cluster's network.
+  ClientSession(AuroraCluster* cluster, AzId az,
+                SessionOptions options = {});
+
+  NodeId node() const { return node_; }
+  /// Highest acked commit SCN (kInvalidLsn before the first write).
+  Lsn anchor() const { return anchor_; }
+  const SessionStats& stats() const { return stats_; }
+
+  /// Autocommit write through the writer; advances the session anchor
+  /// to the commit SCN on ack.
+  void Put(const std::string& key, const std::string& value,
+           std::function<void(Status)> cb);
+
+  /// Session-consistent read: routed to a replica anchored at the
+  /// session's last commit, falling back to the writer when no replica
+  /// can serve the anchor in time.
+  void Get(const std::string& key,
+           std::function<void(Result<std::string>)> cb);
+
+  /// Session-consistent range scan (same routing as Get).
+  void Scan(const std::string& lo, const std::string& hi, size_t limit,
+            std::function<void(
+                Result<std::vector<std::pair<std::string, std::string>>>)>
+                cb);
+
+ private:
+  /// Next live replica in round-robin order, or nullptr.
+  replica::ReadReplica* PickReplica();
+  /// Runs `op(writer)` on the writer's shard once the writer is open
+  /// with VDL >= `anchor`; `fail()` after `deadline`. Re-resolves the
+  /// current writer each poll so it rides through failovers.
+  void RunAtWriterAnchor(Lsn anchor, SimTime deadline,
+                         std::function<void(engine::DbInstance*)> op,
+                         std::function<void()> fail);
+  void GetFromWriter(const std::string& key, Lsn anchor, SimTime deadline,
+                     std::function<void(Result<std::string>)> cb);
+  void ScanFromWriter(
+      const std::string& lo, const std::string& hi, size_t limit,
+      Lsn anchor, SimTime deadline,
+      std::function<void(
+          Result<std::vector<std::pair<std::string, std::string>>>)>
+          cb);
+
+  AuroraCluster* cluster_;
+  NodeId node_;
+  AzId az_;
+  SessionOptions options_;
+  Lsn anchor_ = kInvalidLsn;
+  size_t rr_cursor_ = 0;
+  SessionStats stats_;
+};
+
+}  // namespace aurora::core

@@ -957,6 +957,14 @@ void DbInstance::OnDurabilityAdvance() {
     ShipReplicationEvent(event);
   }
   last_shipped_vdl_ = current_vdl;
+  if (options_.purge_commit_history) {
+    const size_t purged = txns_.PurgeHistoryBelow(ComputePgmrpl());
+    if (purged > 0 && AURORA_METRICS_ON()) {
+      metrics::Registry::Global()
+          .GetCounter("aurora.read.history_purged")
+          ->Add(purged);
+    }
+  }
   if (cache_) cache_->TrimToCapacity(current_vdl);
 }
 
@@ -964,7 +972,9 @@ void DbInstance::ShipReplicationEvent(const ReplicationEvent& event) {
   AURORA_COUNT(m_replication_events_, replica_sinks_.size());
   ReplicationEvent stamped = event;
   stamped.shipped_at = sim_->Now();
+  stamped.source = id_;
   for (const auto& [replica, deliver] : replica_sinks_) {
+    stamped.seq = ++replica_stream_seq_[replica];
     network_->Send(id_, replica, stamped.SerializedSize(),
                    [deliver, stamped]() { deliver(stamped); });
   }
@@ -973,10 +983,15 @@ void DbInstance::ShipReplicationEvent(const ReplicationEvent& event) {
 void DbInstance::AddReplicationSink(
     NodeId replica, std::function<void(ReplicationEvent)> deliver) {
   replica_sinks_[replica] = std::move(deliver);
+  // A (re-)added sink starts a fresh seq stream: any events the previous
+  // wiring lost are surfaced to the replica as a continuity break.
+  replica_stream_seq_[replica] = 0;
   // Prime the replica with the current VDL.
   ReplicationEvent event;
   event.type = ReplicationEvent::Type::kVdlUpdate;
   event.vdl = vdl();
+  event.source = id_;
+  event.seq = ++replica_stream_seq_[replica];
   network_->Send(id_, replica, event.SerializedSize(),
                  [deliver = replica_sinks_[replica], event]() {
                    deliver(event);
@@ -986,6 +1001,7 @@ void DbInstance::AddReplicationSink(
 void DbInstance::RemoveReplicationSink(NodeId replica) {
   replica_sinks_.erase(replica);
   replica_read_points_.erase(replica);
+  replica_stream_seq_.erase(replica);
 }
 
 void DbInstance::ObserveReplicaReadPoint(NodeId replica, Lsn read_point) {

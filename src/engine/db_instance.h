@@ -58,6 +58,15 @@ struct ReplicationEvent {
   /// Excluded from SerializedSize: it is simulation bookkeeping, not
   /// payload, and must not perturb modeled bandwidth delays.
   SimTime shipped_at = 0;
+  /// Stream continuity header: the shipping writer and a per-(writer,
+  /// replica) sequence number starting at 1. A replica that sees a
+  /// non-successor seq (or a new source) knows events were lost on the
+  /// wire — its cached pages may be silently stale until each block's
+  /// next record exposes the chain mismatch. Excluded from
+  /// SerializedSize like shipped_at: a real stream carries this in the
+  /// frame header whose cost is already part of the per-event overhead.
+  NodeId source = kInvalidNode;
+  uint64_t seq = 0;
 
   uint64_t SerializedSize() const;
 };
@@ -88,6 +97,13 @@ struct DbOptions {
   SimDuration recovery_retry = 50 * kMillisecond;
   /// Max key-path retries before an operation reports Aborted.
   int max_op_retries = 16;
+  /// Opt-in (§3.4): drop commit-history entries below PGMRPL whenever
+  /// durability advances. Long-running replica read views hold PGMRPL
+  /// back, so this makes their GC pressure observable on the writer too
+  /// (mirroring version GC at the segments). Off by default: purging
+  /// changes which commits resolve from memory vs the status index, so
+  /// enabling it perturbs read schedules.
+  bool purge_commit_history = false;
 };
 
 struct DbStats {
@@ -310,6 +326,10 @@ class DbInstance : public sim::NodeLifecycleListener {
   // Replication.
   std::map<NodeId, std::function<void(ReplicationEvent)>> replica_sinks_;
   std::map<NodeId, Lsn> replica_read_points_;
+  /// Per-replica stream sequence numbers (continuity header). Reset when
+  /// a sink is (re-)added: a rewire means the old stream may have dropped
+  /// events, and the seq discontinuity is how the replica learns that.
+  std::map<NodeId, uint64_t> replica_stream_seq_;
   Lsn last_shipped_vdl_ = kInvalidLsn;
 
   uint64_t recovery_generation_ = 0;

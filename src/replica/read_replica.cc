@@ -3,8 +3,34 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace aurora::replica {
+
+namespace {
+struct ReadMetrics {
+  metrics::Counter* anchored;
+  metrics::Counter* anchor_waits;
+  metrics::Counter* anchor_timeouts;
+  metrics::Counter* stream_gaps;
+  metrics::Counter* gap_cache_drops;
+  metrics::Gauge* pinned_views;
+  Histogram* anchor_wait_us;
+};
+ReadMetrics& M() {
+  static ReadMetrics m = [] {
+    auto& r = metrics::Registry::Global();
+    return ReadMetrics{r.GetCounter("aurora.read.anchored"),
+                       r.GetCounter("aurora.read.anchor_waits"),
+                       r.GetCounter("aurora.read.anchor_timeouts"),
+                       r.GetCounter("aurora.read.stream_gaps"),
+                       r.GetCounter("aurora.read.gap_cache_drops"),
+                       r.GetGauge("aurora.read.pinned_views"),
+                       r.GetHistogram("aurora.read.anchor_wait_us")};
+  }();
+  return m;
+}
+}  // namespace
 
 ReadReplica::ReadReplica(sim::Simulator* sim, sim::Network* network,
                          NodeId id, AzId az, storage::NodeResolver resolver,
@@ -67,8 +93,13 @@ void ReadReplica::OnCrash() {
   if (driver_) driver_->Stop();
   if (cache_) cache_->Clear();
   pending_fetches_.clear();
+  FailAnchorWaiters();
+  pinned_views_.clear();
+  AURORA_GAUGE_SET(M().pinned_views, 0);
   txns_ = txn::TxnManager();
   vdl_ = kInvalidLsn;
+  stream_source_ = kInvalidNode;
+  stream_seq_ = 0;
 }
 
 void ReadReplica::UpdateGeometry(const quorum::VolumeGeometry& geometry,
@@ -122,17 +153,46 @@ void ReadReplica::OnReplicationEvent(const engine::ReplicationEvent& event) {
           ->Record(lag);
     }
   }
+  CheckStreamContinuity(event);
   switch (event.type) {
     case engine::ReplicationEvent::Type::kMtr:
       ApplyMtr(event.mtr);
       break;
     case engine::ReplicationEvent::Type::kVdlUpdate:
-      if (event.vdl > vdl_) vdl_ = event.vdl;
+      if (event.vdl > vdl_) {
+        vdl_ = event.vdl;
+        DrainAnchorWaiters();
+      }
       break;
     case engine::ReplicationEvent::Type::kCommit:
       // Commit notification (§3.4): maintain transaction commit history.
       txns_.InstallCommitNotification(event.txn, event.scn);
       break;
+  }
+}
+
+void ReadReplica::CheckStreamContinuity(
+    const engine::ReplicationEvent& event) {
+  if (event.seq == 0) return;  // unstamped (legacy/test) stream
+  const bool new_stream = event.source != stream_source_;
+  const bool gap = !new_stream && event.seq != stream_seq_ + 1;
+  // A writer switch counts as a break too once we had a stream: events
+  // the old writer shipped after our last-seen seq are unaccounted for.
+  const bool broke = gap || (new_stream && stream_source_ != kInvalidNode);
+  stream_source_ = event.source;
+  stream_seq_ = event.seq;
+  if (!broke) return;
+  stats_.stream_gaps++;
+  AURORA_COUNT(M().stream_gaps, 1);
+  if (!options_.strict_stream_continuity) return;
+  // Conservative recovery: any cached page may be silently stale (its
+  // missed records would only surface as a chain mismatch when a LATER
+  // record for the same block arrives). Drop the cache so storage —
+  // which has the durable truth — serves the next reads.
+  if (cache_ && cache_->Size() > 0) {
+    stats_.gap_cache_drops++;
+    AURORA_COUNT(M().gap_cache_drops, 1);
+    cache_->Clear();
   }
 }
 
@@ -178,6 +238,105 @@ Lsn ReadReplica::MinReadPoint() const {
   const Lsn open_min = txns_.MinOpenReadLsn();
   if (open_min != kInvalidLsn) return std::min(open_min, vdl_);
   return vdl_;
+}
+
+// ---------------------------------------------------------------------------
+// Anchored reads (session consistency) & pinned views
+// ---------------------------------------------------------------------------
+
+void ReadReplica::RunAtAnchor(Lsn min_lsn, std::function<void(bool)> fn) {
+  if (!running_) {
+    fn(false);
+    return;
+  }
+  if (vdl_ != kInvalidLsn && vdl_ >= min_lsn) {
+    fn(true);
+    return;
+  }
+  stats_.anchor_waits++;
+  AURORA_COUNT(M().anchor_waits, 1);
+  auto waiter = std::make_shared<AnchorWaiter>();
+  waiter->fn = std::move(fn);
+  waiter->parked_at = sim_->Now();
+  anchor_waiters_.emplace(min_lsn, waiter);
+  sim_->Schedule(options_.anchor_wait_timeout, [this, waiter]() {
+    if (waiter->fired) return;
+    waiter->fired = true;
+    stats_.anchor_timeouts++;
+    AURORA_COUNT(M().anchor_timeouts, 1);
+    waiter->fn(false);
+  });
+}
+
+void ReadReplica::DrainAnchorWaiters() {
+  while (!anchor_waiters_.empty() &&
+         anchor_waiters_.begin()->first <= vdl_) {
+    auto waiter = anchor_waiters_.begin()->second;
+    anchor_waiters_.erase(anchor_waiters_.begin());
+    if (waiter->fired) continue;
+    waiter->fired = true;
+    AURORA_OBSERVE(M().anchor_wait_us, sim_->Now() - waiter->parked_at);
+    waiter->fn(true);
+  }
+}
+
+void ReadReplica::FailAnchorWaiters() {
+  auto parked = std::move(anchor_waiters_);
+  anchor_waiters_.clear();
+  for (auto& [lsn, waiter] : parked) {
+    if (waiter->fired) continue;
+    waiter->fired = true;
+    waiter->fn(false);
+  }
+}
+
+void ReadReplica::GetAtAnchor(
+    const std::string& key, Lsn min_lsn,
+    std::function<void(Result<std::string>)> cb) {
+  stats_.anchored_gets++;
+  AURORA_COUNT(M().anchored, 1);
+  RunAtAnchor(min_lsn, [this, key, cb = std::move(cb)](bool ready) mutable {
+    if (!ready) {
+      cb(Status::Unavailable("replica did not reach the read anchor"));
+      return;
+    }
+    Get(key, std::move(cb));
+  });
+}
+
+void ReadReplica::ScanAtAnchor(
+    const std::string& lo, const std::string& hi, size_t limit, Lsn min_lsn,
+    std::function<
+        void(Result<std::vector<std::pair<std::string, std::string>>>)>
+        cb) {
+  AURORA_COUNT(M().anchored, 1);
+  RunAtAnchor(min_lsn,
+              [this, lo, hi, limit, cb = std::move(cb)](bool ready) mutable {
+                if (!ready) {
+                  cb(Status::Unavailable(
+                      "replica did not reach the read anchor"));
+                  return;
+                }
+                Scan(lo, hi, limit, std::move(cb));
+              });
+}
+
+uint64_t ReadReplica::PinView() {
+  if (!running_ || vdl_ == kInvalidLsn) return 0;
+  const uint64_t handle = next_pin_handle_++;
+  pinned_views_.emplace(handle, txns_.OpenReadView(vdl_));
+  AURORA_GAUGE_SET(M().pinned_views,
+                   static_cast<int64_t>(pinned_views_.size()));
+  return handle;
+}
+
+void ReadReplica::UnpinView(uint64_t handle) {
+  auto it = pinned_views_.find(handle);
+  if (it == pinned_views_.end()) return;
+  txns_.CloseReadView(it->second);
+  pinned_views_.erase(it);
+  AURORA_GAUGE_SET(M().pinned_views,
+                   static_cast<int64_t>(pinned_views_.size()));
 }
 
 void ReadReplica::ResolveCommitScn(

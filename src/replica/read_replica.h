@@ -45,6 +45,19 @@ struct ReplicaOptions {
   /// How often the replica reports its minimum read point to the writer
   /// (feeds PGMRPL, §3.4) and refreshes segment SCL knowledge.
   SimDuration report_interval = 100 * kMillisecond;
+  /// How long an anchored read (read-your-writes) waits for this
+  /// replica's VDL to reach the anchor before failing with Unavailable
+  /// so the session can fall back to the writer.
+  SimDuration anchor_wait_timeout = 2 * kSecond;
+  /// Strict stream continuity: drop the whole block cache when the
+  /// replication stream skips a sequence number (events lost on the
+  /// wire) or switches writers. Without it a stale cached page is only
+  /// detected when that block's NEXT record arrives (chain mismatch,
+  /// §3.2) — correct for the paper's eventual model, but a gap window
+  /// where VDL has advanced past a silently stale page would let an
+  /// anchored read return old data. Off by default: enabling it changes
+  /// read schedules under chaos (golden fingerprints stay put).
+  bool strict_stream_continuity = false;
 };
 
 struct ReplicaStats {
@@ -54,6 +67,15 @@ struct ReplicaStats {
   uint64_t pages_invalidated = 0;
   uint64_t gets = 0;
   uint64_t storage_fallback_reads = 0;
+  uint64_t anchored_gets = 0;
+  /// Anchored reads that had to park for a VDL advance.
+  uint64_t anchor_waits = 0;
+  uint64_t anchor_timeouts = 0;
+  /// Replication-stream continuity breaks observed (seq gap or writer
+  /// switch after the first event).
+  uint64_t stream_gaps = 0;
+  /// Cache drops forced by strict_stream_continuity.
+  uint64_t gap_cache_drops = 0;
 };
 
 /// One read replica instance.
@@ -74,6 +96,36 @@ class ReadReplica : public sim::NodeLifecycleListener {
   /// Snapshot read anchored at the replica's VDL.
   void Get(const std::string& key,
            std::function<void(Result<std::string>)> cb);
+
+  /// Runs `fn(true)` once this replica's VDL has reached `min_lsn`
+  /// (immediately if it already has); parks otherwise and drains on VDL
+  /// advances from the stream. `fn(false)` fires after
+  /// anchor_wait_timeout (or on crash) — session consistency's escape
+  /// hatch to the writer.
+  void RunAtAnchor(Lsn min_lsn, std::function<void(bool)> fn);
+
+  /// Read-your-writes read (§3.3 "read views anchor at points equivalent
+  /// to writer-side points"): waits for vdl >= min_lsn, then reads.
+  /// Delivers Unavailable if the anchor wait times out.
+  void GetAtAnchor(const std::string& key, Lsn min_lsn,
+                   std::function<void(Result<std::string>)> cb);
+
+  /// Anchored range scan; same wait/fallback contract as GetAtAnchor.
+  void ScanAtAnchor(
+      const std::string& lo, const std::string& hi, size_t limit,
+      Lsn min_lsn,
+      std::function<void(
+          Result<std::vector<std::pair<std::string, std::string>>>)>
+          cb);
+
+  /// Opens a long-running read view pinned at the current VDL. Until
+  /// UnpinView, it holds this replica's MinReadPoint — and therefore the
+  /// fleet-wide PGMRPL at the writer — at or below the pin, stalling
+  /// version GC at the segments (§3.4). Returns 0 if the replica is not
+  /// ready.
+  uint64_t PinView();
+  void UnpinView(uint64_t handle);
+  size_t pinned_view_count() const { return pinned_views_.size(); }
 
   /// Snapshot range scan anchored at the replica's VDL.
   void Scan(const std::string& lo, const std::string& hi, size_t limit,
@@ -130,6 +182,9 @@ class ReadReplica : public sim::NodeLifecycleListener {
   void ReportLoop();
   void SeedHighWaterMarks();
   Lsn ClampToGroup(BlockId block, Lsn read_lsn) const;
+  void CheckStreamContinuity(const engine::ReplicationEvent& event);
+  void DrainAnchorWaiters();
+  void FailAnchorWaiters();
 
   sim::Simulator* sim_;
   sim::Network* network_;
@@ -145,6 +200,20 @@ class ReadReplica : public sim::NodeLifecycleListener {
   txn::TxnManager txns_;
 
   Lsn vdl_ = kInvalidLsn;
+  /// Replication-stream continuity tracking (writer + last seq seen).
+  NodeId stream_source_ = kInvalidNode;
+  uint64_t stream_seq_ = 0;
+  /// Parked anchored reads keyed by the VDL they wait for. The shared
+  /// flag arbitrates between the drain path and the timeout event.
+  struct AnchorWaiter {
+    std::function<void(bool)> fn;
+    SimTime parked_at = 0;
+    bool fired = false;
+  };
+  std::multimap<Lsn, std::shared_ptr<AnchorWaiter>> anchor_waiters_;
+  /// Long-running pinned read views (PGMRPL pressure).
+  uint64_t next_pin_handle_ = 1;
+  std::map<uint64_t, txn::ReadView> pinned_views_;
   /// Highest record LSN seen per protection group (stream + probes); a
   /// block read is clamped to its group's mark, because an LSN in the
   /// global space may exceed the group's own chain position.

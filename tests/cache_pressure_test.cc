@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/cluster.h"
+#include "src/engine/buffer_cache.h"
 
 namespace aurora {
 namespace {
@@ -126,6 +127,82 @@ TEST(CachePressure, WalRuleHoldsUnderQuorumStall) {
   }
   EXPECT_GE(verified, committed)
       << "every acked stall-phase commit must be visible";
+}
+
+// -- WAL eviction rule, unit-level properties --------------------------------
+//
+// The integration tests above show the rule's end-to-end effects; these pin
+// the mechanism itself on a bare BufferCache: pages above VDL and pinned
+// pages are never evicted, refused attempts are counted, and the cache
+// shrinks back to capacity once VDL advances.
+
+storage::Page MakePage(BlockId id, Lsn page_lsn) {
+  storage::Page page;
+  page.id = id;
+  page.page_lsn = page_lsn;
+  page.type = storage::PageType::kLeaf;
+  return page;
+}
+
+TEST(WalEvictionRule, PagesAboveVdlAreNeverEvicted) {
+  engine::BufferCache cache(4);
+  // All 8 pages carry page_lsn > vdl=10: nothing is evictable, so the
+  // cache must balloon past capacity rather than lose undurable state.
+  for (BlockId b = 0; b < 8; ++b) cache.Insert(MakePage(b, 100 + b), 10);
+  EXPECT_EQ(cache.Size(), 8u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_GT(cache.stats().wal_blocked_evictions, 0u)
+      << "refused eviction attempts must be counted";
+  for (BlockId b = 0; b < 8; ++b) {
+    EXPECT_NE(cache.Peek(b), nullptr) << "page " << b << " lost above VDL";
+  }
+}
+
+TEST(WalEvictionRule, ShrinksBackOnceVdlAdvances) {
+  engine::BufferCache cache(4);
+  for (BlockId b = 0; b < 8; ++b) cache.Insert(MakePage(b, 100 + b), 10);
+  ASSERT_EQ(cache.Size(), 8u);
+  // VDL catches up past some pages but not others: only the durable ones
+  // (page_lsn <= vdl) may go, and eviction is LRU-ordered among those.
+  cache.TrimToCapacity(/*vdl=*/103);  // pages 0..3 durable, 4..7 not
+  EXPECT_EQ(cache.Size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 4u);
+  for (BlockId b = 0; b < 4; ++b) EXPECT_EQ(cache.Peek(b), nullptr);
+  for (BlockId b = 4; b < 8; ++b) EXPECT_NE(cache.Peek(b), nullptr);
+  // Full durability: trims to capacity exactly, never below.
+  cache.Insert(MakePage(8, 108), 200);
+  cache.TrimToCapacity(/*vdl=*/200);
+  EXPECT_EQ(cache.Size(), cache.capacity());
+}
+
+TEST(WalEvictionRule, PinnedPagesSurviveAnyVdl) {
+  engine::BufferCache cache(2);
+  cache.Insert(MakePage(0, 5), 100);
+  cache.Insert(MakePage(1, 6), 100);
+  cache.Pin(0);  // an open MTR holds page 0 latched
+  // Everything is durable (vdl=100 > all page_lsns), so only the pin can
+  // protect page 0. Insert enough pages to cycle the LRU several times.
+  for (BlockId b = 2; b < 10; ++b) cache.Insert(MakePage(b, 6 + b), 100);
+  EXPECT_NE(cache.Peek(0), nullptr) << "pinned page evicted";
+  cache.Unpin(0);
+  cache.Insert(MakePage(10, 50), 100);
+  cache.TrimToCapacity(100);
+  EXPECT_EQ(cache.Peek(0), nullptr) << "unpinned page must become evictable";
+  EXPECT_LE(cache.Size(), cache.capacity());
+}
+
+TEST(WalEvictionRule, LruOrderRespectedAmongDurablePages) {
+  engine::BufferCache cache(3);
+  cache.Insert(MakePage(0, 1), 100);
+  cache.Insert(MakePage(1, 2), 100);
+  cache.Insert(MakePage(2, 3), 100);
+  // Touch page 0 so page 1 becomes the LRU victim.
+  ASSERT_NE(cache.Find(0), nullptr);
+  cache.Insert(MakePage(3, 4), 100);
+  EXPECT_EQ(cache.Peek(1), nullptr) << "LRU victim should be page 1";
+  EXPECT_NE(cache.Peek(0), nullptr);
+  EXPECT_NE(cache.Peek(2), nullptr);
+  EXPECT_NE(cache.Peek(3), nullptr);
 }
 
 TEST(CachePressure, ReplicaWithTinyCacheStaysCorrect) {

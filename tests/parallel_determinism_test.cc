@@ -15,11 +15,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/random.h"
 #include "src/core/chaos_harness.h"
 #include "src/core/cluster.h"
+#include "src/core/session.h"
 #include "src/sim/simulator.h"
 #include "src/sim/trace.h"
 
@@ -207,6 +211,180 @@ TEST(ParallelDeterminism, ClusterChaosSweepSerialVsParallel) {
     if (seed % 4 == 3) {
       const ClusterOutcome wide = RunClusterScenario(seed, 8);
       EXPECT_EQ(wide, serial) << "seed " << seed << " threads 8";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2b: read-heavy mix through client sessions — hedged reads,
+// exactly-once completion, and late-response cancellation under the
+// windowed engine.
+//
+// Replicas run with tiny caches so Zipf-skewed session reads miss and go
+// to storage; one slowed storage node plus a scripted crash/restart force
+// the driver's hedge timers and failure-retry path to fire. Every
+// outcome — schedule fingerprint, per-op completion counts, hedge
+// counters, and a hash of every returned value — must be bit-identical
+// between the serial engine and 1/2/4/8-worker windowed runs.
+
+struct ReadHeavyOutcome {
+  uint64_t fingerprint = 0;
+  uint64_t executed = 0;
+  SimTime end = 0;
+  uint64_t gets_done = 0;
+  uint64_t puts_done = 0;
+  uint64_t replica_reads = 0;
+  uint64_t fallbacks = 0;
+  uint64_t hedges = 0;
+  uint64_t double_fires = 0;
+  uint64_t value_hash = 0;
+
+  bool operator==(const ReadHeavyOutcome&) const = default;
+};
+
+// One callback-chained client workload: at most one operation in flight,
+// so its Rng/Zipf draws are totally ordered by the schedule and every
+// event it creates runs on its session's shard.
+struct ReadHeavyClient {
+  std::unique_ptr<core::ClientSession> session;
+  Rng rng{0};
+  ZipfianGenerator zipf{1, 0.99};
+  uint64_t ops_started = 0;
+  uint64_t gets_done = 0;
+  uint64_t puts_done = 0;
+  uint64_t double_fires = 0;
+  uint64_t value_hash = 0;
+  std::vector<uint8_t> fired;  // per-op completion count (exactly-once)
+
+  void Pump(sim::Simulator* simulator, SimTime deadline, int keys) {
+    if (simulator->Now() >= deadline - kMillisecond) return;
+    const uint64_t op = ops_started++;
+    if (op >= fired.size()) fired.resize(op + 1, 0);
+    char key[16];
+    std::snprintf(key, sizeof(key), "z%04d",
+                  static_cast<int>(zipf.Next(rng)) % keys);
+    auto next = [this, simulator, deadline, keys, op](uint64_t h) {
+      if (fired[op]++ > 0) {  // a cancelled hedge leaked a second callback
+        double_fires++;
+        return;
+      }
+      value_hash = value_hash * 1099511628211ULL ^ h;
+      simulator->Schedule(200 + rng.Next() % 300, [this, simulator, deadline,
+                                                   keys] {
+        Pump(simulator, deadline, keys);
+      });
+    };
+    if (rng.Next() % 5 == 0) {  // 20% updates
+      session->Put(key, "u" + std::to_string(op), [this, next](Status st) {
+        if (st.ok()) puts_done++;
+        next(st.ok() ? 1 : 2);
+      });
+    } else {
+      session->Get(key, [this, next](Result<std::string> r) {
+        if (r.ok()) gets_done++;
+        next(r.ok() ? std::hash<std::string>{}(*r) : 3);
+      });
+    }
+  }
+};
+
+ReadHeavyOutcome RunReadHeavyScenario(uint64_t seed, int threads) {
+  constexpr int kKeys = 240;
+  core::AuroraOptions options;
+  options.seed = seed;
+  options.blocks_per_pg = 1 << 16;
+  options.event_shards = 3;
+  options.network.min_latency_us = 40;
+  options.replica.cache_pages = 24;  // working set >> cache: storage reads
+  core::AuroraCluster cluster(options);
+  EXPECT_TRUE(cluster.StartBlocking().ok());
+
+  for (int i = 0; i < kKeys; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "z%04d", i);
+    EXPECT_TRUE(cluster.PutBlocking(key, "seed").ok());
+  }
+  std::vector<replica::ReadReplica*> reps;
+  for (int i = 0; i < 3; ++i) reps.push_back(cluster.AddReplica());
+  cluster.RunFor(100 * kMillisecond);  // replicas prime their VDL
+
+  // One slow storage node (hedge timers fire against it) and a scripted
+  // crash/restart (explicit-failure retry + late-response cancellation).
+  const std::vector<NodeId> nodes = cluster.StorageNodeIds();
+  cluster.network().SetNodeSlowdown(nodes[seed % nodes.size()], 25.0);
+  const NodeId victim = nodes[(seed + 3) % nodes.size()];
+  const SimTime t0 = cluster.sim().Now();
+  cluster.failures().CrashNodeAt(t0 + 40 * kMillisecond, victim);
+  cluster.failures().RestartNodeAt(t0 + 120 * kMillisecond, victim);
+
+  constexpr SimDuration kRunFor = 300 * kMillisecond;
+  const SimTime deadline = cluster.sim().Now() + kRunFor;
+  std::vector<std::unique_ptr<ReadHeavyClient>> clients;
+  for (int c = 0; c < 3; ++c) {
+    auto client = std::make_unique<ReadHeavyClient>();
+    const AzId az = static_cast<AzId>(c % 3);
+    core::SessionOptions session_options;
+    session_options.replica_offset = c;
+    client->session = std::make_unique<core::ClientSession>(
+        &cluster, az, session_options);
+    client->rng = Rng(seed * 1000 + c);
+    client->zipf = ZipfianGenerator(kKeys, 0.99);
+    ReadHeavyClient* raw = client.get();
+    sim::Simulator::ShardScope scope(&cluster.sim(), cluster.ShardForAz(az));
+    cluster.sim().Schedule(
+        kMillisecond + c * 37,
+        [raw, &cluster, deadline] {
+          raw->Pump(&cluster.sim(), deadline, kKeys);
+        },
+        "readheavy.start");
+    clients.push_back(std::move(client));
+  }
+
+  if (threads == 0) {
+    cluster.RunFor(kRunFor);
+  } else {
+    cluster.sim().RunShardedFor(kRunFor, threads);
+  }
+
+  ReadHeavyOutcome out;
+  out.fingerprint = cluster.sim().ScheduleFingerprint();
+  out.executed = cluster.sim().ExecutedEvents();
+  out.end = cluster.sim().Now();
+  out.hedges = cluster.writer()->driver()->router().hedged_reads();
+  for (auto* rep : reps) {
+    out.hedges += rep->driver()->router().hedged_reads();
+  }
+  for (const auto& client : clients) {
+    out.gets_done += client->gets_done;
+    out.puts_done += client->puts_done;
+    out.double_fires += client->double_fires;
+    out.replica_reads += client->session->stats().replica_reads;
+    out.fallbacks += client->session->stats().writer_fallbacks;
+    out.value_hash = out.value_hash * 31 ^ client->value_hash;
+    for (uint64_t op = 0; op + 1 < client->ops_started; ++op) {
+      // Every op except possibly the last (in flight at the deadline)
+      // completed exactly once.
+      EXPECT_EQ(client->fired[op], 1u) << "op " << op << " of session "
+                                       << client->session->node();
+    }
+  }
+  return out;
+}
+
+TEST(ParallelDeterminism, ReadHeavyHedgedSweep) {
+  for (uint64_t seed : {31u, 32u}) {
+    const ReadHeavyOutcome serial = RunReadHeavyScenario(seed, 0);
+    ASSERT_GT(serial.gets_done, 50u) << "seed " << seed;
+    ASSERT_GT(serial.puts_done, 5u) << "seed " << seed;
+    ASSERT_GT(serial.replica_reads, 0u) << "seed " << seed;
+    ASSERT_GT(serial.hedges, 0u)
+        << "seed " << seed << ": the slow node must trigger hedges";
+    ASSERT_EQ(serial.double_fires, 0u)
+        << "seed " << seed << ": a hedge pair must resolve exactly once";
+    for (int threads : {1, 2, 4, 8}) {
+      const ReadHeavyOutcome parallel = RunReadHeavyScenario(seed, threads);
+      EXPECT_EQ(parallel, serial)
+          << "seed " << seed << " threads " << threads;
     }
   }
 }

@@ -1,0 +1,118 @@
+// Statistical tests for ZipfianGenerator (the YCSB-style workload skew
+// used by the read benches).
+//
+// The C10 read bench derives cache-miss and hedge behavior from the
+// generator's skew at theta in {0, 0.99, 1.2}; these tests pin the
+// properties those workloads rely on: deterministic-seed frequency
+// ranking matches key order (key 0 is the hottest), theta=0 degenerates
+// to uniform within tolerance, and hot-key mass grows monotonically
+// with theta — including the super-unit theta=1.2 regime where the
+// Gray et al. formula's alpha = 1/(1-theta) goes negative.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace aurora {
+namespace {
+
+constexpr uint64_t kKeys = 1000;
+constexpr int kSamples = 200000;
+
+std::vector<uint64_t> SampleFrequencies(double theta, uint64_t seed) {
+  ZipfianGenerator zipf(kKeys, theta);
+  Rng rng(seed);
+  std::vector<uint64_t> freq(kKeys, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t k = zipf.Next(rng);
+    EXPECT_LT(k, kKeys);
+    freq[k]++;
+  }
+  return freq;
+}
+
+/// Fraction of all samples that landed on the `hot_keys` lowest key ids.
+double HotMass(const std::vector<uint64_t>& freq, size_t hot_keys) {
+  uint64_t hot = 0;
+  for (size_t i = 0; i < hot_keys && i < freq.size(); ++i) hot += freq[i];
+  return static_cast<double>(hot) / kSamples;
+}
+
+TEST(Zipf, FrequencyRankingMatchesKeyOrder) {
+  const auto freq = SampleFrequencies(0.99, 0xbeef);
+  // Exact ranking for the head, where expected gaps dwarf sampling noise:
+  // freq(0) > freq(1) > ... > freq(7).
+  for (size_t i = 1; i < 8; ++i) {
+    EXPECT_GT(freq[i - 1], freq[i]) << "head keys out of rank order at " << i;
+  }
+  // Beyond the head individual adjacent pairs are noisy, so require the
+  // century-aggregated mass (keys [c*100, (c+1)*100)) to be strictly
+  // decreasing in c instead.
+  uint64_t prev = UINT64_MAX;
+  for (size_t century = 0; century < 10; ++century) {
+    uint64_t mass = 0;
+    for (size_t k = century * 100; k < (century + 1) * 100; ++k) {
+      mass += freq[k];
+    }
+    EXPECT_LT(mass, prev) << "century " << century << " hotter than "
+                          << century - 1;
+    prev = mass;
+  }
+}
+
+TEST(Zipf, DeterministicAcrossRuns) {
+  const auto a = SampleFrequencies(0.99, 42);
+  const auto b = SampleFrequencies(0.99, 42);
+  EXPECT_EQ(a, b) << "same seed must give the identical key stream";
+  const auto c = SampleFrequencies(0.99, 43);
+  EXPECT_NE(a, c) << "different seeds should not collide";
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  const auto freq = SampleFrequencies(0.0, 0x5eed);
+  const double expected = static_cast<double>(kSamples) / kKeys;  // 200
+  // Chi-squared against the uniform: with 999 degrees of freedom a
+  // healthy sample lands near 999 with sigma ~= sqrt(2*999) ~= 45, so
+  // 1200 is beyond +4 sigma and still far from any real skew.
+  double chi2 = 0.0;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    const double d = static_cast<double>(freq[k]) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 1200.0) << "theta=0 is not uniform (chi2=" << chi2 << ")";
+  // And no residual head bias: the 10 lowest key ids hold ~1% of mass.
+  EXPECT_LT(HotMass(freq, 10), 0.02);
+}
+
+TEST(Zipf, HotKeyMassGrowsMonotonicallyWithTheta) {
+  const double thetas[] = {0.0, 0.5, 0.8, 0.99, 1.1, 1.2};
+  double prev_top1 = -1.0, prev_top10 = -1.0, prev_top100 = -1.0;
+  for (double theta : thetas) {
+    const auto freq = SampleFrequencies(theta, 0xabcd);
+    const double top1 = HotMass(freq, 1);
+    const double top10 = HotMass(freq, 10);
+    const double top100 = HotMass(freq, 100);
+    EXPECT_GT(top1, prev_top1) << "top-1 mass fell at theta=" << theta;
+    EXPECT_GT(top10, prev_top10) << "top-10 mass fell at theta=" << theta;
+    EXPECT_GT(top100, prev_top100) << "top-100 mass fell at theta=" << theta;
+    prev_top1 = top1;
+    prev_top10 = top10;
+    prev_top100 = top100;
+  }
+  // Anchor the endpoints so "monotone" cannot be satisfied by a flat or
+  // saturated implementation: YCSB theta=0.99 over 1000 keys concentrates
+  // ~13% of draws on the hottest key; theta=1.2 ~23% with the top 10
+  // absorbing over half the workload.
+  const auto ycsb = SampleFrequencies(0.99, 0xabcd);
+  EXPECT_GT(HotMass(ycsb, 1), 0.10);
+  EXPECT_LT(HotMass(ycsb, 1), 0.16);
+  const auto hot = SampleFrequencies(1.2, 0xabcd);
+  EXPECT_GT(HotMass(hot, 1), 0.19);
+  EXPECT_GT(HotMass(hot, 10), 0.5);
+}
+
+}  // namespace
+}  // namespace aurora
