@@ -11,6 +11,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -175,23 +177,35 @@ inline Status RunClosedLoopWrites(core::AuroraCluster& cluster, int n,
   return Status::OK();
 }
 
-/// Issues writes at a fixed arrival rate (open loop) for `duration`,
-/// collecting per-commit latency into `latencies`. Returns commits acked.
-inline uint64_t RunOpenLoopWrites(core::AuroraCluster& cluster,
-                                  double txn_per_sec, SimDuration duration,
-                                  Histogram* latencies) {
-  struct LoopState {
-    core::AuroraCluster* cluster;
-    engine::DbInstance* writer;
-    Histogram* latencies;
-    SimDuration interval;
-    SimTime end;
-    uint64_t acked = 0;
-    std::function<void(int)> issue;
-  };
-  auto state = std::make_shared<LoopState>();
+/// One open-loop write arrival process against one writer instance. On a
+/// multi-tenant cluster each volume's writer gets its own loop (see
+/// StartOpenLoopWrites); the classic single-writer entry point
+/// RunOpenLoopWrites drives exactly one.
+struct OpenLoopState {
+  core::AuroraCluster* cluster = nullptr;
+  engine::DbInstance* writer = nullptr;
+  Histogram* latencies = nullptr;
+  SimDuration interval = 0;
+  SimTime end = 0;
+  uint64_t acked = 0;
+  std::function<void(int)> issue;
+
+  /// Breaks the shared_ptr self-reference cycle; call once the simulator
+  /// has run past `end` and `acked` has been read.
+  void Finish() { issue = nullptr; }
+};
+
+/// Schedules an open-loop write arrival process (fixed rate, `duration`
+/// long) against `writer`, recording per-commit latency into `latencies`.
+/// Does NOT advance the simulator: start one loop per tenant, then RunFor
+/// once so all tenants contend for the same fleet concurrently. Call
+/// Finish() on the returned state after the run.
+inline std::shared_ptr<OpenLoopState> StartOpenLoopWrites(
+    core::AuroraCluster& cluster, engine::DbInstance* writer,
+    double txn_per_sec, SimDuration duration, Histogram* latencies) {
+  auto state = std::make_shared<OpenLoopState>();
   state->cluster = &cluster;
-  state->writer = cluster.writer();
+  state->writer = writer;
   state->latencies = latencies;
   state->interval = static_cast<SimDuration>(1e6 / txn_per_sec);
   state->end = cluster.sim().Now() + duration;
@@ -216,9 +230,19 @@ inline uint64_t RunOpenLoopWrites(core::AuroraCluster& cluster,
     sim.Schedule(state->interval, [state, i]() { state->issue(i + 1); });
   };
   state->issue(0);
+  return state;
+}
+
+/// Issues writes at a fixed arrival rate (open loop) for `duration`,
+/// collecting per-commit latency into `latencies`. Returns commits acked.
+inline uint64_t RunOpenLoopWrites(core::AuroraCluster& cluster,
+                                  double txn_per_sec, SimDuration duration,
+                                  Histogram* latencies) {
+  auto state = StartOpenLoopWrites(cluster, cluster.writer(), txn_per_sec,
+                                   duration, latencies);
   cluster.RunFor(duration + 2 * kSecond);
   const uint64_t acked = state->acked;
-  state->issue = nullptr;  // break the shared_ptr self-reference cycle
+  state->Finish();
   return acked;
 }
 

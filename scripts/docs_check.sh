@@ -10,6 +10,9 @@
 #   2. Every bench/bench_*.cc binary must be mentioned in EXPERIMENTS.md
 #      (the bench index + its section), and every `bench_*` name
 #      EXPERIMENTS.md mentions must exist in bench/.
+#   3. Every src/*/ module directory must have a row in the DESIGN.md §3
+#      system inventory, and every inventory row's directory must still
+#      exist in the tree.
 #
 # Run from anywhere; registered as a ctest so every suite run enforces it.
 
@@ -79,11 +82,41 @@ if [[ -n "${ghost_doc}" ]]; then
   fail=1
 fi
 
+# ---- 3. module inventory ------------------------------------------------
+
+tree_modules="$(
+  for d in src/*/; do
+    echo "${d%/}"
+  done | sort -u
+)"
+
+# Inventory rows: the backticked `src/...` Directory column of the §3
+# table ("## 3. System inventory" up to the next "## " heading).
+doc_modules="$(
+  awk '/^## 3\. System inventory/{flag=1; next} /^## /{flag=0} flag' DESIGN.md |
+    grep -oP '^\|[^|]*\| `\Ksrc/[^`]+' | sort -u
+)"
+
+missing_inv="$(comm -23 <(echo "${tree_modules}") <(echo "${doc_modules}"))"
+stale_inv="$(comm -13 <(echo "${tree_modules}") <(echo "${doc_modules}"))"
+
+if [[ -n "${missing_inv}" ]]; then
+  echo "docs_check: src/ modules with no DESIGN.md §3 inventory row:" >&2
+  echo "${missing_inv}" | sed 's/^/  /' >&2
+  fail=1
+fi
+if [[ -n "${stale_inv}" ]]; then
+  echo "docs_check: DESIGN.md §3 inventory rows whose directory is gone:" >&2
+  echo "${stale_inv}" | sed 's/^/  /' >&2
+  fail=1
+fi
+
 if [[ "${fail}" -ne 0 ]]; then
-  echo "docs_check: FAILED — update DESIGN.md §5b / EXPERIMENTS.md (or the code) so they agree" >&2
+  echo "docs_check: FAILED — update DESIGN.md §3/§5b / EXPERIMENTS.md (or the code) so they agree" >&2
   exit 1
 fi
 
 n_metrics="$(echo "${src_metrics}" | wc -l)"
 n_benches="$(echo "${tree_benches}" | wc -l)"
-echo "docs_check: OK (${n_metrics} metrics, ${n_benches} bench binaries in lockstep)"
+n_modules="$(echo "${tree_modules}" | wc -l)"
+echo "docs_check: OK (${n_metrics} metrics, ${n_benches} bench binaries, ${n_modules} modules in lockstep)"

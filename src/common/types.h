@@ -42,14 +42,36 @@ using AzId = uint32_t;
 using NodeId = uint32_t;
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 
-/// Identifies a protection group within a volume.
+/// Identifies a volume (one tenant's database) on the shared storage
+/// fleet. Volume 0 is the cluster's primary volume; additional volumes
+/// exist only when `AuroraOptions::volumes > 1` (multi-tenant mode).
+using VolumeId = uint32_t;
+
+/// Identifies a protection group within a volume. Protection-group ids
+/// are per-volume ordinals (VolumeGeometry indexes by them), so two
+/// volumes on the shared fleet both have a pg 0 — fleet-wide keys must
+/// pair the id with its VolumeId (see storage::ArchiveKey).
 using ProtectionGroupId = uint32_t;
 
 /// Identifies a segment (one replica of a protection group's data).
-/// Unique volume-wide.
+/// Unique FLEET-wide: the cluster allocates segment ids from one counter
+/// across all volumes, so a segment id alone is an unambiguous key on a
+/// shared multi-tenant segment server.
 using SegmentId = uint32_t;
 inline constexpr SegmentId kInvalidSegment =
     std::numeric_limits<SegmentId>::max();
+
+/// Fleet-wide archive/namespace key for per-PG state shared across the
+/// multi-tenant fleet: (volume << 32) | pg. Volume-0 keys are numerically
+/// identical to the bare pg id (`ProtectionGroupId` converts implicitly),
+/// which keeps every single-volume call site — and the golden schedules —
+/// bit-identical to the pre-multi-tenant behavior.
+using ArchiveKey = uint64_t;
+
+inline constexpr ArchiveKey MakeArchiveKey(VolumeId volume,
+                                           ProtectionGroupId pg) {
+  return (static_cast<ArchiveKey>(volume) << 32) | pg;
+}
 
 /// Identifies a data block (page) in the volume's block address space.
 using BlockId = uint64_t;

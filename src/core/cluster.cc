@@ -15,25 +15,66 @@ MetadataService::MetadataService(sim::Simulator* sim, sim::Network* network,
                                  NodeId id, AzId az)
     : sim_(sim), network_(network), id_(id) {
   network_->RegisterNode(id_, az);
+  volumes_[0];  // the primary volume's lineage always exists, epoch 1
+}
+
+MetadataService::VolumeState& MetadataService::StateFor(VolumeId volume) {
+  return volumes_[volume];
+}
+
+const MetadataService::VolumeState& MetadataService::StateFor(
+    VolumeId volume) const {
+  auto it = volumes_.find(volume);
+  assert(it != volumes_.end() && "unknown volume");
+  return it->second;
+}
+
+VolumeEpoch MetadataService::volume_epoch(VolumeId volume) const {
+  return StateFor(volume).epoch;
+}
+
+const quorum::VolumeGeometry& MetadataService::geometry(
+    VolumeId volume) const {
+  return StateFor(volume).geometry;
+}
+
+quorum::VolumeGeometry& MetadataService::mutable_geometry(VolumeId volume) {
+  return StateFor(volume).geometry;
+}
+
+void MetadataService::SetGeometry(quorum::VolumeGeometry geometry,
+                                  VolumeId volume) {
+  StateFor(volume).geometry = std::move(geometry);
+}
+
+std::vector<VolumeId> MetadataService::VolumeIds() const {
+  std::vector<VolumeId> ids;
+  ids.reserve(volumes_.size());
+  for (const auto& [volume, _] : volumes_) ids.push_back(volume);
+  return ids;
 }
 
 void MetadataService::IncrementVolumeEpoch(
-    NodeId caller, std::function<void(VolumeEpoch)> cb) {
-  network_->Send(caller, id_, 64, [this, caller, cb = std::move(cb)]() {
-    const VolumeEpoch next = ++volume_epoch_;
-    network_->Send(id_, caller, 64, [cb, next]() { cb(next); });
-  });
+    NodeId caller, VolumeId volume, std::function<void(VolumeEpoch)> cb) {
+  network_->Send(caller, id_, 64,
+                 [this, caller, volume, cb = std::move(cb)]() {
+                   const VolumeEpoch next = ++StateFor(volume).epoch;
+                   network_->Send(id_, caller, 64, [cb, next]() { cb(next); });
+                 });
 }
 
 void MetadataService::FetchGeometry(
-    NodeId caller,
+    NodeId caller, VolumeId volume,
     std::function<void(quorum::VolumeGeometry, VolumeEpoch)> cb) {
-  network_->Send(caller, id_, 64, [this, caller, cb = std::move(cb)]() {
-    const quorum::VolumeGeometry geometry = geometry_;
-    const VolumeEpoch epoch = volume_epoch_;
-    network_->Send(id_, caller, 1024,
-                   [cb, geometry, epoch]() { cb(geometry, epoch); });
-  });
+  network_->Send(caller, id_, 64,
+                 [this, caller, volume, cb = std::move(cb)]() {
+                   const VolumeState& state = StateFor(volume);
+                   const quorum::VolumeGeometry geometry = state.geometry;
+                   const VolumeEpoch epoch = state.epoch;
+                   network_->Send(id_, caller, 1024, [cb, geometry, epoch]() {
+                     cb(geometry, epoch);
+                   });
+                 });
 }
 
 // ---------------------------------------------------------------------------
@@ -92,16 +133,20 @@ storage::NodeResolver AuroraCluster::MakeResolver() {
   };
 }
 
-engine::ControlPlane AuroraCluster::MakeControlPlane(NodeId caller) {
+engine::ControlPlane AuroraCluster::MakeControlPlane(NodeId caller,
+                                                     VolumeId volume) {
+  // The volume is bound into the closures, so the engine stays
+  // volume-oblivious: each writer talks to "its" metadata authority and
+  // never sees another tenant's epochs or geometry.
   engine::ControlPlane cp;
   cp.increment_volume_epoch =
-      [this, caller](std::function<void(VolumeEpoch)> cb) {
-        metadata_->IncrementVolumeEpoch(caller, std::move(cb));
+      [this, caller, volume](std::function<void(VolumeEpoch)> cb) {
+        metadata_->IncrementVolumeEpoch(caller, volume, std::move(cb));
       };
   cp.fetch_geometry =
-      [this, caller](
+      [this, caller, volume](
           std::function<void(quorum::VolumeGeometry, VolumeEpoch)> cb) {
-        metadata_->FetchGeometry(caller, std::move(cb));
+        metadata_->FetchGeometry(caller, volume, std::move(cb));
       };
   return cp;
 }
@@ -130,31 +175,85 @@ quorum::PgConfig AuroraCluster::BuildPgConfig(ProtectionGroupId pg) {
                                   std::move(members));
 }
 
+Result<quorum::PgConfig> AuroraCluster::PlacePgConfig(VolumeId volume,
+                                                      ProtectionGroupId pg) {
+  assert(placement_ != nullptr);
+  auto members = placement_->PlacePg(
+      volume, options_.quorum_model, [this]() { return next_segment_id_++; });
+  if (!members.ok()) return members.status();
+  return quorum::PgConfig::Create(pg, options_.quorum_model,
+                                  std::move(members).value());
+}
+
 void AuroraCluster::CreateSegmentStores(const quorum::PgConfig& config) {
   for (const auto& member : config.AllMembers()) {
     storage::StorageNode* node = node_index_.at(member.node);
     node->AddSegment(member, config.pg(), config,
-                     metadata_->volume_epoch());
+                     metadata_->volume_epoch(member.volume));
   }
 }
 
-std::unique_ptr<engine::DbInstance> AuroraCluster::MakeWriter(NodeId id,
-                                                              AzId az) {
-  return std::make_unique<engine::DbInstance>(&sim_, &network_, id, az,
-                                              MakeResolver(),
-                                              MakeControlPlane(id),
-                                              options_.db);
+std::unique_ptr<engine::DbInstance> AuroraCluster::MakeWriter(
+    NodeId id, AzId az, VolumeId volume) {
+  return std::make_unique<engine::DbInstance>(
+      &sim_, &network_, id, az, MakeResolver(),
+      MakeControlPlane(id, volume), options_.db);
+}
+
+Status AuroraCluster::BootstrapWriterBlocking(engine::DbInstance* writer) {
+  bool done = false;
+  Status result = Status::OK();
+  writer->Bootstrap([&](Status st) {
+    result = std::move(st);
+    done = true;
+  });
+  if (!RunUntil([&]() { return done; })) {
+    return Status::TimedOut("bootstrap did not complete");
+  }
+  return result;
 }
 
 Status AuroraCluster::StartBlocking() {
-  // Build the volume geometry and create segment stores.
-  std::vector<quorum::PgConfig> pgs;
-  for (size_t pg = 0; pg < options_.num_pgs; ++pg) {
-    pgs.push_back(BuildPgConfig(static_cast<ProtectionGroupId>(pg)));
+  if (options_.volumes > 1) {
+    // Multi-tenant assembly (DESIGN.md §11): the placement service lays
+    // out every volume's PGs across the shared fleet under anti-affinity
+    // rules; load balances across tenants because placement reads hosted
+    // segment counts as it goes.
+    placement_ = std::make_unique<PlacementService>();
+    for (auto& node : storage_nodes_) {
+      placement_->RegisterServer(node->id(), node->az());
+    }
+    placement_->SetLoadSource([this](NodeId id) {
+      auto it = node_index_.find(id);
+      return it == node_index_.end() ? 0 : it->second->segments().size();
+    });
+    placement_->SetLiveness([this](NodeId id) { return network_.IsUp(id); });
+    for (VolumeId volume = 0; volume < options_.volumes; ++volume) {
+      std::vector<quorum::PgConfig> pgs;
+      for (size_t pg = 0; pg < options_.num_pgs; ++pg) {
+        auto config =
+            PlacePgConfig(volume, static_cast<ProtectionGroupId>(pg));
+        if (!config.ok()) return config.status();
+        pgs.push_back(std::move(config).value());
+      }
+      metadata_->SetGeometry(quorum::VolumeGeometry(options_.blocks_per_pg,
+                                                    pgs),
+                             volume);
+      // Create stores per PG as we place, so placement's load probe sees
+      // the segments already committed to each server.
+      for (const auto& pg : pgs) CreateSegmentStores(pg);
+    }
+  } else {
+    // Single-tenant assembly: the legacy round-robin layout, kept
+    // verbatim so default-config schedules stay bit-identical.
+    std::vector<quorum::PgConfig> pgs;
+    for (size_t pg = 0; pg < options_.num_pgs; ++pg) {
+      pgs.push_back(BuildPgConfig(static_cast<ProtectionGroupId>(pg)));
+    }
+    metadata_->SetGeometry(
+        quorum::VolumeGeometry(options_.blocks_per_pg, pgs));
+    for (const auto& pg : pgs) CreateSegmentStores(pg);
   }
-  metadata_->SetGeometry(
-      quorum::VolumeGeometry(options_.blocks_per_pg, pgs));
-  for (const auto& pg : pgs) CreateSegmentStores(pg);
   for (auto& node : storage_nodes_) {
     // Each node's background timers must start on the node's own shard.
     sim::Simulator::ShardScope scope(&sim_, network_.ShardOf(node->id()));
@@ -163,16 +262,24 @@ Status AuroraCluster::StartBlocking() {
 
   writer_ = MakeWriter(next_node_id_++, 0);
   network_.SetNodeShard(writer_->id(), ShardForAz(0));
-  bool done = false;
-  Status result = Status::OK();
-  writer_->Bootstrap([&](Status st) {
-    result = std::move(st);
-    done = true;
-  });
-  if (!RunUntil([&]() { return done; })) {
-    return Status::TimedOut("bootstrap did not complete");
+  AURORA_RETURN_IF_ERROR(BootstrapWriterBlocking(writer_.get()));
+  // Tenant writers (volumes 1..N-1), spread across AZs, bootstrapped
+  // sequentially: each recovers its own volume independently.
+  for (VolumeId volume = 1; volume < options_.volumes; ++volume) {
+    const AzId az = static_cast<AzId>(volume % options_.num_azs);
+    auto writer = MakeWriter(next_node_id_++, az, volume);
+    network_.SetNodeShard(writer->id(), ShardForAz(az));
+    AURORA_RETURN_IF_ERROR(BootstrapWriterBlocking(writer.get()));
+    tenant_writers_.push_back(std::move(writer));
   }
-  return result;
+  return Status::OK();
+}
+
+engine::DbInstance* AuroraCluster::writer(VolumeId volume) {
+  if (volume == 0) return writer_.get();
+  const size_t index = volume - 1;
+  return index < tenant_writers_.size() ? tenant_writers_[index].get()
+                                        : nullptr;
 }
 
 storage::StorageNode* AuroraCluster::node(NodeId id) {
@@ -209,6 +316,35 @@ void AuroraCluster::ForEachSegment(
       fn(node.get(), segment.get());
     }
   }
+}
+
+void AuroraCluster::ForEachPgConfig(
+    const std::function<void(VolumeId, const quorum::PgConfig&)>& fn) const {
+  for (VolumeId volume : metadata_->VolumeIds()) {
+    for (const auto& pg : metadata_->geometry(volume).pgs()) {
+      fn(volume, pg);
+    }
+  }
+}
+
+VolumeId AuroraCluster::VolumeOf(const quorum::PgConfig& config) {
+  for (const auto& slot : config.slots()) {
+    if (!slot.empty()) return slot.front().volume;
+  }
+  return 0;
+}
+
+const quorum::PgConfig* AuroraCluster::FindConfigForSegment(
+    SegmentId segment, VolumeId* volume_out) const {
+  for (VolumeId volume : metadata_->VolumeIds()) {
+    for (const auto& pg : metadata_->geometry(volume).pgs()) {
+      if (pg.ContainsSegment(segment)) {
+        if (volume_out != nullptr) *volume_out = volume;
+        return &pg;
+      }
+    }
+  }
+  return nullptr;
 }
 
 bool AuroraCluster::RunUntil(const std::function<bool()>& pred,
@@ -323,10 +459,50 @@ Status AuroraCluster::PutBlocking(const std::string& key,
   return result;
 }
 
+Status AuroraCluster::PutBlocking(VolumeId volume, const std::string& key,
+                                  const std::string& value) {
+  engine::DbInstance* owner = writer(volume);
+  if (owner == nullptr) return Status::NotFound("no such volume");
+  const TxnId txn = owner->Begin();
+  bool done = false;
+  Status result = Status::OK();
+  owner->Put(txn, key, value, [&](Status st) {
+    if (!st.ok()) {
+      result = std::move(st);
+      done = true;
+      return;
+    }
+    owner->Commit(txn, [&](Status commit_st) {
+      result = std::move(commit_st);
+      done = true;
+    });
+  });
+  if (!RunUntil([&]() { return done; })) {
+    return Status::TimedOut("put did not complete");
+  }
+  return result;
+}
+
 Result<std::string> AuroraCluster::GetBlocking(const std::string& key) {
   bool done = false;
   Result<std::string> result = Status::Internal("unset");
   writer_->Get(kInvalidTxn, key, [&](Result<std::string> r) {
+    result = std::move(r);
+    done = true;
+  });
+  if (!RunUntil([&]() { return done; })) {
+    return Status::TimedOut("get did not complete");
+  }
+  return result;
+}
+
+Result<std::string> AuroraCluster::GetBlocking(VolumeId volume,
+                                               const std::string& key) {
+  engine::DbInstance* owner = writer(volume);
+  if (owner == nullptr) return Status::NotFound("no such volume");
+  bool done = false;
+  Result<std::string> result = Status::Internal("unset");
+  owner->Get(kInvalidTxn, key, [&](Result<std::string> r) {
     result = std::move(r);
     done = true;
   });
@@ -416,6 +592,14 @@ storage::StorageNode* AuroraCluster::PickNodeForNewSegment(
     AzId az, const quorum::PgConfig& config) {
   // Never co-locate two members of one protection group: a node failure
   // must cost the quorum at most one member.
+  if (placement_ != nullptr) {
+    // Multi-tenant mode: placement applies the same anti-affinity rule
+    // but picks the least-loaded candidate, balancing repair traffic
+    // across the shared fleet.
+    auto host = placement_->PickReplacement(config, az);
+    if (!host.ok()) return nullptr;
+    return node(*host);
+  }
   std::set<NodeId> occupied;
   for (const auto& member : config.AllMembers()) occupied.insert(member.node);
   storage::StorageNode* fallback = nullptr;
@@ -434,16 +618,18 @@ Status AuroraCluster::InstallPgConfigBlocking(
   // An epoch increment requires a write quorum, like any other write
   // (§4.1). Send the new config to every member; succeed once the OLD
   // config's write set acknowledges.
+  const VolumeId volume = VolumeOf(new_config);
+  engine::DbInstance* owner = writer(volume);
   auto acks = std::make_shared<quorum::SegmentSet>();
   for (const auto& member : new_config.AllMembers()) {
     storage::MembershipUpdateRequest request;
     request.segment = member.id;
     request.expected_epoch = old_config.epoch();
     request.config = new_config;
-    request.volume_epoch = metadata_->volume_epoch();
+    request.volume_epoch = metadata_->volume_epoch(volume);
     storage::StorageNode* target = node_index_.at(member.node);
     network_.Send(
-        writer_ ? writer_->id() : kMetadataNode, member.node,
+        owner ? owner->id() : kMetadataNode, member.node,
         request.SerializedSize(), [target, request, acks, this]() {
           target->HandleMembershipUpdate(
               request,
@@ -459,12 +645,16 @@ Status AuroraCluster::InstallPgConfigBlocking(
         "membership epoch increment did not reach write quorum");
   }
   // Record at the authority and refresh instances.
-  AURORA_RETURN_IF_ERROR(metadata_->mutable_geometry().UpdatePg(new_config));
-  if (writer_ && writer_->driver() != nullptr) {
-    writer_->driver()->UpdatePgConfig(new_config);
+  AURORA_RETURN_IF_ERROR(
+      metadata_->mutable_geometry(volume).UpdatePg(new_config));
+  if (owner != nullptr && owner->driver() != nullptr) {
+    owner->driver()->UpdatePgConfig(new_config);
   }
-  for (auto& rep : replicas_) {
-    rep->UpdateGeometry(metadata_->geometry(), metadata_->volume_epoch());
+  if (volume == 0) {
+    // Read replicas attach to the primary volume only.
+    for (auto& rep : replicas_) {
+      rep->UpdateGeometry(metadata_->geometry(), metadata_->volume_epoch());
+    }
   }
   return Status::OK();
 }
@@ -486,21 +676,23 @@ void AuroraCluster::InstallPgConfigAsync(const quorum::PgConfig& old_config,
   auto state = std::make_shared<InstallState>();
   state->write_set = old_config.WriteSet();
   const MembershipEpoch target_epoch = new_config.epoch();
+  const VolumeId volume = VolumeOf(new_config);
   for (const auto& member : new_config.AllMembers()) {
     storage::MembershipUpdateRequest request;
     request.segment = member.id;
     request.expected_epoch = old_config.epoch();
     request.config = new_config;
-    request.volume_epoch = metadata_->volume_epoch();
+    request.volume_epoch = metadata_->volume_epoch(volume);
     auto node_it = node_index_.find(member.node);
     if (node_it == node_index_.end()) continue;
     storage::StorageNode* target = node_it->second;
     network_.Send(
         metadata_->id(), member.node, request.SerializedSize(),
-        [this, target, request, state, target_epoch, new_config, done]() {
+        [this, target, request, state, target_epoch, new_config, volume,
+         done]() {
           target->HandleMembershipUpdate(
               request, [this, state, seg = request.segment, target_epoch,
-                        new_config,
+                        new_config, volume,
                         done](storage::MembershipUpdateResponse response) {
                 if (state->finished) return;
                 // A StaleEpoch reply whose current epoch already covers
@@ -517,17 +709,20 @@ void AuroraCluster::InstallPgConfigAsync(const quorum::PgConfig& old_config,
                 if (!state->write_set.SatisfiedBy(state->acks)) return;
                 state->finished = true;
                 Status update =
-                    metadata_->mutable_geometry().UpdatePg(new_config);
+                    metadata_->mutable_geometry(volume).UpdatePg(new_config);
                 if (!update.ok()) {
                   done(std::move(update));
                   return;
                 }
-                if (writer_ && writer_->driver() != nullptr) {
-                  writer_->driver()->UpdatePgConfig(new_config);
+                engine::DbInstance* owner = writer(volume);
+                if (owner != nullptr && owner->driver() != nullptr) {
+                  owner->driver()->UpdatePgConfig(new_config);
                 }
-                for (auto& rep : replicas_) {
-                  rep->UpdateGeometry(metadata_->geometry(),
-                                      metadata_->volume_epoch());
+                if (volume == 0) {
+                  for (auto& rep : replicas_) {
+                    rep->UpdateGeometry(metadata_->geometry(),
+                                        metadata_->volume_epoch());
+                  }
                 }
                 done(Status::OK());
               });
@@ -549,14 +744,9 @@ Result<MembershipChangeReport> AuroraCluster::BeginReplaceBlocking(
   MembershipChangeReport report;
   report.old_segment = old_segment;
   report.started_at = sim_.Now();
-  // Locate the PG and the suspect member.
-  const quorum::PgConfig* config = nullptr;
-  for (const auto& pg : metadata_->geometry().pgs()) {
-    if (pg.ContainsSegment(old_segment)) {
-      config = &pg;
-      break;
-    }
-  }
+  // Locate the PG and the suspect member (any volume's geometry).
+  VolumeId volume = 0;
+  const quorum::PgConfig* config = FindConfigForSegment(old_segment, &volume);
   if (config == nullptr) return Status::NotFound("segment not in volume");
   const quorum::SegmentInfo* old_info = config->FindSegment(old_segment);
 
@@ -565,6 +755,7 @@ Result<MembershipChangeReport> AuroraCluster::BeginReplaceBlocking(
   new_info.id = next_segment_id_++;
   new_info.az = old_info->az;
   new_info.is_full = old_info->is_full;
+  new_info.volume = old_info->volume;
   storage::StorageNode* host = PickNodeForNewSegment(old_info->az, *config);
   if (host == nullptr) return Status::Unavailable("no host for new segment");
   new_info.node = host->id();
@@ -577,7 +768,8 @@ Result<MembershipChangeReport> AuroraCluster::BeginReplaceBlocking(
   // Hydration target: the highest SCL among reachable current members.
   auto target_scl = std::make_shared<Lsn>(kInvalidLsn);
   auto probes = std::make_shared<size_t>(0);
-  const NodeId prober = writer_ ? writer_->id() : kMetadataNode;
+  engine::DbInstance* owner = writer(volume);
+  const NodeId prober = owner ? owner->id() : kMetadataNode;
   for (const auto& member : config->AllMembers()) {
     storage::StorageNode* target = node_index_.at(member.node);
     storage::SegmentStateRequest request{member.id};
@@ -596,7 +788,8 @@ Result<MembershipChangeReport> AuroraCluster::BeginReplaceBlocking(
   RunUntil([&]() { return *probes >= 3; }, 5 * kSecond);
 
   // Create the (empty, un-hydrated) segment with the DUAL-quorum config.
-  host->AddSegment(new_info, config->pg(), *next, metadata_->volume_epoch(),
+  host->AddSegment(new_info, config->pg(), *next,
+                   metadata_->volume_epoch(volume),
                    /*hydrated=*/false);
   host->FindSegment(new_info.id)->BeginHydration(*target_scl);
 
@@ -610,13 +803,7 @@ Result<MembershipChangeReport> AuroraCluster::BeginReplaceBlocking(
 }
 
 Status AuroraCluster::CommitReplaceBlocking(SegmentId old_segment) {
-  const quorum::PgConfig* config = nullptr;
-  for (const auto& pg : metadata_->geometry().pgs()) {
-    if (pg.ContainsSegment(old_segment)) {
-      config = &pg;
-      break;
-    }
-  }
+  const quorum::PgConfig* config = FindConfigForSegment(old_segment, nullptr);
   if (config == nullptr) return Status::NotFound("segment not in volume");
   auto next = config->CommitReplace(old_segment);
   if (!next.ok()) return next.status();
@@ -649,13 +836,7 @@ Status AuroraCluster::CommitReplaceBlocking(SegmentId old_segment) {
 }
 
 Status AuroraCluster::RevertReplaceBlocking(SegmentId old_segment) {
-  const quorum::PgConfig* config = nullptr;
-  for (const auto& pg : metadata_->geometry().pgs()) {
-    if (pg.ContainsSegment(old_segment)) {
-      config = &pg;
-      break;
-    }
-  }
+  const quorum::PgConfig* config = FindConfigForSegment(old_segment, nullptr);
   if (config == nullptr) return Status::NotFound("segment not in volume");
   auto next = config->RevertReplace(old_segment);
   if (!next.ok()) return next.status();
@@ -683,10 +864,9 @@ Result<MembershipChangeReport> AuroraCluster::ReplaceSegmentBlocking(
   Status commit = CommitReplaceBlocking(old_segment);
   if (!commit.ok()) return commit;
   report->finished_at = sim_.Now();
-  for (const auto& pg : metadata_->geometry().pgs()) {
-    if (pg.ContainsSegment(report->new_segment)) {
-      report->final_epoch = pg.epoch();
-    }
+  if (const quorum::PgConfig* final_config =
+          FindConfigForSegment(report->new_segment, nullptr)) {
+    report->final_epoch = final_config->epoch();
   }
   return report;
 }
@@ -765,88 +945,112 @@ Status AuroraCluster::RestoreToPointBlocking(Lsn restore_point) {
 
 Status AuroraCluster::ShrinkAfterAzLossBlocking(AzId lost_az) {
   // Each PG transitions independently; all use the surviving members'
-  // write quorum to install the epoch increment.
-  for (const auto& pg : metadata_->geometry().pgs()) {
-    auto next = pg.ShrinkAfterAzLoss(lost_az);
-    if (!next.ok()) return next.status();
-    const quorum::PgConfig old_copy = pg;
-    AURORA_RETURN_IF_ERROR(InstallPgConfigBlocking(old_copy, *next));
+  // write quorum to install the epoch increment. An AZ loss hits every
+  // tenant on the shared fleet, so all volumes shrink.
+  for (VolumeId volume : metadata_->VolumeIds()) {
+    // Copy: InstallPgConfigBlocking mutates the geometry mid-iteration.
+    const std::vector<quorum::PgConfig> pgs =
+        metadata_->geometry(volume).pgs();
+    for (const auto& pg : pgs) {
+      auto next = pg.ShrinkAfterAzLoss(lost_az);
+      if (!next.ok()) return next.status();
+      AURORA_RETURN_IF_ERROR(InstallPgConfigBlocking(pg, *next));
+    }
   }
   return Status::OK();
 }
 
 Status AuroraCluster::ExpandToSixBlocking(AzId restored_az) {
-  for (const auto& pg : metadata_->geometry().pgs()) {
-    if (pg.slots().size() >= 6) continue;
-    // Two fresh members on distinct nodes in the restored AZ.
-    std::vector<quorum::SegmentInfo> fresh;
-    std::set<NodeId> occupied;
-    for (const auto& member : pg.AllMembers()) occupied.insert(member.node);
-    for (int copy = 0; copy < 2; ++copy) {
-      quorum::SegmentInfo info;
-      info.id = next_segment_id_++;
-      info.az = restored_az;
-      info.is_full = true;
-      storage::StorageNode* host = nullptr;
-      for (auto& node : storage_nodes_) {
-        if (node->az() != restored_az || occupied.contains(node->id())) {
-          continue;
+  for (VolumeId volume : metadata_->VolumeIds()) {
+    const std::vector<quorum::PgConfig> shrunk =
+        metadata_->geometry(volume).pgs();
+    for (const auto& pg : shrunk) {
+      if (pg.slots().size() >= 6) continue;
+      // Two fresh members on distinct nodes in the restored AZ.
+      std::vector<quorum::SegmentInfo> fresh;
+      std::set<NodeId> occupied;
+      for (const auto& member : pg.AllMembers()) occupied.insert(member.node);
+      for (int copy = 0; copy < 2; ++copy) {
+        quorum::SegmentInfo info;
+        info.id = next_segment_id_++;
+        info.az = restored_az;
+        info.is_full = true;
+        info.volume = volume;
+        storage::StorageNode* host = nullptr;
+        for (auto& node : storage_nodes_) {
+          if (node->az() != restored_az || occupied.contains(node->id())) {
+            continue;
+          }
+          if (network_.IsUp(node->id())) {
+            host = node.get();
+            break;
+          }
         }
-        if (network_.IsUp(node->id())) {
-          host = node.get();
-          break;
+        if (host == nullptr) {
+          return Status::Unavailable("no host for restored segment");
         }
+        info.node = host->id();
+        occupied.insert(host->id());
+        fresh.push_back(info);
       }
-      if (host == nullptr) {
-        return Status::Unavailable("no host for restored segment");
+      auto next = pg.ExpandToSix(fresh);
+      if (!next.ok()) return next.status();
+      // Probe the hydration target, create the segments, install, hydrate.
+      Lsn target = kInvalidLsn;
+      for (const auto& member : pg.AllMembers()) {
+        storage::StorageNode* node = node_index_.at(member.node);
+        storage::SegmentStore* store = node->FindSegment(member.id);
+        if (store != nullptr) target = std::max(target, store->scl());
       }
-      info.node = host->id();
-      occupied.insert(host->id());
-      fresh.push_back(info);
-    }
-    auto next = pg.ExpandToSix(fresh);
-    if (!next.ok()) return next.status();
-    // Probe the hydration target, create the segments, install, hydrate.
-    Lsn target = kInvalidLsn;
-    for (const auto& member : pg.AllMembers()) {
-      storage::StorageNode* node = node_index_.at(member.node);
-      storage::SegmentStore* store = node->FindSegment(member.id);
-      if (store != nullptr) target = std::max(target, store->scl());
-    }
-    for (const auto& info : fresh) {
-      storage::StorageNode* host = node_index_.at(info.node);
-      host->AddSegment(info, pg.pg(), *next, metadata_->volume_epoch(),
-                       /*hydrated=*/false);
-      host->FindSegment(info.id)->BeginHydration(target);
-    }
-    const quorum::PgConfig old_copy = pg;
-    AURORA_RETURN_IF_ERROR(InstallPgConfigBlocking(old_copy, *next));
-    for (const auto& info : fresh) {
-      node_index_.at(info.node)->StartHydrationPull(info.id);
-    }
-    for (const auto& info : fresh) {
-      storage::SegmentStore* store =
-          node_index_.at(info.node)->FindSegment(info.id);
-      if (!RunUntil([&]() { return store->hydrated(); })) {
-        return Status::TimedOut("restored segment did not hydrate");
+      for (const auto& info : fresh) {
+        storage::StorageNode* host = node_index_.at(info.node);
+        host->AddSegment(info, pg.pg(), *next,
+                         metadata_->volume_epoch(volume),
+                         /*hydrated=*/false);
+        host->FindSegment(info.id)->BeginHydration(target);
+      }
+      AURORA_RETURN_IF_ERROR(InstallPgConfigBlocking(pg, *next));
+      for (const auto& info : fresh) {
+        node_index_.at(info.node)->StartHydrationPull(info.id);
+      }
+      for (const auto& info : fresh) {
+        storage::SegmentStore* store =
+            node_index_.at(info.node)->FindSegment(info.id);
+        if (!RunUntil([&]() { return store->hydrated(); })) {
+          return Status::TimedOut("restored segment did not hydrate");
+        }
       }
     }
   }
   return Status::OK();
 }
 
-Status AuroraCluster::GrowVolumeBlocking() {
-  const auto pg_id =
-      static_cast<ProtectionGroupId>(metadata_->geometry().PgCount());
-  quorum::PgConfig config = BuildPgConfig(pg_id);
-  CreateSegmentStores(config);
-  metadata_->mutable_geometry().AddPg(config);
-  if (writer_ && writer_->driver() != nullptr) {
-    writer_->driver()->SetGeometry(metadata_->geometry(),
-                                   writer_->volume_epoch());
+Status AuroraCluster::GrowVolumeBlocking(VolumeId volume) {
+  engine::DbInstance* owner = writer(volume);
+  if (volume != 0 && owner == nullptr) {
+    return Status::NotFound("no such volume");
   }
-  for (auto& rep : replicas_) {
-    rep->UpdateGeometry(metadata_->geometry(), metadata_->volume_epoch());
+  const auto pg_id =
+      static_cast<ProtectionGroupId>(metadata_->geometry(volume).PgCount());
+  quorum::PgConfig config;
+  if (placement_ != nullptr) {
+    auto placed = PlacePgConfig(volume, pg_id);
+    if (!placed.ok()) return placed.status();
+    config = std::move(placed).value();
+  } else {
+    if (volume != 0) return Status::NotFound("no such volume");
+    config = BuildPgConfig(pg_id);
+  }
+  CreateSegmentStores(config);
+  metadata_->mutable_geometry(volume).AddPg(config);
+  if (owner != nullptr && owner->driver() != nullptr) {
+    owner->driver()->SetGeometry(metadata_->geometry(volume),
+                                 owner->volume_epoch());
+  }
+  if (volume == 0) {
+    for (auto& rep : replicas_) {
+      rep->UpdateGeometry(metadata_->geometry(), metadata_->volume_epoch());
+    }
   }
   return Status::OK();
 }

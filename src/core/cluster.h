@@ -24,6 +24,7 @@
 
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/core/placement.h"
 #include "src/engine/db_instance.h"
 #include "src/quorum/geometry.h"
 #include "src/replica/read_replica.h"
@@ -63,40 +64,79 @@ struct AuroraOptions {
   /// network.min_latency_us, so raise that floor (e.g. ~40us) to give
   /// the windows useful width.
   uint32_t event_shards = 0;
+  /// Independent volumes (tenants) sharing the storage fleet (DESIGN.md
+  /// §11). 1 (default) is the classic single-tenant cluster — legacy
+  /// round-robin placement, one writer, bit-identical schedules. With
+  /// n >= 2 the placement service lays out every volume's PGs under
+  /// anti-affinity rules, volume v gets its own writer instance (reached
+  /// via `writer(v)`) with an independent LSN space, epoch lineage, and
+  /// commit pipeline, and each volume creates `num_pgs` protection
+  /// groups on the shared servers.
+  size_t volumes = 1;
 };
 
 /// The metadata service (§2.4, §4.1): the authority for volume epochs,
 /// membership epochs, and volume geometry. It is deliberately tiny — the
 /// point of the paper is that the DATA path never consults it; it is only
 /// touched at crash recovery and membership changes.
+///
+/// Multi-tenant (DESIGN.md §11): one service instance is the authority
+/// for EVERY volume on the shared fleet, holding an independent
+/// (epoch, geometry) pair per VolumeId. All accessors default to volume
+/// 0 — the primary volume — so single-tenant call sites read unchanged;
+/// tenant-aware callers pass the volume explicitly. Epoch lineages never
+/// interact across volumes: fencing one tenant's crashed writer cannot
+/// invalidate another tenant's in-flight I/O.
 class MetadataService {
  public:
   MetadataService(sim::Simulator* sim, sim::Network* network, NodeId id,
                   AzId az);
 
   NodeId id() const { return id_; }
-  VolumeEpoch volume_epoch() const { return volume_epoch_; }
-  const quorum::VolumeGeometry& geometry() const { return geometry_; }
-  quorum::VolumeGeometry& mutable_geometry() { return geometry_; }
+  VolumeEpoch volume_epoch(VolumeId volume = 0) const;
+  const quorum::VolumeGeometry& geometry(VolumeId volume = 0) const;
+  quorum::VolumeGeometry& mutable_geometry(VolumeId volume = 0);
 
-  void SetGeometry(quorum::VolumeGeometry geometry) {
-    geometry_ = std::move(geometry);
-  }
+  /// Installs (or replaces) `volume`'s geometry; creates the volume's
+  /// epoch lineage at 1 on first sight.
+  void SetGeometry(quorum::VolumeGeometry geometry, VolumeId volume = 0);
 
-  /// Network-mediated epoch increment (used by crash recovery).
-  void IncrementVolumeEpoch(NodeId caller,
+  /// Volumes with registered state, ascending (always includes 0).
+  std::vector<VolumeId> VolumeIds() const;
+
+  /// Network-mediated epoch increment (used by crash recovery). The
+  /// request/reply byte counts are volume-independent, so adding tenants
+  /// never changes another tenant's message timings.
+  void IncrementVolumeEpoch(NodeId caller, VolumeId volume,
                             std::function<void(VolumeEpoch)> cb);
+  void IncrementVolumeEpoch(NodeId caller,
+                            std::function<void(VolumeEpoch)> cb) {
+    IncrementVolumeEpoch(caller, 0, std::move(cb));
+  }
   /// Network-mediated geometry fetch.
   void FetchGeometry(
-      NodeId caller,
+      NodeId caller, VolumeId volume,
       std::function<void(quorum::VolumeGeometry, VolumeEpoch)> cb);
+  void FetchGeometry(
+      NodeId caller,
+      std::function<void(quorum::VolumeGeometry, VolumeEpoch)> cb) {
+    FetchGeometry(caller, 0, std::move(cb));
+  }
 
  private:
+  /// Per-volume authority state: epoch lineage + geometry, independent
+  /// across tenants.
+  struct VolumeState {
+    VolumeEpoch epoch = 1;
+    quorum::VolumeGeometry geometry;
+  };
+  VolumeState& StateFor(VolumeId volume);
+  const VolumeState& StateFor(VolumeId volume) const;
+
   sim::Simulator* sim_;
   sim::Network* network_;
   NodeId id_;
-  VolumeEpoch volume_epoch_ = 1;
-  quorum::VolumeGeometry geometry_;
+  std::map<VolumeId, VolumeState> volumes_;
 };
 
 /// Progress/outcome of a membership change (Figure 5).
@@ -138,6 +178,16 @@ class AuroraCluster {
   MetadataService& metadata() { return *metadata_; }
 
   engine::DbInstance* writer() { return writer_.get(); }
+  /// Volume `v`'s writer instance: the primary writer for v == 0, the
+  /// tenant writer otherwise (nullptr for unknown volumes). Each tenant
+  /// writer owns an independent LSN space, commit queue, and epoch
+  /// lineage over its own protection groups.
+  engine::DbInstance* writer(VolumeId volume);
+  /// Volumes configured on this cluster (`AuroraOptions::volumes`).
+  size_t VolumeCount() const { return options_.volumes; }
+  /// Fleet placement authority; nullptr in single-tenant clusters (which
+  /// keep the legacy round-robin layout for schedule compatibility).
+  PlacementService* placement() { return placement_.get(); }
   storage::StorageNode* node(NodeId id);
   const std::vector<std::unique_ptr<storage::StorageNode>>& storage_nodes()
       const {
@@ -178,6 +228,17 @@ class AuroraCluster {
       const std::function<void(storage::StorageNode*, storage::SegmentStore*)>&
           fn);
 
+  /// Visits every protection-group config of every volume, in (volume,
+  /// pg) order. The control plane (health monitor, repair planner,
+  /// auditor) uses this instead of `geometry().pgs()` so it covers all
+  /// tenants.
+  void ForEachPgConfig(
+      const std::function<void(VolumeId, const quorum::PgConfig&)>& fn) const;
+
+  /// Volume owning `config` (read off its members; configs are always
+  /// single-volume). 0 for legacy configs.
+  static VolumeId VolumeOf(const quorum::PgConfig& config);
+
   // -- Replicas -----------------------------------------------------------
 
   /// Attaches one more read replica to the shared volume; nullptr once
@@ -206,6 +267,11 @@ class AuroraCluster {
 
   Status PutBlocking(const std::string& key, const std::string& value);
   Result<std::string> GetBlocking(const std::string& key);
+  /// Tenant-qualified autocommit helpers: same as above but through
+  /// `volume`'s writer (tests and the multi-tenant bench).
+  Status PutBlocking(VolumeId volume, const std::string& key,
+                     const std::string& value);
+  Result<std::string> GetBlocking(VolumeId volume, const std::string& key);
   Status DeleteBlocking(const std::string& key);
   Status CommitBlocking(TxnId txn);
   Status RollbackBlocking(TxnId txn);
@@ -227,8 +293,10 @@ class AuroraCluster {
   /// Reverses a pending replacement (the suspect member came back).
   Status RevertReplaceBlocking(SegmentId old_segment);
 
-  /// Appends a protection group to the volume (geometry epoch increment).
-  Status GrowVolumeBlocking();
+  /// Appends a protection group to `volume` (geometry epoch increment).
+  /// Multi-tenant clusters place the new PG through the placement
+  /// service; single-tenant clusters keep the legacy round-robin layout.
+  Status GrowVolumeBlocking(VolumeId volume = 0);
 
   /// Heat management (§1, §4.1): migrates a healthy segment to another
   /// node in its AZ using the same two-step reversible transition as a
@@ -267,16 +335,29 @@ class AuroraCluster {
   const quorum::VolumeGeometry& geometry() const {
     return metadata_->geometry();
   }
+  /// Volume `v`'s geometry (volume 0 = the legacy accessor above).
+  const quorum::VolumeGeometry& geometry(VolumeId volume) const {
+    return metadata_->geometry(volume);
+  }
 
  private:
   quorum::PgConfig BuildPgConfig(ProtectionGroupId pg);
+  /// Placement-service layout of one PG (multi-tenant mode): anti-affine
+  /// members with fresh fleet-unique segment ids, tagged with `volume`.
+  Result<quorum::PgConfig> PlacePgConfig(VolumeId volume,
+                                         ProtectionGroupId pg);
   storage::NodeResolver MakeResolver();
-  engine::ControlPlane MakeControlPlane(NodeId caller);
+  engine::ControlPlane MakeControlPlane(NodeId caller, VolumeId volume = 0);
   void CreateSegmentStores(const quorum::PgConfig& config);
-  std::unique_ptr<engine::DbInstance> MakeWriter(NodeId id, AzId az);
+  std::unique_ptr<engine::DbInstance> MakeWriter(NodeId id, AzId az,
+                                                 VolumeId volume = 0);
   void WireReplica(replica::ReadReplica* rep);
   Status InstallPgConfigBlocking(const quorum::PgConfig& old_config,
                                  const quorum::PgConfig& new_config);
+  /// Locates the config containing `segment` across all volumes.
+  const quorum::PgConfig* FindConfigForSegment(SegmentId segment,
+                                               VolumeId* volume_out) const;
+  Status BootstrapWriterBlocking(engine::DbInstance* writer);
 
   AuroraOptions options_;
   sim::Simulator sim_;
@@ -284,9 +365,12 @@ class AuroraCluster {
   std::unique_ptr<storage::ObjectStore> object_store_;
   std::unique_ptr<sim::FailureInjector> failure_injector_;
   std::unique_ptr<MetadataService> metadata_;
+  std::unique_ptr<PlacementService> placement_;
   std::vector<std::unique_ptr<storage::StorageNode>> storage_nodes_;
   std::map<NodeId, storage::StorageNode*> node_index_;
   std::unique_ptr<engine::DbInstance> writer_;
+  /// Writers for volumes 1..N-1 (index v-1); empty in single-tenant mode.
+  std::vector<std::unique_ptr<engine::DbInstance>> tenant_writers_;
   std::vector<std::unique_ptr<engine::DbInstance>> retired_writers_;
   std::vector<std::unique_ptr<replica::ReadReplica>> replicas_;
 

@@ -44,11 +44,13 @@ void HealthMonitor::Stop() {
   if (!running_) return;
   running_ = false;
   ++generation_;
-  // Detach from the current writer so a stopped monitor stops consuming
-  // ack evidence immediately (a failover after Stop() would otherwise
-  // re-install the stale lambda on the rebuilt driver).
-  if (auto* writer = cluster_->writer()) {
-    writer->SetAckObserver(nullptr);
+  // Detach from every volume's writer so a stopped monitor stops
+  // consuming ack evidence immediately (a failover after Stop() would
+  // otherwise re-install the stale lambda on the rebuilt driver).
+  for (size_t volume = 0; volume < cluster_->VolumeCount(); ++volume) {
+    if (auto* writer = cluster_->writer(static_cast<VolumeId>(volume))) {
+      writer->SetAckObserver(nullptr);
+    }
   }
 }
 
@@ -99,10 +101,13 @@ void HealthMonitor::ObserveAck(SegmentId id, bool ok) {
 void HealthMonitor::Sweep() {
   if (!running_) return;
   const uint64_t gen = generation_;
-  // The writer's storage driver is the richest liveness source: every
-  // acked boxcar proves its segment alive. The observer is re-installed
-  // each sweep because failover builds a fresh driver.
-  if (auto* writer = cluster_->writer()) {
+  // Each writer's storage driver is the richest liveness source for its
+  // volume: every acked boxcar proves its segment alive. Observers are
+  // re-installed each sweep because failover builds a fresh driver.
+  // Segment ids are fleet-unique, so all volumes share one health table.
+  for (size_t v = 0; v < cluster_->VolumeCount(); ++v) {
+    auto* writer = cluster_->writer(static_cast<VolumeId>(v));
+    if (writer == nullptr) continue;
     // The observer must not capture a raw `this`: DbInstance persists it
     // and re-applies it to every rebuilt driver, so it can fire after
     // this monitor is stopped or destroyed. The weak handle makes any
@@ -118,7 +123,7 @@ void HealthMonitor::Sweep() {
   }
   std::set<SegmentId> current;
   size_t idx = 0;
-  for (const auto& pg : cluster_->geometry().pgs()) {
+  cluster_->ForEachPgConfig([&](VolumeId, const quorum::PgConfig& pg) {
     for (const auto& member : pg.AllMembers()) {
       current.insert(member.id);
       auto [it, fresh] = health_.try_emplace(member.id);
@@ -130,7 +135,7 @@ void HealthMonitor::Sweep() {
       }
       ++idx;
     }
-  }
+  });
   for (auto it = health_.begin(); it != health_.end();) {
     if (current.contains(it->first)) {
       ++it;
@@ -171,9 +176,9 @@ void HealthMonitor::SendProbe(SegmentId id) {
   auto it = health_.find(id);
   if (it == health_.end()) return;  // departed; the sweep erased it
   const quorum::SegmentInfo* info = nullptr;
-  for (const auto& pg : cluster_->geometry().pgs()) {
-    if ((info = pg.FindSegment(id)) != nullptr) break;
-  }
+  cluster_->ForEachPgConfig([&](VolumeId, const quorum::PgConfig& pg) {
+    if (info == nullptr) info = pg.FindSegment(id);
+  });
   if (info == nullptr) return;
   SegmentHealth& h = it->second;
   const uint64_t token = ++h.probe_token;

@@ -16,6 +16,13 @@
 // run underneath any workload (the *Blocking helpers pump the same loop).
 // Suspicion is advisory: the repair planner (repair_planner.h) consumes
 // Suspects() and decides; the quorum math stays the sole safety argument.
+//
+// Multi-tenant clusters (DESIGN.md §11): one monitor watches the whole
+// fleet. It sweeps every volume's protection groups (ForEachPgConfig)
+// and installs its in-band ack observer on EVERY tenant writer, so a
+// suspicion raised by tenant A's probes can be cleared by tenant B's
+// write acks to the same shared server — liveness evidence is about
+// servers, not tenants.
 
 #pragma once
 

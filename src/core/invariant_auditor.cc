@@ -35,9 +35,7 @@ void InvariantAuditor::ObserveControlPlane(const HealthMonitor* monitor,
   repair_unsuspect_since_.clear();
 }
 
-void InvariantAuditor::ResetDurabilityFloor() {
-  durability_floor_ = kInvalidLsn;
-}
+void InvariantAuditor::ResetDurabilityFloor() { durability_floor_.clear(); }
 
 void InvariantAuditor::RunChecks() {
   checks_run_++;
@@ -100,11 +98,12 @@ void InvariantAuditor::CheckSclMonotonic() {
 // -- 2: PGCL covered by a write quorum of SCLs ------------------------------
 
 void InvariantAuditor::CheckPgclDurable() {
-  engine::DbInstance* writer = cluster_->writer();
-  if (writer == nullptr || !writer->IsOpen()) return;
-  for (const auto& pg : cluster_->geometry().pgs()) {
+  cluster_->ForEachPgConfig([this](VolumeId volume,
+                                   const quorum::PgConfig& pg) {
+    engine::DbInstance* writer = cluster_->writer(volume);
+    if (writer == nullptr || !writer->IsOpen()) return;
     const Lsn pgcl = writer->pgcl(pg.pg());
-    if (pgcl == kInvalidLsn) continue;
+    if (pgcl == kInvalidLsn) return;
     quorum::SegmentSet covered;
     size_t observed_at_or_above = 0;
     for (const auto& member : pg.AllMembers()) {
@@ -133,76 +132,87 @@ void InvariantAuditor::CheckPgclDurable() {
         covered.insert(member.id);
       }
     }
+    const ArchiveKey key = MakeArchiveKey(volume, pg.pg());
     if (pg.WriteSet().SatisfiedBy(covered)) {
-      pgcl_uncovered_since_.erase(pg.pg());
-      continue;
+      pgcl_uncovered_since_.erase(key);
+      return;
     }
     // Even with every excuse applied, under-coverage can appear for a
     // moment (e.g. a just-restored node that has not yet received any
     // record or gossip round). Only PERSISTENT under-coverage — well past
     // the 100ms gossip cadence — is a protocol violation.
     const SimTime now = cluster_->sim().Now();
-    auto [it, first] = pgcl_uncovered_since_.try_emplace(pg.pg(), now);
-    if (now - it->second < kPgclRepairGrace) continue;
+    auto [it, first] = pgcl_uncovered_since_.try_emplace(key, now);
+    if (now - it->second < kPgclRepairGrace) return;
     {
       AddViolation("pgcl-durable",
-                   "pg " + std::to_string(pg.pg()) + " PGCL " +
+                   "volume " + std::to_string(volume) + " pg " +
+                       std::to_string(pg.pg()) + " PGCL " +
                        std::to_string(pgcl) +
                        " not covered by a write quorum of member SCLs (" +
                        std::to_string(observed_at_or_above) +
                        " observed at/above, " + std::to_string(covered.size()) +
                        " potentially covering)");
     }
-  }
+  });
 }
 
 // -- 3: VDL <= VCL <= max allocated -----------------------------------------
 
 void InvariantAuditor::CheckVdlVclOrder() {
-  engine::DbInstance* writer = cluster_->writer();
-  if (writer == nullptr || !writer->IsOpen() || writer->driver() == nullptr) {
-    return;
-  }
-  const Lsn vcl = writer->vcl();
-  const Lsn vdl = writer->vdl();
-  const Lsn max_allocated = writer->driver()->tracker().max_allocated();
-  if (vdl > vcl) {
-    AddViolation("vdl-le-vcl", "VDL " + std::to_string(vdl) + " > VCL " +
-                                   std::to_string(vcl));
-  }
-  if (max_allocated != kInvalidLsn && vcl > max_allocated) {
-    AddViolation("vdl-le-vcl", "VCL " + std::to_string(vcl) +
-                                   " > max allocated LSN " +
-                                   std::to_string(max_allocated));
+  for (VolumeId volume : cluster_->metadata().VolumeIds()) {
+    engine::DbInstance* writer = cluster_->writer(volume);
+    if (writer == nullptr || !writer->IsOpen() ||
+        writer->driver() == nullptr) {
+      continue;
+    }
+    const Lsn vcl = writer->vcl();
+    const Lsn vdl = writer->vdl();
+    const Lsn max_allocated = writer->driver()->tracker().max_allocated();
+    if (vdl > vcl) {
+      AddViolation("vdl-le-vcl", "volume " + std::to_string(volume) +
+                                     " VDL " + std::to_string(vdl) +
+                                     " > VCL " + std::to_string(vcl));
+    }
+    if (max_allocated != kInvalidLsn && vcl > max_allocated) {
+      AddViolation("vdl-le-vcl", "volume " + std::to_string(volume) +
+                                     " VCL " + std::to_string(vcl) +
+                                     " > max allocated LSN " +
+                                     std::to_string(max_allocated));
+    }
   }
 }
 
 // -- 4: acked commits stay durable across incarnations ----------------------
 
 void InvariantAuditor::CheckAckedScnDurable() {
-  engine::DbInstance* writer = cluster_->writer();
-  if (writer == nullptr) return;
-  if (writer->max_acked_scn() != kInvalidLsn &&
-      (durability_floor_ == kInvalidLsn ||
-       writer->max_acked_scn() > durability_floor_)) {
-    durability_floor_ = writer->max_acked_scn();
-  }
-  if (!writer->IsOpen() || durability_floor_ == kInvalidLsn) return;
-  if (durability_floor_ > writer->vdl()) {
-    AddViolation("acked-scn-durable",
-                 "acked SCN " + std::to_string(durability_floor_) +
-                     " above VDL " + std::to_string(writer->vdl()) +
-                     " (an acknowledged commit was lost)");
+  for (VolumeId volume : cluster_->metadata().VolumeIds()) {
+    engine::DbInstance* writer = cluster_->writer(volume);
+    if (writer == nullptr) continue;
+    Scn& floor = durability_floor_[volume];
+    if (writer->max_acked_scn() != kInvalidLsn &&
+        (floor == kInvalidLsn || writer->max_acked_scn() > floor)) {
+      floor = writer->max_acked_scn();
+    }
+    if (!writer->IsOpen() || floor == kInvalidLsn) continue;
+    if (floor > writer->vdl()) {
+      AddViolation("acked-scn-durable",
+                   "volume " + std::to_string(volume) + " acked SCN " +
+                       std::to_string(floor) + " above VDL " +
+                       std::to_string(writer->vdl()) +
+                       " (an acknowledged commit was lost)");
+    }
   }
 }
 
 // -- 5: no write quorum at a stale volume epoch -----------------------------
 
 void InvariantAuditor::CheckSingleEpochQuorum() {
-  engine::DbInstance* writer = cluster_->writer();
-  if (writer == nullptr || !writer->IsOpen()) return;
-  const VolumeEpoch writer_epoch = writer->volume_epoch();
-  for (const auto& pg : cluster_->geometry().pgs()) {
+  cluster_->ForEachPgConfig([this](VolumeId volume,
+                                   const quorum::PgConfig& pg) {
+    engine::DbInstance* writer = cluster_->writer(volume);
+    if (writer == nullptr || !writer->IsOpen()) return;
+    const VolumeEpoch writer_epoch = writer->volume_epoch();
     quorum::SegmentSet stale;
     for (const auto& member : pg.AllMembers()) {
       storage::StorageNode* node = cluster_->NodeForSegment(member.id);
@@ -215,34 +225,38 @@ void InvariantAuditor::CheckSingleEpochQuorum() {
     if (!stale.empty() && pg.WriteSet().SatisfiedBy(stale)) {
       AddViolation(
           "single-epoch-quorum",
-          "pg " + std::to_string(pg.pg()) + " has a full write quorum (" +
+          "volume " + std::to_string(volume) + " pg " +
+              std::to_string(pg.pg()) + " has a full write quorum (" +
               std::to_string(stale.size()) +
               " segments) still below the open writer's volume epoch " +
               std::to_string(writer_epoch) +
               " — a stale-epoch writer could commit I/Os");
     }
-  }
+  });
 }
 
 // -- 6: PGMRPL never passes an active read view -----------------------------
 
 void InvariantAuditor::CheckPgmrplBelowViews() {
-  engine::DbInstance* writer = cluster_->writer();
-  const bool writer_open = writer != nullptr && writer->IsOpen();
-  // Collect the active read views once; compare every segment against them.
-  std::vector<std::pair<std::string, Lsn>> views;
-  if (writer_open) {
-    views.emplace_back("writer VDL", writer->vdl());
+  // Collect active read views PER VOLUME: read views and PGMRPLs are LSNs
+  // in their volume's private space, so cross-tenant comparison would be
+  // meaningless. Replicas attach to the primary volume only.
+  std::map<VolumeId, std::vector<std::pair<std::string, Lsn>>> views;
+  for (VolumeId volume : cluster_->metadata().VolumeIds()) {
+    engine::DbInstance* writer = cluster_->writer(volume);
+    if (writer == nullptr || !writer->IsOpen()) continue;
+    auto& volume_views = views[volume];
+    volume_views.emplace_back("writer VDL", writer->vdl());
     const Lsn open_min = writer->txns().MinOpenReadLsn();
     if (open_min != kInvalidLsn) {
-      views.emplace_back("writer oldest open view", open_min);
+      volume_views.emplace_back("writer oldest open view", open_min);
     }
   }
   for (const auto& replica : cluster_->replicas()) {
     // A replica that has not yet learned a VDL (fresh attach, mid-crash)
     // has no views to protect.
     if (replica->vdl() == kInvalidLsn) continue;
-    views.emplace_back("replica min read point", replica->MinReadPoint());
+    views[0].emplace_back("replica min read point", replica->MinReadPoint());
   }
   if (views.empty()) return;
   cluster_->ForEachSegment([this, &views](storage::StorageNode* node,
@@ -250,12 +264,15 @@ void InvariantAuditor::CheckPgmrplBelowViews() {
     if (!segment->hydrated()) return;
     const Lsn pgmrpl = segment->pgmrpl();
     if (pgmrpl == kInvalidLsn) return;
-    for (const auto& [what, lsn] : views) {
+    auto it = views.find(segment->volume());
+    if (it == views.end()) return;
+    for (const auto& [what, lsn] : it->second) {
       if (pgmrpl > lsn) {
         AddViolation("pgmrpl-le-views",
                      "segment " + std::to_string(segment->id()) +
                          " on node " + std::to_string(node->id()) +
-                         " PGMRPL " + std::to_string(pgmrpl) + " above " +
+                         " (volume " + std::to_string(segment->volume()) +
+                         ") PGMRPL " + std::to_string(pgmrpl) + " above " +
                          what + " " + std::to_string(lsn));
       }
     }
@@ -265,26 +282,32 @@ void InvariantAuditor::CheckPgmrplBelowViews() {
 // -- 7: membership epochs only move forward ---------------------------------
 
 void InvariantAuditor::CheckMembershipEpochMonotonic() {
-  const VolumeEpoch vepoch = cluster_->metadata().volume_epoch();
-  if (vepoch < volume_epoch_seen_) {
-    AddViolation("membership-epoch-monotonic",
-                 "metadata volume epoch regressed " +
-                     std::to_string(volume_epoch_seen_) + " -> " +
-                     std::to_string(vepoch));
+  for (VolumeId volume : cluster_->metadata().VolumeIds()) {
+    const VolumeEpoch vepoch = cluster_->metadata().volume_epoch(volume);
+    VolumeEpoch& seen = volume_epoch_seen_[volume];
+    if (vepoch < seen) {
+      AddViolation("membership-epoch-monotonic",
+                   "volume " + std::to_string(volume) +
+                       " metadata volume epoch regressed " +
+                       std::to_string(seen) + " -> " + std::to_string(vepoch));
+    }
+    seen = std::max(seen, vepoch);
   }
-  volume_epoch_seen_ = std::max(volume_epoch_seen_, vepoch);
-  for (const auto& pg : cluster_->geometry().pgs()) {
+  cluster_->ForEachPgConfig([this](VolumeId volume,
+                                   const quorum::PgConfig& pg) {
     const MembershipEpoch epoch = pg.epoch();
-    auto [it, first] = membership_epoch_seen_.try_emplace(pg.pg(), epoch);
+    auto [it, first] = membership_epoch_seen_.try_emplace(
+        MakeArchiveKey(volume, pg.pg()), epoch);
     if (!first && epoch < it->second) {
       AddViolation("membership-epoch-monotonic",
-                   "pg " + std::to_string(pg.pg()) +
+                   "volume " + std::to_string(volume) + " pg " +
+                       std::to_string(pg.pg()) +
                        " membership epoch regressed " +
                        std::to_string(it->second) + " -> " +
                        std::to_string(epoch));
     }
     it->second = std::max(it->second, epoch);
-  }
+  });
 }
 
 // -- 8: repair jobs require suspicion evidence ------------------------------
@@ -337,15 +360,24 @@ void InvariantAuditor::CheckRepairQuietDecision() {
 // -- 9: mid-hydration segments never look read-complete ---------------------
 
 void InvariantAuditor::CheckHydratingReadExclusion() {
-  engine::DbInstance* writer = cluster_->writer();
-  if (writer == nullptr || !writer->IsOpen() || writer->driver() == nullptr) {
-    return;
+  // Each volume's writer only tracks its own segments, so resolve the
+  // driver per segment via the segment's owning volume.
+  std::map<VolumeId, engine::StorageDriver*> drivers;
+  for (VolumeId volume : cluster_->metadata().VolumeIds()) {
+    engine::DbInstance* writer = cluster_->writer(volume);
+    if (writer == nullptr || !writer->IsOpen() ||
+        writer->driver() == nullptr) {
+      continue;
+    }
+    drivers[volume] = writer->driver();
   }
-  engine::StorageDriver* driver = writer->driver();
-  cluster_->ForEachSegment([this, driver](storage::StorageNode* node,
-                                          storage::SegmentStore* segment) {
+  if (drivers.empty()) return;
+  cluster_->ForEachSegment([this, &drivers](storage::StorageNode* node,
+                                            storage::SegmentStore* segment) {
     if (segment->hydrated()) return;
-    if (driver->SegmentKnownHydrated(segment->id())) {
+    auto it = drivers.find(segment->volume());
+    if (it == drivers.end()) return;
+    if (it->second->SegmentKnownHydrated(segment->id())) {
       AddViolation("hydrating-read-exclusion",
                    "segment " + std::to_string(segment->id()) + " on node " +
                        std::to_string(node->id()) +
@@ -396,6 +428,7 @@ std::string InvariantAuditor::SnapshotJson() const {
     if (!first_seg) out += ",";
     first_seg = false;
     out += "\n    {\"id\": " + std::to_string(segment->id());
+    out += ", \"volume\": " + std::to_string(segment->volume());
     out += ", \"pg\": " + std::to_string(segment->pg());
     out += ", \"node\": " + std::to_string(node->id());
     out += ", \"volume_epoch\": " + std::to_string(segment->volume_epoch());

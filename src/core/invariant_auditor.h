@@ -66,6 +66,12 @@
 // The auditor is strictly read-only: it never schedules events and never
 // mutates actor state, so an attached auditor cannot change an execution
 // (determinism fingerprints are unaffected).
+//
+// Multi-tenant clusters (DESIGN.md §11): every check that reads "the
+// writer" or "the geometry" runs once per volume against that volume's
+// writer, geometry, and epoch lineage. Per-PG audit state is keyed by
+// (volume, pg) — pg ids are per-volume ordinals on the shared fleet — and
+// durability floors are per volume, since tenant LSN spaces never compare.
 
 #pragma once
 
@@ -161,20 +167,24 @@ class InvariantAuditor {
   };
   std::map<SegmentId, SclBaseline> scl_seen_;
 
-  /// Highest commit SCN ever acknowledged to a client, across writer
-  /// incarnations (survives failover; reset only by ResetDurabilityFloor).
-  Scn durability_floor_ = kInvalidLsn;
+  /// Highest commit SCN ever acknowledged to a client, per volume, across
+  /// writer incarnations (survives failover; reset only by
+  /// ResetDurabilityFloor). Keyed by volume: each tenant writer has an
+  /// independent LSN space, so floors never compare across tenants.
+  std::map<VolumeId, Scn> durability_floor_;
 
   /// First sim time at which a PG's PGCL coverage (with every legal excuse
   /// applied) fell below a write quorum. Coverage must recover within
-  /// kPgclRepairGrace — ten gossip rounds — or it is a violation.
+  /// kPgclRepairGrace — ten gossip rounds — or it is a violation. Keyed
+  /// by (volume, pg): pg ids are per-volume ordinals on a shared fleet.
   static constexpr SimDuration kPgclRepairGrace = 1 * kSecond;
-  std::map<ProtectionGroupId, SimTime> pgcl_uncovered_since_;
+  std::map<ArchiveKey, SimTime> pgcl_uncovered_since_;
 
-  /// Highest membership epoch seen per PG and highest volume epoch seen,
-  /// from the metadata service's geometry. Epochs only move forward.
-  std::map<ProtectionGroupId, MembershipEpoch> membership_epoch_seen_;
-  VolumeEpoch volume_epoch_seen_ = 0;
+  /// Highest membership epoch seen per (volume, pg) and highest volume
+  /// epoch seen per volume, from the metadata service. Epochs only move
+  /// forward — independently per tenant.
+  std::map<ArchiveKey, MembershipEpoch> membership_epoch_seen_;
+  std::map<VolumeId, VolumeEpoch> volume_epoch_seen_;
 
   /// First sim time at which an active repair job's suspect was observed
   /// healthy again. Figure-5 transitions are reversible, so the planner is

@@ -1,0 +1,132 @@
+#include "src/core/placement.h"
+
+#include <algorithm>
+
+namespace aurora::core {
+
+PlacementService::PlacementService(PlacementOptions options)
+    : options_(options) {}
+
+void PlacementService::RegisterServer(NodeId node, AzId az) {
+  if (servers_.contains(node)) return;
+  servers_[node] = az;
+  auto& list = by_az_[az];
+  list.insert(std::upper_bound(list.begin(), list.end(), node), node);
+}
+
+void PlacementService::SetLoadSource(LoadFn load) { load_ = std::move(load); }
+
+void PlacementService::SetLiveness(LivenessFn is_up) {
+  is_up_ = std::move(is_up);
+}
+
+std::vector<AzId> PlacementService::Azs() const {
+  std::vector<AzId> azs;
+  azs.reserve(by_az_.size());
+  for (const auto& [az, _] : by_az_) azs.push_back(az);
+  return azs;
+}
+
+const std::vector<NodeId>& PlacementService::ServersIn(AzId az) const {
+  static const std::vector<NodeId> kEmpty;
+  auto it = by_az_.find(az);
+  return it == by_az_.end() ? kEmpty : it->second;
+}
+
+size_t PlacementService::LoadOf(NodeId node) const {
+  return load_ ? load_(node) : 0;
+}
+
+bool PlacementService::IsUp(NodeId node) const {
+  return is_up_ ? is_up_(node) : true;
+}
+
+NodeId PlacementService::PickLeastLoaded(AzId az,
+                                         const std::set<NodeId>& exclude,
+                                         bool require_up) const {
+  // Candidates sort by (load, node id): deterministic, no RNG, so the
+  // same fleet state always yields the same placement.
+  NodeId best = kInvalidNode;
+  size_t best_load = 0;
+  NodeId best_down = kInvalidNode;
+  size_t best_down_load = 0;
+  for (NodeId node : ServersIn(az)) {
+    if (exclude.contains(node)) continue;
+    size_t load = LoadOf(node);
+    if (IsUp(node)) {
+      if (best == kInvalidNode || load < best_load) {
+        best = node;
+        best_load = load;
+      }
+    } else if (best_down == kInvalidNode || load < best_down_load) {
+      best_down = node;
+      best_down_load = load;
+    }
+  }
+  if (best != kInvalidNode) return best;
+  return require_up ? kInvalidNode : best_down;
+}
+
+Result<std::vector<quorum::SegmentInfo>> PlacementService::PlacePg(
+    VolumeId volume, quorum::QuorumModel model,
+    const std::function<SegmentId()>& alloc_id) const {
+  std::vector<quorum::SegmentInfo> members;
+  std::set<NodeId> used;  // rule 2: fleet-wide server anti-affinity
+  for (const auto& [az, _] : by_az_) {
+    for (size_t copy = 0; copy < options_.copies_per_az; ++copy) {
+      NodeId host = PickLeastLoaded(az, used, /*require_up=*/true);
+      if (host == kInvalidNode) {
+        return Status::Unavailable(
+            "placement: AZ " + std::to_string(az) + " lacks " +
+            std::to_string(options_.copies_per_az) +
+            " distinct live servers");
+      }
+      used.insert(host);
+      quorum::SegmentInfo info;
+      info.id = alloc_id();
+      info.node = host;
+      info.az = az;
+      // Mirrors the legacy BuildPgConfig shape: under full/tail, the
+      // first copy per AZ materializes blocks, the second is redo-only.
+      info.is_full =
+          model == quorum::QuorumModel::kFullTail ? (copy == 0) : true;
+      info.volume = volume;
+      members.push_back(info);
+    }
+  }
+  return members;
+}
+
+Result<NodeId> PlacementService::PickReplacement(
+    const quorum::PgConfig& config, AzId az) const {
+  std::set<NodeId> exclude;
+  for (const auto& member : config.AllMembers()) exclude.insert(member.node);
+  NodeId host = PickLeastLoaded(az, exclude, /*require_up=*/false);
+  if (host == kInvalidNode) {
+    return Status::Unavailable(
+        "placement: no anti-affine replacement host in AZ " +
+        std::to_string(az));
+  }
+  return host;
+}
+
+std::vector<PlacementService::Displaced> PlacementService::PlanRebalance(
+    NodeId lost, const std::vector<quorum::PgConfig>& configs) const {
+  std::vector<Displaced> plan;
+  for (const auto& config : configs) {
+    for (const auto& member : config.AllMembers()) {
+      if (member.node != lost) continue;
+      Displaced d;
+      d.volume = member.volume;
+      d.pg = config.pg();
+      d.segment = member.id;
+      d.az = member.az;
+      auto host = PickReplacement(config, member.az);
+      d.suggested_host = host.ok() ? *host : kInvalidNode;
+      plan.push_back(d);
+    }
+  }
+  return plan;
+}
+
+}  // namespace aurora::core

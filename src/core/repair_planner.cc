@@ -46,11 +46,16 @@ void RepairPlanner::Stop() {
   ++generation_;
 }
 
-const quorum::PgConfig* RepairPlanner::FindConfig(SegmentId segment) const {
-  for (const auto& pg : cluster_->geometry().pgs()) {
-    if (pg.ContainsSegment(segment)) return &pg;
-  }
-  return nullptr;
+const quorum::PgConfig* RepairPlanner::FindConfig(SegmentId segment,
+                                                 VolumeId* volume) const {
+  const quorum::PgConfig* found = nullptr;
+  cluster_->ForEachPgConfig([&](VolumeId v, const quorum::PgConfig& pg) {
+    if (found == nullptr && pg.ContainsSegment(segment)) {
+      found = &pg;
+      if (volume != nullptr) *volume = v;
+    }
+  });
+  return found;
 }
 
 size_t RepairPlanner::JobsInAz(AzId az) const {
@@ -61,9 +66,17 @@ size_t RepairPlanner::JobsInAz(AzId az) const {
   return n;
 }
 
-bool RepairPlanner::PgHasJob(ProtectionGroupId pg) const {
+size_t RepairPlanner::JobsOnServer(NodeId node) const {
+  size_t n = 0;
   for (const auto& [id, job] : jobs_) {
-    if (job.pg == pg) return true;
+    if (job.host_node == node) ++n;
+  }
+  return n;
+}
+
+bool RepairPlanner::PgHasJob(VolumeId volume, ProtectionGroupId pg) const {
+  for (const auto& [id, job] : jobs_) {
+    if (job.volume == volume && job.pg == pg) return true;
   }
   return false;
 }
@@ -85,30 +98,63 @@ void RepairPlanner::Tick() {
 
 void RepairPlanner::StartNewJobs() {
   const SimTime now = cluster_->sim().Now();
+  // Suspects compete for bounded job slots, so rank candidates before
+  // claiming any: most-degraded PG first (a group one failure from losing
+  // write quorum outranks a single slow segment, whichever tenant it
+  // belongs to), ties broken by (volume, pg, suspect id) so the order is
+  // a pure function of cluster state.
+  struct Candidate {
+    SegmentId suspect = kInvalidSegment;
+    const quorum::PgConfig* config = nullptr;
+    VolumeId volume = 0;
+    size_t degraded = 0;
+  };
+  std::vector<Candidate> candidates;
   for (SegmentId suspect : monitor_->Suspects()) {
-    if (jobs_.size() >= options_.max_concurrent_total) break;
     if (jobs_.contains(suspect)) continue;
-    const quorum::PgConfig* config = FindConfig(suspect);
-    if (config == nullptr) continue;  // already replaced / departed
+    Candidate c;
+    c.suspect = suspect;
+    c.config = FindConfig(suspect, &c.volume);
+    if (c.config == nullptr) continue;  // already replaced / departed
+    for (const auto& member : c.config->AllMembers()) {
+      if (monitor_->IsSuspect(member.id)) ++c.degraded;
+    }
+    candidates.push_back(c);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.degraded != b.degraded) return a.degraded > b.degraded;
+              if (a.volume != b.volume) return a.volume < b.volume;
+              if (a.config->pg() != b.config->pg()) {
+                return a.config->pg() < b.config->pg();
+              }
+              return a.suspect < b.suspect;
+            });
+  for (const Candidate& c : candidates) {
+    if (jobs_.size() >= options_.max_concurrent_total) break;
+    const quorum::PgConfig* config = c.config;
     // One job per PG: the slot machinery supports nested changes, but
     // bounded eager repair keeps blast radius small, and a reverted or
     // committed job frees the group within a couple of ticks anyway.
-    if (config->HasPendingChange() || PgHasJob(config->pg())) continue;
-    const quorum::SegmentInfo* info = config->FindSegment(suspect);
+    if (config->HasPendingChange() || PgHasJob(c.volume, config->pg())) {
+      continue;
+    }
+    const quorum::SegmentInfo* info = config->FindSegment(c.suspect);
     if (info == nullptr) continue;
     if (JobsInAz(info->az) >= options_.max_concurrent_per_az) continue;
     RepairJob job;
-    job.old_segment = suspect;
+    job.old_segment = c.suspect;
+    job.volume = c.volume;
     job.pg = config->pg();
     job.az = info->az;
     job.state = JobState::kProbing;
     job.decided_at = now;
-    job.suspected_since = monitor_->suspected_since(suspect);
+    job.suspected_since = monitor_->suspected_since(c.suspect);
     job.probe_deadline = now + options_.probe_window;
     job.deadline = now + options_.job_deadline;
-    jobs_.emplace(suspect, std::move(job));
+    jobs_.emplace(c.suspect, std::move(job));
     ++stats_.jobs_started;
-    ProbeScls(suspect);
+    ProbeScls(c.suspect);
   }
 }
 
@@ -268,7 +314,8 @@ void RepairPlanner::AdvanceJobs() {
 }
 
 void RepairPlanner::BeginChange(RepairJob& job) {
-  const quorum::PgConfig* config = FindConfig(job.old_segment);
+  VolumeId volume = 0;
+  const quorum::PgConfig* config = FindConfig(job.old_segment, &volume);
   if (config == nullptr || config->HasPendingChange() ||
       config->FindSegment(job.old_segment) == nullptr) {
     ++stats_.aborted_before_begin;
@@ -283,11 +330,18 @@ void RepairPlanner::BeginChange(RepairJob& job) {
     job.probe_deadline = cluster_->sim().Now() + options_.probe_window;
     return;
   }
+  if (JobsOnServer(host->id()) >= options_.max_concurrent_per_server) {
+    // The best host already carries its fill of hydration pulls; defer
+    // rather than pile another full-prefix pull onto it.
+    job.probe_deadline = cluster_->sim().Now() + options_.probe_window;
+    return;
+  }
   quorum::SegmentInfo new_info;
   new_info.id = cluster_->AllocateSegmentId();
   new_info.node = host->id();
   new_info.az = old_info->az;
   new_info.is_full = old_info->is_full;
+  new_info.volume = old_info->volume;
   auto next = config->BeginReplace(job.old_segment, new_info);
   if (!next.ok()) {
     ++stats_.failed;
@@ -296,7 +350,7 @@ void RepairPlanner::BeginChange(RepairJob& job) {
     return;
   }
   host->AddSegment(new_info, config->pg(), *next,
-                   cluster_->metadata().volume_epoch(),
+                   cluster_->metadata().volume_epoch(volume),
                    /*hydrated=*/false);
   host->FindSegment(new_info.id)->BeginHydration(job.target_scl);
   job.new_segment = new_info.id;

@@ -30,11 +30,17 @@
 //                   dual config, then the loser segment is dropped and
 //                   the job erased.
 //
-// Concurrency is bounded per AZ and globally, and at most one job runs
-// per protection group (the Figure-5 slot machinery supports nesting, but
-// eager bounded repair keeps blast radius small — the paper's point is
-// that each change is cheap, not that many must run at once). MTTR
-// (suspicion → commit) is recorded to `aurora.repair.mttr_us`.
+// Concurrency is bounded per AZ, per segment server, and globally, and at
+// most one job runs per protection group (the Figure-5 slot machinery
+// supports nesting, but eager bounded repair keeps blast radius small —
+// the paper's point is that each change is cheap, not that many must run
+// at once). On a multi-tenant fleet (DESIGN.md §11) suspects compete for
+// those bounded slots, so candidates are ranked most-degraded PG first: a
+// tenant one failure away from losing write quorum is repaired before a
+// tenant with a single slow segment, regardless of which volume raised
+// the suspicion first. The per-server bound keeps one shared host from
+// absorbing every hydration pull at once. MTTR (suspicion → commit) is
+// recorded to `aurora.repair.mttr_us`.
 
 #pragma once
 
@@ -60,6 +66,13 @@ struct RepairPlannerOptions {
   /// Concurrent repair bounds (jobs, not epochs).
   size_t max_concurrent_per_az = 1;
   size_t max_concurrent_total = 2;
+  /// At most this many jobs may hydrate onto one segment server at a
+  /// time: on a shared fleet every replacement is a full-prefix pull, and
+  /// an unbounded pile-up on the least-loaded host would turn one server
+  /// loss into a fleet-wide noisy neighbor. (With the default global
+  /// bound of two this never binds; it matters when a multi-tenant
+  /// deployment raises max_concurrent_total.)
+  size_t max_concurrent_per_server = 2;
   /// How long kProbing waits for a read quorum of SCL replies before
   /// re-probing (the PG may be temporarily unreachable).
   SimDuration probe_window = 500 * kMillisecond;
@@ -86,6 +99,9 @@ class RepairPlanner {
   struct RepairJob {
     SegmentId old_segment = kInvalidSegment;
     SegmentId new_segment = kInvalidSegment;
+    /// Owning volume: pg ids are per-volume ordinals on a shared fleet,
+    /// so (volume, pg) — not pg alone — names the protection group.
+    VolumeId volume = 0;
     ProtectionGroupId pg = 0;
     AzId az = 0;
     JobState state = JobState::kProbing;
@@ -145,9 +161,11 @@ class RepairPlanner {
   void StartInstall(RepairJob& job);
   void FinishCommit(RepairJob& job);
   void FinishRevert(RepairJob& job);
-  const quorum::PgConfig* FindConfig(SegmentId segment) const;
+  const quorum::PgConfig* FindConfig(SegmentId segment,
+                                     VolumeId* volume = nullptr) const;
   size_t JobsInAz(AzId az) const;
-  bool PgHasJob(ProtectionGroupId pg) const;
+  size_t JobsOnServer(NodeId node) const;
+  bool PgHasJob(VolumeId volume, ProtectionGroupId pg) const;
 
   AuroraCluster* cluster_;
   HealthMonitor* monitor_;

@@ -61,6 +61,11 @@ struct SegmentInfo {
   NodeId node = kInvalidNode;
   AzId az = 0;
   bool is_full = true;
+  /// Owning volume (tenant). Segment servers host segments from many
+  /// volumes, keyed by (volume, pg, segment); the volume rides in the
+  /// config so every layer that sees a membership sees its tenant.
+  /// Defaults to 0, the single-volume legacy shape.
+  VolumeId volume = 0;
 
   bool operator==(const SegmentInfo&) const = default;
 };

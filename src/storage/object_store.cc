@@ -18,7 +18,7 @@ ObjectStore::ObjectStore(sim::Simulator* sim, ObjectStoreOptions options)
 // mutation itself is pinned by scheduling it explicitly on home_shard_
 // below, whatever the ambient context or ShardScope.
 
-void ObjectStore::Put(ProtectionGroupId pg,
+void ObjectStore::Put(ArchiveKey pg,
                       std::vector<log::RedoRecord> records,
                       std::function<void(Lsn)> done) {
   const sim::ShardKey caller = sim_->ExecutingShard();
@@ -36,7 +36,7 @@ void ObjectStore::Put(ProtectionGroupId pg,
   DoPut(pg, std::move(records), std::move(done), caller);
 }
 
-void ObjectStore::DoPut(ProtectionGroupId pg,
+void ObjectStore::DoPut(ArchiveKey pg,
                         std::vector<log::RedoRecord> records,
                         std::function<void(Lsn)> done, sim::ShardKey caller) {
   puts_++;
@@ -63,7 +63,7 @@ void ObjectStore::DoPut(ProtectionGroupId pg,
   });
 }
 
-void ObjectStore::Get(ProtectionGroupId pg, Lsn lo, Lsn hi,
+void ObjectStore::Get(ArchiveKey pg, Lsn lo, Lsn hi,
                       std::function<void(std::vector<log::RedoRecord>)> done) {
   const sim::ShardKey caller = sim_->ExecutingShard();
   if (caller != sim::kShardNone && caller != home_shard_) {
@@ -78,7 +78,7 @@ void ObjectStore::Get(ProtectionGroupId pg, Lsn lo, Lsn hi,
   DoGet(pg, lo, hi, std::move(done), caller);
 }
 
-void ObjectStore::DoGet(ProtectionGroupId pg, Lsn lo, Lsn hi,
+void ObjectStore::DoGet(ArchiveKey pg, Lsn lo, Lsn hi,
                         std::function<void(std::vector<log::RedoRecord>)> done,
                         sim::ShardKey caller) {
   gets_++;
@@ -106,7 +106,7 @@ void ObjectStore::DoGet(ProtectionGroupId pg, Lsn lo, Lsn hi,
   });
 }
 
-Lsn ObjectStore::MaxArchivedLsn(ProtectionGroupId pg) const {
+Lsn ObjectStore::MaxArchivedLsn(ArchiveKey pg) const {
   auto it = archive_.find(pg);
   if (it == archive_.end() || it->second.empty()) return kInvalidLsn;
   return it->second.rbegin()->first;

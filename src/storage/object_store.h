@@ -26,9 +26,10 @@ struct ObjectStoreOptions {
       LatencyDistribution::LogNormal(30 * kMillisecond, 0.4);
 };
 
-/// Region-durable archive of redo records, keyed by protection group.
-/// All segments of a PG carry the same log, so one archive per PG
-/// deduplicates the six copies.
+/// Region-durable archive of redo records, keyed by (volume, protection
+/// group). All segments of a PG carry the same log, so one archive per
+/// PG deduplicates the six copies; the volume half of the key keeps
+/// co-tenant PGs with equal ordinals apart.
 class ObjectStore {
  public:
   ObjectStore(sim::Simulator* sim, ObjectStoreOptions options = {});
@@ -42,27 +43,27 @@ class ObjectStore {
   /// the archive concurrently. Call during cluster setup.
   void SetHomeShard(sim::ShardKey shard) { home_shard_ = shard; }
 
-  /// Archives `records` for `pg`; `done(highest_lsn_archived)` runs after
+  /// Archives `records` for `key`; `done(highest_lsn_archived)` runs after
   /// simulated upload latency. Records become visible at completion.
-  void Put(ProtectionGroupId pg, std::vector<log::RedoRecord> records,
+  void Put(ArchiveKey key, std::vector<log::RedoRecord> records,
            std::function<void(Lsn)> done);
 
-  /// Fetches archived records for `pg` in [lo, hi].
-  void Get(ProtectionGroupId pg, Lsn lo, Lsn hi,
+  /// Fetches archived records for `key` in [lo, hi].
+  void Get(ArchiveKey key, Lsn lo, Lsn hi,
            std::function<void(std::vector<log::RedoRecord>)> done);
 
-  /// Highest contiguous archived LSN chain position per PG is not tracked;
-  /// this returns the max archived LSN (tests / PITR bounds).
-  Lsn MaxArchivedLsn(ProtectionGroupId pg) const;
+  /// Highest contiguous archived LSN chain position per key is not
+  /// tracked; this returns the max archived LSN (tests / PITR bounds).
+  Lsn MaxArchivedLsn(ArchiveKey key) const;
 
   uint64_t bytes_stored() const { return bytes_stored_; }
   uint64_t puts() const { return puts_; }
   uint64_t gets() const { return gets_; }
 
  private:
-  void DoPut(ProtectionGroupId pg, std::vector<log::RedoRecord> records,
+  void DoPut(ArchiveKey key, std::vector<log::RedoRecord> records,
              std::function<void(Lsn)> done, sim::ShardKey caller);
-  void DoGet(ProtectionGroupId pg, Lsn lo, Lsn hi,
+  void DoGet(ArchiveKey key, Lsn lo, Lsn hi,
              std::function<void(std::vector<log::RedoRecord>)> done,
              sim::ShardKey caller);
 
@@ -70,7 +71,7 @@ class ObjectStore {
   ObjectStoreOptions options_;
   sim::ShardKey home_shard_ = 0;
   Rng rng_;
-  std::map<ProtectionGroupId, std::map<Lsn, log::RedoRecord>> archive_;
+  std::map<ArchiveKey, std::map<Lsn, log::RedoRecord>> archive_;
   uint64_t bytes_stored_ = 0;
   uint64_t puts_ = 0;
   uint64_t gets_ = 0;

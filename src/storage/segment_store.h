@@ -56,6 +56,13 @@ class SegmentStore {
 
   SegmentId id() const { return info_.id; }
   ProtectionGroupId pg() const { return pg_; }
+  /// Owning volume (tenant); 0 in single-volume clusters. Together with
+  /// pg() and id() this forms the (volume, pg, segment) key a shared
+  /// segment server files this replica under.
+  VolumeId volume() const { return info_.volume; }
+  /// Fleet-wide archive namespace key for this segment's log: pg ids are
+  /// per-volume ordinals, so the archive tier keys by (volume, pg).
+  ArchiveKey archive_key() const { return MakeArchiveKey(info_.volume, pg_); }
   bool is_full() const { return info_.is_full; }
   bool hydrated() const { return hydrated_; }
   Lsn scl() const { return hot_log_.scl(); }

@@ -31,6 +31,7 @@ SegmentStore* StorageNode::AddSegment(quorum::SegmentInfo info,
                                               volume_epoch, hydrated);
   SegmentStore* raw = store.get();
   segments_[info.id] = std::move(store);
+  tenant_index_[{info.volume, pg, info.id}] = raw;
   return raw;
 }
 
@@ -39,8 +40,37 @@ SegmentStore* StorageNode::FindSegment(SegmentId segment) {
   return it == segments_.end() ? nullptr : it->second.get();
 }
 
+SegmentStore* StorageNode::FindSegment(VolumeId volume, ProtectionGroupId pg,
+                                       SegmentId segment) {
+  auto it = tenant_index_.find({volume, pg, segment});
+  return it == tenant_index_.end() ? nullptr : it->second;
+}
+
+void StorageNode::ForEachTenantSegment(
+    VolumeId volume, const std::function<void(SegmentStore*)>& fn) {
+  for (auto it = tenant_index_.lower_bound({volume, 0, 0});
+       it != tenant_index_.end() && std::get<0>(it->first) == volume; ++it) {
+    fn(it->second);
+  }
+}
+
+TenantStats StorageNode::tenant_stats(VolumeId volume) const {
+  auto it = tenants_.find(volume);
+  return it == tenants_.end() ? TenantStats{} : it->second.stats;
+}
+
+std::vector<VolumeId> StorageNode::TenantIds() const {
+  std::vector<VolumeId> out;
+  for (const auto& [volume, state] : tenants_) out.push_back(volume);
+  return out;
+}
+
 void StorageNode::DropSegment(SegmentId segment) {
-  segments_.erase(segment);
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) return;
+  tenant_index_.erase(
+      {it->second->volume(), it->second->pg(), it->second->id()});
+  segments_.erase(it);
 }
 
 void StorageNode::HandleWrite(const WriteRequest& request,
@@ -56,6 +86,12 @@ void StorageNode::HandleWrite(const WriteRequest& request,
                    segment->hydrated()});
     return;
   }
+  if (options_.fair_scheduler) {
+    // Multi-tenant QoS: the request joins its tenant's queue and the DRR
+    // scheduler decides when it reaches the disk (DESIGN.md §11).
+    EnqueueTenantWrite(segment, request, std::move(reply));
+    return;
+  }
   // Durable append to the update queue, then acknowledge with the SCL
   // reached after sort/group (§2.1 activities 1-3). The disk write is the
   // only synchronous cost on the ack path.
@@ -67,6 +103,125 @@ void StorageNode::HandleWrite(const WriteRequest& request,
     Status st = segment->Append(request.records);
     reply(WriteAck{request.segment, std::move(st), segment->scl(),
                    segment->hydrated()});
+  });
+}
+
+StorageNode::TenantState& StorageNode::TenantFor(VolumeId volume) {
+  auto [it, fresh] = tenants_.try_emplace(volume);
+  if (fresh) {
+    // Handles are per (metric, tenant): the registry is keyed by full
+    // name, so the dynamic `.<volume>` suffix makes one series per
+    // tenant (DESIGN.md §5b lists these as `aurora.tenant.*.<volume>`).
+    auto& reg = metrics::Registry::Global();
+    const std::string suffix = std::to_string(volume);
+    it->second.m_records = reg.GetCounter("aurora.tenant.records." + suffix);
+    it->second.m_bytes = reg.GetCounter("aurora.tenant.bytes." + suffix);
+    it->second.m_throttled =
+        reg.GetCounter("aurora.tenant.throttled." + suffix);
+    it->second.m_queue_depth =
+        reg.GetGauge("aurora.tenant.queue_depth." + suffix);
+    it->second.m_sched_wait =
+        reg.GetHistogram("aurora.tenant.sched_wait_us." + suffix);
+  }
+  return it->second;
+}
+
+void StorageNode::EnqueueTenantWrite(SegmentStore* segment,
+                                     const WriteRequest& request,
+                                     sim::ReplyFn<WriteAck> reply) {
+  TenantState& tenant = TenantFor(segment->volume());
+  TenantWrite entry;
+  entry.request = request;
+  entry.reply = std::move(reply);
+  entry.enqueued_at = sim_->Now();
+  uint64_t cost = 0;
+  for (const auto& r : request.records) cost += r.SerializedSize();
+  entry.cost = std::max<uint64_t>(cost, 1);
+  tenant.queue.push_back(std::move(entry));
+  tenant.stats.records += request.records.size();
+  tenant.stats.bytes += cost;
+  tenant.stats.queue_depth = tenant.queue.size();
+  AURORA_COUNT(tenant.m_records, request.records.size());
+  AURORA_COUNT(tenant.m_bytes, cost);
+  AURORA_GAUGE_SET(tenant.m_queue_depth,
+                   static_cast<int64_t>(tenant.queue.size()));
+  if (!drain_active_) {
+    drain_active_ = true;
+    DispatchNextTenantWrite();
+  }
+}
+
+void StorageNode::DispatchNextTenantWrite() {
+  // Deficit round robin (DESIGN.md §11). Each pass visits backlogged
+  // tenants in ascending volume order starting at drr_cursor_. A tenant
+  // whose head request fits its deficit is served (and keeps the turn
+  // while credit lasts); one that cannot afford its head earns exactly
+  // one quantum and yields. Starvation is impossible: every full cycle
+  // adds a quantum to every backlogged tenant, so any head request
+  // becomes affordable within ceil(cost / quantum) cycles, and queues
+  // are FIFO within a tenant.
+  while (true) {
+    TenantState* pick = nullptr;
+    VolumeId pick_volume = 0;
+    auto it = tenants_.lower_bound(drr_cursor_);
+    for (size_t hops = 0; hops <= tenants_.size(); ++hops) {
+      if (it == tenants_.end()) it = tenants_.begin();
+      if (it == tenants_.end()) break;  // no tenants at all
+      if (!it->second.queue.empty()) {
+        pick = &it->second;
+        pick_volume = it->first;
+        break;
+      }
+      ++it;
+    }
+    if (pick == nullptr) {
+      drain_active_ = false;
+      return;
+    }
+    TenantWrite& head = pick->queue.front();
+    if (head.cost <= pick->deficit) {
+      pick->deficit -= head.cost;
+      TenantWrite entry = std::move(head);
+      pick->queue.pop_front();
+      pick->stats.queue_depth = pick->queue.size();
+      pick->stats.dispatched++;
+      // Classic DRR: an emptied queue forfeits residual credit, so idle
+      // tenants cannot bank an unbounded burst.
+      if (pick->queue.empty()) pick->deficit = 0;
+      drr_cursor_ = pick_volume;
+      AURORA_GAUGE_SET(pick->m_queue_depth,
+                       static_cast<int64_t>(pick->queue.size()));
+      AURORA_OBSERVE(pick->m_sched_wait, sim_->Now() - entry.enqueued_at);
+      ServeTenantWrite(std::move(entry));
+      return;
+    }
+    // Its turn came up short: earn one quantum, count the fair-share
+    // deferral, pass the turn.
+    pick->deficit += options_.fair_quantum_bytes;
+    pick->stats.throttled++;
+    AURORA_COUNT(pick->m_throttled, 1);
+    drr_cursor_ = pick_volume + 1;
+  }
+}
+
+void StorageNode::ServeTenantWrite(TenantWrite entry) {
+  // Re-resolve: the segment may have been dropped (committed membership
+  // change away from it) while the request sat in the tenant queue.
+  SegmentStore* segment = FindSegment(entry.request.segment);
+  if (segment == nullptr) {
+    entry.reply(WriteAck{entry.request.segment,
+                         Status::NotFound("no such segment"), kInvalidLsn});
+    DispatchNextTenantWrite();
+    return;
+  }
+  disk_.SubmitWrite(entry.cost, [this, request = entry.request,
+                                 reply = std::move(entry.reply),
+                                 segment]() mutable {
+    if (!IsUp()) return;  // crashed mid-I/O: OnCrash cleared the queues
+    Status st = segment->Append(request.records);
+    reply(WriteAck{request.segment, std::move(st), segment->scl(),
+                   segment->hydrated()});
+    DispatchNextTenantWrite();
   });
 }
 
@@ -280,7 +435,8 @@ void StorageNode::GossipSegment(SegmentStore* segment) {
         }
         gossip_behind_rounds_.erase(local_id);
         object_store_->Get(
-            local->pg(), local->scl() + 1, std::numeric_limits<Lsn>::max(),
+            local->archive_key(), local->scl() + 1,
+            std::numeric_limits<Lsn>::max(),
             [this, local_id](std::vector<log::RedoRecord> records) {
               SegmentStore* s = FindSegment(local_id);
               if (s != nullptr && !records.empty()) {
@@ -302,7 +458,7 @@ void StorageNode::RunBackupOnce() {
     auto records = segment->PendingBackup(options_.backup_batch);
     if (records.empty()) continue;
     const SegmentId seg_id = id;
-    object_store_->Put(segment->pg(), std::move(records),
+    object_store_->Put(segment->archive_key(), std::move(records),
                        [this, seg_id](Lsn max_lsn) {
                          SegmentStore* s = FindSegment(seg_id);
                          if (s != nullptr && max_lsn != kInvalidLsn) {
@@ -392,7 +548,7 @@ void StorageNode::StartHydrationPull(SegmentId local_segment) {
           // ranges) make LSNs non-contiguous, so a bounded window above
           // the local SCL can miss everything.
           object_store_->Get(
-              local->pg(), local->scl() + 1,
+              local->archive_key(), local->scl() + 1,
               std::numeric_limits<Lsn>::max(),
               [this, local_segment](std::vector<log::RedoRecord> records) {
                 SegmentStore* s = FindSegment(local_segment);
@@ -415,7 +571,16 @@ void StorageNode::StartHydrationPull(SegmentId local_segment) {
 void StorageNode::OnCrash() {
   // Segment state is disk-durable; nothing volatile to clear. In-flight
   // disk completions and network deliveries are guarded by IsUp checks /
-  // incarnation numbers.
+  // incarnation numbers. Queued tenant writes are volatile pre-ack state:
+  // dropping them is indistinguishable from losing in-flight requests
+  // (the driver re-sends), and the DRR chain re-arms on the next enqueue.
+  for (auto& [volume, tenant] : tenants_) {
+    tenant.queue.clear();
+    tenant.deficit = 0;
+    tenant.stats.queue_depth = 0;
+    AURORA_GAUGE_SET(tenant.m_queue_depth, 0);
+  }
+  drain_active_ = false;
 }
 
 void StorageNode::OnRestart() {}

@@ -1,4 +1,5 @@
-// A storage node: hosts segments, runs the Figure-2 activity pipeline.
+// A storage node (segment server): hosts segments, runs the Figure-2
+// activity pipeline.
 //
 // Foreground: (1) receive redo records, (2) append to the update queue on
 // disk and acknowledge. Background: (3) sort/group into the hot log,
@@ -7,14 +8,26 @@
 // checksums. Crucially, storage nodes "do not have a vote in determining
 // whether to accept a write, they must do so" (§2.3) — every handler is
 // idempotent and works from local state only.
+//
+// Multi-tenancy (DESIGN.md §11): one server hosts segments from MANY
+// volumes, filed under (volume, pg, segment). Per-tenant accounting is
+// always on (TenantStats); fair scheduling of the shared disk is opt-in
+// (`fair_scheduler`): incoming writes queue per tenant and a
+// deficit-round-robin scheduler dispatches them, so an aggressive tenant
+// cannot starve a quiet co-tenant's commits. The default (scheduler off)
+// preserves the single-tenant fast path bit-for-bit.
 
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <tuple>
 #include <vector>
+
+#include "src/common/metrics.h"
 
 #include "src/common/status.h"
 #include "src/common/types.h"
@@ -41,6 +54,34 @@ struct StorageNodeOptions {
   /// If false, no periodic timers are scheduled; tests drive stages
   /// manually via the Run*Once methods.
   bool background_enabled = true;
+  /// Multi-tenant QoS (DESIGN.md §11). Off (default): writes go straight
+  /// to the disk queue — the legacy single-tenant path, bit-identical to
+  /// pre-multi-tenant schedules. On: writes enqueue per tenant and a
+  /// deficit-round-robin scheduler owns dispatch order, bounding how far
+  /// a noisy tenant can push a quiet one's ack latency.
+  bool fair_scheduler = false;
+  /// DRR quantum: bytes of dispatch credit a backlogged tenant earns per
+  /// scheduling round. Every backlogged tenant earns a quantum each
+  /// round, so no tenant can starve (see DESIGN.md §11 for the
+  /// argument). Smaller = tighter fairness, larger = fewer switches.
+  /// The default is deliberately a few redo records, not tens of KB: a
+  /// backlogged tenant may burst roughly quantum/record-cost consecutive
+  /// disk ops when its turn comes, so the quantum directly sets the
+  /// co-tenant latency floor (quantum bytes / disk service rate), and a
+  /// 16 KB quantum would let a saturating tenant hold the disk for
+  /// multiple milliseconds per round (C11's noisy-neighbor cell).
+  uint64_t fair_quantum_bytes = 512;
+};
+
+/// Per-tenant accounting on one segment server (always maintained;
+/// `aurora.tenant.*` metrics mirror these when the registry is enabled).
+struct TenantStats {
+  uint64_t records = 0;     ///< redo records received for this tenant
+  uint64_t bytes = 0;       ///< serialized redo bytes received
+  uint64_t dispatched = 0;  ///< write requests handed to the disk
+  uint64_t throttled = 0;   ///< DRR turns skipped with backlog (deficit
+                            ///< exhausted — fair-share deferrals)
+  size_t queue_depth = 0;   ///< current fair-scheduler queue depth
 };
 
 /// Resolves a peer node id to its StorageNode instance (cluster
@@ -66,9 +107,21 @@ class StorageNode : public sim::NodeLifecycleListener {
                            bool hydrated = true);
 
   SegmentStore* FindSegment(SegmentId segment);
+  /// Tenant-qualified lookup: the (volume, pg, segment) key under which a
+  /// shared segment server files each hosted replica.
+  SegmentStore* FindSegment(VolumeId volume, ProtectionGroupId pg,
+                            SegmentId segment);
   const std::map<SegmentId, std::unique_ptr<SegmentStore>>& segments() const {
     return segments_;
   }
+  /// Visits this server's segments belonging to `volume`, in (pg, segment)
+  /// order.
+  void ForEachTenantSegment(VolumeId volume,
+                            const std::function<void(SegmentStore*)>& fn);
+  /// Accounting for one tenant (zeroes if the tenant never wrote here).
+  TenantStats tenant_stats(VolumeId volume) const;
+  /// Tenants with accounting state on this server, ascending.
+  std::vector<VolumeId> TenantIds() const;
 
   /// Removes a segment (after a committed membership change away from it).
   void DropSegment(SegmentId segment);
@@ -115,6 +168,36 @@ class StorageNode : public sim::NodeLifecycleListener {
 
   void GossipSegment(SegmentStore* segment);
 
+  /// One queued (not yet dispatched) tenant write under the fair
+  /// scheduler. The reply is deferred with it: acks happen only after the
+  /// scheduler grants the disk slot and the durable append completes.
+  struct TenantWrite {
+    WriteRequest request;
+    sim::ReplyFn<WriteAck> reply;
+    SimTime enqueued_at = 0;
+    uint64_t cost = 1;  ///< serialized redo bytes — the DRR currency
+  };
+
+  /// Per-tenant scheduler + accounting state.
+  struct TenantState {
+    std::deque<TenantWrite> queue;
+    uint64_t deficit = 0;  ///< DRR credit in bytes; reset when idle
+    TenantStats stats;
+    metrics::Counter* m_records = nullptr;
+    metrics::Counter* m_bytes = nullptr;
+    metrics::Counter* m_throttled = nullptr;
+    metrics::Gauge* m_queue_depth = nullptr;
+    Histogram* m_sched_wait = nullptr;
+  };
+
+  TenantState& TenantFor(VolumeId volume);
+  void EnqueueTenantWrite(SegmentStore* segment, const WriteRequest& request,
+                          sim::ReplyFn<WriteAck> reply);
+  /// DRR scan: serves the next affordable head-of-queue request, earning
+  /// quanta for backlogged tenants whose turn comes up short.
+  void DispatchNextTenantWrite();
+  void ServeTenantWrite(TenantWrite entry);
+
   sim::Simulator* sim_;
   sim::Network* network_;
   NodeId id_;
@@ -125,6 +208,17 @@ class StorageNode : public sim::NodeLifecycleListener {
   Rng rng_;
   NodeResolver resolver_;
   std::map<SegmentId, std::unique_ptr<SegmentStore>> segments_;
+  /// Tenant-qualified directory of `segments_`: (volume, pg, segment) →
+  /// store. Kept in lockstep by AddSegment/DropSegment.
+  std::map<std::tuple<VolumeId, ProtectionGroupId, SegmentId>, SegmentStore*>
+      tenant_index_;
+  /// Fair-scheduler queues and per-tenant accounting, keyed by volume.
+  std::map<VolumeId, TenantState> tenants_;
+  /// True while a DRR dispatch→disk-completion chain is running; the
+  /// chain re-arms itself until every tenant queue drains.
+  bool drain_active_ = false;
+  /// Next tenant to consider in round-robin order (wraps).
+  VolumeId drr_cursor_ = 0;
   std::map<SegmentId, uint64_t> hydration_tokens_;
   /// Consecutive gossip rounds in which a peer was ahead of the local
   /// segment but had nothing linkable to send (its hot log was coalesced

@@ -1,0 +1,231 @@
+// Placement service: anti-affinity, deterministic least-loaded choice,
+// replacement candidates, and rebalance planning after a server loss.
+//
+// The placement service (DESIGN.md §11) is the only component that
+// decides WHERE segments live on a multi-tenant fleet. It is stateless
+// and deterministic — fleet load and liveness are injected probes, ties
+// break on node id — so these tests construct fleets directly and assert
+// on exact layouts, then cross-check the integrated path through a
+// multi-volume AuroraCluster bootstrap.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/placement.h"
+#include "src/quorum/membership.h"
+
+namespace aurora {
+namespace {
+
+/// A 3-AZ fleet with `per_az` servers per AZ, node ids 1..3*per_az
+/// (AZ-major: AZ 0 gets the lowest ids).
+core::PlacementService MakeFleet(size_t per_az,
+                                 core::PlacementOptions options = {}) {
+  core::PlacementService placement(options);
+  NodeId next = 1;
+  for (AzId az = 0; az < 3; ++az) {
+    for (size_t i = 0; i < per_az; ++i) {
+      placement.RegisterServer(next++, az);
+    }
+  }
+  return placement;
+}
+
+quorum::PgConfig PlaceOne(const core::PlacementService& placement,
+                          VolumeId volume, ProtectionGroupId pg,
+                          SegmentId* next_segment) {
+  auto placed = placement.PlacePg(volume, quorum::QuorumModel::kUniform46,
+                                  [&]() { return (*next_segment)++; });
+  EXPECT_TRUE(placed.ok()) << placed.status().ToString();
+  return quorum::PgConfig::Create(pg, quorum::QuorumModel::kUniform46,
+                                  *placed);
+}
+
+TEST(Placement, SpreadsTwoCopiesPerAzOnDistinctServers) {
+  core::PlacementService placement = MakeFleet(/*per_az=*/3);
+  SegmentId next_segment = 100;
+  auto placed = placement.PlacePg(/*volume=*/7,
+                                  quorum::QuorumModel::kUniform46,
+                                  [&]() { return next_segment++; });
+  ASSERT_TRUE(placed.ok()) << placed.status().ToString();
+  ASSERT_EQ(placed->size(), 6u);
+
+  std::map<AzId, std::set<NodeId>> hosts_by_az;
+  for (const auto& info : *placed) {
+    EXPECT_EQ(info.volume, 7u);  // tenant tag rides on every copy
+    hosts_by_az[info.az].insert(info.node);
+  }
+  // AZ anti-affinity: exactly two copies in each of the three AZs, and
+  // server anti-affinity: the two copies in one AZ on distinct servers.
+  ASSERT_EQ(hosts_by_az.size(), 3u);
+  for (const auto& [az, hosts] : hosts_by_az) {
+    EXPECT_EQ(hosts.size(), 2u) << "az " << az;
+  }
+}
+
+TEST(Placement, LeastLoadedFirstWithNodeIdTieBreak) {
+  core::PlacementService placement = MakeFleet(/*per_az=*/3);
+  std::map<NodeId, size_t> load;
+  placement.SetLoadSource([&](NodeId id) { return load[id]; });
+
+  // AZ 0 is servers {1,2,3}. Load server 1 heavily: the two AZ-0 copies
+  // must land on 2 and 3 (ties elsewhere break toward the lower id).
+  load[1] = 10;
+  SegmentId next_segment = 1;
+  auto placed = placement.PlacePg(0, quorum::QuorumModel::kUniform46,
+                                  [&]() { return next_segment++; });
+  ASSERT_TRUE(placed.ok());
+  std::set<NodeId> az0_hosts;
+  for (const auto& info : *placed) {
+    if (info.az == 0) az0_hosts.insert(info.node);
+  }
+  EXPECT_EQ(az0_hosts, (std::set<NodeId>{2, 3}));
+}
+
+TEST(Placement, RefusesAzWithoutDistinctLiveServers) {
+  // Two servers per AZ but one AZ-0 server is down: a 2-copies-per-AZ
+  // placement cannot satisfy server anti-affinity there and must fail
+  // loudly rather than stack both copies on one host.
+  core::PlacementService placement = MakeFleet(/*per_az=*/2);
+  placement.SetLiveness([](NodeId id) { return id != 1; });
+  SegmentId next_segment = 1;
+  auto placed = placement.PlacePg(0, quorum::QuorumModel::kUniform46,
+                                  [&]() { return next_segment++; });
+  EXPECT_FALSE(placed.ok());
+}
+
+TEST(Placement, ReplacementExcludesCurrentMembersAndPrefersIdleServers) {
+  core::PlacementService placement = MakeFleet(/*per_az=*/3);
+  SegmentId next_segment = 1;
+  quorum::PgConfig config = PlaceOne(placement, 0, 0, &next_segment);
+
+  // AZ 0 = servers {1,2,3}; the PG occupies two of them. A replacement
+  // in AZ 0 must land on the one server the PG does not already use.
+  std::set<NodeId> used;
+  for (const auto& member : config.AllMembers()) {
+    if (member.az == 0) used.insert(member.node);
+  }
+  ASSERT_EQ(used.size(), 2u);
+  auto replacement = placement.PickReplacement(config, /*az=*/0);
+  ASSERT_TRUE(replacement.ok()) << replacement.status().ToString();
+  EXPECT_FALSE(used.contains(*replacement));
+  EXPECT_LE(*replacement, 3u);  // still an AZ-0 server
+}
+
+TEST(Placement, PlanRebalanceMovesEveryDisplacedSegmentOffLostServer) {
+  core::PlacementService placement = MakeFleet(/*per_az=*/3);
+  std::map<NodeId, size_t> load;
+  placement.SetLoadSource([&](NodeId id) { return load[id]; });
+
+  // Lay out four PGs across the fleet (two volumes, two PGs each), with
+  // the load probe tracking placements so they spread.
+  SegmentId next_segment = 1;
+  std::vector<quorum::PgConfig> configs;
+  for (VolumeId volume = 0; volume < 2; ++volume) {
+    for (ProtectionGroupId pg = 0; pg < 2; ++pg) {
+      quorum::PgConfig config =
+          PlaceOne(placement, volume, pg, &next_segment);
+      for (const auto& member : config.AllMembers()) load[member.node]++;
+      configs.push_back(std::move(config));
+    }
+  }
+
+  // Server 2 (AZ 0) dies. Every segment it hosted must be planned onto a
+  // live AZ-0 server that is not already a member of the same PG.
+  const NodeId lost = 2;
+  placement.SetLiveness([&](NodeId id) { return id != lost; });
+  auto plan = placement.PlanRebalance(lost, configs);
+
+  size_t hosted = 0;
+  for (const auto& config : configs) {
+    for (const auto& member : config.AllMembers()) {
+      if (member.node == lost) ++hosted;
+    }
+  }
+  ASSERT_GT(hosted, 0u) << "test fleet never used the lost server";
+  ASSERT_EQ(plan.size(), hosted);
+
+  for (const auto& move : plan) {
+    EXPECT_EQ(move.az, 0u);
+    EXPECT_NE(move.suggested_host, lost);
+    EXPECT_NE(move.suggested_host, kInvalidNode);
+    // The suggested host must not collide with a surviving member of the
+    // displaced segment's own PG (server anti-affinity after repair).
+    const quorum::PgConfig* owner = nullptr;
+    for (const auto& config : configs) {
+      if (config.pg() == move.pg && config.ContainsSegment(move.segment)) {
+        bool volume_match = false;
+        for (const auto& member : config.AllMembers()) {
+          if (member.id == move.segment && member.volume == move.volume) {
+            volume_match = true;
+          }
+        }
+        if (volume_match) owner = &config;
+      }
+    }
+    ASSERT_NE(owner, nullptr);
+    for (const auto& member : owner->AllMembers()) {
+      if (member.id != move.segment) {
+        EXPECT_NE(member.node, move.suggested_host)
+            << "pg " << move.pg << " segment " << move.segment;
+      }
+    }
+  }
+}
+
+TEST(Placement, MultiVolumeClusterBootstrapsUnderAntiAffinity) {
+  core::AuroraOptions options;
+  options.seed = 4242;
+  options.volumes = 3;
+  options.num_pgs = 2;
+  options.blocks_per_pg = 1 << 16;
+  options.storage_nodes_per_az = 3;
+  core::AuroraCluster cluster(options);
+  ASSERT_TRUE(cluster.StartBlocking().ok());
+  ASSERT_EQ(cluster.VolumeCount(), 3u);
+
+  // Every volume's every PG: six members, 2 per AZ, distinct servers
+  // within an AZ, and the volume tag on each member.
+  size_t pgs_seen = 0;
+  std::map<NodeId, size_t> segments_per_server;
+  cluster.ForEachPgConfig([&](VolumeId volume, const quorum::PgConfig& pg) {
+    ++pgs_seen;
+    std::map<AzId, std::set<NodeId>> hosts_by_az;
+    for (const auto& member : pg.AllMembers()) {
+      EXPECT_EQ(member.volume, volume);
+      hosts_by_az[member.az].insert(member.node);
+      segments_per_server[member.node]++;
+    }
+    ASSERT_EQ(hosts_by_az.size(), 3u);
+    for (const auto& [az, hosts] : hosts_by_az) {
+      EXPECT_EQ(hosts.size(), 2u)
+          << "volume " << volume << " pg " << pg.pg() << " az " << az;
+    }
+  });
+  EXPECT_EQ(pgs_seen, 6u);  // 3 volumes x 2 PGs
+
+  // Least-loaded placement spreads the 36 segments across the 9 servers
+  // evenly: every server hosts exactly 4.
+  ASSERT_EQ(segments_per_server.size(), 9u);
+  for (const auto& [node, count] : segments_per_server) {
+    EXPECT_EQ(count, 4u) << "server " << node;
+  }
+
+  // Each tenant writes through its own volume without interference.
+  for (VolumeId volume = 0; volume < 3; ++volume) {
+    const std::string key = "t" + std::to_string(volume);
+    ASSERT_TRUE(cluster.PutBlocking(volume, key, "v").ok());
+    auto got = cluster.GetBlocking(volume, key);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, "v");
+  }
+  // Tenant keyspaces are disjoint: volume 1 never sees volume 0's key.
+  EXPECT_FALSE(cluster.GetBlocking(1, "t0").ok());
+}
+
+}  // namespace
+}  // namespace aurora
