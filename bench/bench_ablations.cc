@@ -21,15 +21,25 @@ namespace {
 // ---------------------------------------------------------------------- //
 // A1: hedging on/off under a slow node.
 
-Histogram ReadTail(bool hedging_enabled) {
+struct HedgePoint {
+  Histogram latencies;
+  uint64_t hedges_fired = 0;
+};
+
+/// One A1 cell: read tail under a 30x-slow node with the given hedge
+/// tuning. multiplier <= 0 disables hedging entirely (the "off" arm).
+HedgePoint ReadTail(double multiplier, SimDuration max_hedge_delay) {
   core::AuroraOptions options;
   options.seed = 1401;
   options.blocks_per_pg = 1 << 16;
-  if (!hedging_enabled) {
+  if (multiplier <= 0) {
     // Effectively never hedge.
     options.db.driver.router.hedge_multiplier = 1e9;
     options.db.driver.router.max_hedge_delay = 3600LL * kSecond;
     options.db.driver.read_deadline = 3600LL * kSecond;
+  } else {
+    options.db.driver.router.hedge_multiplier = multiplier;
+    options.db.driver.router.max_hedge_delay = max_hedge_delay;
   }
   core::AuroraCluster cluster(options);
   if (!cluster.StartBlocking().ok()) return {};
@@ -41,7 +51,7 @@ Histogram ReadTail(bool hedging_enabled) {
   // hosts the lowest-latency segment from the writer's AZ).
   cluster.network().SetNodeSlowdown(cluster.StorageNodeIds()[0], 30.0);
 
-  Histogram latencies;
+  HedgePoint point;
   auto* driver = cluster.writer()->driver();
   const BlockId block = engine::kFirstAllocatableBlock;
   const Lsn read_lsn = cluster.writer()->pgcl(0);
@@ -51,13 +61,14 @@ Histogram ReadTail(bool hedging_enabled) {
     driver->ReadBlock(block, read_lsn, kInvalidLsn,
                       [&](Result<storage::Page> page) {
                         if (page.ok()) {
-                          latencies.Record(cluster.sim().Now() - start);
+                          point.latencies.Record(cluster.sim().Now() - start);
                         }
                         done = true;
                       });
     cluster.RunUntil([&]() { return done; }, 10 * kSecond);
   }
-  return latencies;
+  point.hedges_fired = driver->router().hedged_reads();
+  return point;
 }
 
 // ---------------------------------------------------------------------- //
@@ -180,17 +191,34 @@ int main(int argc, char** argv) {
   using aurora::bench::Us;
 
   {
+    // Hedge-tuning sweep (EXPERIMENTS.md "hedged-read tuning" ablation):
+    // trigger multiplier x delay ceiling under the same 30x-slow node.
     Table table("A1: hedged reads under one 30x-slow node (300 reads)");
-    table.Columns({"hedging", "p50", "p99", "max"});
-    auto on = aurora::ReadTail(true);
-    auto off = aurora::ReadTail(false);
-    table.Row({"on (3x expected-latency trigger)", Us(on.P50()),
-               Us(on.P99()), Us(on.max())});
-    table.Row({"off", Us(off.P50()), Us(off.P99()), Us(off.max())});
+    table.Columns({"hedging", "p50", "p99", "max", "hedges fired"});
+    auto off = aurora::ReadTail(0, 0);
+    table.Row({"off", Us(off.latencies.P50()), Us(off.latencies.P99()),
+               Us(off.latencies.max()), std::to_string(off.hedges_fired)});
+    for (double multiplier : {1.5, 2.0, 3.0}) {
+      for (aurora::SimDuration delay :
+           {5 * aurora::kMillisecond, 20 * aurora::kMillisecond}) {
+        auto point = aurora::ReadTail(multiplier, delay);
+        char label[48];
+        std::snprintf(label, sizeof(label), "%.1fx trigger, %lldms cap",
+                      multiplier,
+                      static_cast<long long>(delay / aurora::kMillisecond));
+        table.Row({label, Us(point.latencies.P50()),
+                   Us(point.latencies.P99()), Us(point.latencies.max()),
+                   std::to_string(point.hedges_fired)});
+      }
+    }
     table.Print();
-    std::printf("(Without hedging, reads routed to the newly-slow segment "
-                "ride out its full latency;\n the hedge caps the tail at "
-                "roughly the trigger threshold plus a healthy read.)\n");
+    std::printf(
+        "(Without hedging, reads routed to the newly-slow segment ride out "
+        "its full latency.\n Tighter triggers cap the tail sooner but fire "
+        "spurious hedges on healthy jitter —\n the shipped default stays "
+        "3.0x / 20ms: same steady-state tail as the aggressive\n settings "
+        "once the router's EWMA has re-learned the slow node, at the lowest "
+        "hedge\n rate. See EXPERIMENTS.md, ablations.)\n");
   }
   {
     Table table("A2: catching a lagging segment up after a 50-write outage");

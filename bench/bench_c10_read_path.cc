@@ -45,6 +45,10 @@ struct ReadPathConfig {
   size_t replicas = 3;
   double theta = 0.99;
   double update_ratio = 0.0;
+  /// Fraction of read ops issued as ClientSession::Scan (16-key ranges
+  /// starting at the Zipf key) instead of point Gets — the "session Scan"
+  /// ablation. Scans take the same anchored-replica route as Gets.
+  double scan_ratio = 0.0;
   int keys = 1200;
   int sessions = 4;
   SimDuration window = 150 * kMillisecond;
@@ -63,6 +67,8 @@ struct ReadPathResult {
   ReadPathConfig config;
   uint64_t gets_done = 0;
   uint64_t puts_done = 0;
+  uint64_t scans_done = 0;
+  uint64_t anchor_waits = 0;  // replica reads parked for a VDL advance
   uint64_t replica_reads = 0;
   uint64_t writer_fallbacks = 0;
   uint64_t storage_reads_issued = 0;  // replica drivers -> SegmentStore
@@ -71,6 +77,7 @@ struct ReadPathResult {
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
   Histogram read_latency;  // session-observed, simulated us
+  Histogram scan_latency;  // session-observed Scan completions
   Histogram replica_lag;   // sampled writer VDL - replica VDL, in LSNs
   double wall_seconds = 0;
   std::string metrics_json;
@@ -94,19 +101,22 @@ struct SessionLoop {
   Rng rng{0};
   ZipfianGenerator zipf{1, 0.99};
   double update_ratio = 0.0;
+  double scan_ratio = 0.0;
   int keys = 0;
   SimTime deadline = 0;
   uint64_t gets_done = 0;
   uint64_t puts_done = 0;
+  uint64_t scans_done = 0;
   Histogram* latency = nullptr;
+  Histogram* scan_latency = nullptr;
   core::AuroraCluster* cluster = nullptr;
 
   void Pump() {
     auto& sim = cluster->sim();
     if (sim.Now() >= deadline) return;
+    const int k = static_cast<int>(zipf.Next(rng)) % keys;
     char key[16];
-    std::snprintf(key, sizeof(key), "c10-%05d",
-                  static_cast<int>(zipf.Next(rng)) % keys);
+    std::snprintf(key, sizeof(key), "c10-%05d", k);
     auto next = [this] {
       cluster->sim().Schedule(50 + rng.Next() % 100, [this] { Pump(); });
     };
@@ -116,6 +126,23 @@ struct SessionLoop {
                      if (st.ok()) puts_done++;
                      next();
                    });
+    } else if (scan_ratio > 0 && rng.NextDouble() < scan_ratio) {
+      // Range scan: 16 keys starting at the Zipf pick. Scans ride the
+      // same anchored-replica route as Gets, so a scan landing right
+      // after this session's own update parks on the anchor-wait path.
+      char hi[16];
+      std::snprintf(hi, sizeof(hi), "c10-%05d", k + 16);
+      const SimTime start = sim.Now();
+      session->Scan(
+          key, hi, 16,
+          [this, next, start](
+              Result<std::vector<std::pair<std::string, std::string>>> r) {
+            if (r.ok()) {
+              scans_done++;
+              scan_latency->Record(cluster->sim().Now() - start);
+            }
+            next();
+          });
     } else {
       const SimTime start = sim.Now();
       session->Get(key, [this, next, start](Result<std::string> r) {
@@ -170,9 +197,11 @@ ReadPathResult RunReadPathCell(const ReadPathConfig& config) {
     loop->rng = Rng(config.seed * 100 + s);
     loop->zipf = ZipfianGenerator(config.keys, config.theta);
     loop->update_ratio = config.update_ratio;
+    loop->scan_ratio = config.scan_ratio;
     loop->keys = config.keys;
     loop->deadline = deadline;
     loop->latency = &result.read_latency;
+    loop->scan_latency = &result.scan_latency;
     loop->cluster = &cluster;
     SessionLoop* raw = loop.get();
     cluster.sim().Schedule(1 + s * 17, [raw] { raw->Pump(); });
@@ -212,10 +241,12 @@ ReadPathResult RunReadPathCell(const ReadPathConfig& config) {
   for (const auto& loop : loops) {
     result.gets_done += loop->gets_done;
     result.puts_done += loop->puts_done;
+    result.scans_done += loop->scans_done;
     result.replica_reads += loop->session->stats().replica_reads;
     result.writer_fallbacks += loop->session->stats().writer_fallbacks;
   }
   for (replica::ReadReplica* rep : reps) {
+    result.anchor_waits += rep->stats().anchor_waits;
     result.storage_reads_issued += rep->driver()->stats().reads_issued;
     result.hedged_reads += rep->driver()->router().hedged_reads();
     const auto& cache_stats = rep->cache().stats();
@@ -256,8 +287,12 @@ int main(int argc, char** argv) {
   using aurora::bench::Table;
 
   bool quick = false;
+  double scan_ratio = -1;  // <0: per-mode default (quick 0.15, full 0)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--scan-ratio=", 13) == 0) {
+      scan_ratio = std::atof(argv[i] + 13);
+    }
   }
 
   std::vector<aurora::ReadPathConfig> cells;
@@ -266,6 +301,9 @@ int main(int argc, char** argv) {
     config.replicas = 3;
     config.theta = 0.99;
     config.update_ratio = 0.1;
+    // Scans on by default in the smoke cell so the anchor-wait assertion
+    // below exercises the Scan route on every CTest run.
+    config.scan_ratio = scan_ratio < 0 ? 0.15 : scan_ratio;
     config.keys = 600;
     config.window = 100 * aurora::kMillisecond;
     cells.push_back(config);
@@ -277,6 +315,7 @@ int main(int argc, char** argv) {
           config.replicas = replicas;
           config.theta = theta;
           config.update_ratio = update_ratio;
+          config.scan_ratio = scan_ratio < 0 ? 0.0 : scan_ratio;
           cells.push_back(config);
         }
       }
@@ -285,8 +324,8 @@ int main(int argc, char** argv) {
 
   Table table(quick ? "C10: read path (quick cell)"
                     : "C10: read path — replicas x zipf x update sweep");
-  table.Columns({"cell", "reads", "p50", "p99", "hit rate", "hedge rate",
-                 "lag p50/p99 (lsns)", "fallbacks"});
+  table.Columns({"cell", "reads", "scans", "p50", "p99", "hit rate",
+                 "hedge rate", "lag p50/p99 (lsns)", "fallbacks"});
 
   BenchJson json("c10_read_path");
   json.SetString("mode", quick ? "quick" : "full");
@@ -306,7 +345,26 @@ int main(int argc, char** argv) {
                    config.Label().c_str());
       return 1;
     }
+    if (config.scan_ratio > 0 && quick) {
+      // Smoke contract for the Scan ablation: scans must actually run
+      // AND at least one anchored replica read must have parked for a
+      // VDL advance — proof the session-consistency wait path is being
+      // exercised, not just the fast path.
+      if (r.scans_done == 0) {
+        std::fprintf(stderr, "C10: cell %s issued no scans at scan_ratio "
+                     "%.2f\n", config.Label().c_str(), config.scan_ratio);
+        return 1;
+      }
+      if (r.anchor_waits == 0) {
+        std::fprintf(stderr,
+                     "C10: cell %s never hit the anchor-wait path — "
+                     "session reads are no longer parking on VDL\n",
+                     config.Label().c_str());
+        return 1;
+      }
+    }
     table.Row({config.Label(), std::to_string(r.gets_done),
+               std::to_string(r.scans_done),
                aurora::bench::Us(r.read_latency.P50()),
                aurora::bench::Us(r.read_latency.P99()),
                Num(r.CacheHitRate(), 3), Num(r.HedgeRate(), 4),
@@ -322,6 +380,10 @@ int main(int argc, char** argv) {
   const aurora::ReadPathResult& head = results.front();
   json.Set("reads_done", head.gets_done)
       .Set("updates_done", head.puts_done)
+      .Set("scans_done", head.scans_done)
+      .Set("scan_p50_us", static_cast<uint64_t>(head.scan_latency.P50()))
+      .Set("scan_p99_us", static_cast<uint64_t>(head.scan_latency.P99()))
+      .Set("anchor_waits", head.anchor_waits)
       .Set("reads_per_sec", head.ReadsPerSec())
       .Set("read_p50_us", static_cast<uint64_t>(head.read_latency.P50()))
       .Set("read_p99_us", static_cast<uint64_t>(head.read_latency.P99()))

@@ -1,0 +1,418 @@
+// Experiment C13 — fleet-granularity engine scaling (DESIGN.md §9).
+//
+// The paper's storage fleet is embarrassingly parallel: segment servers
+// never coordinate with each other, only with writers. This bench drives
+// the sharded event engine with a fleet-SHAPED synthetic workload — T
+// tenant writers fanning WAL appends out to 6-member protection groups,
+// storage-node actors doing loopback-heavy disk work plus peer gossip —
+// and compares the two actor→shard mappings the cluster supports:
+//
+//   * per-AZ    — the shipped PR 6/8 mapping: 3 shards, one per AZ,
+//                 writers co-resident with their AZ's nodes, and the
+//                 engine's single global-min lookahead knob
+//                 (network.min_latency_us = 40, the value every shipped
+//                 per-AZ config uses).
+//   * per-node  — this PR's mapping: every storage node on its own
+//                 shard, writers on shard 0, and the pairwise lookahead
+//                 matrix derived from per-link-class floors (intra-AZ
+//                 60us, cross-AZ 240us — each at the ~0.5th percentile
+//                 of its class's latency distribution, so the floors
+//                 clamp almost no samples).
+//
+// Both arms execute the IDENTICAL simulated schedule — every delay is a
+// pure hash of (seed, actor, tick), independent of the mapping — so
+// executed-event counts match exactly and the windows / events-per-window
+// / mailbox-occupancy columns isolate pure engine behavior. The quick
+// cell (10 tenants x 100 PGs, threads = 1) asserts the headline claims:
+// per-node + pairwise crosses strictly fewer window barriers and executes
+// strictly more events per window than the shipped per-AZ configuration.
+// The threads sweep on the per-node arm gives `fleet_events_per_sec`
+// (best worker count), gated in scripts/bench_gate.sh; the schedule
+// fingerprint must be bit-identical across thread counts.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/sim/simulator.h"
+
+namespace aurora {
+namespace {
+
+// Deterministic parameter hash: every delay must be a pure function of
+// (seed, actor, tick) so the two arms generate the same physical
+// schedule and the parallel runs stay interleaving-independent.
+uint64_t Mix(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t h = a * 0x9e3779b97f4a7c15ULL ^ (b + 0xbf58476d1ce4e5b9ULL) * 31 ^
+               (c + 0x94d049bb133111ebULL) * 127;
+  h ^= h >> 31;
+  h *= 0x2545f4914f6cdd1dULL;
+  h ^= h >> 29;
+  return h;
+}
+
+// Fleet shape: 3 AZs x 4 storage nodes, the PR 8 production-scale cell.
+constexpr uint32_t kAzs = 3;
+constexpr uint32_t kNodesPerAz = 4;
+constexpr uint32_t kNodes = kAzs * kNodesPerAz;
+constexpr uint32_t kPgMembers = 6;  // 2 per AZ, the 4/6 quorum layout
+
+// Link-class floors (us). The per-AZ arm's engine only knows the shipped
+// global knob (40); the per-node arm's matrix knows the class floors.
+constexpr SimDuration kGlobalMinLatency = 40;
+constexpr SimDuration kIntraAzFloor = 60;
+constexpr SimDuration kCrossAzFloor = 240;
+
+uint32_t AzOfNode(uint32_t node) { return node / kNodesPerAz; }
+
+SimDuration LinkFloor(uint32_t az_a, uint32_t az_b) {
+  return az_a == az_b ? kIntraAzFloor : kCrossAzFloor;
+}
+
+struct FleetConfig {
+  size_t tenants = 10;
+  size_t pgs_per_tenant = 10;
+  bool per_node = false;
+  SimTime span = 60 * kMillisecond;
+  uint64_t seed = 1301;
+
+  std::string Label() const {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "t%02zu_pg%03zu_%s", tenants,
+                  pgs_per_tenant * tenants, per_node ? "node" : "az");
+    return buf;
+  }
+};
+
+struct FleetResult {
+  uint64_t executed = 0;
+  uint64_t fingerprint = 0;
+  uint64_t commits = 0;
+  double wall_seconds = 0;
+  sim::Simulator::EngineStats stats;
+
+  double EventsPerSec() const {
+    return static_cast<double>(executed) / wall_seconds;
+  }
+  double EventsPerWindow() const {
+    return stats.windows == 0
+               ? 0.0
+               : static_cast<double>(executed) / stats.windows;
+  }
+  double MsgsPerBatch() const {
+    return stats.mailbox_batches == 0
+               ? 0.0
+               : static_cast<double>(stats.mailbox_msgs) /
+                     stats.mailbox_batches;
+  }
+};
+
+/// Mutable per-run actor state. Writers/nodes only ever touch their own
+/// slots from their own shard; `commits` is summed after the run.
+struct FleetState {
+  std::vector<uint64_t> commits;    // per tenant, acked WAL rounds
+  std::vector<uint64_t> disk_work;  // per node, loopback tick mixer
+};
+
+// Writer `t` appends one WAL round to protection group `pg`: a message
+// to each of the 6 members, each member does a short loopback disk-apply
+// chain on its own shard, then acks back to the writer's shard.
+void WalRound(sim::Simulator* sim, FleetState* st, const FleetConfig& cfg,
+              uint32_t writer_shard, uint32_t t, uint64_t tick);
+
+void WriterTick(sim::Simulator* sim, FleetState* st, const FleetConfig& cfg,
+                uint32_t writer_shard, uint32_t t, uint64_t tick) {
+  if (sim->Now() >= cfg.span - kMillisecond) return;
+  WalRound(sim, st, cfg, writer_shard, t, tick);
+  sim->Schedule(
+      18 + Mix(cfg.seed, t, tick) % 13,
+      [sim, st, &cfg, writer_shard, t, tick] {
+        WriterTick(sim, st, cfg, writer_shard, t, tick + 1);
+      },
+      "fleet.writer");
+}
+
+void WalRound(sim::Simulator* sim, FleetState* st, const FleetConfig& cfg,
+              uint32_t writer_shard, uint32_t t, uint64_t tick) {
+  const uint32_t writer_az = t % kAzs;
+  const uint32_t pg = static_cast<uint32_t>(tick % cfg.pgs_per_tenant);
+  for (uint32_t m = 0; m < kPgMembers; ++m) {
+    // Member layout: 2 per AZ, rotated by (tenant, pg) so the whole
+    // fleet participates.
+    const uint32_t az = m % kAzs;
+    const uint32_t node =
+        az * kNodesPerAz + (t + pg + m / kAzs) % kNodesPerAz;
+    const uint32_t node_shard =
+        cfg.per_node ? 1 + node : AzOfNode(node) % kAzs;
+    const SimDuration hop = LinkFloor(writer_az, AzOfNode(node)) +
+                                 Mix(cfg.seed, t * 251 + m, tick) % 80;
+    sim->ScheduleOn(
+        node_shard, hop,
+        [sim, st, &cfg, writer_shard, t, node, tick] {
+          // Loopback disk-apply chain: the storage-heavy part of the
+          // fleet's event mix, entirely shard-local.
+          struct Chain {
+            static void Step(sim::Simulator* sim, FleetState* st,
+                             const FleetConfig* cfg, uint32_t writer_shard,
+                             uint32_t t, uint32_t node, uint64_t tick,
+                             int remaining) {
+              st->disk_work[node] =
+                  st->disk_work[node] * 6364136223846793005ULL + tick + 1;
+              if (remaining > 0) {
+                sim->Schedule(
+                    2 + Mix(cfg->seed, node, tick + remaining) % 7,
+                    [sim, st, cfg, writer_shard, t, node, tick, remaining] {
+                      Step(sim, st, cfg, writer_shard, t, node, tick,
+                           remaining - 1);
+                    },
+                    "fleet.disk");
+                return;
+              }
+              // Ack back to the writer's shard.
+              const SimDuration back =
+                  LinkFloor(AzOfNode(node), t % kAzs) +
+                  Mix(cfg->seed, node * 131 + t, tick) % 80;
+              sim->ScheduleOn(
+                  writer_shard, back,
+                  [st, t] { st->commits[t]++; }, "fleet.ack");
+            }
+          };
+          Chain::Step(sim, st, &cfg, writer_shard, t, node, tick, 4);
+        },
+        "fleet.wal");
+  }
+}
+
+// Peer gossip: each node periodically pings one same-AZ peer and one
+// cross-AZ peer — the traffic that keeps intra-AZ matrix entries honest.
+void GossipTick(sim::Simulator* sim, FleetState* st, const FleetConfig& cfg,
+                uint32_t node, uint64_t tick) {
+  if (sim->Now() >= cfg.span - kMillisecond) return;
+  const uint32_t az = AzOfNode(node);
+  const uint32_t same_az_peer =
+      az * kNodesPerAz + (node + 1 + tick) % kNodesPerAz;
+  const uint32_t cross_az = (az + 1 + tick % (kAzs - 1)) % kAzs;
+  const uint32_t cross_peer =
+      cross_az * kNodesPerAz + (node + tick) % kNodesPerAz;
+  for (uint32_t peer : {same_az_peer, cross_peer}) {
+    if (peer == node) continue;
+    const uint32_t peer_shard =
+        cfg.per_node ? 1 + peer : AzOfNode(peer) % kAzs;
+    sim->ScheduleOn(
+        peer_shard,
+        LinkFloor(az, AzOfNode(peer)) + Mix(cfg.seed, node * 7 + peer, tick) % 60,
+        [st, peer] { st->disk_work[peer] ^= 0x5bd1e995; }, "fleet.gossip");
+  }
+  sim->Schedule(
+      400 + Mix(cfg.seed, node, tick * 3) % 200,
+      [sim, st, &cfg, node, tick] {
+        GossipTick(sim, st, cfg, node, tick + 1);
+      },
+      "fleet.gossiptick");
+}
+
+FleetResult RunFleet(const FleetConfig& cfg, int threads) {
+  sim::Simulator sim(cfg.seed);
+  const uint32_t shards = cfg.per_node ? 1 + kNodes : kAzs;
+  sim.ConfigureShards(shards);
+  sim.SetLookahead(kGlobalMinLatency);
+  if (cfg.per_node) {
+    // The pairwise matrix, derived exactly as Network does it: each
+    // (src, dst) entry is the tightest link class connecting the actors
+    // resident on the pair. Shard 0 hosts writers of every AZ, so its
+    // rows/columns floor at the intra-AZ class; storage-storage pairs
+    // split by AZ placement.
+    for (uint32_t s = 0; s < shards; ++s) {
+      for (uint32_t d = 0; d < shards; ++d) {
+        if (s == d) continue;
+        SimDuration floor;
+        if (s == 0 || d == 0) {
+          floor = kIntraAzFloor;  // writers span all AZs
+        } else {
+          floor = LinkFloor(AzOfNode(s - 1), AzOfNode(d - 1));
+        }
+        sim.SetPairwiseLookahead(s, d, floor);
+      }
+    }
+  }
+
+  FleetState st;
+  st.commits.assign(cfg.tenants, 0);
+  st.disk_work.assign(kNodes, 1);
+
+  for (uint32_t t = 0; t < cfg.tenants; ++t) {
+    const uint32_t writer_shard = cfg.per_node ? 0 : t % kAzs;
+    sim::Simulator::ShardScope scope(&sim, writer_shard);
+    sim.Schedule(
+        1 + t % 5,
+        [sim_p = &sim, st_p = &st, &cfg, writer_shard, t] {
+          WriterTick(sim_p, st_p, cfg, writer_shard, t, 0);
+        },
+        "fleet.start");
+  }
+  for (uint32_t node = 0; node < kNodes; ++node) {
+    const uint32_t node_shard =
+        cfg.per_node ? 1 + node : AzOfNode(node) % kAzs;
+    sim::Simulator::ShardScope scope(&sim, node_shard);
+    sim.Schedule(
+        50 + node * 3,
+        [sim_p = &sim, st_p = &st, &cfg, node] {
+          GossipTick(sim_p, st_p, cfg, node, 0);
+        },
+        "fleet.gossipstart");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  sim.RunSharded(cfg.span, threads);
+  const auto end = std::chrono::steady_clock::now();
+
+  FleetResult r;
+  r.executed = sim.ExecutedEvents();
+  r.fingerprint = sim.ScheduleFingerprint();
+  r.stats = sim.engine_stats();
+  r.wall_seconds = std::chrono::duration<double>(end - start).count();
+  if (r.wall_seconds <= 0) r.wall_seconds = 1e-9;
+  for (uint64_t c : st.commits) r.commits += c;
+  return r;
+}
+
+}  // namespace
+}  // namespace aurora
+
+int main(int argc, char** argv) {
+  using aurora::bench::BenchJson;
+  using aurora::bench::Num;
+  using aurora::bench::Table;
+
+  bool quick = false;
+  int threads_arg = 0;  // 0 = sweep 1/2/4/8
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads_arg = std::atoi(argv[i] + 10);
+    }
+  }
+
+  const std::vector<int> thread_counts =
+      threads_arg > 0 ? std::vector<int>{threads_arg}
+                      : std::vector<int>{1, 2, 4, 8};
+
+  // The grid. Quick keeps the acceptance cell only: 10 tenants x 100 PGs.
+  std::vector<std::pair<size_t, size_t>> cells;  // (tenants, pgs/tenant)
+  if (quick) {
+    cells = {{10, 10}};
+  } else {
+    // Headline cell first — it feeds the JSON either way.
+    cells = {{10, 10}, {4, 10}, {10, 50}, {25, 10}};
+  }
+
+  Table table("C13: fleet-granularity engine scaling");
+  table.Columns({"cell", "threads", "executed", "windows", "events/window",
+                 "msgs/batch", "events/sec"});
+
+  BenchJson json("c13_fleet_scaling");
+  json.SetString("mode", quick ? "quick" : "full");
+
+  double best_rate = 0;
+  int best_threads = 0;
+  bool headline_done = false;
+
+  for (const auto& [tenants, pgs] : cells) {
+    aurora::FleetConfig az_cfg;
+    az_cfg.tenants = tenants;
+    az_cfg.pgs_per_tenant = pgs;
+    az_cfg.per_node = false;
+    aurora::FleetConfig node_cfg = az_cfg;
+    node_cfg.per_node = true;
+
+    // Per-AZ reference arm at threads = 1.
+    const aurora::FleetResult az = aurora::RunFleet(az_cfg, 1);
+    table.Row({az_cfg.Label(), "1", std::to_string(az.executed),
+               std::to_string(az.stats.windows), Num(az.EventsPerWindow(), 1),
+               Num(az.MsgsPerBatch(), 1), Num(az.EventsPerSec(), 0)});
+
+    // Per-node arm across the thread sweep; fingerprints must agree.
+    uint64_t node_fp = 0;
+    aurora::FleetResult node_t1;
+    for (int t : thread_counts) {
+      const aurora::FleetResult node = aurora::RunFleet(node_cfg, t);
+      if (node_fp == 0) node_fp = node.fingerprint;
+      if (node.fingerprint != node_fp) {
+        std::fprintf(stderr,
+                     "C13: fingerprint diverged at %d threads (cell %s) — "
+                     "determinism bug\n",
+                     t, node_cfg.Label().c_str());
+        return 1;
+      }
+      if (t == 1) node_t1 = node;
+      table.Row({node_cfg.Label(), std::to_string(t),
+                 std::to_string(node.executed),
+                 std::to_string(node.stats.windows),
+                 Num(node.EventsPerWindow(), 1), Num(node.MsgsPerBatch(), 1),
+                 Num(node.EventsPerSec(), 0)});
+      if (!headline_done && node.EventsPerSec() > best_rate) {
+        best_rate = node.EventsPerSec();
+        best_threads = t;
+      }
+    }
+
+    // Controlled comparison: identical physical schedule in both arms.
+    if (node_t1.executed != 0 && node_t1.executed != az.executed) {
+      std::fprintf(stderr,
+                   "C13: arms executed different schedules (%llu vs %llu, "
+                   "cell %s) — the delay model leaked the mapping\n",
+                   static_cast<unsigned long long>(node_t1.executed),
+                   static_cast<unsigned long long>(az.executed),
+                   az_cfg.Label().c_str());
+      return 1;
+    }
+
+    if (!headline_done && node_t1.executed != 0) {
+      // Headline cell (first in the grid — the acceptance cell): the
+      // per-node + pairwise arm must cross strictly fewer
+      // window barriers and pack strictly more events per window than
+      // the shipped per-AZ configuration, at one worker.
+      if (node_t1.stats.windows == 0 ||
+          node_t1.stats.windows >= az.stats.windows) {
+        std::fprintf(stderr,
+                     "C13: FAILED — per-node windows %llu not strictly below "
+                     "per-AZ windows %llu\n",
+                     static_cast<unsigned long long>(node_t1.stats.windows),
+                     static_cast<unsigned long long>(az.stats.windows));
+        return 1;
+      }
+      if (node_t1.EventsPerWindow() <= az.EventsPerWindow()) {
+        std::fprintf(stderr,
+                     "C13: FAILED — per-node events/window %.1f not strictly "
+                     "above per-AZ %.1f\n",
+                     node_t1.EventsPerWindow(), az.EventsPerWindow());
+        return 1;
+      }
+      json.Set("tenants", static_cast<uint64_t>(tenants))
+          .Set("pgs_total", static_cast<uint64_t>(tenants * pgs))
+          .Set("executed", az.executed)
+          .Set("commits", node_t1.commits)
+          .Set("windows_per_az", az.stats.windows)
+          .Set("windows_per_node", node_t1.stats.windows)
+          .Set("events_per_window_per_az", az.EventsPerWindow())
+          .Set("events_per_window_per_node", node_t1.EventsPerWindow())
+          .Set("mailbox_msgs", node_t1.stats.mailbox_msgs)
+          .Set("mailbox_msgs_per_batch", node_t1.MsgsPerBatch());
+      headline_done = true;
+    }
+  }
+
+  json.Set("fleet_events_per_sec", best_rate)
+      .Set("fleet_best_threads", best_threads);
+  table.Print();
+  std::printf(
+      "\nC13: ok — per-node+pairwise beats per-AZ on windows and "
+      "events/window; fleet rate %.0f events/s (threads=%d)\n",
+      best_rate, best_threads);
+  if (!json.WriteFile()) return 1;
+  return 0;
+}

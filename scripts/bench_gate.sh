@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf regression gate: re-runs the two wall-clock benches in --quick mode
+# Perf regression gate: re-runs the wall-clock benches in --quick mode
 # and compares their headline rates against the committed per-machine
 # reference numbers in bench/baselines/BENCH_*.json.
 #
@@ -27,16 +27,32 @@ TOLERANCE="${AURORA_BENCH_TOLERANCE:-0.30}"
 BUILD_DIR="${1:-build}"
 BASELINE_DIR="bench/baselines"
 
+# Run artifacts belong in AURORA_BENCH_JSON_DIR (or a scratch cwd), never
+# at the repo root: a stray root-level BENCH_*.json is an uncommitted
+# baseline candidate that silently drifts from the gated numbers. Fail
+# loudly so it gets moved into bench/baselines/ (or deleted).
+shopt -s nullglob
+ROOT_ORPHANS=(BENCH_*.json)
+shopt -u nullglob
+if [[ ${#ROOT_ORPHANS[@]} -gt 0 ]]; then
+  echo "bench_gate: FAIL stray bench dump(s) at repo root: ${ROOT_ORPHANS[*]}"
+  echo "  Commit as a baseline (bench/baselines/) or delete."
+  exit 1
+fi
+
 if [[ ! -x "${BUILD_DIR}/bench/bench_c7_write_throughput" ||
       ! -x "${BUILD_DIR}/bench/bench_c9_event_engine" ||
       ! -x "${BUILD_DIR}/bench/bench_c10_read_path" ||
-      ! -x "${BUILD_DIR}/bench/bench_c11_multi_tenant" ]]; then
+      ! -x "${BUILD_DIR}/bench/bench_c11_multi_tenant" ||
+      ! -x "${BUILD_DIR}/bench/bench_c12_adversarial" ||
+      ! -x "${BUILD_DIR}/bench/bench_c13_fleet_scaling" ]]; then
   echo "bench_gate: building benches in ${BUILD_DIR}"
   cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     >/dev/null
   cmake --build "${BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)" \
     --target bench_c7_write_throughput bench_c9_event_engine \
-    bench_c10_read_path bench_c11_multi_tenant >/dev/null
+    bench_c10_read_path bench_c11_multi_tenant \
+    bench_c12_adversarial bench_c13_fleet_scaling >/dev/null
 fi
 
 TMP="$(mktemp -d)"
@@ -54,6 +70,12 @@ AURORA_BENCH_JSON_DIR="${TMP}" \
 echo "bench_gate: running bench_c11_multi_tenant --quick"
 AURORA_BENCH_JSON_DIR="${TMP}" \
   "${BUILD_DIR}/bench/bench_c11_multi_tenant" --quick >/dev/null
+echo "bench_gate: running bench_c12_adversarial --quick"
+AURORA_BENCH_JSON_DIR="${TMP}" \
+  "${BUILD_DIR}/bench/bench_c12_adversarial" --quick >/dev/null
+echo "bench_gate: running bench_c13_fleet_scaling --quick"
+AURORA_BENCH_JSON_DIR="${TMP}" \
+  "${BUILD_DIR}/bench/bench_c13_fleet_scaling" --quick >/dev/null
 
 # Extracts a numeric field from a flat BENCH_*.json.
 json_value() {
@@ -118,7 +140,10 @@ for spec in \
   "c9:BENCH_c9_event_engine.json:cancel_mix_ops_per_sec" \
   "c9:BENCH_c9_event_engine.json:parallel_events_per_sec" \
   "c10:BENCH_c10_read_path.json:reads_per_sec" \
-  "c11:BENCH_c11_multi_tenant.json:commits_per_sec"; do
+  "c11:BENCH_c11_multi_tenant.json:commits_per_sec" \
+  "c12:BENCH_c12_adversarial.json:events_per_sec" \
+  "c12:BENCH_c12_adversarial.json:control_events_per_sec" \
+  "c13:BENCH_c13_fleet_scaling.json:fleet_events_per_sec"; do
   IFS=: read -r label file key <<<"${spec}"
   if ! validate_baseline "${BASELINE_DIR}/${file}"; then
     FAILED=1

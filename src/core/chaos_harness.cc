@@ -40,14 +40,15 @@ const char* KindToName(ChaosOpKind kind) {
   return "unknown";
 }
 
-AuroraOptions ChaosOptions(uint64_t seed, uint32_t event_shards) {
+AuroraOptions ChaosOptions(uint64_t seed, const ChaosRunOptions& run) {
   AuroraOptions options;
   options.seed = seed;
   options.num_pgs = 2;
   options.blocks_per_pg = 1 << 16;
   // Three nodes per AZ so segment replacement always has a free host.
   options.storage_nodes_per_az = 3;
-  options.event_shards = event_shards;
+  options.event_shards = run.event_shards;
+  options.storage_node = run.storage_node;
   return options;
 }
 
@@ -65,7 +66,7 @@ class ChaosExecutor {
   ChaosExecutor(const ChaosSchedule& schedule, const ChaosRunOptions& options)
       : schedule_(schedule),
         options_(options),
-        cluster_(ChaosOptions(schedule.seed, options.event_shards)) {}
+        cluster_(ChaosOptions(schedule.seed, options)) {}
 
   ChaosRunResult Run() {
     if (options_.record != nullptr) {

@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -69,7 +70,16 @@ class ConsistencyTracker {
 
   Lsn pgcl(ProtectionGroupId pg) const;
   Lsn vcl() const { return vcl_; }
-  Lsn vdl() const { return vdl_; }
+  /// VDL is written only on the writer's event shard, but client sessions
+  /// on other shards peek it for the anchored-read fast path, so the
+  /// accessor/writer pair goes through relaxed atomics. Routing decisions
+  /// only consume one-way-monotonic facts (has a VDL appeared / passed an
+  /// anchor already durable to this session), so a stale peek is safe and
+  /// schedule-deterministic.
+  Lsn vdl() const {
+    return std::atomic_ref<Lsn>(const_cast<Lsn&>(vdl_))
+        .load(std::memory_order_relaxed);
+  }
   Lsn max_allocated() const { return max_allocated_; }
 
   /// Installs recovered consistency points (crash recovery, §2.4) and
@@ -83,7 +93,7 @@ class ConsistencyTracker {
   /// Test-only: forces VDL forward to violate VDL <= VCL, so tests can
   /// prove the invariant auditor actually fires (never called by the
   /// production paths).
-  void CorruptVdlForTest(Lsn vdl) { vdl_ = vdl; }
+  void CorruptVdlForTest(Lsn vdl) { StoreVdl(vdl); }
 
   /// SCL last observed for a segment (kInvalidLsn if never) — feeds read
   /// routing ("the instance knows which segments have the last durable
@@ -94,6 +104,12 @@ class ConsistencyTracker {
 
  private:
   Lsn ComputePgcl(const PgTracking& tracking) const;
+
+  /// All vdl_ writes go through here (see vdl() above); same-shard reads
+  /// may still touch the plain member — they are sequenced with the store.
+  void StoreVdl(Lsn vdl) {
+    std::atomic_ref<Lsn>(vdl_).store(vdl, std::memory_order_relaxed);
+  }
 
   std::map<ProtectionGroupId, PgTracking> pgs_;
   /// MTR completion points, ascending (monotonic LSN allocation); drained

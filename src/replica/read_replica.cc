@@ -97,7 +97,7 @@ void ReadReplica::OnCrash() {
   pinned_views_.clear();
   AURORA_GAUGE_SET(M().pinned_views, 0);
   txns_ = txn::TxnManager();
-  vdl_ = kInvalidLsn;
+  StoreVdl(kInvalidLsn);
   stream_source_ = kInvalidNode;
   stream_seq_ = 0;
 }
@@ -160,7 +160,7 @@ void ReadReplica::OnReplicationEvent(const engine::ReplicationEvent& event) {
       break;
     case engine::ReplicationEvent::Type::kVdlUpdate:
       if (event.vdl > vdl_) {
-        vdl_ = event.vdl;
+        StoreVdl(event.vdl);
         DrainAnchorWaiters();
       }
       break;

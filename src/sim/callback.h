@@ -11,7 +11,11 @@
 // the parallel sharded engine: blocks are plain operator-new memory, so a
 // closure mailed across shards (allocated on one worker, destroyed on
 // another) simply migrates its block to the destroyer's freelist — no
-// shared freelist, no locks, no ownership requirement.
+// shared freelist, no locks, no ownership requirement. The batched
+// cross-shard outboxes lean on the same property: a window's worth of
+// mailed MoveFuncs sits in the source shard's per-destination arena
+// until the barrier flush, then each block is freed on whichever worker
+// later executes the destination shard.
 //
 // MoveFunc is move-only by design: the engine moves each callback exactly
 // once (slab slot -> stack) before invoking it, and move-only storage lets

@@ -86,6 +86,9 @@ void Network::RegisterNode(NodeId node, AzId az,
   st.az = az;
   st.listener = listener;
   nodes_[node] = st;
+  // A node lands on shard 0 until SetNodeShard moves it; the matrix must
+  // reflect that placement immediately in case it never moves.
+  if (pairwise_enabled_) LowerLookaheadForNode(node);
 }
 
 void Network::SetListener(NodeId node, NodeLifecycleListener* listener) {
@@ -108,6 +111,40 @@ void Network::SetNodeShard(NodeId node, ShardKey shard) {
   assert(it != nodes_.end());
   assert(shard < sim_->ShardCount());
   it->second.shard = shard;
+  if (pairwise_enabled_) LowerLookaheadForNode(node);
+}
+
+void Network::EnablePairwiseLookahead() {
+  CheckBarrierOnly(sim_, "EnablePairwiseLookahead");
+  const uint32_t n = sim_->ShardCount();
+  if (n < 2) return;  // single shard: the scalar engine is the oracle
+  pairwise_enabled_ = true;
+  // Ceiling: the widest bound any hop class can justify. Pairs that never
+  // host node traffic keep it — only engine-mediated hops (which size
+  // themselves via Simulator::LookaheadTo) can cross such pairs, so the
+  // high entry just means wide windows, never a late event.
+  const SimDuration ceiling = std::max(HopFloor(false), HopFloor(true));
+  for (ShardKey s = 0; s < n; ++s) {
+    for (ShardKey d = 0; d < n; ++d) {
+      if (s != d) sim_->SetPairwiseLookahead(s, d, ceiling);
+    }
+  }
+  for (const auto& [id, st] : nodes_) LowerLookaheadForNode(id);
+}
+
+void Network::LowerLookaheadForNode(NodeId node) {
+  const NodeState& a = nodes_.at(node);
+  for (const auto& [other, b] : nodes_) {
+    if (other == node || b.shard == a.shard) continue;
+    const SimDuration floor = HopFloor(a.az != b.az);
+    // Link classes are symmetric, so both directions lower together.
+    if (floor < sim_->PairwiseLookahead(a.shard, b.shard)) {
+      sim_->SetPairwiseLookahead(a.shard, b.shard, floor);
+    }
+    if (floor < sim_->PairwiseLookahead(b.shard, a.shard)) {
+      sim_->SetPairwiseLookahead(b.shard, a.shard, floor);
+    }
+  }
 }
 
 ShardKey Network::ShardOf(NodeId node) const {
@@ -224,9 +261,10 @@ SimDuration Network::SampleLatencyInLane(Lane& lane, NodeId from, NodeId to,
     lat += static_cast<double>(bytes) / options_.bytes_per_us;
   }
   // The floor binds AFTER slowdowns: no distribution tail or sub-unity
-  // slowdown can undercut the lookahead contract.
-  const double floor = static_cast<double>(std::max<SimDuration>(
-      1, options_.min_latency_us));
+  // slowdown can undercut the lookahead contract. The class floor is the
+  // same guarantee per link class — it is what makes the pairwise
+  // lookahead matrix conservative for every message this method can emit.
+  const double floor = static_cast<double>(HopFloor(src.az != dst.az));
   return static_cast<SimDuration>(std::max(floor, lat));
 }
 

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -62,6 +63,15 @@ struct NetworkOptions {
   /// bound. The default keeps latency sampling bit-identical to the
   /// pre-sharding model (which already clamped at 1us).
   SimDuration min_latency_us = 1;
+  /// Per-link-class floors, combined with min_latency_us the same way
+  /// (max wins, after slowdowns). 0 disables a class floor, keeping the
+  /// sampling bit-identical to the single-floor model. These are what the
+  /// pairwise lookahead matrix is derived from: a (src, dst) shard pair
+  /// whose node pairs are all cross-AZ is bounded below by the cross-AZ
+  /// floor, so its lookahead entry — and every window that pair would
+  /// otherwise throttle — widens beyond the global minimum hop.
+  SimDuration intra_az_floor_us = 0;
+  SimDuration cross_az_floor_us = 0;
 };
 
 /// The network fabric. Nodes register with an AZ placement; sends sample
@@ -95,9 +105,31 @@ class Network {
   /// stays bit-identical to the unsharded engine).
   void PrepareShardLanes();
 
+  /// The guaranteed minimum latency of a hop of the given link class
+  /// (after slowdowns; loopback hops are exempt and same-shard anyway).
+  SimDuration HopFloor(bool cross_az) const {
+    const SimDuration class_floor = cross_az ? options_.cross_az_floor_us
+                                             : options_.intra_az_floor_us;
+    return std::max<SimDuration>(
+        1, std::max(options_.min_latency_us, class_floor));
+  }
+
   /// The guaranteed minimum latency of any hop between distinct nodes —
   /// the engine's conservative lookahead (Simulator::SetLookahead).
-  SimDuration MinCrossNodeLatency() const { return options_.min_latency_us; }
+  SimDuration MinCrossNodeLatency() const {
+    return std::min(HopFloor(false), HopFloor(true));
+  }
+
+  /// Switches the engine to the pairwise lookahead matrix (DESIGN.md §9):
+  /// every (src, dst) shard pair starts at the widest class floor and
+  /// node registrations lower it to the tightest link class actually
+  /// connecting the pair — so the matrix is conservative by construction
+  /// for network traffic, and non-network cross-shard hops must size
+  /// their delay with Simulator::LookaheadTo. Call after ConfigureShards
+  /// + PrepareShardLanes, before traffic flows; nodes registered or
+  /// re-sharded later keep the matrix current automatically (lowering
+  /// entries is always safe mid-run, at barriers).
+  void EnablePairwiseLookahead();
 
   bool IsUp(NodeId node) const;
   /// Crashes `node`: pending deliveries to it are dropped and its listener
@@ -192,10 +224,15 @@ class Network {
   SimDuration SampleLatencyInLane(Lane& lane, NodeId from, NodeId to,
                                   uint64_t bytes);
 
+  /// Lowers the pairwise matrix entries of `node`'s shard against every
+  /// other registered node's shard to the connecting link-class floor.
+  void LowerLookaheadForNode(NodeId node);
+
   uint64_t PairKey(NodeId a, NodeId b) const;
 
   Simulator* sim_;
   NetworkOptions options_;
+  bool pairwise_enabled_ = false;
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::unordered_map<NodeId, NodeState> nodes_;
   std::unordered_map<uint64_t, bool> partitions_;

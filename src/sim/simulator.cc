@@ -7,6 +7,8 @@
 #include <limits>
 #include <utility>
 
+#include "src/common/metrics.h"
+
 namespace aurora::sim {
 
 namespace {
@@ -34,13 +36,43 @@ SimTime SatAdd(SimTime a, SimDuration b) {
   const SimTime max = std::numeric_limits<SimTime>::max();
   return a > max - b ? max : a + b;
 }
+
+/// Shard-claim word layout: low bits hold the next shard index, high bits
+/// the round the cursor belongs to. kMaxShards (200) fits comfortably in
+/// 20 bits; 44 bits of round cannot wrap in any realistic run.
+constexpr uint64_t kClaimIndexBits = 20;
+constexpr uint64_t kClaimIndexMask = (1ull << kClaimIndexBits) - 1;
+
+/// Engine-efficiency metrics (DESIGN.md §5b): registered once, mirrored
+/// from EngineStats only when the registry is enabled, so the default
+/// (metrics-off) fingerprint path never touches them.
+struct SimMetrics {
+  metrics::Counter* windows;
+  metrics::Counter* mailbox_batches;
+  metrics::Counter* mailbox_msgs;
+  Histogram* window_span;
+};
+SimMetrics& M() {
+  static SimMetrics m = [] {
+    auto& r = metrics::Registry::Global();
+    return SimMetrics{r.GetCounter("aurora.sim.windows"),
+                      r.GetCounter("aurora.sim.mailbox_batches"),
+                      r.GetCounter("aurora.sim.mailbox_msgs"),
+                      r.GetHistogram("aurora.sim.window_span_us")};
+  }();
+  return m;
+}
 }  // namespace
 
 /// Persistent worker pool for RunSharded. Rounds are broadcast via
-/// cv_start; workers claim shards with an atomic cursor and the last
-/// finished shard releases the coordinator via cv_done. Everything the
-/// workers read (bound, active_shards, shard state) is published under
-/// `mu` before the round counter advances.
+/// cv_start; workers claim shards by CAS on a round-tagged claim word and
+/// the last finished shard releases the coordinator via cv_done.
+/// Everything the workers read (bound, active_shards, shard state) is
+/// published under `mu` before the round counter advances, and a claim
+/// succeeds only while the word still carries the claimant's own round —
+/// a worker straggling out of round k can never grab a shard of round
+/// k+1, so every thread that touches round state entered it through the
+/// mutex-published round broadcast.
 struct Simulator::Pool {
   std::mutex mu;
   std::condition_variable cv_start;
@@ -48,9 +80,14 @@ struct Simulator::Pool {
   std::vector<std::thread> threads;
   uint64_t round = 0;
   bool shutdown = false;
-  std::atomic<uint32_t> next_shard{0};
+  /// (round << kClaimIndexBits) | next shard index; see ProcessWindowShards.
+  std::atomic<uint64_t> claim{0};
   uint32_t done_shards = 0;
-  uint32_t active_shards = 0;
+  /// Written under mu at round setup, but read lock-free at the top of
+  /// ProcessWindowShards by stragglers from the previous round (whose
+  /// claim CAS the round tag then rejects) — atomic so that overlap is
+  /// defined. Constant within a RunSharded call.
+  std::atomic<uint32_t> active_shards{0};
   HeapKey bound{0, 0};
 };
 
@@ -78,6 +115,7 @@ void Simulator::ConfigureShards(uint32_t count) {
     shard->slots.reserve(kInitialQueueCapacity);
     shards_.push_back(std::move(shard));
   }
+  for (auto& sp : shards_) sp->outbox.resize(count);
   // A single-shard configuration stays bit-identical to the unsharded
   // engine, including ScheduleGlobal aliasing to Schedule; the separate
   // global queue only exists when there are shards to synchronize.
@@ -91,6 +129,61 @@ void Simulator::ConfigureShards(uint32_t count) {
 void Simulator::SetLookahead(SimDuration lookahead) {
   Check(lookahead >= 1, "lookahead must be >= 1us");
   lookahead_ = lookahead;
+  // The scalar is the uniform default; any previously installed matrix is
+  // superseded by it.
+  pair_la_.clear();
+  out_min_la_.clear();
+}
+
+void Simulator::SetPairwiseLookahead(ShardKey src, ShardKey dst,
+                                     SimDuration bound) {
+  Check(sharded_, "SetPairwiseLookahead requires ConfigureShards");
+  Check(!WorkersActive(), "SetPairwiseLookahead during a parallel window");
+  Check(src < shards_.size() && dst < shards_.size() && src != dst,
+        "SetPairwiseLookahead: bad shard pair");
+  Check(bound >= 1, "pairwise lookahead must be >= 1us");
+  const size_t n = shards_.size();
+  if (pair_la_.empty()) {
+    pair_la_.assign(n * n, lookahead_);
+    out_min_la_.assign(n, lookahead_);
+  }
+  SimDuration& cell = pair_la_[src * n + dst];
+  const SimDuration old = cell;
+  cell = bound;
+  if (bound <= out_min_la_[src]) {
+    out_min_la_[src] = bound;
+  } else if (old == out_min_la_[src]) {
+    RecomputeOutMinRow(src);
+  }
+}
+
+void Simulator::RecomputeOutMinRow(uint32_t src) {
+  const size_t n = shards_.size();
+  SimDuration min_la = std::numeric_limits<SimDuration>::max();
+  for (size_t d = 0; d < n; ++d) {
+    if (d == src) continue;
+    min_la = std::min(min_la, pair_la_[src * n + d]);
+  }
+  // A single-shard matrix has no cross pairs; keep the scalar so window
+  // bounds degrade to legacy behavior instead of saturating.
+  out_min_la_[src] =
+      min_la == std::numeric_limits<SimDuration>::max() ? lookahead_ : min_la;
+}
+
+SimDuration Simulator::PairwiseLookahead(ShardKey src, ShardKey dst) const {
+  Check(src < shards_.size() && dst < shards_.size(),
+        "PairwiseLookahead: unknown shard");
+  return PairLa(src, dst);
+}
+
+SimDuration Simulator::LookaheadTo(ShardKey dst) const {
+  Check(dst < shards_.size(), "LookaheadTo: unknown shard");
+  const ExecContext& ctx = TlsCtx();
+  if (ctx.sim == this && ctx.shard->id != kGlobalShardTag &&
+      ctx.shard->id != dst) {
+    return PairLa(ctx.shard->id, dst);
+  }
+  return lookahead_;
 }
 
 SimTime Simulator::Now() const {
@@ -210,18 +303,23 @@ EventId Simulator::ScheduleOn(ShardKey shard, SimDuration delay,
     const SimTime when = src.now + delay;
     if (src.id != kGlobalShardTag) {
       // Cross-shard from a worker shard: the conservative-synchronization
-      // contract. delay >= lookahead guarantees the event lands at or
-      // beyond every window bound the engine can pick, so mail integrated
-      // at the next barrier can never be late.
-      Check(delay >= lookahead_,
-            "cross-shard ScheduleOn below the lookahead bound");
-      const uint64_t seq = MakeStamp(src);
+      // contract. delay >= the (src, dst) pairwise lookahead guarantees
+      // the event lands at or beyond every window bound the engine can
+      // pick (the bound is min over pending shards s of next(s) +
+      // min_d L(s, d) <= next(src) + L(src, dst) <= when), so mail
+      // integrated at the next barrier can never be late.
+      Check(delay >= PairLa(src.id, shard),
+            "cross-shard ScheduleOn below the pairwise lookahead bound");
       if (WorkersActive()) {
-        std::lock_guard<std::mutex> lock(dst.mail_mu);
-        dst.mailbox.push_back(Mail{when, seq, label, std::move(fn)});
+        // Batched mailbox: the sender owns its shard for the whole window,
+        // so the per-destination arena needs no lock; one release store
+        // publishes the entire window's batch at the window edge.
+        src.outbox[shard].push_back(
+            Mail{when, src.counter++, label, std::move(fn)});
+        ++src.out_pending;
         return kInvalidEvent;  // cross-window events are not cancellable
       }
-      return InsertEvent(dst, when, seq, std::move(fn), label);
+      return InsertEvent(dst, when, MakeStamp(src), std::move(fn), label);
     }
     // Global-event context: workers are quiesced at the barrier, so a
     // direct insert into any shard is race-free.
@@ -455,8 +553,14 @@ void Simulator::RunSharded(SimTime deadline, int threads) {
   for (;;) {
     DrainMailboxes();
     // Scan for the minimal pending key per queue; this fixes the window.
+    // The bound accumulates the pairwise term per pending shard: shard s
+    // cannot emit a cross-shard event below next(s) + min_d L(s, d), so
+    // the window may extend to the min of those horizons — per-shard
+    // next keys AND per-pair lookahead, not one global scalar. With no
+    // matrix installed this reduces exactly to t0 + lookahead.
     Shard* first = nullptr;
     HeapKey shard_min{0, 0};
+    SimTime horizon = std::numeric_limits<SimTime>::max();
     for (auto& sp : shards_) {
       PruneDeadTop(*sp);
       if (sp->heap.empty()) continue;
@@ -465,6 +569,7 @@ void Simulator::RunSharded(SimTime deadline, int threads) {
         first = sp.get();
         shard_min = k;
       }
+      horizon = std::min(horizon, SatAdd(k.time, OutMinLa(sp->id)));
     }
     bool have_global = false;
     HeapKey gk{0, 0};
@@ -484,13 +589,21 @@ void Simulator::RunSharded(SimTime deadline, int threads) {
     // event splits the window exactly at its own stamp, so it observes
     // every shard quiesced up to (and not past) its position in the
     // canonical order.
-    HeapKey bound{SatAdd(t0, lookahead_), 0};
+    HeapKey bound{horizon, 0};
     if (have_global && gk < bound) bound = gk;
     const HeapKey deadline_bound{SatAdd(deadline, 1), 0};
     if (deadline_bound < bound) bound = deadline_bound;
     if (first != nullptr && shard_min < bound) {
       ExecuteWindow(bound, workers);
       MergeWindowLogs();
+      ++engine_stats_.windows;
+      if (AURORA_METRICS_ON()) {
+        M().windows->Add(1);
+        AURORA_OBSERVE(M().window_span,
+                       static_cast<SimDuration>(
+                           std::min(bound.time, SatAdd(deadline, 1)) -
+                           shard_min.time));
+      }
       const SimTime wnow = std::min(bound.time, deadline);
       for (auto& sp : shards_) {
         if (sp->now < wnow) sp->now = wnow;
@@ -534,6 +647,11 @@ void Simulator::RunShardWindow(Shard& sh, HeapKey bound) {
     fn();
   }
   tls = saved;
+  if (sh.out_pending != 0) {
+    // One release publish for the whole window's cross-shard batch; the
+    // barrier drain's acquire load pairs with it.
+    sh.out_published.store(sh.out_pending, std::memory_order_release);
+  }
 }
 
 void Simulator::ExecuteWindow(HeapKey bound, uint32_t workers) {
@@ -549,41 +667,58 @@ void Simulator::ExecuteWindow(HeapKey bound, uint32_t workers) {
     return;
   }
   Pool& p = *pool_;
+  uint64_t round;
   {
     std::lock_guard<std::mutex> lock(p.mu);
     p.bound = bound;
     p.done_shards = 0;
-    p.active_shards = static_cast<uint32_t>(shards_.size());
+    p.active_shards.store(static_cast<uint32_t>(shards_.size()),
+                          std::memory_order_relaxed);
     workers_active_.store(true, std::memory_order_relaxed);
-    ++p.round;
-    // Release-store LAST in the setup: a worker finishing the previous
-    // round performs one more claim fetch_add before re-waiting on
-    // cv_start, without holding mu. If that claim observes this reset, the
-    // acquire on the fetch_add pairs with this release, making every
-    // round-setup write above — and the coordinator's barrier-phase
-    // mutations of the shard heaps/slabs sequenced before them — visible,
-    // so the stale worker is a legitimate extra participant in the new
-    // round. If it instead observes a stale pre-reset value
-    // (>= active_shards), it exits harmlessly.
-    p.next_shard.store(0, std::memory_order_release);
+    round = ++p.round;
+    // Re-tag the claim cursor with the new round. A worker finishing the
+    // previous round performs one more claim attempt before re-waiting on
+    // cv_start, without holding mu; its CAS requires the old round tag
+    // and therefore fails against this word, so ONLY threads that
+    // observed the round broadcast under mu (and hence every round-setup
+    // write above, plus the coordinator's barrier-phase mutations of the
+    // shard heaps/slabs sequenced before them) can claim a shard of this
+    // round.
+    p.claim.store(round << kClaimIndexBits, std::memory_order_release);
   }
   p.cv_start.notify_all();
-  ProcessWindowShards();  // the coordinator is worker 0
+  ProcessWindowShards(round);  // the coordinator is worker 0
   {
     std::unique_lock<std::mutex> lock(p.mu);
-    p.cv_done.wait(lock, [&p] { return p.done_shards == p.active_shards; });
+    p.cv_done.wait(lock, [&p] {
+      return p.done_shards == p.active_shards.load(std::memory_order_relaxed);
+    });
     workers_active_.store(false, std::memory_order_relaxed);
   }
 }
 
-void Simulator::ProcessWindowShards() {
+void Simulator::ProcessWindowShards(uint64_t round) {
   Pool& p = *pool_;
-  const uint32_t n = p.active_shards;
+  const uint32_t n = p.active_shards.load(std::memory_order_relaxed);
+  const uint64_t tag = round << kClaimIndexBits;
   for (;;) {
-    // Acquire pairs with the release reset in ExecuteWindow; see there.
-    const uint32_t i = p.next_shard.fetch_add(1, std::memory_order_acquire);
-    if (i >= n) return;
-    RunShardWindow(*shards_[i], p.bound);
+    uint64_t cur = p.claim.load(std::memory_order_acquire);
+    uint32_t index;
+    for (;;) {
+      // A claim is valid only while the word still carries our round tag:
+      // a straggler from an earlier round observes a foreign tag here and
+      // leaves without touching any shard of a round it never
+      // synchronized with.
+      if ((cur & ~kClaimIndexMask) != tag) return;
+      index = static_cast<uint32_t>(cur & kClaimIndexMask);
+      if (index >= n) return;
+      if (p.claim.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        break;
+      }
+    }
+    RunShardWindow(*shards_[index], p.bound);
     std::lock_guard<std::mutex> lock(p.mu);
     if (++p.done_shards == n) p.cv_done.notify_all();
   }
@@ -599,7 +734,7 @@ void Simulator::WorkerMain() {
       if (p.shutdown) return;
       seen = p.round;
     }
-    ProcessWindowShards();
+    ProcessWindowShards(seen);
   }
 }
 
@@ -626,19 +761,42 @@ void Simulator::StopPool() {
 }
 
 void Simulator::DrainMailboxes() {
-  std::vector<Mail> scratch;
+  uint64_t batches = 0;
+  uint64_t msgs = 0;
   for (auto& sp : shards_) {
-    {
-      std::lock_guard<std::mutex> lock(sp->mail_mu);
-      if (sp->mailbox.empty()) continue;
-      scratch.swap(sp->mailbox);
+    Shard& src = *sp;
+    if (src.out_published.load(std::memory_order_acquire) == 0 &&
+        src.out_pending == 0) {
+      continue;
     }
-    // Heap order is by canonical key, so the (nondeterministic) arrival
-    // order of mails from concurrent senders does not matter.
-    for (auto& mail : scratch) {
-      InsertEvent(*sp, mail.time, mail.seq, std::move(mail.fn), mail.label);
+    // Heap order is by canonical key, so the fixed src-major drain order
+    // has no semantic weight — each mail sorts to its stamped position.
+    // The sender's stamp base is hoisted per source and OR'd over the
+    // batch (amortized stamping); digests are computed on insertion, same
+    // as any schedule.
+    const uint64_t base = src.stamp_base;
+    for (size_t d = 0; d < src.outbox.size(); ++d) {
+      std::vector<Mail>& batch = src.outbox[d];
+      if (batch.empty()) continue;
+      Shard& dst = *shards_[d];
+      for (auto& mail : batch) {
+        InsertEvent(dst, mail.time, base | mail.counter, std::move(mail.fn),
+                    mail.label);
+      }
+      msgs += batch.size();
+      ++batches;
+      batch.clear();
     }
-    scratch.clear();
+    src.out_pending = 0;
+    src.out_published.store(0, std::memory_order_relaxed);
+  }
+  if (msgs != 0) {
+    engine_stats_.mailbox_batches += batches;
+    engine_stats_.mailbox_msgs += msgs;
+    if (AURORA_METRICS_ON()) {
+      M().mailbox_batches->Add(batches);
+      M().mailbox_msgs->Add(msgs);
+    }
   }
 }
 

@@ -19,8 +19,9 @@
 // << 48) | per-context counter; the canonical total order over these keys
 // is what both the serial oracle (Step/Run/RunUntil, which always executes
 // the globally minimal key) and the parallel engine (RunSharded: conserva-
-// tive time windows of width `lookahead`, barrier + mailbox exchange at
-// window edges, canonical merge of per-shard execution logs) follow, so
+// tive time windows bounded by the pairwise lookahead matrix, batched
+// per-(src,dst) outboxes published once per window at the barrier,
+// canonical merge of per-shard execution logs) follow, so
 // serial and parallel runs produce identical schedule fingerprints for any
 // worker count. With a single shard the engine is bit-identical to the
 // classic unsharded engine: same stamps, same order, same EventIds.
@@ -145,9 +146,43 @@ class Simulator {
 
   /// Conservative lookahead: the minimum cross-shard scheduling delay
   /// (derive from Network::MinCrossNodeLatency). Windows span
-  /// [W, W + lookahead); larger lookahead means fewer barriers.
+  /// [W, W + lookahead); larger lookahead means fewer barriers. Resets any
+  /// pairwise matrix back to this uniform bound.
   void SetLookahead(SimDuration lookahead);
   SimDuration Lookahead() const { return lookahead_; }
+
+  /// Pairwise lookahead matrix (DESIGN.md §9): the guaranteed minimum
+  /// delay of any cross-shard ScheduleOn from `src` to `dst`. Entries
+  /// default to the scalar lookahead; raising an entry above it is legal
+  /// only if every schedule path between the pair really observes the
+  /// larger bound (the Network derives entries from per-link-class latency
+  /// floors, which its sends honor by construction). A shard's window
+  /// bound becomes `min over dst of (own next key + L(src, dst))` taken
+  /// across all pending shards, so shards whose mutual traffic is slow —
+  /// e.g. cross-AZ-only storage pairs — stop throttling the window to the
+  /// tightest link in the whole fleet. Barrier-only; src != dst.
+  void SetPairwiseLookahead(ShardKey src, ShardKey dst, SimDuration bound);
+  SimDuration PairwiseLookahead(ShardKey src, ShardKey dst) const;
+
+  /// The minimum safe cross-shard delay from the calling context's shard
+  /// to `dst` — what a cross-shard hop (e.g. the object store's home-shard
+  /// hop) must use instead of the scalar Lookahead() once a pairwise
+  /// matrix is active. Falls back to the scalar for context-less callers
+  /// and same-shard targets.
+  SimDuration LookaheadTo(ShardKey dst) const;
+
+  /// Window-engine efficiency counters (mirrored into the metrics
+  /// registry as aurora.sim.* when metrics are enabled). `windows` counts
+  /// executed parallel windows (== barriers); `mailbox_batches` counts
+  /// non-empty (src, dst) outbox arenas flushed at barriers and
+  /// `mailbox_msgs` the cross-shard events they carried.
+  struct EngineStats {
+    uint64_t windows = 0;
+    uint64_t mailbox_batches = 0;
+    uint64_t mailbox_msgs = 0;
+  };
+  const EngineStats& engine_stats() const { return engine_stats_; }
+  void ResetEngineStats() { engine_stats_ = EngineStats{}; }
 
   /// Runs all events with timestamp <= deadline through the windowed
   /// engine with `threads` workers (clamped to [1, ShardCount()]). The
@@ -303,18 +338,25 @@ class Simulator {
     const char* label;
   };
 
-  /// Cross-shard event in flight: stamped at the sender, integrated into
-  /// the destination heap at the next barrier (the digest is computed on
-  /// insertion, same as any schedule).
+  /// Cross-shard event in flight: accumulated in the sender's per-
+  /// destination outbox arena, integrated into the destination heap at the
+  /// next barrier. Only the low stamp-counter bits travel; the sender's
+  /// (context << 48) stamp base is OR'd back in per batch at the flush,
+  /// and the digest is computed on insertion, same as any schedule.
   struct Mail {
     SimTime time;
-    uint64_t seq;
+    uint64_t counter;  // per-context stamp counter (base applied at flush)
     const char* label;
     SimCallback fn;
   };
 
-  /// One event shard: slab + heap + clock + stamp counter. The global
-  /// queue reuses the same structure (mailbox unused).
+  /// One event shard: slab + heap + clock + stamp counter. Cross-shard
+  /// sends batch into `outbox[dst]` — written only by the worker that owns
+  /// this shard's window, so no per-message lock — and are published once
+  /// per window with a single release store of `out_published`, which the
+  /// coordinator's barrier drain acquires. The global queue reuses the
+  /// same structure (outboxes unused: global-event sends insert directly
+  /// while workers are quiesced).
   struct Shard {
     uint32_t id = 0;         // worker index, or kGlobalShardTag
     uint64_t stamp_base = 0; // (context id << 48), precomputed
@@ -326,8 +368,9 @@ class Simulator {
     std::vector<HeapEntry> heap;
     size_t dead_in_heap = 0;
     std::vector<ExecRecord> window_log;
-    std::mutex mail_mu;
-    std::vector<Mail> mailbox;
+    std::vector<std::vector<Mail>> outbox;  // one arena per dst shard
+    uint64_t out_pending = 0;               // mails queued this window
+    std::atomic<uint64_t> out_published{0};
   };
 
   struct Pool;  // worker thread pool (simulator.cc)
@@ -380,13 +423,31 @@ class Simulator {
   void EnsurePool(uint32_t worker_threads);
   void StopPool();
   void WorkerMain();
-  void ProcessWindowShards();
+  void ProcessWindowShards(uint64_t round);
+
+  /// Hot-path matrix lookup; degenerates to the scalar when no matrix has
+  /// been installed (the common, legacy configuration).
+  SimDuration PairLa(uint32_t src, uint32_t dst) const {
+    return pair_la_.empty() ? lookahead_
+                            : pair_la_[src * shards_.size() + dst];
+  }
+  /// Per-src outgoing minimum over the matrix row (window-bound term).
+  SimDuration OutMinLa(uint32_t src) const {
+    return pair_la_.empty() ? lookahead_ : out_min_la_[src];
+  }
+  void RecomputeOutMinRow(uint32_t src);
 
   void ObserveExecuted(SimTime at, const char* label, uint64_t digest);
 
   uint64_t executed_ = 0;
   bool sharded_ = false;
   SimDuration lookahead_ = 1;
+  /// Pairwise lookahead matrix, row-major [src * N + dst]; empty until the
+  /// first SetPairwiseLookahead call (uniform scalar mode).
+  std::vector<SimDuration> pair_la_;
+  /// Cached per-src row minima over dst != src (window-bound terms).
+  std::vector<SimDuration> out_min_la_;
+  EngineStats engine_stats_;
   SimTime coordinator_now_ = 0;
   /// Context-less schedule target (ShardScope); -1 = default (shard 0 for
   /// external callers, the global queue for global-event context).

@@ -26,7 +26,7 @@ void ObjectStore::Put(ArchiveKey pg,
     auto shared =
         std::make_shared<std::vector<log::RedoRecord>>(std::move(records));
     sim_->ScheduleOn(
-        home_shard_, sim_->Lookahead(),
+        home_shard_, sim_->LookaheadTo(home_shard_),
         [this, pg, shared, caller, done = std::move(done)]() mutable {
           DoPut(pg, std::move(*shared), std::move(done), caller);
         },
@@ -54,7 +54,7 @@ void ObjectStore::DoPut(ArchiveKey pg,
     }
     if (caller != sim::kShardNone && caller != home_shard_) {
       sim_->ScheduleOn(
-          caller, sim_->Lookahead(),
+          caller, sim_->LookaheadTo(caller),
           [done = std::move(done), max_lsn]() { done(max_lsn); },
           "objstore.put_done");
       return;
@@ -68,7 +68,7 @@ void ObjectStore::Get(ArchiveKey pg, Lsn lo, Lsn hi,
   const sim::ShardKey caller = sim_->ExecutingShard();
   if (caller != sim::kShardNone && caller != home_shard_) {
     sim_->ScheduleOn(
-        home_shard_, sim_->Lookahead(),
+        home_shard_, sim_->LookaheadTo(home_shard_),
         [this, pg, lo, hi, caller, done = std::move(done)]() mutable {
           DoGet(pg, lo, hi, std::move(done), caller);
         },
@@ -97,7 +97,7 @@ void ObjectStore::DoGet(ArchiveKey pg, Lsn lo, Lsn hi,
       auto shared =
           std::make_shared<std::vector<log::RedoRecord>>(std::move(out));
       sim_->ScheduleOn(
-          caller, sim_->Lookahead(),
+          caller, sim_->LookaheadTo(caller),
           [done = std::move(done), shared]() { done(std::move(*shared)); },
           "objstore.get_done");
       return;

@@ -35,8 +35,10 @@ class ObjectStore {
   ObjectStore(sim::Simulator* sim, ObjectStoreOptions options = {});
 
   /// Pins the archive's state (maps, rng, counters) to one simulator
-  /// shard. Calls from other worker shards hop there (one lookahead each
-  /// way, dwarfed by the tens-of-ms archive latencies); context-less
+  /// shard. Calls from other worker shards hop there (one pairwise
+  /// lookahead each way — Simulator::LookaheadTo sizes the hop to the
+  /// caller's (shard, home) matrix entry — dwarfed by the tens-of-ms
+  /// archive latencies); context-less
   /// callers (external drivers, global events) run only between windows or
   /// at barriers and their archive mutation is scheduled onto the home
   /// shard regardless of ambient context — so parallel windows never touch

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -145,21 +146,45 @@ struct ClusterOutcome {
   bool operator==(const ClusterOutcome&) const = default;
 };
 
-// Builds a 3-shard cluster, runs a blocking warm-up, arms scripted +
-// flapping failure-injector chaos, then drives one long run phase either
-// serially (threads == 0) or through the windowed engine.
-ClusterOutcome RunClusterScenario(uint64_t seed, int threads) {
+// Builds a sharded cluster (per-AZ 3-shard by default; per-node when
+// `granularity` says so, optionally folded through `max_event_shards`),
+// runs a blocking warm-up, arms scripted + flapping failure-injector
+// chaos, then drives one long run phase either serially (threads == 0)
+// or through the windowed engine.
+ClusterOutcome RunClusterScenario(
+    uint64_t seed, int threads,
+    core::ShardGranularity granularity = core::ShardGranularity::kPerAz,
+    uint32_t max_event_shards = 64) {
   core::AuroraOptions options;
   options.seed = seed;
   options.blocks_per_pg = 1 << 16;
   options.storage_nodes_per_az = 2;
   options.event_shards = 3;
+  options.shard_granularity = granularity;
+  options.max_event_shards = max_event_shards;
   // Widen the latency floor so the lookahead window holds useful work
   // (default 1us windows would still be correct, just barrier-bound).
   options.network.min_latency_us = 40;
+  // Distinct class floors in per-node mode: the pairwise matrix then has
+  // genuinely different entries for intra-AZ and cross-AZ shard pairs,
+  // so the sweep exercises the asymmetric-bound window math, not a
+  // uniform matrix that degenerates to the scalar.
+  if (granularity == core::ShardGranularity::kPerNode) {
+    options.network.intra_az_floor_us = 60;
+    options.network.cross_az_floor_us = 240;
+  }
   core::AuroraCluster cluster(options);
   EXPECT_TRUE(cluster.StartBlocking().ok());
-  EXPECT_EQ(cluster.sim().Lookahead(), 40);
+  if (granularity == core::ShardGranularity::kPerNode) {
+    // 6-node fleet: one shard per node plus control shard 0, folded when
+    // the cap bites.
+    const uint32_t fleet = 6;
+    EXPECT_EQ(cluster.sim().ShardCount(),
+              1 + std::min(fleet, max_event_shards - 1));
+    EXPECT_TRUE(cluster.PerNodeSharding());
+  } else {
+    EXPECT_EQ(cluster.sim().Lookahead(), 40);
+  }
 
   for (int i = 0; i < 10; ++i) {
     (void)cluster.PutBlocking("warm" + std::to_string(i % 7),
@@ -211,6 +236,48 @@ TEST(ParallelDeterminism, ClusterChaosSweepSerialVsParallel) {
     if (seed % 4 == 3) {
       const ClusterOutcome wide = RunClusterScenario(seed, 8);
       EXPECT_EQ(wide, serial) << "seed " << seed << " threads 8";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2c: fine-grained per-storage-node sharding under the same chaos.
+//
+// ShardGranularity::kPerNode gives each of the 6 storage nodes its own
+// shard (7 shards total with the control plane on shard 0) and switches
+// the engine to the pairwise lookahead matrix — distinct intra-AZ vs
+// cross-AZ floors make the matrix genuinely asymmetric. The windowed
+// engine must still execute the exact serial canonical schedule at every
+// worker count, crash/restart/AZ-blip chaos included.
+
+TEST(ParallelDeterminism, PerNodeShardingChaosSweep) {
+  for (uint64_t seed : {11u, 14u, 17u}) {
+    const ClusterOutcome serial =
+        RunClusterScenario(seed, 0, core::ShardGranularity::kPerNode);
+    ASSERT_GT(serial.commits, 0u) << "seed " << seed;
+    ASSERT_GT(serial.node_failures, 0u) << "seed " << seed;
+    for (int threads : {1, 2, 4, 8}) {
+      const ClusterOutcome parallel =
+          RunClusterScenario(seed, threads, core::ShardGranularity::kPerNode);
+      EXPECT_EQ(parallel, serial)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, PerNodeFoldedShardsChaosSweep) {
+  // max_event_shards = 4 < fleet + 1: the 6 storage nodes round-robin
+  // fold onto 3 storage shards (nodes i and i + 3 share shard 1 + i % 3,
+  // mixing AZs on a shard — the matrix must take the tightest class).
+  for (uint64_t seed : {12u, 15u}) {
+    const ClusterOutcome serial =
+        RunClusterScenario(seed, 0, core::ShardGranularity::kPerNode, 4);
+    ASSERT_GT(serial.commits, 0u) << "seed " << seed;
+    for (int threads : {2, 8}) {
+      const ClusterOutcome parallel = RunClusterScenario(
+          seed, threads, core::ShardGranularity::kPerNode, 4);
+      EXPECT_EQ(parallel, serial)
+          << "seed " << seed << " threads " << threads;
     }
   }
 }

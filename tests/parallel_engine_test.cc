@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/sim/simulator.h"
@@ -282,6 +283,214 @@ TEST(ParallelEngine, RunShardedLandsClockOnDeadline) {
   // And a second leg continues from there.
   sim.RunShardedFor(250, 2);
   EXPECT_EQ(sim.Now(), 750);
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise lookahead matrix + batched-mailbox engine stats.
+//
+// A second mesh whose cross-shard delays size themselves with
+// Simulator::LookaheadTo — the contract every non-network cross-shard
+// hop must follow once the matrix replaces the scalar bound.
+
+struct PairMesh {
+  std::vector<uint64_t> cells;
+  std::vector<uint64_t> cross_sends;
+};
+
+void PairTick(Simulator* sim, PairMesh* st, uint64_t seed, uint32_t shard,
+              uint32_t nshards, uint64_t tick) {
+  st->cells[shard] = st->cells[shard] * 0x9e3779b97f4a7c15ULL + tick + 1;
+  if (sim->Now() >= kDeadline - 300) return;
+  if (tick % 2 == 0) {
+    const uint32_t dst = (shard + 1 + tick / 2) % nshards;
+    if (dst != shard) {
+      st->cross_sends[shard]++;
+      sim->ScheduleOn(
+          dst, sim->LookaheadTo(dst) + Mix(seed, shard, tick) % 23,
+          [st, dst] { st->cells[dst] ^= 0x5bd1e995; }, "pair.remote");
+    }
+  }
+  sim->Schedule(
+      1 + Mix(seed, shard, tick * 2 + 1) % 13,
+      [sim, st, seed, shard, nshards, tick] {
+        PairTick(sim, st, seed, shard, nshards, tick + 1);
+      },
+      "pair.tick");
+}
+
+struct PairResult {
+  uint64_t fingerprint = 0;
+  uint64_t executed = 0;
+  uint64_t state_hash = 0;
+  uint64_t cross_sends = 0;
+  Simulator::EngineStats stats;
+};
+
+// matrix_bonus < 0: scalar lookahead only. Otherwise entry (s, d) is
+// kLookahead + matrix_bonus + ((s * 3 + d) % 3) * 20 — asymmetric, and
+// with matrix_bonus == 0 the (s, d) = (0, 1)-class entries equal the
+// scalar bound exactly.
+PairResult RunPairMesh(uint64_t seed, int threads, int matrix_bonus) {
+  constexpr uint32_t kShards = 3;
+  Simulator sim(seed);
+  sim.ConfigureShards(kShards);
+  sim.SetLookahead(kLookahead);
+  if (matrix_bonus >= 0) {
+    for (uint32_t s = 0; s < kShards; ++s) {
+      for (uint32_t d = 0; d < kShards; ++d) {
+        if (s == d) continue;
+        sim.SetPairwiseLookahead(
+            s, d, kLookahead + matrix_bonus + ((s * 3 + d) % 3) * 20);
+      }
+    }
+  }
+  auto st = std::make_unique<PairMesh>();
+  st->cells.assign(kShards, seed);
+  st->cross_sends.assign(kShards, 0);
+  for (uint32_t s = 0; s < kShards; ++s) {
+    Simulator::ShardScope scope(&sim, s);
+    sim.Schedule(
+        1 + s,
+        [sim_p = &sim, st_p = st.get(), seed, s] {
+          PairTick(sim_p, st_p, seed, s, kShards, 0);
+        },
+        "pair.start");
+  }
+  if (threads == 0) {
+    sim.RunUntil(kDeadline);
+  } else {
+    sim.RunSharded(kDeadline, threads);
+  }
+  PairResult r;
+  r.fingerprint = sim.ScheduleFingerprint();
+  r.executed = sim.ExecutedEvents();
+  for (uint64_t c : st->cells) r.state_hash = r.state_hash * 31 + c;
+  for (uint64_t c : st->cross_sends) r.cross_sends += c;
+  r.stats = sim.engine_stats();
+  return r;
+}
+
+TEST(ParallelEngine, PairwiseLookaheadMatchesSerial) {
+  // Asymmetric matrix (entries 45/65/85 vs scalar 25): the windowed
+  // engine must still execute the exact serial canonical schedule.
+  const PairResult serial = RunPairMesh(13, 0, 20);
+  ASSERT_GT(serial.executed, 1000u);
+  ASSERT_GT(serial.cross_sends, 100u);
+  for (int threads : {1, 2, 4, 8}) {
+    const PairResult parallel = RunPairMesh(13, threads, 20);
+    EXPECT_EQ(parallel.fingerprint, serial.fingerprint) << threads;
+    EXPECT_EQ(parallel.executed, serial.executed) << threads;
+    EXPECT_EQ(parallel.state_hash, serial.state_hash) << threads;
+  }
+}
+
+TEST(ParallelEngine, WiderMatrixEntriesMeanFewerWindows) {
+  // Raising every pairwise entry above the scalar bound must widen the
+  // conservative windows — strictly fewer barrier crossings for the
+  // same wall of simulated time.
+  const PairResult scalar = RunPairMesh(13, 2, -1);
+  const PairResult wide = RunPairMesh(13, 2, 20);
+  ASSERT_GT(scalar.stats.windows, 0u);
+  EXPECT_LT(wide.stats.windows, scalar.stats.windows);
+}
+
+TEST(ParallelEngine, PairwiseGettersAndContextFallback) {
+  Simulator sim(1);
+  sim.ConfigureShards(3);
+  sim.SetLookahead(25);
+  EXPECT_EQ(sim.PairwiseLookahead(0, 1), 25);  // unset matrix: scalar
+  sim.SetPairwiseLookahead(0, 1, 70);
+  sim.SetPairwiseLookahead(1, 0, 40);
+  EXPECT_EQ(sim.PairwiseLookahead(0, 1), 70);
+  EXPECT_EQ(sim.PairwiseLookahead(1, 0), 40);
+  EXPECT_EQ(sim.PairwiseLookahead(0, 2), 25);  // untouched pair: scalar
+  // Outside any shard context LookaheadTo degrades to the scalar bound.
+  EXPECT_EQ(sim.LookaheadTo(1), 25);
+  // SetLookahead resets the matrix.
+  sim.SetLookahead(30);
+  EXPECT_EQ(sim.PairwiseLookahead(0, 1), 30);
+}
+
+TEST(ParallelEngine, EngineStatsCountWindowsAndMailboxTraffic) {
+  // Windowed execution batches every cross-shard send into the source
+  // shard's outbox: total mailed messages must equal the cross sends the
+  // mesh made, batches can't exceed messages, and the serial path (direct
+  // heap inserts, no windows) must report zeros.
+  const PairResult serial = RunPairMesh(21, 0, 0);
+  EXPECT_EQ(serial.stats.windows, 0u);
+  EXPECT_EQ(serial.stats.mailbox_batches, 0u);
+  EXPECT_EQ(serial.stats.mailbox_msgs, 0u);
+  ASSERT_GT(serial.cross_sends, 100u);
+
+  const PairResult windowed = RunPairMesh(21, 4, 0);
+  EXPECT_EQ(windowed.fingerprint, serial.fingerprint);
+  EXPECT_GT(windowed.stats.windows, 0u);
+  EXPECT_EQ(windowed.stats.mailbox_msgs, windowed.cross_sends);
+  EXPECT_GE(windowed.stats.mailbox_batches, 1u);
+  EXPECT_LE(windowed.stats.mailbox_batches, windowed.stats.mailbox_msgs);
+}
+
+// ---------------------------------------------------------------------------
+// Worker-pool round-handoff stress: 8 shards with a 2us lookahead gives
+// thousands of tiny claim rounds per leg, and back-to-back RunShardedFor
+// legs re-broadcast the round counter constantly. A stale claim from a
+// previous round shows up as a TSan race or a divergence from the serial
+// reference schedule. (This binary is part of the TSan sweep.)
+
+void TinyTick(Simulator* sim, std::vector<uint64_t>* cells, uint32_t shard,
+              uint64_t tick, SimTime deadline) {
+  (*cells)[shard] += tick * 0x9e3779b97f4a7c15ULL + 1;
+  if (sim->Now() >= deadline - 10) return;
+  if (tick % 5 == 0) {
+    const uint32_t dst =
+        (shard + 1 + tick / 5) % static_cast<uint32_t>(cells->size());
+    if (dst != shard) {
+      sim->ScheduleOn(
+          dst, sim->LookaheadTo(dst) + tick % 7,
+          [cells, dst] { (*cells)[dst] ^= 0x2545f4914f6cdd1dULL; },
+          "tiny.remote");
+    }
+  }
+  sim->Schedule(
+      1 + tick % 3,
+      [sim, cells, shard, tick, deadline] {
+        TinyTick(sim, cells, shard, tick + 1, deadline);
+      },
+      "tiny.tick");
+}
+
+TEST(ParallelEngine, RepeatedTinyWindowRoundHandoff) {
+  constexpr SimTime kEnd = 4000;
+  auto run = [](int threads) {
+    Simulator sim(77);
+    sim.ConfigureShards(8);
+    sim.SetLookahead(2);
+    std::vector<uint64_t> cells(8, 1);
+    for (uint32_t s = 0; s < 8; ++s) {
+      Simulator::ShardScope scope(&sim, s);
+      sim.Schedule(
+          1 + s % 2,
+          [sim_p = &sim, cells_p = &cells, s] {
+            TinyTick(sim_p, cells_p, s, 0, kEnd);
+          },
+          "tiny.start");
+    }
+    if (threads == 0) {
+      sim.RunUntil(kEnd);
+    } else {
+      for (int leg = 0; leg < 40; ++leg) sim.RunShardedFor(100, threads);
+    }
+    uint64_t hash = sim.ScheduleFingerprint();
+    for (uint64_t c : cells) hash = hash * 31 + c;
+    return std::pair<uint64_t, uint64_t>(hash, sim.ExecutedEvents());
+  };
+  const auto serial = run(0);
+  ASSERT_GT(serial.second, 5000u);
+  for (int threads : {2, 8}) {
+    const auto parallel = run(threads);
+    EXPECT_EQ(parallel.first, serial.first) << "threads " << threads;
+    EXPECT_EQ(parallel.second, serial.second) << "threads " << threads;
+  }
 }
 
 #ifdef GTEST_HAS_DEATH_TEST
